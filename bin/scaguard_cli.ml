@@ -1,0 +1,479 @@
+(* Command-line front-end:
+
+     scaguard list                          # available programs
+     scaguard leak fr-iaik                  # run a PoC, show the leakage
+     scaguard model fr-iaik                 # print its CST-BBS model
+     scaguard compare fr-iaik pp-iaik       # similarity of two programs
+     scaguard detect spectre-fr-classic --repo FR-F,PP-F
+     scaguard scadet pp-iaik                # run the rule-based baseline
+*)
+
+open Cmdliner
+
+(* ---- program registry ------------------------------------------------------ *)
+
+let poc_registry : (string * (unit -> Workloads.Attacks.spec)) list =
+  let open Workloads.Attacks in
+  [
+    ("fr-iaik", fun () -> flush_reload ~style:Iaik ());
+    ("fr-mastik", fun () -> flush_reload ~style:Mastik ());
+    ("fr-nepoche", fun () -> flush_reload ~style:Nepoche ());
+    ("ff", fun () -> flush_flush ());
+    ("er", fun () -> evict_reload ());
+    ("pp-iaik", fun () -> prime_probe ~style:Iaik ());
+    ("pp-jzhang", fun () -> prime_probe ~style:Jzhang ());
+    ("spectre-fr-classic", fun () -> spectre_fr ~style:Classic ());
+    ("spectre-fr-idea", fun () -> spectre_fr ~style:Idea ());
+    ("spectre-fr-good", fun () -> spectre_fr ~style:Good ());
+    ("spectre-pp", fun () -> spectre_pp ());
+    ("meltdown-fr", fun () -> meltdown_fr ());
+  ]
+
+let resolve_sample ~seed name =
+  match List.assoc_opt name poc_registry with
+  | Some f -> Some (Workloads.Dataset.of_spec (f ()))
+  | None ->
+    (* benign family names resolve to a benign sample *)
+    if List.mem_assoc name Workloads.Benign.families then begin
+      let g = Workloads.Benign.build name (Sutil.Rng.create seed) in
+      Some
+        {
+          Workloads.Dataset.name = g.Workloads.Benign.name;
+          label = Workloads.Label.Benign;
+          program = g.Workloads.Benign.program;
+          init = g.Workloads.Benign.init;
+          victim = None;
+          settings = None;
+        }
+    end
+    else None
+
+let sample_or_die ~seed name =
+  match resolve_sample ~seed name with
+  | Some s -> s
+  | None ->
+    Printf.eprintf
+      "unknown program %S; run `scaguard list` for available names\n" name;
+    exit 1
+
+let analyze (s : Workloads.Dataset.sample) =
+  let res = Workloads.Dataset.run s in
+  (Scaguard.Pipeline.analyze ~name:s.Workloads.Dataset.name
+     ~program:s.Workloads.Dataset.program res, res)
+
+(* ---- common options ---------------------------------------------------------- *)
+
+let seed_t =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let name_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+(* ---- list ---------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "Attack PoCs:\n";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) poc_registry;
+    Printf.printf "Benign generator families:\n";
+    List.iter
+      (fun (n, cat) -> Printf.printf "  %-16s (%s)\n" n cat)
+      Workloads.Benign.families
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available programs.")
+    Term.(const run $ const ())
+
+(* ---- leak ---------------------------------------------------------------------- *)
+
+let leak_cmd =
+  let run seed name =
+    let s = sample_or_die ~seed name in
+    let res = Workloads.Dataset.run s in
+    Printf.printf "%s: %d instructions, %d cycles, halted=%b\n"
+      s.Workloads.Dataset.name res.Cpu.Exec.instructions res.Cpu.Exec.cycles
+      res.Cpu.Exec.halted_normally;
+    let hist = Workloads.Attacks.result_histogram res in
+    if Array.exists (fun v -> v > 0) hist then begin
+      Printf.printf "result histogram: ";
+      Array.iteri (fun i v -> if v > 0 then Printf.printf "%d:%d " i v) hist;
+      Printf.printf "\nbest guess: %d\n" (Workloads.Attacks.secret_guess res)
+    end
+    else Printf.printf "no attack results recorded (benign program?)\n"
+  in
+  Cmd.v
+    (Cmd.info "leak" ~doc:"Execute a program and show its attack results.")
+    Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`).")
+
+(* ---- model ---------------------------------------------------------------------- *)
+
+let model_cmd =
+  let run seed name =
+    let s = sample_or_die ~seed name in
+    let a, _ = analyze s in
+    Printf.printf "CFG: %d blocks; step1 %d; relevant %d; model %d blocks\n\n"
+      (Cfg.Graph.n_blocks a.Scaguard.Pipeline.cfg)
+      (List.length a.Scaguard.Pipeline.info.Scaguard.Relevant.step1)
+      (List.length a.Scaguard.Pipeline.info.Scaguard.Relevant.relevant)
+      (Scaguard.Model.length a.Scaguard.Pipeline.model);
+    Format.printf "%a@." Scaguard.Model.pp a.Scaguard.Pipeline.model
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Build and print a program's CST-BBS model.")
+    Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`).")
+
+(* ---- compare -------------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run seed a b =
+    let sa = sample_or_die ~seed a and sb = sample_or_die ~seed b in
+    let ma, _ = analyze sa and mb, _ = analyze sb in
+    Printf.printf "similarity(%s, %s) = %.2f%%\n" a b
+      (100.0
+      *. Scaguard.Dtw.compare_models ma.Scaguard.Pipeline.model
+           mb.Scaguard.Pipeline.model)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Similarity score of two programs' models.")
+    Term.(const run $ seed_t $ name_arg 0 "First program." $ name_arg 1 "Second program.")
+
+(* ---- detect --------------------------------------------------------------------- *)
+
+let repo_t =
+  Arg.(
+    value
+    & opt (list string) [ "FR-F"; "PP-F"; "S-FR"; "S-PP" ]
+    & info [ "repo" ] ~docv:"FAMILIES"
+        ~doc:"Attack families in the PoC repository (comma-separated).")
+
+let threshold_t =
+  Arg.(
+    value
+    & opt float Scaguard.Detector.default_threshold
+    & info [ "threshold" ] ~docv:"T" ~doc:"Similarity threshold in [0,1].")
+
+let detect_cmd =
+  let run seed repo_names threshold name =
+    let families =
+      List.filter_map Workloads.Label.of_string repo_names
+    in
+    if families = [] then begin
+      Printf.eprintf "no valid repository families in %s\n"
+        (String.concat "," repo_names);
+      exit 1
+    end;
+    let rng = Sutil.Rng.create seed in
+    let repo = Experiments.Common.repository ~rng families in
+    let s = sample_or_die ~seed name in
+    let a, _ = analyze s in
+    let v =
+      Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model
+    in
+    List.iter
+      (fun (poc, family, score) ->
+        Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
+      v.Scaguard.Detector.scores;
+    match v.Scaguard.Detector.best_family with
+    | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
+    | None -> Printf.printf "verdict: benign (best %.2f%% < %.0f%%)\n"
+                (100.0 *. v.Scaguard.Detector.best_score) (100.0 *. threshold)
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Classify a program against a PoC repository.")
+    Term.(const run $ seed_t $ repo_t $ threshold_t $ name_arg 0 "Program name.")
+
+(* ---- build-repo / repo-backed detect ---------------------------------------------- *)
+
+let build_repo_cmd =
+  let run seed repo_names path =
+    let families = List.filter_map Workloads.Label.of_string repo_names in
+    let rng = Sutil.Rng.create seed in
+    let repo = Experiments.Common.repository ~rng families in
+    Scaguard.Persist.save_repository ~path repo;
+    Printf.printf "wrote %d PoC models to %s\n" (List.length repo) path
+  in
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Output repository file.")
+  in
+  Cmd.v
+    (Cmd.info "build-repo"
+       ~doc:"Build a PoC-model repository and save it to a file.")
+    Term.(const run $ seed_t $ repo_t $ path_t)
+
+let detect_file_cmd =
+  let run seed path threshold name =
+    let repo = Scaguard.Persist.load_repository ~path in
+    let s = sample_or_die ~seed name in
+    let a, _ = analyze s in
+    let v = Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model in
+    List.iter
+      (fun (poc, family, score) ->
+        Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
+      v.Scaguard.Detector.scores;
+    match v.Scaguard.Detector.best_family with
+    | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
+    | None -> Printf.printf "verdict: benign\n"
+  in
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Repository file written by build-repo.")
+  in
+  Cmd.v
+    (Cmd.info "detect-with"
+       ~doc:"Classify a program against a saved repository file.")
+    Term.(const run $ seed_t $ path_t $ threshold_t $ name_arg 1 "Program name.")
+
+(* ---- assemble / disasm / detect-binary ---------------------------------------------- *)
+
+let assemble_cmd =
+  let run seed name path =
+    let s = sample_or_die ~seed name in
+    Isa.Binary.write_file ~path s.Workloads.Dataset.program;
+    Printf.printf "wrote %s (%d instructions) to %s\n" s.Workloads.Dataset.name
+      (Isa.Program.length s.Workloads.Dataset.program) path
+  in
+  let path_t =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
+           ~doc:"Output binary file.")
+  in
+  Cmd.v
+    (Cmd.info "assemble" ~doc:"Assemble a program to a binary file.")
+    Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`)." $ path_t)
+
+let binfile_t p =
+  Arg.(required & pos p (some file) None & info [] ~docv:"BIN"
+         ~doc:"Binary file written by `assemble`.")
+
+let disasm_cmd =
+  let run path =
+    let prog = Isa.Binary.read_file ~path in
+    Format.printf "%a@." Isa.Program.pp prog
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a binary file.")
+    Term.(const run $ binfile_t 0)
+
+let detect_binary_cmd =
+  let run seed repo_names threshold with_victim path =
+    let prog = Isa.Binary.read_file ~path in
+    let families = List.filter_map Workloads.Label.of_string repo_names in
+    let rng = Sutil.Rng.create seed in
+    let repo = Experiments.Common.repository ~rng families in
+    let victim =
+      if with_victim then Some (Workloads.Victim.shared_lib ()) else None
+    in
+    let a = Scaguard.Pipeline.run_and_analyze ?victim prog in
+    let v = Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model in
+    List.iter
+      (fun (poc, family, score) ->
+        Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
+      v.Scaguard.Detector.scores;
+    match v.Scaguard.Detector.best_family with
+    | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
+    | None -> Printf.printf "verdict: benign\n"
+  in
+  let victim_t =
+    Arg.(value & flag
+         & info [ "with-victim" ] ~doc:"Co-run the shared-library victim.")
+  in
+  Cmd.v
+    (Cmd.info "detect-binary"
+       ~doc:"Run the full pipeline on a binary file and classify it.")
+    Term.(const run $ seed_t $ repo_t $ threshold_t $ victim_t $ binfile_t 0)
+
+(* ---- compile ----------------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run optimize with_victim path =
+    let src =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let prog =
+      try Minc.Codegen.compile_source ~optimize ~name:(Filename.basename path) src
+      with
+      | Minc.Parser.Error m | Minc.Codegen.Error m ->
+        Printf.eprintf "compile error: %s\n" m;
+        exit 1
+      | Minc.Lexer.Error (m, off) ->
+        Printf.eprintf "lex error at byte %d: %s\n" off m;
+        exit 1
+    in
+    Printf.printf "compiled %s: %d instructions (optimize=%b)\n" path
+      (Isa.Program.length prog) optimize;
+    let victim =
+      if with_victim then Some (Workloads.Victim.shared_lib ()) else None
+    in
+    let res = Cpu.Exec.run ?victim prog in
+    Printf.printf "ran: %d instructions, %d cycles, halted=%b\n"
+      res.Cpu.Exec.instructions res.Cpu.Exec.cycles res.Cpu.Exec.halted_normally;
+    let a = Scaguard.Pipeline.analyze ~name:path ~program:prog res in
+    Printf.printf "model: %d blocks (of %d CFG blocks)\n"
+      (Scaguard.Model.length a.Scaguard.Pipeline.model)
+      (Cfg.Graph.n_blocks a.Scaguard.Pipeline.cfg)
+  in
+  let opt_t =
+    Arg.(value & flag & info [ "O" ] ~doc:"Enable the optimizing pipeline.")
+  in
+  let victim_t =
+    Arg.(value & flag
+         & info [ "with-victim" ]
+             ~doc:"Co-run the shared-library victim (for compiled attacks).")
+  in
+  let path_t =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MinC source file.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and run a MinC source file.")
+    Term.(const run $ opt_t $ victim_t $ path_t)
+
+(* ---- dot ------------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run seed name attack_graph =
+    let s = sample_or_die ~seed name in
+    let a, _ = analyze s in
+    let cfg = a.Scaguard.Pipeline.cfg in
+    if attack_graph then
+      let ag = a.Scaguard.Pipeline.attack_graph in
+      print_string
+        (Cfg.Dot.of_attack_graph cfg
+           ~relevant:ag.Scaguard.Attack_graph.relevant
+           ~nodes:ag.Scaguard.Attack_graph.nodes
+           ~edges:ag.Scaguard.Attack_graph.edges)
+    else
+      print_string
+        (Cfg.Dot.of_graph
+           ~highlight:a.Scaguard.Pipeline.info.Scaguard.Relevant.relevant cfg)
+  in
+  let ag_t =
+    Arg.(value & flag
+         & info [ "attack-graph" ]
+             ~doc:"Render the attack-relevant graph instead of the plain CFG.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Print a Graphviz rendering of a program's CFG (relevant blocks \
+             highlighted).")
+    Term.(const run $ seed_t $ name_arg 0 "Program name." $ ag_t)
+
+(* ---- export-dataset ----------------------------------------------------------------- *)
+
+let export_dataset_cmd =
+  let run seed per_family dir =
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let rng = Sutil.Rng.create seed in
+    let samples =
+      List.concat_map snd (Workloads.Dataset.attack_dataset ~rng ~per_family)
+      @ Workloads.Dataset.benign_samples ~rng ~count:per_family
+    in
+    let manifest = open_out (Filename.concat dir "manifest.tsv") in
+    Fun.protect
+      ~finally:(fun () -> close_out manifest)
+      (fun () ->
+        output_string manifest "file\tlabel\tname\n";
+        List.iter
+          (fun (s : Workloads.Dataset.sample) ->
+            let file = s.Workloads.Dataset.name ^ ".bin" in
+            Isa.Binary.write_file ~path:(Filename.concat dir file)
+              s.Workloads.Dataset.program;
+            Printf.fprintf manifest "%s\t%s\t%s\n" file
+              (Workloads.Label.to_string s.Workloads.Dataset.label)
+              s.Workloads.Dataset.name)
+          samples);
+    Printf.printf "exported %d binaries + manifest.tsv to %s\n"
+      (List.length samples) dir
+  in
+  let per_family_t =
+    Arg.(value & opt int 16 & info [ "per-family" ] ~docv:"N"
+           ~doc:"Samples per attack type (and benign count).")
+  in
+  let dir_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export-dataset"
+       ~doc:"Write the Table II/III dataset as binary files with a manifest.")
+    Term.(const run $ seed_t $ per_family_t $ dir_t)
+
+(* ---- heatmap --------------------------------------------------------------------- *)
+
+let heatmap_cmd =
+  let run seed name =
+    let s = sample_or_die ~seed name in
+    let res = Workloads.Dataset.run s in
+    let sets = Cache.Config.llc.Cache.Config.sets in
+    let counts = Array.make sets 0 in
+    List.iter
+      (fun (a : Hpc.Collector.access) ->
+        let set = Cache.Config.set_of_addr Cache.Config.llc a.Hpc.Collector.target in
+        counts.(set) <- counts.(set) + 1)
+      (Hpc.Collector.accesses res.Cpu.Exec.collector);
+    let bucket = 8 in
+    let buckets = sets / bucket in
+    let agg = Array.init buckets (fun i ->
+        let s = ref 0 in
+        for j = 0 to bucket - 1 do s := !s + counts.((i * bucket) + j) done;
+        !s)
+    in
+    let peak = Array.fold_left max 1 agg in
+    Printf.printf "LLC set access heat map for %s (each column = %d sets, peak %d accesses):\n"
+      s.Workloads.Dataset.name bucket peak;
+    let glyphs = " .:-=+*#%@" in
+    for row = 3 downto 0 do
+      Printf.printf "  ";
+      Array.iter
+        (fun v ->
+          let level = v * 40 / peak in
+          let g =
+            if level > row * 10 then
+              glyphs.[min 9 (max 1 (level - (row * 10)))]
+            else ' '
+          in
+          print_char g)
+        agg;
+      print_newline ()
+    done;
+    Printf.printf "  %s\n" (String.make buckets '-');
+    Printf.printf "  set 0%ssets %d-%d\n" (String.make (buckets - 14) ' ')
+      (sets - bucket) (sets - 1)
+  in
+  Cmd.v
+    (Cmd.info "heatmap"
+       ~doc:"ASCII heat map of a program's LLC set accesses (attacks show \
+             their page-stride stripes).")
+    Term.(const run $ seed_t $ name_arg 0 "Program name.")
+
+(* ---- scadet --------------------------------------------------------------------- *)
+
+let scadet_cmd =
+  let run seed name =
+    let s = sample_or_die ~seed name in
+    let res = Workloads.Dataset.run s in
+    let r = Baselines.Scadet.detect s.Workloads.Dataset.program res in
+    Printf.printf "tight loops: %d\nswept sets: [%s]\nverdict: %s\n"
+      r.Baselines.Scadet.tight_loops
+      (String.concat "; " (List.map string_of_int r.Baselines.Scadet.swept_sets))
+      (if r.Baselines.Scadet.detected then "Prime+Probe detected" else "nothing")
+  in
+  Cmd.v
+    (Cmd.info "scadet" ~doc:"Run the rule-based SCADET baseline on a program.")
+    Term.(const run $ seed_t $ name_arg 0 "Program name.")
+
+(* ---- main ----------------------------------------------------------------------- *)
+
+let () =
+  let doc = "SCAGuard: cache side-channel attack detection (DAC'23 reproduction)" in
+  let info = Cmd.info "scaguard" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; leak_cmd; model_cmd; compare_cmd; detect_cmd;
+            build_repo_cmd; detect_file_cmd; dot_cmd; compile_cmd;
+            assemble_cmd; disasm_cmd; detect_binary_cmd; heatmap_cmd;
+            export_dataset_cmd; scadet_cmd;
+          ]))

@@ -1,0 +1,60 @@
+(* The end-to-end binary workflow §V describes for a server cluster:
+   (1) a repository of PoC models is curated once and saved to disk;
+   (2) untrusted binaries arrive as files;
+   (3) each file is loaded, sandbox-executed, modelled, and classified.
+
+     dune exec examples/binary_pipeline.exe *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let () =
+  let rng = Sutil.Rng.create 99 in
+
+  (* --- 1. build and persist the repository ---------------------------- *)
+  let repo_path = tmp "scaguard_demo.repo" in
+  let repo =
+    Experiments.Common.repository ~rng
+      [ Workloads.Label.Fr_family; Workloads.Label.Pp_family;
+        Workloads.Label.Spectre_fr; Workloads.Label.Spectre_pp ]
+  in
+  Scaguard.Persist.save_repository ~path:repo_path repo;
+  Printf.printf "repository: %d PoC models -> %s\n" (List.length repo) repo_path;
+
+  (* --- 2. "someone ships us binaries" --------------------------------- *)
+  let incoming =
+    List.map
+      (fun (s : Workloads.Dataset.sample) ->
+        let path = tmp (s.Workloads.Dataset.name ^ ".bin") in
+        Isa.Binary.write_file ~path s.Workloads.Dataset.program;
+        (path, s))
+      (Workloads.Dataset.mutated_attacks ~rng ~count:2 Workloads.Label.Fr_family
+      @ Workloads.Dataset.benign_samples ~rng ~count:2
+      @ Workloads.Dataset.obfuscated_attacks ~rng ~count:1 Workloads.Label.Pp_family)
+  in
+  Printf.printf "received %d binaries (%s...)\n\n" (List.length incoming)
+    (Filename.basename (fst (List.hd incoming)));
+
+  (* --- 3. screen each file -------------------------------------------- *)
+  let loaded_repo = Scaguard.Persist.load_repository ~path:repo_path in
+  List.iter
+    (fun (path, (s : Workloads.Dataset.sample)) ->
+      let prog = Isa.Binary.read_file ~path in
+      (* the sandbox re-runs the binary with its environment; here the
+         dataset sample supplies init/victim like the sandbox would *)
+      let res =
+        Cpu.Exec.run ~init:s.Workloads.Dataset.init
+          ?victim:s.Workloads.Dataset.victim prog
+      in
+      let a =
+        Scaguard.Pipeline.analyze ~name:(Filename.basename path) ~program:prog
+          res
+      in
+      let v = Scaguard.Detector.classify loaded_repo a.Scaguard.Pipeline.model in
+      Printf.printf "%-36s %6.1f%%  %s\n" (Filename.basename path)
+        (100.0 *. v.Scaguard.Detector.best_score)
+        (match v.Scaguard.Detector.best_family with
+        | Some f -> "ATTACK (" ^ f ^ ")"
+        | None -> "allowed");
+      Sys.remove path)
+    incoming;
+  Sys.remove repo_path

@@ -1,0 +1,54 @@
+(* Quickstart: model a Flush+Reload PoC, inspect the CST-BBS, and compare it
+   against another attack and a benign program.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Take a Flush+Reload proof-of-concept (simulated x86-like binary +
+        its co-running victim). *)
+  let fr = Workloads.Attacks.flush_reload ~style:Workloads.Attacks.Iaik () in
+  Printf.printf "PoC: %s (%d instructions)\n\n" fr.Workloads.Attacks.name
+    (Isa.Program.length fr.Workloads.Attacks.program);
+
+  (* 2. Execute it to collect runtime data (HPC events + address trace) and
+        build its attack behavior model — the CST-BBS. *)
+  let analysis =
+    Scaguard.Pipeline.run_and_analyze ~init:fr.Workloads.Attacks.init
+      ?victim:fr.Workloads.Attacks.victim fr.Workloads.Attacks.program
+  in
+  Printf.printf "CFG: %d basic blocks, %d survived relevance filtering\n"
+    (Cfg.Graph.n_blocks analysis.Scaguard.Pipeline.cfg)
+    (List.length analysis.Scaguard.Pipeline.info.Scaguard.Relevant.relevant);
+  Format.printf "%a@." Scaguard.Model.pp analysis.Scaguard.Pipeline.model;
+
+  (* 3. Compare with other programs. *)
+  let model_of (spec : Workloads.Attacks.spec) =
+    (Scaguard.Pipeline.run_and_analyze ~init:spec.Workloads.Attacks.init
+       ?victim:spec.Workloads.Attacks.victim spec.Workloads.Attacks.program)
+      .Scaguard.Pipeline.model
+  in
+  let er = model_of (Workloads.Attacks.evict_reload ()) in
+  let pp = model_of (Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Iaik ()) in
+  let benign_sample =
+    List.hd
+      (Workloads.Dataset.benign_samples ~rng:(Sutil.Rng.create 1) ~count:1)
+  in
+  let benign =
+    (Scaguard.Pipeline.run_and_analyze ~init:benign_sample.Workloads.Dataset.init
+       benign_sample.Workloads.Dataset.program)
+      .Scaguard.Pipeline.model
+  in
+  let fr_model = analysis.Scaguard.Pipeline.model in
+  let show name m =
+    Printf.printf "  similarity(FR, %-14s) = %5.1f%%\n" name
+      (100.0 *. Scaguard.Dtw.compare_models fr_model m)
+  in
+  Printf.printf "\nSimilarity comparison (threshold %.0f%%):\n"
+    (100.0 *. Scaguard.Detector.default_threshold);
+  show "Evict+Reload" er;
+  show "Prime+Probe" pp;
+  show benign_sample.Workloads.Dataset.name benign;
+  Printf.printf
+    "\nEvict+Reload is a variant of the same family (high similarity);\n\
+     Prime+Probe is a different attack (medium); benign falls below the\n\
+     threshold.\n"

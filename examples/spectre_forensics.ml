@@ -1,0 +1,53 @@
+(* Spectre forensics: demonstrate that (1) the simulated Spectre-v1 PoC
+   really exfiltrates its out-of-bounds secret through the cache, and
+   (2) SCAGuard detects the never-seen Spectre variant knowing only the
+   plain Flush+Reload family — the paper's E2 scenario.
+
+     dune exec examples/spectre_forensics.exe *)
+
+let () =
+  (* --- the attack works ---------------------------------------------- *)
+  let spec = Workloads.Attacks.spectre_fr ~style:Workloads.Attacks.Classic () in
+  let res = Workloads.Attacks.run_spec spec in
+  let hist = Workloads.Attacks.result_histogram res in
+  Printf.printf "Spectre-FR probe-line hit counts (secret nibble = 11):\n  ";
+  Array.iteri (fun i v -> if i < 16 then Printf.printf "%d:%d " i v) hist;
+  (* line 0 is polluted by branch training; real PoCs skip known-training
+     values during recovery *)
+  let recovered = ref 1 in
+  Array.iteri (fun i v -> if i >= 1 && i < 16 && v > hist.(!recovered) then recovered := i) hist;
+  Printf.printf "\n  recovered secret: %d %s\n\n" !recovered
+    (if !recovered = 11 then "(correct - the bounds check was bypassed transiently)"
+     else "(unexpected)");
+
+  (* --- SCAGuard catches it knowing only plain Flush+Reload ------------ *)
+  let rng = Sutil.Rng.create 42 in
+  let repo = Experiments.Common.repository ~rng [ Workloads.Label.Fr_family ] in
+  let analysis =
+    Scaguard.Pipeline.run_and_analyze ~init:spec.Workloads.Attacks.init
+      spec.Workloads.Attacks.program
+  in
+  let v = Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model in
+  Printf.printf
+    "Detection with a repository containing ONLY Flush+Reload (E2):\n";
+  List.iter
+    (fun (name, family, score) ->
+      Printf.printf "  vs %s (%s): %.1f%%\n" name family (100.0 *. score))
+    v.Scaguard.Detector.scores;
+  (match v.Scaguard.Detector.best_family with
+  | Some f ->
+    Printf.printf
+      "  => flagged as a %s variant (threshold %.0f%%): the transient gadget\n\
+      \     still flushes, reloads and times cache lines, so the CST-BBS\n\
+      \     stays close to its non-Spectre counterpart.\n"
+      f (100.0 *. Scaguard.Detector.default_threshold)
+  | None -> Printf.printf "  => missed (below threshold)\n");
+
+  (* --- and the rule-based baseline does not ---------------------------- *)
+  let scadet =
+    Baselines.Scadet.detect spec.Workloads.Attacks.program res
+  in
+  Printf.printf
+    "\nSCADET's hand-built Prime+Probe rules on the same program: %s\n"
+    (if scadet.Baselines.Scadet.detected then "detected (unexpected)"
+     else "nothing detected (no rules for this pattern)")

@@ -1,0 +1,40 @@
+type t = { mean : float array; std : float array }
+
+let default_threshold = 3.0
+
+let train = function
+  | [] -> invalid_arg "Baselines.Anomaly.train: no benign samples"
+  | results ->
+    let xs = List.map Features.whole_run results in
+    let d = Features.dim_whole_run in
+    let n = float_of_int (List.length xs) in
+    let mean = Array.make d 0.0 in
+    List.iter (fun x -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) x) xs;
+    Array.iteri (fun i v -> mean.(i) <- v /. n) mean;
+    let var = Array.make d 0.0 in
+    List.iter
+      (fun x ->
+        Array.iteri
+          (fun i v ->
+            let dv = v -. mean.(i) in
+            var.(i) <- var.(i) +. (dv *. dv))
+          x)
+      xs;
+    let std = Array.map (fun v -> sqrt (v /. n)) var in
+    { mean; std }
+
+let score t res =
+  let x = Features.whole_run res in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let sigma = max t.std.(i) 1e-9 in
+      let z = abs_float ((v -. t.mean.(i)) /. sigma) in
+      (* features that never varied in training only count when they fire at
+         all (z would explode on any epsilon otherwise) *)
+      let z = if t.std.(i) < 1e-9 && abs_float (v -. t.mean.(i)) < 1e-9 then 0.0 else z in
+      if z > !worst then worst := z)
+    x;
+  !worst
+
+let is_attack ?(threshold = default_threshold) t res = score t res > threshold

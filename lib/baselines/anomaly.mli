@@ -1,0 +1,25 @@
+(** Victim-oriented anomaly detection (Chiappetta et al., Applied Soft
+    Computing 2016 — the paper's related work): learn only what {e benign}
+    HPC profiles look like and flag outliers.
+
+    Requires no attack samples at all, but — as the paper argues — a single
+    benign data source yields false positives and the verdict cannot be
+    classified into an attack family. *)
+
+type t
+
+val train : Cpu.Exec.result list -> t
+(** Fit per-feature mean/stddev on benign executions only.
+    @raise Invalid_argument on []. *)
+
+val score : t -> Cpu.Exec.result -> float
+(** Largest absolute per-feature z-score of the execution's profile. *)
+
+val is_attack : ?threshold:float -> t -> Cpu.Exec.result -> bool
+(** [threshold] defaults to {!default_threshold}. *)
+
+val default_threshold : float
+(** 3.0.  Flush+Reload profiles sit only 3-4 sigma outside the benign
+    cloud, so catching them forces a tight threshold — and with it the high
+    false-positive ratio the paper attributes to single-source anomaly
+    detection. *)

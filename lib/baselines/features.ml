@@ -1,0 +1,80 @@
+let n_windows = 8
+
+(* Only hardware-countable events feed the learned profiles: real HPCs have
+   no "clflush executed" or "rdtsc executed" counter, so the Flush and
+   Timestamp channels that would trivially separate attack from benign are
+   excluded — as in the original NIGHTs-WATCH, which trains on cache
+   miss/hit counters. *)
+let countable =
+  List.filter
+    (fun e -> not (Hpc.Event.equal e Hpc.Event.Timestamp))
+    Hpc.Event.all
+
+let dim_whole_run = List.length countable + 1 + (n_windows * 2)
+
+(* NIGHTs-WATCH samples HPCs periodically, so besides whole-run rates the
+   profile carries the *temporal rhythm*: per time window, the load and
+   store activity.  The rhythm is what makes the learned models
+   family-specific (and why they transfer poorly across families, as the
+   paper's E3 shows). *)
+let whole_run (res : Cpu.Exec.result) =
+  let c = Hpc.Collector.total_counters res.Cpu.Exec.collector in
+  let n = float_of_int (max 1 res.Cpu.Exec.instructions) in
+  let rates =
+    Array.of_list
+      (List.map (fun e -> float_of_int (Hpc.Counters.get c e) /. n) countable)
+  in
+  let accesses =
+    List.filter
+      (fun (a : Hpc.Collector.access) ->
+        a.Hpc.Collector.kind <> Hpc.Collector.Flush)
+      (Hpc.Collector.accesses res.Cpu.Exec.collector)
+  in
+  let aggregate = [| float_of_int (List.length accesses) /. n |] in
+  let windows = Array.make (n_windows * 2) 0.0 in
+  let total_accesses = float_of_int (max 1 (List.length accesses)) in
+  let span = float_of_int (max 1 res.Cpu.Exec.cycles) in
+  List.iter
+    (fun (a : Hpc.Collector.access) ->
+      let w =
+        min (n_windows - 1)
+          (int_of_float (float_of_int a.Hpc.Collector.time /. span
+                         *. float_of_int n_windows))
+      in
+      let slot =
+        match a.Hpc.Collector.kind with
+        | Hpc.Collector.Load -> 0
+        | Hpc.Collector.Store | Hpc.Collector.Flush -> 1
+      in
+      let i = (w * 2) + slot in
+      windows.(i) <- windows.(i) +. (1.0 /. total_accesses))
+    accesses;
+  Array.concat [ rates; aggregate; windows ]
+
+let top_k = 4
+let slot_width = List.length countable + 1
+let dim_loop_profile = top_k * slot_width
+
+let loop_profile (res : Cpu.Exec.result) =
+  let col = res.Cpu.Exec.collector in
+  let pcs = Hpc.Collector.executed_pcs col in
+  let scored =
+    List.map (fun pc -> (Hpc.Collector.hpc_value_at col ~pc, pc)) pcs
+    |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+  in
+  let n = float_of_int (max 1 res.Cpu.Exec.instructions) in
+  let feat = Array.make dim_loop_profile 0.0 in
+  List.iteri
+    (fun rank (_, pc) ->
+      if rank < top_k then begin
+        let off = rank * slot_width in
+        feat.(off) <- float_of_int (Hpc.Collector.exec_count col ~pc) /. n;
+        match Hpc.Collector.counters_at col ~pc with
+        | Some c ->
+          List.iteri
+            (fun i e -> feat.(off + 1 + i) <- float_of_int (Hpc.Counters.get c e) /. n)
+            countable
+        | None -> ()
+      end)
+    scored;
+  feat

@@ -1,0 +1,17 @@
+(** HPC featureization shared by the learning-based baselines.
+
+    NIGHTs-WATCH-style detectors sample whole-process HPC rates;
+    KNN-MLFM-style detectors focus on the hottest loops.  Both views are
+    derived from the collected runtime data of one execution. *)
+
+val dim_whole_run : int
+val whole_run : Cpu.Exec.result -> Ml.Vector.t
+(** Per-instruction rates of the 12 Table I events, plus the data-access
+    rate and flush rate — the whole-process profile SVM-NW / LR-NW train
+    on. *)
+
+val dim_loop_profile : int
+val loop_profile : Cpu.Exec.result -> Ml.Vector.t
+(** Event rates concentrated on the hottest instruction addresses (the
+    malicious-loop view of KNN-MLFM): the top-4 addresses by HPC value
+    contribute their execution share and their event breakdown. *)

@@ -1,0 +1,13 @@
+type t = { scaler : Ml.Scale.t; knn : Ml.Knn.t }
+
+let featurize res = Features.loop_profile res
+
+let train ?(k = 5) samples =
+  (match samples with [] -> invalid_arg "Mlfm.train: no samples" | _ -> ());
+  let raw = List.map (fun (res, l) -> (featurize res, l)) samples in
+  let scaler = Ml.Scale.fit (List.map fst raw) in
+  let scaled = List.map (fun (x, l) -> (Ml.Scale.transform scaler x, l)) raw in
+  { scaler; knn = Ml.Knn.fit ~k scaled }
+
+let predict t res =
+  Ml.Knn.predict t.knn (Ml.Scale.transform t.scaler (featurize res))

@@ -1,0 +1,10 @@
+(** KNN-MLFM: k-nearest-neighbours malicious-loop-finding detector (Allaf et
+    al., UKCI'17 style) — classifies executions by the HPC profile of their
+    hottest loops. *)
+
+type t
+
+val train : ?k:int -> (Cpu.Exec.result * int) list -> t
+(** [k] defaults to 5.  @raise Invalid_argument on []. *)
+
+val predict : t -> Cpu.Exec.result -> int

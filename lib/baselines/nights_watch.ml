@@ -1,0 +1,29 @@
+type variant = Svm_nw | Lr_nw
+
+type model = Svm of Ml.Svm.multi | Lr of Ml.Logreg.multi
+
+type t = { scaler : Ml.Scale.t; model : model }
+
+let featurize res = Features.whole_run res
+
+let train ~variant ~rng samples =
+  (match samples with
+  | [] -> invalid_arg "Nights_watch.train: no samples"
+  | _ -> ());
+  let raw = List.map (fun (res, l) -> (featurize res, l)) samples in
+  let scaler = Ml.Scale.fit (List.map fst raw) in
+  let scaled = List.map (fun (x, l) -> (Ml.Scale.transform scaler x, l)) raw in
+  let model =
+    match variant with
+    | Svm_nw -> Svm (Ml.Svm.train_multi ~rng scaled)
+    | Lr_nw -> Lr (Ml.Logreg.train_multi scaled)
+  in
+  { scaler; model }
+
+let predict t res =
+  let x = Ml.Scale.transform t.scaler (featurize res) in
+  match t.model with
+  | Svm m -> Ml.Svm.predict_multi m x
+  | Lr m -> Ml.Logreg.predict_multi m x
+
+let variant_name = function Svm_nw -> "SVM-NW" | Lr_nw -> "LR-NW"

@@ -1,0 +1,19 @@
+(** NIGHTs-WATCH-style learning-based detectors (Mushtaq et al., HASP'18):
+    classifiers over whole-process HPC rates.  Two variants, matching
+    Table VI's baselines: SVM-NW (linear SVM) and LR-NW (logistic
+    regression). *)
+
+type variant = Svm_nw | Lr_nw
+
+type t
+(** A trained multiclass model (with its feature scaler). *)
+
+val train :
+  variant:variant -> rng:Sutil.Rng.t ->
+  (Cpu.Exec.result * int) list -> t
+(** Train on labelled executions (labels are small ints; the caller fixes
+    the encoding).  @raise Invalid_argument on []. *)
+
+val predict : t -> Cpu.Exec.result -> int
+
+val variant_name : variant -> string

@@ -1,0 +1,17 @@
+type t = {
+  anomaly : Anomaly.t;
+  classifier : Nights_watch.t;
+  benign_label : int;
+}
+
+let train ~rng ~benign ~attacks ~benign_label =
+  if attacks = [] then invalid_arg "Phased_guard.train: no attack samples";
+  {
+    anomaly = Anomaly.train benign;
+    classifier = Nights_watch.train ~variant:Nights_watch.Svm_nw ~rng attacks;
+    benign_label;
+  }
+
+let predict t res =
+  if Anomaly.is_attack t.anomaly res then Nights_watch.predict t.classifier res
+  else t.benign_label

@@ -1,0 +1,18 @@
+(** Phased-Guard-style two-phase detection (Wang et al., ICCD'20 — the
+    paper's related work): phase one is victim-oriented anomaly detection;
+    only anomalous executions reach phase two, a multi-class classifier
+    trained on attack samples. *)
+
+type t
+
+val train :
+  rng:Sutil.Rng.t ->
+  benign:Cpu.Exec.result list ->
+  attacks:(Cpu.Exec.result * int) list ->
+  benign_label:int ->
+  t
+(** @raise Invalid_argument when either training set is empty. *)
+
+val predict : t -> Cpu.Exec.result -> int
+(** [benign_label] when phase one sees nothing anomalous, otherwise phase
+    two's attack family. *)

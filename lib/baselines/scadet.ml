@@ -1,0 +1,135 @@
+module I = Isa.Instr
+module P = Isa.Program
+
+type params = {
+  max_body_len : int;
+  min_ways : int;
+  min_sets : int;
+  min_sweeps : int;
+  sweep_gap : int;
+}
+
+(* sweep_gap sits between the intra-phase revisit interval of a zig-zag
+   (ways-outer) prime walk (~700 cycles) and the prime->probe phase gap
+   (several thousand cycles). *)
+let default_params =
+  { max_body_len = 7; min_ways = 12; min_sets = 4; min_sweeps = 3;
+    sweep_gap = 1500 }
+
+type report = { detected : bool; swept_sets : int list; tight_loops : int }
+
+(* Static part: tight loops = backward conditional branches whose body is
+   short and contains a load. *)
+let tight_loops params prog =
+  let code = P.code prog in
+  let loops = ref [] in
+  Array.iteri
+    (fun i ins ->
+      match I.branch_target ins with
+      | Some l when I.is_cond_branch ins ->
+        let target = P.label_index prog l in
+        if target < i && i - target + 1 <= params.max_body_len then begin
+          let body = Array.sub code target (i - target + 1) in
+          if Array.exists I.reads_memory body then loops := (target, i) :: !loops
+        end
+      | Some _ | None -> ())
+    code;
+  List.rev !loops
+
+(* Dynamic part: for one loop, cluster its per-set access times into sweeps
+   and keep sets with enough many-way sweeps. *)
+let swept_sets_of_loop params prog collector (first, last) =
+  let set_of addr = Cache.Config.set_of_addr Cache.Config.llc addr in
+  let in_loop pc =
+    match P.index_of_addr prog pc with
+    | Some i -> i >= first && i <= last
+    | None -> false
+  in
+  let by_set = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Hpc.Collector.access) ->
+      if a.Hpc.Collector.kind <> Hpc.Collector.Flush && in_loop a.Hpc.Collector.pc
+      then begin
+        let s = set_of a.Hpc.Collector.target in
+        Hashtbl.replace by_set s
+          ((a.Hpc.Collector.time, a.Hpc.Collector.target)
+          :: Option.value ~default:[] (Hashtbl.find_opt by_set s))
+      end)
+    (Hpc.Collector.accesses collector);
+  Hashtbl.fold
+    (fun s accs acc ->
+      let accs = List.sort compare accs in
+      (* split into sweeps at time gaps *)
+      let sweeps = ref [] in
+      let current = ref [] in
+      let last_t = ref min_int in
+      List.iter
+        (fun (t, addr) ->
+          if !last_t <> min_int && t - !last_t > params.sweep_gap then begin
+            sweeps := !current :: !sweeps;
+            current := []
+          end;
+          current := addr :: !current;
+          last_t := t)
+        accs;
+      if !current <> [] then sweeps := !current :: !sweeps;
+      let full_sweeps =
+        List.filter
+          (fun sw ->
+            List.length (List.sort_uniq Int.compare sw) >= params.min_ways)
+          !sweeps
+      in
+      if List.length full_sweeps >= params.min_sweeps then s :: acc else acc)
+    by_set []
+
+(* The tool's trace segmentation assumes the prime/probe phases run
+   straight-line within one routine; executed calls (context changes inside
+   the window) abort the pattern match — one of the hand-built assumptions
+   that make rule-based detection brittle. *)
+let has_executed_calls prog (res : Cpu.Exec.result) =
+  let code = P.code prog in
+  let rec scan i =
+    i < Array.length code
+    && ((match code.(i) with
+        | I.Call _ ->
+          Hpc.Collector.exec_count res.Cpu.Exec.collector
+            ~pc:(P.addr_of_index prog i)
+          > 0
+        | _ -> false)
+       || scan (i + 1))
+  in
+  scan 0
+
+let detect ?(params = default_params) prog (res : Cpu.Exec.result) =
+  let loops = tight_loops params prog in
+  let swept =
+    if has_executed_calls prog res then []
+    else begin
+      (* Prime+Probe needs both phases: a set counts only when at least two
+         distinct tight loops (the prime loop and the probe loop) sweep
+         it. *)
+      let per_loop =
+        List.map
+          (fun l ->
+            List.sort_uniq Int.compare
+              (swept_sets_of_loop params prog res.Cpu.Exec.collector l))
+          loops
+      in
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (List.iter (fun s ->
+             Hashtbl.replace counts s
+               (1 + Option.value ~default:0 (Hashtbl.find_opt counts s))))
+        per_loop;
+      Hashtbl.fold (fun s c acc -> if c >= 2 then s :: acc else acc) counts []
+      |> List.sort Int.compare
+    end
+  in
+  {
+    detected = List.length swept >= params.min_sets;
+    swept_sets = swept;
+    tight_loops = List.length loops;
+  }
+
+let classify ?params prog res =
+  if (detect ?params prog res).detected then Some "PP-F" else None

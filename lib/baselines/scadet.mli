@@ -1,0 +1,37 @@
+(** SCADET-style rule-based Prime+Probe detection (Sabbagh et al.,
+    ICCAD'18) — the learning-free baseline of Table VI.
+
+    The rules encode the hand-designed Prime+Probe signature:
+    a {e tight loop} (short static loop body containing a load) whose
+    dynamic accesses repeatedly sweep an LLC cache set with at least
+    [min_ways] distinct congruent lines, on several sets, several times
+    (prime and probe phases of several rounds).
+
+    Being a fixed syntactic-plus-trace pattern, it shares the brittleness
+    the paper demonstrates: code mutation can push loop bodies past the
+    tightness bound and obfuscation splits them, so variants evade it —
+    and non-Prime+Probe families never match at all. *)
+
+type params = {
+  max_body_len : int;   (** instructions; loops longer than this are not
+                            "tight" (default 8) *)
+  min_ways : int;       (** distinct congruent lines per sweep (default 12) *)
+  min_sets : int;       (** swept sets required (default 4) *)
+  min_sweeps : int;     (** sweeps per set required (default 3) *)
+  sweep_gap : int;      (** cycles separating two sweeps of a set (default 600) *)
+}
+
+val default_params : params
+
+type report = {
+  detected : bool;
+  swept_sets : int list;   (** sets matching the sweep rule *)
+  tight_loops : int;       (** tight loops found statically *)
+}
+
+val detect : ?params:params -> Isa.Program.t -> Cpu.Exec.result -> report
+(** Run the rules on a program and its execution trace. *)
+
+val classify : ?params:params -> Isa.Program.t -> Cpu.Exec.result -> string option
+(** [Some "PP-F"] when the Prime+Probe rules fire, [None] (benign)
+    otherwise — SCADET has no rules for other families. *)

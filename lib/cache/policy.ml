@@ -1,0 +1,8 @@
+type t = Lru | Fifo | Random of int
+
+let to_string = function
+  | Lru -> "LRU"
+  | Fifo -> "FIFO"
+  | Random seed -> Printf.sprintf "Random(%d)" seed
+
+let all = [ Lru; Fifo; Random 1 ]

@@ -1,0 +1,15 @@
+(** Replacement policies for the set-associative caches.
+
+    Real LLCs are not strictly LRU (Ivy Bridge onward use adaptive/PLRU
+    schemes), and attack papers routinely ask whether eviction-based attacks
+    survive other policies — the policy is a constructor parameter so the
+    robustness benches can sweep it. *)
+
+type t =
+  | Lru            (** least-recently-used (hits refresh) *)
+  | Fifo           (** round-robin by fill order (hits do not refresh) *)
+  | Random of int  (** pseudo-random victim way, from the given seed *)
+
+val to_string : t -> string
+val all : t list
+(** [Lru; Fifo; Random 1] — one representative of each. *)

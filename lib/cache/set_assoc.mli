@@ -1,0 +1,52 @@
+(** One set-associative cache level with LRU replacement, flush support and
+    per-owner occupancy accounting. *)
+
+type t
+
+type access_result = {
+  hit : bool;
+  evicted : (int * Owner.t) option;
+    (** line address and owner of the victim line, when a fill evicted one *)
+}
+(** One lookup's outcome.  Victim selection on a full set follows the
+    cache's {!Policy.t}. *)
+
+val create : ?policy:Policy.t -> Config.t -> t
+(** [policy] defaults to {!Policy.Lru}. *)
+
+val config : t -> Config.t
+val policy : t -> Policy.t
+
+val access : t -> owner:Owner.t -> int -> access_result
+(** [access t ~owner addr] looks up the line of [addr]; on a miss the line is
+    filled (evicting the LRU way if the set is full) and ownership is
+    recorded; on a hit the line is promoted to MRU and ownership is
+    {e re-assigned} to [owner] (matching shared-memory attacks where the
+    attacker re-loads a victim-fetched line). *)
+
+val probe : t -> int -> bool
+(** [probe t addr] reports presence without touching LRU state. *)
+
+val flush : t -> int -> bool
+(** [flush t addr] invalidates the line of [addr]; returns whether it was
+    present. *)
+
+val fill_all : t -> owner:Owner.t -> unit
+(** Fill every line with distinct addresses owned by [owner] (used to start
+    CST measurement from [(AO=0, IO=1)]). *)
+
+val reset : t -> unit
+(** Invalidate everything. *)
+
+val occupancy : t -> Owner.t -> float
+(** Fraction of all lines currently owned by the given owner. *)
+
+val state : t -> State.t
+(** The paper's cache state: [AO] = occupancy of [Attacker], [IO] = summed
+    occupancy of [Victim] and [System]. *)
+
+val owned_sets : t -> Owner.t -> int list
+(** Set indices holding at least one line of the given owner (ascending). *)
+
+val valid_lines : t -> int
+(** Number of currently valid lines. *)

@@ -1,0 +1,30 @@
+(* Iterative coloured DFS: white = unvisited, grey = on stack, black = done.
+   An edge to a grey node is a back edge. *)
+
+let find g =
+  let n = Graph.n_blocks g in
+  let colour = Array.make n `White in
+  let back = ref [] in
+  let rec visit u =
+    colour.(u) <- `Grey;
+    List.iter
+      (fun v ->
+        match colour.(v) with
+        | `Grey -> back := (u, v) :: !back
+        | `White -> visit v
+        | `Black -> ())
+      (Graph.succs g u);
+    colour.(u) <- `Black
+  in
+  visit (Graph.entry g);
+  (* Unreachable components can still contain cycles; sweep them too. *)
+  for u = 0 to n - 1 do
+    if colour.(u) = `White then visit u
+  done;
+  List.rev !back
+
+let acyclic_succs g =
+  let back = find g in
+  let is_back a b = List.mem (a, b) back in
+  Array.init (Graph.n_blocks g) (fun u ->
+      List.filter (fun v -> not (is_back u v)) (Graph.succs g u))

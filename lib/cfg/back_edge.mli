@@ -1,0 +1,11 @@
+(** Back-edge (cycle) elimination — step 1 of Algorithm 1, which needs a
+    loop-free graph before path enumeration. *)
+
+val find : Graph.t -> (int * int) list
+(** Back edges found by iterative DFS from the entry block (edges into a node
+    currently on the DFS stack), plus a second pass over blocks unreachable
+    from the entry so that every cycle is broken. *)
+
+val acyclic_succs : Graph.t -> int list array
+(** Successor lists of the CFG with the back edges of {!find} removed.
+    The result is a DAG over the same block ids. *)

@@ -1,0 +1,22 @@
+type t = { id : int; first : int; last : int }
+
+let size t = t.last - t.first + 1
+
+let instr_indices t = List.init (size t) (fun i -> t.first + i)
+
+let instrs prog t =
+  List.map (fun i -> Isa.Program.instr prog i) (instr_indices t)
+
+let addrs prog t =
+  List.map (fun i -> Isa.Program.addr_of_index prog i) (instr_indices t)
+
+let first_addr prog t = Isa.Program.addr_of_index prog t.first
+
+let contains_index t i = i >= t.first && i <= t.last
+
+let is_attack_ground_truth prog t =
+  List.exists
+    (fun i -> Isa.Program.has_tag prog i Isa.Program.attack_tag)
+    (instr_indices t)
+
+let pp fmt t = Format.fprintf fmt "BB%d[%d..%d]" t.id t.first t.last

@@ -1,0 +1,30 @@
+(** Basic blocks: maximal straight-line instruction ranges of a program
+    (Definition 1). *)
+
+type t = {
+  id : int;     (** dense index in the owning CFG *)
+  first : int;  (** index of the first instruction (the leader) *)
+  last : int;   (** index of the last instruction, inclusive *)
+}
+
+val size : t -> int
+(** Number of instructions. *)
+
+val instr_indices : t -> int list
+(** [first; ...; last]. *)
+
+val instrs : Isa.Program.t -> t -> Isa.Instr.t list
+(** The block's instructions in order. *)
+
+val addrs : Isa.Program.t -> t -> int list
+(** Instruction addresses of the block. *)
+
+val first_addr : Isa.Program.t -> t -> int
+
+val contains_index : t -> int -> bool
+
+val is_attack_ground_truth : Isa.Program.t -> t -> bool
+(** True when any instruction of the block carries
+    {!Isa.Program.attack_tag} — the Table IV ground truth. *)
+
+val pp : Format.formatter -> t -> unit

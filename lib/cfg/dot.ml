@@ -1,0 +1,68 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let default_label (b : Basic_block.t) =
+  Printf.sprintf "BB%d (%d)" b.Basic_block.id (Basic_block.size b)
+
+let of_graph ?(highlight = []) ?(label_of = default_label) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun (b : Basic_block.t) ->
+      let id = b.Basic_block.id in
+      let style =
+        if List.mem id highlight then
+          ", style=filled, fillcolor=\"#ffd0d0\""
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" id (escape (label_of b)) style))
+    (Graph.blocks g);
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a b))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_attack_graph g ~relevant ~nodes ~edges =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph attack_graph {\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun (b : Basic_block.t) ->
+      let id = b.Basic_block.id in
+      let style =
+        if List.mem id relevant then "style=filled, fillcolor=\"#ff9090\""
+        else if List.mem id nodes then "style=solid, color=\"#c04040\""
+        else "style=dotted, color=gray"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", %s];\n" id
+           (escape (default_label b)) style))
+    (Graph.blocks g);
+  (* CFG edges dotted, attack-graph edges solid *)
+  List.iter
+    (fun (a, b) ->
+      let style =
+        if List.mem (a, b) edges then "[penwidth=2, color=\"#c04040\"]"
+        else "[style=dotted, color=gray]"
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d %s;\n" a b style))
+    (Graph.edges g);
+  (* attack-graph edges that are not CFG edges (restored paths collapse) *)
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem (a, b) (Graph.edges g)) then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [penwidth=2, color=\"#c04040\"];\n" a b))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Graphviz (DOT) rendering of CFGs — the standard way to eyeball what the
+    pipeline extracted. *)
+
+val of_graph :
+  ?highlight:int list ->
+  ?label_of:(Basic_block.t -> string) ->
+  Graph.t -> string
+(** DOT source for a CFG.  [highlight] block ids are filled (the
+    attack-relevant set); [label_of] defaults to the block id plus its
+    instruction count. *)
+
+val of_attack_graph :
+  Graph.t -> relevant:int list -> nodes:int list -> edges:(int * int) list ->
+  string
+(** DOT source for an attack-relevant graph laid over its CFG: relevant
+    blocks are filled, restored interiors outlined, everything else dotted. *)

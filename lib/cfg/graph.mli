@@ -1,0 +1,35 @@
+(** The control flow graph of a program (Definition 1), built statically from
+    branch targets — the role Angr plays for the paper. *)
+
+type t
+
+val of_program : Isa.Program.t -> t
+(** Split the program at leaders (entry, branch targets, fall-throughs after
+    branches) and connect blocks: conditional branches get both edges, calls
+    get the callee-entry edge and the return-site fall-through edge, [ret]
+    and [hlt] end paths. *)
+
+val program : t -> Isa.Program.t
+val n_blocks : t -> int
+val block : t -> int -> Basic_block.t
+val blocks : t -> Basic_block.t list
+val succs : t -> int -> int list
+(** Successor block ids, ascending, duplicate-free. *)
+
+val preds : t -> int -> int list
+
+val block_of_index : t -> int -> Basic_block.t
+(** Block containing an instruction index.
+    @raise Invalid_argument when out of range. *)
+
+val block_of_addr : t -> int -> Basic_block.t option
+(** Block containing an instruction address, if within the program. *)
+
+val entry : t -> int
+(** Id of the entry block (always 0). *)
+
+val edges : t -> (int * int) list
+(** All edges, lexicographic. *)
+
+val n_edges : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type edge = { u : int; v : int; weight : float; payload : int list }
+
+(* Prim with a plain scan instead of a heap: the relevant-node sets are small
+   (tens of blocks), so O(n^2) is ample. *)
+let maximum_spanning_forest ~nodes ~edges =
+  let in_tree = Hashtbl.create 16 in
+  let covered n = Hashtbl.mem in_tree n in
+  let adjacent n =
+    List.filter (fun e -> e.u = n || e.v = n) edges
+  in
+  let result = ref [] in
+  let grow_component seed =
+    Hashtbl.replace in_tree seed ();
+    let frontier = ref (adjacent seed) in
+    let continue = ref true in
+    while !continue do
+      (* Best edge with exactly one endpoint in the tree. *)
+      let best = ref None in
+      List.iter
+        (fun e ->
+          let cu = covered e.u and cv = covered e.v in
+          if cu <> cv then
+            match !best with
+            | Some b when e.weight <= b.weight -> ()
+            | Some _ | None -> best := Some e)
+        !frontier;
+      match !best with
+      | None -> continue := false
+      | Some e ->
+        result := e :: !result;
+        let fresh = if covered e.u then e.v else e.u in
+        Hashtbl.replace in_tree fresh ();
+        frontier := adjacent fresh @ !frontier
+    done
+  in
+  List.iter (fun n -> if not (covered n) then grow_component n) nodes;
+  List.rev !result

@@ -1,0 +1,17 @@
+(** Maximum spanning forest over the attack-relevant blocks — step 4 of
+    Algorithm 1 (Prim's algorithm with maximized weights).
+
+    Nodes are block ids; each candidate edge carries the restored CFG path it
+    stands for.  Disconnected relevant blocks yield a spanning {e forest}
+    (one tree per connected component), so no relevant block is dropped. *)
+
+type edge = {
+  u : int;
+  v : int;
+  weight : float;
+  payload : int list;  (** the underlying CFG path from [u] to [v] *)
+}
+
+val maximum_spanning_forest : nodes:int list -> edges:edge list -> edge list
+(** Edges of the maximum spanning forest of the undirected view of [edges]
+    over [nodes].  Runs Prim from each not-yet-covered node. *)

@@ -1,0 +1,42 @@
+type path = { nodes : int list; score : float }
+
+let max_score = 1e12
+
+let score_of_interior hpc = function
+  | [] -> max_score
+  | interior ->
+    List.fold_left (fun s v -> s +. hpc v) 0.0 interior
+    /. float_of_int (List.length interior)
+
+let best_between ~succs ~hpc ~relevant ?(max_paths = 500) ?(max_len = 64)
+    ~src ~dst () =
+  let best = ref None in
+  let found = ref 0 in
+  let consider rev_interior =
+    incr found;
+    let interior = List.rev rev_interior in
+    let p =
+      { nodes = (src :: interior) @ [ dst ];
+        score = score_of_interior hpc interior }
+    in
+    match !best with
+    | Some b when p.score <= b.score -> ()
+    | Some _ | None -> best := Some p
+  in
+  (* DFS on the acyclic successor lists.  [rev_interior] holds the path's
+     interior nodes (everything strictly between [src] and [dst]) reversed.
+     Interior nodes must not be relevant; [dst] itself may equal [src] only
+     through a genuine (non-empty) path, which the DAG rules out, so self
+     pairs simply find nothing. *)
+  let rec dfs node rev_interior len =
+    if !found >= max_paths || len > max_len then ()
+    else
+      List.iter
+        (fun next ->
+          if next = dst then consider rev_interior
+          else if not (relevant next) then
+            dfs next (next :: rev_interior) (len + 1))
+        succs.(node)
+  in
+  dfs src [] 1;
+  !best

@@ -1,0 +1,29 @@
+(** Bounded path enumeration between attack-relevant blocks on the acyclic
+    CFG — step 3 of Algorithm 1.
+
+    For a pair [(src, dst)] of relevant blocks, valid paths go from [src] to
+    [dst] without passing through any {e other} relevant block.  Each path is
+    scored with the paper's attack-correlation value [V_p]: the mean HPC value
+    of its interior blocks, or [max_score] when [src -> dst] is a direct
+    edge. *)
+
+type path = {
+  nodes : int list;  (** block ids from [src] to [dst], inclusive *)
+  score : float;     (** the paper's V_p *)
+}
+
+val max_score : float
+(** The paper's MAX constant for directly connected pairs. *)
+
+val best_between :
+  succs:int list array ->
+  hpc:(int -> float) ->
+  relevant:(int -> bool) ->
+  ?max_paths:int ->
+  ?max_len:int ->
+  src:int -> dst:int -> unit ->
+  path option
+(** Highest-scoring valid path from [src] to [dst] on the DAG [succs].
+    Enumeration explores at most [max_paths] complete paths (default 500) of
+    at most [max_len] nodes (default 64) — caps that keep Algorithm 1
+    polynomial on branchy CFGs; [None] when no valid path exists. *)

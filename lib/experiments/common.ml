@@ -1,0 +1,69 @@
+module D = Workloads.Dataset
+module L = Workloads.Label
+
+type run = {
+  sample : D.sample;
+  result : Cpu.Exec.result;
+  analysis : Scaguard.Pipeline.analysis Lazy.t;
+}
+
+let execute sample =
+  let result = D.run sample in
+  let analysis =
+    lazy
+      (Scaguard.Pipeline.analyze ~name:sample.D.name ~program:sample.D.program
+         result)
+  in
+  { sample; result; analysis }
+
+let execute_all samples = List.map execute samples
+
+let model run = (Lazy.force run.analysis).Scaguard.Pipeline.model
+let label run = run.sample.D.label
+
+let label_to_int = function
+  | L.Fr_family -> 0
+  | L.Pp_family -> 1
+  | L.Spectre_fr -> 2
+  | L.Spectre_pp -> 3
+  | L.Benign -> 4
+
+let label_of_int = function
+  | 0 -> L.Fr_family
+  | 1 -> L.Pp_family
+  | 2 -> L.Spectre_fr
+  | 3 -> L.Spectre_pp
+  | _ -> L.Benign
+
+(* One representative PoC per family, harnessed like every dataset sample. *)
+let poc_of_family label =
+  match label with
+  | L.Fr_family -> Workloads.Attacks.flush_reload ~style:Workloads.Attacks.Iaik ()
+  | L.Pp_family -> Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Iaik ()
+  | L.Spectre_fr -> Workloads.Attacks.spectre_fr ~style:Workloads.Attacks.Classic ()
+  | L.Spectre_pp -> Workloads.Attacks.spectre_pp ()
+  | L.Benign -> invalid_arg "Experiments.Common: benign has no PoC"
+
+let repository ~rng families =
+  List.map
+    (fun family ->
+      let sample =
+        D.with_harness ~rng (D.of_spec (poc_of_family family))
+      in
+      let run = execute sample in
+      { Scaguard.Detector.family = L.to_string family; model = model run })
+    families
+
+let scaguard_predict ?threshold ?alpha repo run =
+  let verdict = Scaguard.Detector.classify ?threshold ?alpha repo (model run) in
+  match verdict.Scaguard.Detector.best_family with
+  | Some f -> Option.value ~default:L.Benign (L.of_string f)
+  | None -> L.Benign
+
+let binarize = function L.Benign -> L.Benign | _ -> L.Fr_family
+
+let metrics ~classes pairs =
+  let to_int = label_to_int in
+  Ml.Metrics.evaluate
+    ~classes:(List.map to_int classes)
+    (List.map (fun (p, a) -> (to_int p, to_int a)) pairs)

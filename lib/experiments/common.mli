@@ -1,0 +1,40 @@
+(** Shared experiment machinery: executed samples, model building, the PoC
+    repository, and label plumbing between the typed workload labels and the
+    detector's string families / the baselines' int labels. *)
+
+type run = {
+  sample : Workloads.Dataset.sample;
+  result : Cpu.Exec.result;
+  analysis : Scaguard.Pipeline.analysis Lazy.t;
+    (** modeling is lazy: the baselines only need [result] *)
+}
+
+val execute : Workloads.Dataset.sample -> run
+val execute_all : Workloads.Dataset.sample list -> run list
+
+val model : run -> Scaguard.Model.t
+val label : run -> Workloads.Label.t
+
+val label_to_int : Workloads.Label.t -> int
+val label_of_int : int -> Workloads.Label.t
+
+val repository :
+  rng:Sutil.Rng.t -> Workloads.Label.t list -> Scaguard.Detector.repository
+(** One harnessed PoC model per requested family (the paper's "only one PoC
+    per attack type" repository). *)
+
+val scaguard_predict :
+  ?threshold:float -> ?alpha:float ->
+  Scaguard.Detector.repository -> run -> Workloads.Label.t
+(** Classify a run with SCAGuard; below-threshold verdicts map to
+    [Benign]. *)
+
+val binarize : Workloads.Label.t -> Workloads.Label.t
+(** Collapse every attack family to [Fr_family] (used as the generic
+    "Attack" class for E3's detection-only scoring). *)
+
+val metrics :
+  classes:Workloads.Label.t list ->
+  (Workloads.Label.t * Workloads.Label.t) list ->
+  Ml.Metrics.scores
+(** [(predicted, actual)] pairs to macro scores. *)

@@ -1,0 +1,84 @@
+module D = Workloads.Dataset
+module L = Workloads.Label
+
+let base_names label =
+  List.filter_map
+    (fun (s : Workloads.Attacks.spec) ->
+      if L.equal s.Workloads.Attacks.label label then Some s.Workloads.Attacks.name
+      else None)
+    (Workloads.Attacks.base_pocs ())
+
+(* Did a run recover its planted secret?  (The "mutation retains attack
+   functionality" premise of §IV-A, measured instead of assumed.) *)
+let sample_leaked (s : D.sample) (res : Cpu.Exec.result) =
+  let h = Workloads.Attacks.result_histogram res in
+  match s.D.label with
+  | L.Fr_family | L.Pp_family ->
+    List.mem (Workloads.Attacks.secret_guess res) [ 2; 3; 5 ]
+  | L.Spectre_fr | L.Spectre_pp ->
+    let best = ref 1 in
+    Array.iteri (fun i v -> if i >= 1 && v > h.(!best) then best := i) h;
+    !best = (match s.D.label with L.Spectre_fr -> 11 | _ -> 5)
+  | L.Benign -> false
+
+let table2 ~rng ~per_family =
+  let t =
+    Sutil.Table.create ~title:"Table II: the attack dataset"
+      [ "Type"; "Base PoCs"; "#C"; "#M"; "mean instrs/run"; "leak rate" ]
+  in
+  List.iter
+    (fun label ->
+      let bases = base_names label in
+      let samples = D.mutated_attacks ~rng ~count:per_family label in
+      let runs = List.map (fun s -> (s, D.run s)) samples in
+      let instrs =
+        List.map (fun (_, r) -> float_of_int r.Cpu.Exec.instructions) runs
+      in
+      let leaked =
+        List.length (List.filter (fun (s, r) -> sample_leaked s r) runs)
+      in
+      Sutil.Table.add_row t
+        [
+          L.to_string label;
+          String.concat ", " bases;
+          string_of_int (List.length bases);
+          string_of_int per_family;
+          Printf.sprintf "%.0f" (Sutil.Stats.mean instrs);
+          Sutil.Table.pct (float_of_int leaked /. float_of_int per_family);
+        ])
+    L.attack_labels;
+  t
+
+(* Sample names carry their category as a prefix ("spec-stream-…"). *)
+let category_prefix = function
+  | "SPEC" -> "spec-"
+  | "LeetCode" -> "leetcode-"
+  | "Encryption" -> "crypto-"
+  | "Server" -> "server-"
+  | c -> invalid_arg ("Datasets.category_prefix: " ^ c)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let table3 ~rng ~count =
+  let t =
+    Sutil.Table.create ~title:"Table III: the benign dataset"
+      [ "Type"; "Generators"; "Number" ]
+  in
+  let samples = D.benign_samples ~rng ~count in
+  List.iter
+    (fun cat ->
+      let gens =
+        List.filter_map
+          (fun (n, c) -> if String.equal c cat then Some n else None)
+          Workloads.Benign.families
+      in
+      let prefix = category_prefix cat in
+      let n =
+        List.length
+          (List.filter (fun (s : D.sample) -> has_prefix ~prefix s.D.name) samples)
+      in
+      Sutil.Table.add_row t [ cat; String.concat ", " gens; string_of_int n ])
+    [ "SPEC"; "LeetCode"; "Encryption"; "Server" ];
+  t

@@ -1,0 +1,11 @@
+(** Tables II and III — dataset composition, reported with measured sample
+    statistics from this implementation's generators. *)
+
+val table2 : rng:Sutil.Rng.t -> per_family:int -> Sutil.Table.t
+(** Attack dataset: families, collected base PoCs, mutated sample counts,
+    mean executed instructions per sample, and the measured fraction of
+    mutants that still recover their planted secret (the §IV-A "mutation
+    retains attack functionality" premise, verified). *)
+
+val table3 : rng:Sutil.Rng.t -> count:int -> Sutil.Table.t
+(** Benign dataset: Table III categories with generated counts. *)

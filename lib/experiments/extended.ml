@@ -1,0 +1,85 @@
+module L = Workloads.Label
+
+type approach = Anomaly_only | Phased_guard | Scaguard_ref
+
+let approach_name = function
+  | Anomaly_only -> "Anomaly (victim-oriented)"
+  | Phased_guard -> "Phased-Guard"
+  | Scaguard_ref -> "SCAGUARD"
+
+let evaluate ~rng ~per_family task =
+  let td = Table6.prepare ~rng ~per_family task in
+  let train = Table6.train_runs td in
+  let benign_train =
+    List.filter_map
+      (fun (run, l) -> if L.equal l L.Benign then Some run.Common.result else None)
+      train
+  in
+  let attack_train =
+    List.filter_map
+      (fun (run, l) ->
+        if L.equal l L.Benign then None
+        else Some (run.Common.result, Common.label_to_int l))
+      train
+  in
+  let attack_class =
+    match Table6.classes_of td with c :: _ -> c | [] -> L.Fr_family
+  in
+  (* Anomaly detection cannot classify: its scoring is attack-vs-benign. *)
+  let anomaly = Baselines.Anomaly.train benign_train in
+  let anomaly_pairs =
+    List.map
+      (fun (run, truth) ->
+        let p =
+          if Baselines.Anomaly.is_attack anomaly run.Common.result then
+            attack_class
+          else L.Benign
+        in
+        (p, Common.binarize truth))
+      (Table6.test_runs td)
+  in
+  let anomaly_scores =
+    Common.metrics ~classes:[ attack_class; L.Benign ] anomaly_pairs
+  in
+  (* Phased-Guard: anomaly gate, then a multi-class phase two. *)
+  let pg =
+    Baselines.Phased_guard.train ~rng ~benign:benign_train
+      ~attacks:attack_train ~benign_label:(Common.label_to_int L.Benign)
+  in
+  let pg_pairs =
+    List.map
+      (fun (run, truth) ->
+        let p = Common.label_of_int (Baselines.Phased_guard.predict pg run.Common.result) in
+        (Table6.canonize td p, truth))
+      (Table6.test_runs td)
+  in
+  let pg_scores = Common.metrics ~classes:(Table6.classes_of td) pg_pairs in
+  let scaguard = Table6.evaluate_approach ~rng td Table6.Scaguard in
+  [
+    (Anomaly_only, anomaly_scores);
+    (Phased_guard, pg_scores);
+    (Scaguard_ref, scaguard);
+  ]
+
+let to_table results =
+  let t =
+    Sutil.Table.create
+      ~title:"Extended baselines (related work): anomaly & two-phase detection"
+      [ "Task"; "Approach"; "Precision"; "Recall"; "F1-score" ]
+  in
+  List.iter
+    (fun (task, per_approach) ->
+      List.iter
+        (fun (a, (s : Ml.Metrics.scores)) ->
+          Sutil.Table.add_row t
+            [
+              Table6.task_name task;
+              approach_name a;
+              Sutil.Table.pct s.Ml.Metrics.precision;
+              Sutil.Table.pct s.Ml.Metrics.recall;
+              Sutil.Table.pct s.Ml.Metrics.f1;
+            ])
+        per_approach;
+      Sutil.Table.add_separator t)
+    results;
+  t

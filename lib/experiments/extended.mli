@@ -1,0 +1,17 @@
+(** Extended baseline comparison beyond Table VI: the related-work
+    victim-oriented anomaly detector (no attack samples needed) and the
+    Phased-Guard two-phase detector, evaluated on the E1 and E2 tasks next
+    to SCAGuard. *)
+
+type approach = Anomaly_only | Phased_guard | Scaguard_ref
+
+val approach_name : approach -> string
+
+val evaluate :
+  rng:Sutil.Rng.t -> per_family:int -> Table6.task ->
+  (approach * Ml.Metrics.scores) list
+(** Anomaly-only is scored as binary attack-vs-benign (it cannot classify);
+    the others use the task's classes. *)
+
+val to_table :
+  (Table6.task * (approach * Ml.Metrics.scores) list) list -> Sutil.Table.t

@@ -1,0 +1,80 @@
+module L = Workloads.Label
+
+type point = { threshold : float; precision : float; recall : float; f1 : float }
+
+let default_thresholds = List.init 19 (fun i -> 0.05 *. float_of_int (i + 1))
+
+let evaluate ~rng ~per_family ?(thresholds = default_thresholds) () =
+  let td = Table6.prepare ~rng ~per_family Table6.E1 in
+  let repo = Table6.repository_of td in
+  (* Score each test run once; re-threshold per sweep point. *)
+  let scored =
+    List.map
+      (fun (run, truth) ->
+        let v = Scaguard.Detector.classify ~threshold:0.0 repo (Common.model run) in
+        let best =
+          match v.Scaguard.Detector.scores with
+          | (_, family, score) :: _ -> Some (family, score)
+          | [] -> None
+        in
+        (best, truth))
+      (Table6.test_runs td)
+  in
+  List.map
+    (fun threshold ->
+      let pairs =
+        List.map
+          (fun (best, truth) ->
+            let prediction =
+              match best with
+              | Some (family, score) when score >= threshold ->
+                Option.value ~default:L.Benign (L.of_string family)
+              | Some _ | None -> L.Benign
+            in
+            (prediction, truth))
+          scored
+      in
+      let s = Common.metrics ~classes:L.all pairs in
+      {
+        threshold;
+        precision = s.Ml.Metrics.precision;
+        recall = s.Ml.Metrics.recall;
+        f1 = s.Ml.Metrics.f1;
+      })
+    thresholds
+
+let plateau ?(floor = 0.9) points =
+  let ok p = p.precision >= floor && p.recall >= floor && p.f1 >= floor in
+  let best = ref None in
+  let current = ref [] in
+  let flush_run () =
+    match !current with
+    | [] -> ()
+    | run ->
+      let lo = List.fold_left (fun a p -> min a p.threshold) 1.0 run in
+      let hi = List.fold_left (fun a p -> max a p.threshold) 0.0 run in
+      (match !best with
+      | Some (blo, bhi) when bhi -. blo >= hi -. lo -> ()
+      | Some _ | None -> best := Some (lo, hi));
+      current := []
+  in
+  List.iter (fun p -> if ok p then current := p :: !current else flush_run ()) points;
+  flush_run ();
+  !best
+
+let to_table points =
+  let t =
+    Sutil.Table.create ~title:"Fig. 5: classification vs similarity threshold"
+      [ "Threshold"; "Precision"; "Recall"; "F1-score" ]
+  in
+  List.iter
+    (fun p ->
+      Sutil.Table.add_row t
+        [
+          Sutil.Table.pct p.threshold;
+          Sutil.Table.pct p.precision;
+          Sutil.Table.pct p.recall;
+          Sutil.Table.pct p.f1;
+        ])
+    points;
+  t

@@ -1,0 +1,24 @@
+(** Fig. 5 — SCAGuard's classification quality as the similarity threshold
+    varies.  Reuses E1-style data; each test run's repository scores are
+    computed once and re-thresholded per sweep point. *)
+
+type point = {
+  threshold : float;
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+val default_thresholds : float list
+(** 0.05, 0.10, ..., 0.95. *)
+
+val evaluate :
+  rng:Sutil.Rng.t -> per_family:int -> ?thresholds:float list -> unit ->
+  point list
+
+val plateau : ?floor:float -> point list -> (float * float) option
+(** [(lo, hi)] of the widest contiguous threshold range where precision,
+    recall and F1 all reach [floor] (default 0.9) — how the paper picks its
+    operating threshold. *)
+
+val to_table : point list -> Sutil.Table.t

@@ -1,0 +1,122 @@
+module A = Workloads.Attacks
+module L = Workloads.Label
+
+type leak_row = {
+  poc : string;
+  variant : string;
+  leaked : bool;
+  detected : bool;
+}
+
+let smt h () = (h (), None)
+
+let hierarchy_variants =
+  [
+    ("LRU (SMT)", smt (fun () -> Cache.Hierarchy.create ()));
+    ("FIFO", smt (fun () -> Cache.Hierarchy.create ~policy:Cache.Policy.Fifo ()));
+    ("Random", smt (fun () -> Cache.Hierarchy.create ~policy:(Cache.Policy.Random 1) ()));
+    ("prefetcher", smt (fun () -> Cache.Hierarchy.create ~prefetch:true ()));
+    ("non-inclusive LLC", smt (fun () -> Cache.Hierarchy.create ~inclusive:false ()));
+    ( "cross-core",
+      fun () ->
+        let a, b = Cache.Hierarchy.create_cross_core () in
+        (a, Some b) );
+  ]
+
+let victim_values = [ 2; 3; 5 ]
+
+let leaked_of (spec : A.spec) res =
+  match spec.A.label with
+  | L.Fr_family | L.Pp_family ->
+    List.mem (A.secret_guess res) victim_values
+  | L.Spectre_fr | L.Spectre_pp ->
+    (* skip the training-polluted line 0 *)
+    let h = A.result_histogram res in
+    let best = ref 1 in
+    Array.iteri (fun i v -> if i >= 1 && v > h.(!best) then best := i) h;
+    let expected = match spec.A.label with L.Spectre_fr -> 11 | _ -> 5 in
+    !best = expected
+  | L.Benign -> false
+
+let policy_matrix ~rng =
+  let repo = Common.repository ~rng L.attack_labels in
+  List.concat_map
+    (fun (variant, make_hierarchy) ->
+      List.map
+        (fun (spec : A.spec) ->
+          let hierarchy, victim_hierarchy = make_hierarchy () in
+          let res = A.run_spec ~hierarchy ?victim_hierarchy spec in
+          let analysis =
+            Scaguard.Pipeline.analyze ~name:spec.A.name
+              ~program:spec.A.program res
+          in
+          let verdict =
+            Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model
+          in
+          {
+            poc = spec.A.name;
+            variant;
+            leaked = leaked_of spec res;
+            detected = Scaguard.Detector.is_attack verdict;
+          })
+        (A.base_pocs ()))
+    hierarchy_variants
+
+let to_policy_table rows =
+  let t =
+    Sutil.Table.create
+      ~title:"Robustness: attacks and detection across hierarchy variants"
+      [ "PoC"; "Variant"; "Leaks"; "Detected" ]
+  in
+  List.iter
+    (fun r ->
+      Sutil.Table.add_row t
+        [
+          r.poc;
+          r.variant;
+          (if r.leaked then "yes" else "no");
+          (if r.detected then "yes" else "no");
+        ])
+    rows;
+  t
+
+let detection_with_noise ~rng =
+  let repo = Common.repository ~rng L.attack_labels in
+  List.filter_map
+    (fun (spec : A.spec) ->
+      match spec.A.victim with
+      | None -> None
+      | Some _ ->
+        let noise = Workloads.Benign.build "stream" (Sutil.Rng.copy rng) in
+        let noisy_victim =
+          (noise.Workloads.Benign.program, noise.Workloads.Benign.init)
+        in
+        let res = A.run_spec { spec with A.victim = Some noisy_victim } in
+        let analysis =
+          Scaguard.Pipeline.analyze ~name:spec.A.name ~program:spec.A.program
+            res
+        in
+        let verdict =
+          Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model
+        in
+        Some (spec.A.name, Scaguard.Detector.is_attack verdict))
+    (A.base_pocs ())
+
+let detection_without_victim ~rng =
+  let repo = Common.repository ~rng L.attack_labels in
+  List.filter_map
+    (fun (spec : A.spec) ->
+      match spec.A.victim with
+      | None -> None
+      | Some _ ->
+        (* strip the victim: the leak fails, the behavior remains *)
+        let res = A.run_spec { spec with A.victim = None } in
+        let analysis =
+          Scaguard.Pipeline.analyze ~name:spec.A.name ~program:spec.A.program
+            res
+        in
+        let verdict =
+          Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model
+        in
+        Some (spec.A.name, Scaguard.Detector.is_attack verdict))
+    (A.base_pocs ())

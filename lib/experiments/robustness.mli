@@ -1,0 +1,39 @@
+(** Robustness extensions beyond the paper's evaluation:
+
+    - do the attacks (and therefore the attack behavior models) survive
+      non-LRU replacement policies?
+    - does detection still work when the attack runs {e without} its victim
+      (the behavior is present even when the leak fails)? *)
+
+type leak_row = {
+  poc : string;
+  variant : string; (** hierarchy variant name *)
+  leaked : bool;    (** the planted secret was recovered *)
+  detected : bool;  (** SCAGuard flags the run against the default repository *)
+}
+
+val hierarchy_variants :
+  (string * (unit -> Cache.Hierarchy.t * Cache.Hierarchy.t option)) list
+(** LRU / FIFO / Random replacement, next-line prefetcher, non-inclusive
+    LLC, and the cross-core topology (the optional second hierarchy is the
+    victim core's view). *)
+
+val policy_matrix : rng:Sutil.Rng.t -> leak_row list
+(** Every collected PoC under every hierarchy variant.  Measured shape:
+    Prime+Probe's {e leak} dies under Random replacement and under the
+    prefetcher while every PoC's {e detection} survives everywhere
+    (Evict+Reload even survives a non-inclusive LLC because its eviction
+    set is L1-congruent as well). *)
+
+val to_policy_table : leak_row list -> Sutil.Table.t
+
+val detection_with_noise : rng:Sutil.Rng.t -> (string * bool) list
+(** Replace each PoC's true victim with an unrelated benign co-runner
+    (streaming kernel): the leak turns to noise, the behavior — and the
+    detection — remain. *)
+
+val detection_without_victim : rng:Sutil.Rng.t -> (string * bool) list
+(** For each victim-dependent PoC, run it with no victim process at all and
+    report whether SCAGuard still classifies it as an attack — the paper's
+    observation that the attack {e behavior} (flush/prime + timed probe) is
+    what is detected, not a successful leak. *)

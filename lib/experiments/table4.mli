@@ -1,0 +1,26 @@
+(** Table IV — accuracy of attack-relevant BB identification.
+
+    For each attack family, mutated samples are executed and analyzed;
+    the counts are summed over samples, as the paper's per-family rows do:
+    #BB (CFG blocks), #TAB (ground-truth attack-relevant blocks), #IAB
+    (blocks of the attack-relevant graph), #ITAB (ground-truth blocks the
+    approach identified), and accuracy = ITAB / TAB. *)
+
+type row = {
+  family : Workloads.Label.t;
+  n_samples : int;
+  bb : int;
+  tab : int;
+  iab : int;
+  itab : int;
+  accuracy : float;
+}
+
+val evaluate : rng:Sutil.Rng.t -> per_family:int -> row list
+(** One row per attack family plus no average (compute it with {!average}). *)
+
+val average : row list -> row
+(** Sum counts across rows; accuracy recomputed from the sums.  The family
+    field of the result is meaningless (kept as the first row's). *)
+
+val to_table : row list -> Sutil.Table.t

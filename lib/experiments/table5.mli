@@ -1,0 +1,16 @@
+(** Table V — similarity comparison of the five typical scenarios:
+    Flush+Reload against another FR implementation (S1), Evict+Reload (S2),
+    Prime+Probe (S3), its Spectre variant (S4), and a benign program (S5). *)
+
+type row = {
+  id : string;           (** "S1".."S5" *)
+  scenario : string;
+  description : string;
+  score : float;         (** similarity in [0,1] *)
+}
+
+val evaluate : rng:Sutil.Rng.t -> row list
+(** S5's benign program is a (non-empty-model) benign sample, so the
+    comparison is between real models. *)
+
+val to_table : row list -> Sutil.Table.t

@@ -1,0 +1,240 @@
+module D = Workloads.Dataset
+module L = Workloads.Label
+
+type approach = Svm_nw | Lr_nw | Knn_mlfm | Scadet | Scaguard
+
+let approaches = [ Svm_nw; Lr_nw; Knn_mlfm; Scadet; Scaguard ]
+
+let approach_name = function
+  | Svm_nw -> "SVM-NW"
+  | Lr_nw -> "LR-NW"
+  | Knn_mlfm -> "KNN-MLFM"
+  | Scadet -> "SCADET"
+  | Scaguard -> "SCAGUARD"
+
+type task = E1 | E2 | E3_pp_from_fr | E3_fr_from_pp | E4
+
+let tasks = [ E1; E2; E3_pp_from_fr; E3_fr_from_pp; E4 ]
+
+let task_name = function
+  | E1 -> "E1: Mutated variants"
+  | E2 -> "E2: Spectre-like variants"
+  | E3_pp_from_fr -> "E3-1: PP-F"
+  | E3_fr_from_pp -> "E3-2: FR-F"
+  | E4 -> "E4: Obfuscated variants"
+
+type task_data = {
+  task : task;
+  train : (Common.run * L.t) list;
+  test : (Common.run * L.t) list;
+  classes : L.t list;
+  repo_families : L.t list;
+  repo : Scaguard.Detector.repository;
+  binarized : bool;
+}
+
+let split_half xs =
+  let n = List.length xs / 2 in
+  let rec go i acc = function
+    | [] -> (List.rev acc, [])
+    | x :: rest when i < n -> go (i + 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go 0 [] xs
+
+let runs_of samples = List.map Common.execute samples
+
+let with_own_label runs = List.map (fun r -> (r, Common.label r)) runs
+let with_label l runs = List.map (fun r -> (r, l)) runs
+
+let prepare ~rng ~per_family task =
+  let mutated l n = runs_of (D.mutated_attacks ~rng ~count:n l) in
+  let obfuscated l n = runs_of (D.obfuscated_attacks ~rng ~count:n l) in
+  let benign n = runs_of (D.benign_samples ~rng ~count:n) in
+  let make ~train ~test ~classes ~repo_families ~binarized =
+    {
+      task;
+      train;
+      test;
+      classes;
+      repo_families;
+      repo = Common.repository ~rng repo_families;
+      binarized;
+    }
+  in
+  match task with
+  | E1 ->
+    let per_family_splits =
+      List.map
+        (fun l -> split_half (mutated l per_family))
+        L.attack_labels
+    in
+    let benign_train, benign_test = split_half (benign per_family) in
+    make
+      ~train:
+        (with_own_label (List.concat_map fst per_family_splits)
+        @ with_label L.Benign benign_train)
+      ~test:
+        (with_own_label (List.concat_map snd per_family_splits)
+        @ with_label L.Benign benign_test)
+      ~classes:L.all ~repo_families:L.attack_labels ~binarized:false
+  | E2 ->
+    make
+      ~train:
+        (with_own_label (mutated L.Fr_family per_family)
+        @ with_own_label (mutated L.Pp_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~test:
+        ((* a Spectre variant classified as its non-Spectre counterpart is
+            correct *)
+         with_label L.Fr_family (mutated L.Spectre_fr per_family)
+        @ with_label L.Pp_family (mutated L.Spectre_pp per_family)
+        @ with_label L.Benign (benign per_family))
+      ~classes:[ L.Fr_family; L.Pp_family; L.Benign ]
+      ~repo_families:[ L.Fr_family; L.Pp_family ]
+      ~binarized:false
+  | E3_pp_from_fr ->
+    make
+      ~train:
+        (with_own_label (mutated L.Fr_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~test:
+        (with_label L.Fr_family (mutated L.Pp_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~classes:[ L.Fr_family; L.Benign ]
+      ~repo_families:[ L.Fr_family ] ~binarized:true
+  | E3_fr_from_pp ->
+    make
+      ~train:
+        (with_own_label (mutated L.Pp_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~test:
+        (with_label L.Pp_family (mutated L.Fr_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~classes:[ L.Pp_family; L.Benign ]
+      ~repo_families:[ L.Pp_family ] ~binarized:true
+  | E4 ->
+    make
+      ~train:
+        (with_own_label (mutated L.Fr_family per_family)
+        @ with_own_label (mutated L.Pp_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~test:
+        (with_own_label (obfuscated L.Fr_family per_family)
+        @ with_own_label (obfuscated L.Pp_family per_family)
+        @ with_label L.Benign (benign per_family))
+      ~classes:[ L.Fr_family; L.Pp_family; L.Benign ]
+      ~repo_families:[ L.Fr_family; L.Pp_family ]
+      ~binarized:false
+
+let test_runs td = td.test
+let train_runs td = td.train
+let classes_of td = td.classes
+let is_binarized td = td.binarized
+let repository_of td = td.repo
+
+(* For E3 the scoring is attack-vs-benign: any attack-family prediction
+   counts as the (single) attack class of the task. *)
+let canon td prediction =
+  if td.binarized then
+    match prediction with
+    | L.Benign -> L.Benign
+    | _ -> (match td.classes with c :: _ -> c | [] -> prediction)
+  else prediction
+
+let canonize td prediction = canon td prediction
+
+let scaguard_pairs td =
+  List.map
+    (fun (run, truth) ->
+      (canon td (Common.scaguard_predict td.repo run), truth))
+    td.test
+
+(* SCADET's rules encode Prime+Probe signatures the defender designed from
+   known attacks; when the Prime+Probe family itself is not among the known
+   families (E3-1), the defender has no applicable rules and everything
+   passes as benign. *)
+let scadet_pairs td =
+  let rules_apply = List.mem L.Pp_family td.repo_families in
+  List.map
+    (fun (run, truth) ->
+      let prediction =
+        if not rules_apply then L.Benign
+        else
+          match
+            Baselines.Scadet.classify run.Common.sample.D.program
+              run.Common.result
+          with
+          | Some f -> Option.value ~default:L.Benign (L.of_string f)
+          | None -> L.Benign
+      in
+      (canon td prediction, truth))
+    td.test
+
+let learned_pairs ~rng td approach =
+  let train_data =
+    List.map
+      (fun (run, l) -> (run.Common.result, Common.label_to_int l))
+      td.train
+  in
+  let predict =
+    match approach with
+    | Svm_nw ->
+      let m =
+        Baselines.Nights_watch.train ~variant:Baselines.Nights_watch.Svm_nw
+          ~rng train_data
+      in
+      Baselines.Nights_watch.predict m
+    | Lr_nw ->
+      let m =
+        Baselines.Nights_watch.train ~variant:Baselines.Nights_watch.Lr_nw
+          ~rng train_data
+      in
+      Baselines.Nights_watch.predict m
+    | Knn_mlfm ->
+      let m = Baselines.Mlfm.train train_data in
+      Baselines.Mlfm.predict m
+    | Scadet | Scaguard -> invalid_arg "Table6.learned_pairs"
+  in
+  List.map
+    (fun (run, truth) ->
+      (canon td (Common.label_of_int (predict run.Common.result)), truth))
+    td.test
+
+let evaluate_approach ~rng td approach =
+  let pairs =
+    match approach with
+    | Scaguard -> scaguard_pairs td
+    | Scadet -> scadet_pairs td
+    | Svm_nw | Lr_nw | Knn_mlfm -> learned_pairs ~rng td approach
+  in
+  Common.metrics ~classes:td.classes pairs
+
+let evaluate_all ~rng ~per_family =
+  List.map
+    (fun task ->
+      let td = prepare ~rng ~per_family task in
+      (task, List.map (fun a -> (a, evaluate_approach ~rng td a)) approaches))
+    tasks
+
+let to_table results =
+  let t =
+    Sutil.Table.create ~title:"Table VI: classification results (E1-E4)"
+      [ "Task"; "Approach"; "Precision"; "Recall"; "F1-score" ]
+  in
+  List.iter
+    (fun (task, per_approach) ->
+      List.iter
+        (fun (a, (s : Ml.Metrics.scores)) ->
+          Sutil.Table.add_row t
+            [
+              task_name task;
+              approach_name a;
+              Sutil.Table.pct s.Ml.Metrics.precision;
+              Sutil.Table.pct s.Ml.Metrics.recall;
+              Sutil.Table.pct s.Ml.Metrics.f1;
+            ])
+        per_approach;
+      Sutil.Table.add_separator t)
+    results;
+  t

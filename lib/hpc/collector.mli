@@ -1,0 +1,54 @@
+(** Runtime data collection — the stand-in for perf-intel-pt + Intel PT.
+
+    The CPU simulator reports, per executed instruction: HPC events keyed by
+    the instruction's address, and every memory access / flush with its target
+    address and timestamp.  SCAGuard later maps this data onto basic blocks
+    (§III-A1). *)
+
+type access_kind = Load | Store | Flush
+
+type access = {
+  pc : int;          (** address of the instruction performing the access *)
+  target : int;      (** accessed (or flushed) byte address *)
+  kind : access_kind;
+  time : int;        (** cycle timestamp *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_event : t -> pc:int -> Event.t -> unit
+val record_access : t -> pc:int -> target:int -> kind:access_kind -> time:int -> unit
+
+val note_executed : t -> pc:int -> time:int -> unit
+(** Record that the instruction at [pc] retired at [time]; keeps the first
+    time per pc (the BB-ordering timestamp of §III-A3) and counts
+    executions. *)
+
+val exec_count : t -> pc:int -> int
+(** How many times the instruction at [pc] retired. *)
+
+val counters_at : t -> pc:int -> Counters.t option
+(** Counter bank of one instruction address, if any event fired there. *)
+
+val hpc_value_at : t -> pc:int -> int
+(** Summed 11-event HPC value at one address (0 when nothing fired). *)
+
+val total_counters : t -> Counters.t
+(** All events summed over the whole run — the whole-process view the
+    learning-based baselines sample. *)
+
+val accesses : t -> access list
+(** All recorded accesses in chronological order. *)
+
+val accesses_of_pc : t -> pc:int -> access list
+(** Accesses performed by one instruction address, chronological. *)
+
+val first_time : t -> pc:int -> int option
+(** First retirement time of the instruction at [pc]. *)
+
+val executed_pcs : t -> int list
+(** Distinct executed instruction addresses, ascending. *)
+
+val access_count : t -> int

@@ -1,0 +1,37 @@
+type t = {
+  mutable rev_stmts : Program.stmt list;
+  mutable count : int;        (* instructions emitted *)
+  mutable active_tags : string list;
+  mutable rev_tags : (int * string list) list;
+  mutable fresh : int;
+}
+
+let create () =
+  { rev_stmts = []; count = 0; active_tags = []; rev_tags = []; fresh = 0 }
+
+let emit t ins =
+  t.rev_stmts <- Program.Ins ins :: t.rev_stmts;
+  if t.active_tags <> [] then t.rev_tags <- (t.count, t.active_tags) :: t.rev_tags;
+  t.count <- t.count + 1
+
+let emit_all t = List.iter (emit t)
+
+let label t l = t.rev_stmts <- Program.Lbl l :: t.rev_stmts
+
+let fresh_label t stem =
+  let l = Printf.sprintf "%s__%d" stem t.fresh in
+  t.fresh <- t.fresh + 1;
+  l
+
+let with_tag t tag f =
+  let saved = t.active_tags in
+  t.active_tags <- tag :: saved;
+  Fun.protect ~finally:(fun () -> t.active_tags <- saved) f
+
+let mark_attack t f = with_tag t Program.attack_tag f
+
+let position t = t.count
+
+let to_program ?base ~name t =
+  Program.assemble ?base ~tags:(List.rev t.rev_tags) ~name
+    (List.rev t.rev_stmts)

@@ -1,0 +1,34 @@
+(** Imperative assembly builder used by the workload generators.
+
+    A builder accumulates statements; [emit]ted instructions inherit the tags
+    currently active (see {!with_tag}), which is how attack generators record
+    the attack-relevant ground truth. *)
+
+type t
+
+val create : unit -> t
+
+val emit : t -> Instr.t -> unit
+(** Append one instruction. *)
+
+val emit_all : t -> Instr.t list -> unit
+
+val label : t -> string -> unit
+(** Bind a label at the current position. *)
+
+val fresh_label : t -> string -> string
+(** [fresh_label t stem] returns a label name unique within this builder
+    (["stem__0"], ["stem__1"], ...) without binding it. *)
+
+val with_tag : t -> string -> (unit -> unit) -> unit
+(** [with_tag t tag f] runs [f ()]; instructions emitted during [f] carry
+    [tag] (in addition to any enclosing tags). *)
+
+val mark_attack : t -> (unit -> unit) -> unit
+(** [with_tag] specialized to {!Program.attack_tag}. *)
+
+val position : t -> int
+(** Number of instructions emitted so far. *)
+
+val to_program : ?base:int -> name:string -> t -> Program.t
+(** Assemble.  @raise Invalid_argument as {!Program.assemble}. *)

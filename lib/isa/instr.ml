@@ -1,0 +1,200 @@
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Ult | Uge
+
+type t =
+  | Mov of Operand.t * Operand.t
+  | Lea of Reg.t * Operand.t
+  | Add of Operand.t * Operand.t
+  | Sub of Operand.t * Operand.t
+  | Imul of Operand.t * Operand.t
+  | Xor of Operand.t * Operand.t
+  | And of Operand.t * Operand.t
+  | Or of Operand.t * Operand.t
+  | Shl of Operand.t * int
+  | Shr of Operand.t * int
+  | Inc of Operand.t
+  | Dec of Operand.t
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Jmp of string
+  | Jcc of cond * string
+  | Call of string
+  | Ret
+  | Push of Operand.t
+  | Pop of Reg.t
+  | Clflush of Operand.t
+  | Prefetch of Operand.t
+  | Mfence
+  | Lfence
+  | Cpuid
+  | Rdtsc
+  | Rdtscp
+  | Nop
+  | Halt
+
+let cond_to_string = function
+  | Eq -> "e" | Ne -> "ne" | Lt -> "l" | Le -> "le"
+  | Gt -> "g" | Ge -> "ge" | Ult -> "b" | Uge -> "ae"
+
+let mnemonic = function
+  | Mov _ -> "mov"
+  | Lea _ -> "lea"
+  | Add _ -> "add"
+  | Sub _ -> "sub"
+  | Imul _ -> "imul"
+  | Xor _ -> "xor"
+  | And _ -> "and"
+  | Or _ -> "or"
+  | Shl _ -> "shl"
+  | Shr _ -> "shr"
+  | Inc _ -> "inc"
+  | Dec _ -> "dec"
+  | Cmp _ -> "cmp"
+  | Test _ -> "test"
+  | Jmp _ -> "jmp"
+  | Jcc (c, _) -> "j" ^ cond_to_string c
+  | Call _ -> "call"
+  | Ret -> "ret"
+  | Push _ -> "push"
+  | Pop _ -> "pop"
+  | Clflush _ -> "clflush"
+  | Prefetch _ -> "prefetch"
+  | Mfence -> "mfence"
+  | Lfence -> "lfence"
+  | Cpuid -> "cpuid"
+  | Rdtsc -> "rdtsc"
+  | Rdtscp -> "rdtscp"
+  | Nop -> "nop"
+  | Halt -> "hlt"
+
+let operands = function
+  | Mov (a, b) | Add (a, b) | Sub (a, b) | Imul (a, b)
+  | Xor (a, b) | And (a, b) | Or (a, b) | Cmp (a, b) | Test (a, b) -> [ a; b ]
+  | Lea (r, m) -> [ Operand.Reg r; m ]
+  | Shl (a, n) | Shr (a, n) -> [ a; Operand.Imm n ]
+  | Inc a | Dec a | Push a | Clflush a | Prefetch a -> [ a ]
+  | Pop r -> [ Operand.Reg r ]
+  | Jmp _ | Jcc _ | Call _ | Ret | Mfence | Lfence | Cpuid | Rdtsc | Rdtscp
+  | Nop | Halt -> []
+
+let mem_operands ins =
+  List.filter_map
+    (function Operand.Mem m -> Some m | Operand.Imm _ | Operand.Reg _ -> None)
+    (operands ins)
+
+let is_branch = function
+  | Jmp _ | Jcc _ | Call _ | Ret | Halt -> true
+  | Mov _ | Lea _ | Add _ | Sub _ | Imul _ | Xor _ | And _ | Or _ | Shl _
+  | Shr _ | Inc _ | Dec _ | Cmp _ | Test _ | Push _ | Pop _ | Clflush _
+  | Prefetch _ | Mfence | Lfence | Cpuid | Rdtsc | Rdtscp | Nop -> false
+
+let is_cond_branch = function Jcc _ -> true | _ -> false
+
+let branch_target = function
+  | Jmp l | Jcc (_, l) | Call l -> Some l
+  | _ -> None
+
+(* A memory *read* happens for any Mem operand that is dereferenced: loads,
+   read-modify-write ALU ops, stores of Mem sources, Push of Mem, Prefetch.
+   Lea only computes the address and Clflush touches the line without reading
+   data. *)
+let reads_memory ins =
+  match ins with
+  | Lea _ | Clflush _ -> false
+  | Mov (_, src) -> Operand.is_mem src
+  | Pop _ | Ret -> true
+  | Prefetch _ -> true
+  | Add (d, s) | Sub (d, s) | Imul (d, s) | Xor (d, s) | And (d, s)
+  | Or (d, s) | Cmp (d, s) | Test (d, s) ->
+    Operand.is_mem d || Operand.is_mem s
+  | Shl (d, _) | Shr (d, _) | Inc d | Dec d -> Operand.is_mem d
+  | Push s -> Operand.is_mem s
+  | Jmp _ | Jcc _ | Call _ | Mfence | Lfence | Cpuid | Rdtsc | Rdtscp | Nop
+  | Halt -> false
+
+let writes_memory ins =
+  match ins with
+  | Mov (dst, _) -> Operand.is_mem dst
+  | Add (d, _) | Sub (d, _) | Imul (d, _) | Xor (d, _) | And (d, _)
+  | Or (d, _) | Shl (d, _) | Shr (d, _) | Inc d | Dec d -> Operand.is_mem d
+  | Push _ | Call _ -> true
+  | Lea _ | Cmp _ | Test _ | Jmp _ | Jcc _ | Ret | Pop _ | Clflush _
+  | Prefetch _ | Mfence | Lfence | Cpuid | Rdtsc | Rdtscp | Nop | Halt -> false
+
+let map_target f = function
+  | Jmp l -> Jmp (f l)
+  | Jcc (c, l) -> Jcc (c, f l)
+  | Call l -> Call (f l)
+  | ins -> ins
+
+let dedup regs = List.sort_uniq Reg.compare regs
+
+let addr_regs op = match op with
+  | Operand.Mem m ->
+    let add acc = function Some r -> r :: acc | None -> acc in
+    add (add [] m.Operand.index) m.Operand.base
+  | Operand.Imm _ | Operand.Reg _ -> []
+
+let value_regs = function
+  | Operand.Reg r -> [ r ]
+  | Operand.Imm _ -> []
+  | Operand.Mem _ as m -> addr_regs m
+
+let regs_read ins =
+  dedup
+    (match ins with
+    | Mov (dst, src) -> addr_regs dst @ value_regs src
+    | Lea (_, m) -> addr_regs m
+    | Add (d, s) | Sub (d, s) | Imul (d, s) | Xor (d, s) | And (d, s)
+    | Or (d, s) | Cmp (d, s) | Test (d, s) -> value_regs d @ value_regs s
+    | Shl (d, _) | Shr (d, _) | Inc d | Dec d -> value_regs d
+    | Push s -> Reg.RSP :: value_regs s
+    | Pop _ | Ret -> [ Reg.RSP ]
+    | Call _ -> [ Reg.RSP ]
+    | Clflush m | Prefetch m -> addr_regs m
+    | Jmp _ | Jcc _ | Mfence | Lfence | Cpuid | Rdtsc | Rdtscp | Nop | Halt ->
+      [])
+
+let regs_written ins =
+  dedup
+    (match ins with
+    | Mov (Operand.Reg r, _) | Lea (r, _) -> [ r ]
+    | Mov ((Operand.Mem _ | Operand.Imm _), _) -> []
+    | Add (Operand.Reg r, _) | Sub (Operand.Reg r, _)
+    | Imul (Operand.Reg r, _) | Xor (Operand.Reg r, _)
+    | And (Operand.Reg r, _) | Or (Operand.Reg r, _)
+    | Shl (Operand.Reg r, _) | Shr (Operand.Reg r, _)
+    | Inc (Operand.Reg r) | Dec (Operand.Reg r) -> [ r ]
+    | Add _ | Sub _ | Imul _ | Xor _ | And _ | Or _ | Shl _ | Shr _ | Inc _
+    | Dec _ -> []
+    | Push _ | Call _ | Ret -> [ Reg.RSP ]
+    | Pop r -> [ r; Reg.RSP ]
+    | Rdtsc | Rdtscp -> [ Reg.RAX ]
+    | Cmp _ | Test _ | Jmp _ | Jcc _ | Clflush _ | Prefetch _ | Mfence
+    | Lfence | Cpuid | Nop | Halt -> [])
+
+let writes_flags = function
+  | Add _ | Sub _ | Imul _ | Xor _ | And _ | Or _ | Shl _ | Shr _ | Inc _
+  | Dec _ | Cmp _ | Test _ -> true
+  | Mov _ | Lea _ | Jmp _ | Jcc _ | Call _ | Ret | Push _ | Pop _
+  | Clflush _ | Prefetch _ | Mfence | Lfence | Cpuid | Rdtsc | Rdtscp | Nop
+  | Halt -> false
+
+let reads_flags = function Jcc _ -> true | _ -> false
+
+let to_string ins =
+  match ins with
+  | Jmp l -> Printf.sprintf "jmp %s" l
+  | Jcc (c, l) -> Printf.sprintf "j%s %s" (cond_to_string c) l
+  | Call l -> Printf.sprintf "call %s" l
+  | Shl (a, n) -> Printf.sprintf "shl %s, $%d" (Operand.to_string a) n
+  | Shr (a, n) -> Printf.sprintf "shr %s, $%d" (Operand.to_string a) n
+  | _ ->
+    let ops = operands ins in
+    if ops = [] then mnemonic ins
+    else
+      Printf.sprintf "%s %s" (mnemonic ins)
+        (String.concat ", " (List.map Operand.to_string ops))
+
+let pp fmt ins = Format.pp_print_string fmt (to_string ins)
+
+let equal (a : t) (b : t) = a = b

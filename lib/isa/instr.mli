@@ -1,0 +1,90 @@
+(** Instructions of the simulated machine.
+
+    The set is the subset of x86-64 that cache side-channel attacks and the
+    benchmark workloads need: data movement, ALU ops, compares, branches,
+    calls, cache maintenance ([clflush]), fences, and timestamp reads
+    ([rdtsc]/[rdtscp]).  Branch targets are symbolic labels resolved by
+    {!Program.assemble}. *)
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Ult | Uge
+(** Branch conditions over the flags set by [Cmp]/[Test]; [Ult]/[Uge] are the
+    unsigned comparisons (JB/JAE). *)
+
+type t =
+  | Mov of Operand.t * Operand.t  (** [Mov (dst, src)] *)
+  | Lea of Reg.t * Operand.t      (** address computation, no memory access *)
+  | Add of Operand.t * Operand.t
+  | Sub of Operand.t * Operand.t
+  | Imul of Operand.t * Operand.t
+  | Xor of Operand.t * Operand.t
+  | And of Operand.t * Operand.t
+  | Or of Operand.t * Operand.t
+  | Shl of Operand.t * int
+  | Shr of Operand.t * int
+  | Inc of Operand.t
+  | Dec of Operand.t
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Jmp of string
+  | Jcc of cond * string
+  | Call of string
+  | Ret
+  | Push of Operand.t
+  | Pop of Reg.t
+  | Clflush of Operand.t          (** flush the line of a memory operand *)
+  | Prefetch of Operand.t         (** load into cache without register write *)
+  | Mfence
+  | Lfence
+  | Cpuid                         (** serializing, no architectural effect here *)
+  | Rdtsc                         (** cycle counter into RAX *)
+  | Rdtscp                        (** serializing cycle counter into RAX *)
+  | Nop
+  | Halt                          (** stops the simulation *)
+
+val mnemonic : t -> string
+(** The instruction's operation name, e.g. ["mov"], ["clflush"]. *)
+
+val operands : t -> Operand.t list
+(** Operands in syntactic order ([dst] first where applicable). *)
+
+val mem_operands : t -> Operand.mem list
+(** Just the memory operands (used by trace collection). *)
+
+val cond_to_string : cond -> string
+
+val is_branch : t -> bool
+(** True for [Jmp], [Jcc], [Call], [Ret], [Halt] — everything that ends a
+    basic block. *)
+
+val is_cond_branch : t -> bool
+
+val branch_target : t -> string option
+(** Label target of [Jmp]/[Jcc]/[Call], if any. *)
+
+val reads_memory : t -> bool
+(** True when executing the instruction loads from memory (includes
+    [Prefetch]; excludes [Lea] and [Clflush]). *)
+
+val writes_memory : t -> bool
+(** True when executing the instruction stores to memory. *)
+
+val map_target : (string -> string) -> t -> t
+(** Rename the branch-target label, if any (used when splicing programs
+    together to keep label namespaces disjoint). *)
+
+val regs_read : t -> Reg.t list
+(** Registers whose value the instruction reads (including address
+    computation and implicit RSP uses), duplicate-free. *)
+
+val regs_written : t -> Reg.t list
+(** Registers the instruction writes (including implicit RSP/RAX). *)
+
+val writes_flags : t -> bool
+(** True when execution updates the flags. *)
+
+val reads_flags : t -> bool
+(** True for conditional branches. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

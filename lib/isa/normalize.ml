@@ -1,0 +1,11 @@
+let operand = function
+  | Operand.Imm _ -> "imm"
+  | Operand.Reg _ -> "reg"
+  | Operand.Mem _ -> "mem"
+
+let instr ins =
+  match Instr.operands ins with
+  | [] -> Instr.mnemonic ins
+  | ops -> Instr.mnemonic ins ^ " " ^ String.concat "," (List.map operand ops)
+
+let sequence instrs = Array.of_list (List.map instr instrs)

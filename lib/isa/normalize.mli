@@ -1,0 +1,16 @@
+(** Instruction normalization (§III-B1 of the paper).
+
+    To compare instruction sequences across compilers and register
+    allocations, operands are abstracted with three rules:
+    immediates → ["imm"], memory references → ["mem"], registers → ["reg"].
+    E.g. [mov -0x18(rbp), rax] normalizes to ["mov mem,reg"]. *)
+
+val operand : Operand.t -> string
+(** ["imm"], ["reg"] or ["mem"]. *)
+
+val instr : Instr.t -> string
+(** Normalized token of one instruction, e.g. ["mov mem,reg"].  Branch
+    targets are dropped ([jmp], [je], ...), matching the paper's rules. *)
+
+val sequence : Instr.t list -> string array
+(** Normalized token per instruction, for Levenshtein comparison. *)

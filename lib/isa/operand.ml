@@ -1,0 +1,61 @@
+type mem = {
+  base : Reg.t option;
+  index : Reg.t option;
+  scale : int;
+  disp : int;
+}
+
+type t = Imm of int | Reg of Reg.t | Mem of mem
+
+let imm i = Imm i
+let reg r = Reg r
+
+let mem ?base ?index ?(scale = 1) ?(disp = 0) () =
+  Mem { base; index; scale; disp }
+
+let abs a = Mem { base = None; index = None; scale = 1; disp = a }
+
+let is_mem = function Mem _ -> true | Imm _ | Reg _ -> false
+
+let regs_read = function
+  | Imm _ -> []
+  | Reg r -> [ r ]
+  | Mem m ->
+    let add acc = function Some r -> r :: acc | None -> acc in
+    add (add [] m.index) m.base
+
+let mem_to_string m =
+  let base = match m.base with Some r -> Reg.to_string r | None -> "" in
+  let index =
+    match m.index with
+    | Some r when m.scale <> 1 -> Printf.sprintf "%s*%d" (Reg.to_string r) m.scale
+    | Some r -> Reg.to_string r
+    | None -> ""
+  in
+  let inner =
+    match (base, index) with
+    | "", "" -> ""
+    | b, "" -> b
+    | "", i -> i
+    | b, i -> b ^ "+" ^ i
+  in
+  if inner = "" then Printf.sprintf "[0x%x]" m.disp
+  else if m.disp = 0 then Printf.sprintf "[%s]" inner
+  else Printf.sprintf "[%s%+d]" inner m.disp
+
+let to_string = function
+  | Imm i -> Printf.sprintf "$%d" i
+  | Reg r -> "%" ^ Reg.to_string r
+  | Mem m -> mem_to_string m
+
+let pp fmt o = Format.pp_print_string fmt (to_string o)
+
+let equal a b =
+  match (a, b) with
+  | Imm x, Imm y -> x = y
+  | Reg x, Reg y -> Reg.equal x y
+  | Mem x, Mem y ->
+    Option.equal Reg.equal x.base y.base
+    && Option.equal Reg.equal x.index y.index
+    && x.scale = y.scale && x.disp = y.disp
+  | (Imm _ | Reg _ | Mem _), _ -> false

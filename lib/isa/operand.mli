@@ -1,0 +1,34 @@
+(** Instruction operands: immediates, registers and memory references with
+    base + index*scale + displacement addressing. *)
+
+type mem = {
+  base : Reg.t option;   (** optional base register *)
+  index : Reg.t option;  (** optional index register *)
+  scale : int;           (** multiplier applied to the index register *)
+  disp : int;            (** constant displacement *)
+}
+(** A memory reference; effective address is
+    [disp + base + index * scale] with absent registers reading as 0. *)
+
+type t =
+  | Imm of int    (** immediate constant *)
+  | Reg of Reg.t  (** register *)
+  | Mem of mem    (** memory reference *)
+
+val imm : int -> t
+val reg : Reg.t -> t
+
+val mem : ?base:Reg.t -> ?index:Reg.t -> ?scale:int -> ?disp:int -> unit -> t
+(** Memory-operand constructor; [scale] defaults to 1, [disp] to 0. *)
+
+val abs : int -> t
+(** [abs a] is the absolute memory reference [Mem {disp = a; _}]. *)
+
+val is_mem : t -> bool
+
+val regs_read : t -> Reg.t list
+(** Registers whose value the operand's address computation reads. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,28 @@
+(** General-purpose registers of the simulated x86-like machine. *)
+
+type t =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+val all : t list
+(** Every register, in encoding order. *)
+
+val count : int
+(** Number of registers. *)
+
+val index : t -> int
+(** Dense index in [\[0, count)], for register files. *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  @raise Invalid_argument when out of range. *)
+
+val to_string : t -> string
+(** Lower-case AT&T-style name, e.g. ["rax"]. *)
+
+val scratch : t list
+(** Registers that workload generators may freely allocate (excludes RSP and
+    RBP, which the generated code uses as stack/frame anchors). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

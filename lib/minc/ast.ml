@@ -1,0 +1,40 @@
+type binop =
+  | Add | Sub | Mul
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int
+  | Var of string
+  | Global of string * expr
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Rdtsc
+
+type stmt =
+  | Decl of string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+  | ExprStmt of expr
+  | Clflush of string * expr
+  | Lfence
+
+type func = { name : string; params : string list; body : stmt list }
+
+type global_decl = {
+  gname : string;
+  count : int;
+  stride : int;
+  base : int option;
+}
+
+type program = { globals : global_decl list; funcs : func list }
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="

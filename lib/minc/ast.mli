@@ -1,0 +1,55 @@
+(** Abstract syntax of MinC, the mini-language compiled to the simulated
+    ISA.
+
+    MinC exists because SCAGuard's instruction normalization is motivated by
+    {e compiler-introduced} variation: with a compiler in the loop, the same
+    source can be lowered in different ways (optimization levels standing in
+    for different compilers) and the similarity comparison has to see through
+    it.  It also makes workloads writable as source, including attacks — the
+    language exposes [clflush]/[rdtsc]/[lfence] intrinsics. *)
+
+type binop =
+  | Add | Sub | Mul
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int of int                     (** literal *)
+  | Var of string                  (** local variable or parameter *)
+  | Global of string * expr        (** [name[index]] — global array cell *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Rdtsc                          (** cycle counter intrinsic *)
+
+type stmt =
+  | Decl of string * expr          (** [var x = e;] *)
+  | Assign of string * expr        (** [x = e;] *)
+  | Store of string * expr * expr  (** [name[i] = e;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr
+  | ExprStmt of expr               (** call for effect *)
+  | Clflush of string * expr       (** [clflush(name[i]);] intrinsic *)
+  | Lfence                         (** serialization intrinsic *)
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+
+type global_decl = {
+  gname : string;
+  count : int;            (** element count *)
+  stride : int;           (** bytes between elements (default 8) *)
+  base : int option;      (** fixed base address, e.g. the shared library *)
+}
+(** [global name[count : stride] @ base;] — stride and base optional. *)
+
+type program = {
+  globals : global_decl list;
+  funcs : func list;      (** execution starts at ["main"] *)
+}
+
+val binop_to_string : binop -> string

@@ -1,0 +1,336 @@
+module B = Isa.Builder
+module I = Isa.Instr
+module O = Isa.Operand
+module R = Isa.Reg
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ---- constant folding (the "optimizing compiler" half) -------------------- *)
+
+let eval_binop op a b =
+  match op with
+  | Ast.Add -> a + b
+  | Ast.Sub -> a - b
+  | Ast.Mul -> a * b
+  | Ast.BAnd -> a land b
+  | Ast.BOr -> a lor b
+  | Ast.BXor -> a lxor b
+  | Ast.Shl -> a lsl (if b < 0 || b > 62 then 0 else b)
+  | Ast.Shr -> a lsr (if b < 0 || b > 62 then 0 else b)
+  | Ast.Eq -> if a = b then 1 else 0
+  | Ast.Ne -> if a <> b then 1 else 0
+  | Ast.Lt -> if a < b then 1 else 0
+  | Ast.Le -> if a <= b then 1 else 0
+  | Ast.Gt -> if a > b then 1 else 0
+  | Ast.Ge -> if a >= b then 1 else 0
+
+let rec fold_expr e =
+  match e with
+  | Ast.Int _ | Ast.Var _ | Ast.Rdtsc -> e
+  | Ast.Global (g, i) -> Ast.Global (g, fold_expr i)
+  | Ast.Neg a -> (
+    match fold_expr a with
+    | Ast.Int v -> Ast.Int (-v)
+    | a' -> Ast.Neg a')
+  | Ast.Call (f, args) -> Ast.Call (f, List.map fold_expr args)
+  | Ast.Bin (op, a, b) -> (
+    match (fold_expr a, fold_expr b) with
+    | Ast.Int x, Ast.Int y -> Ast.Int (eval_binop op x y)
+    | a', b' -> Ast.Bin (op, a', b'))
+
+let rec fold_stmt s =
+  match s with
+  | Ast.Decl (n, e) -> Ast.Decl (n, fold_expr e)
+  | Ast.Assign (n, e) -> Ast.Assign (n, fold_expr e)
+  | Ast.Store (g, i, e) -> Ast.Store (g, fold_expr i, fold_expr e)
+  | Ast.If (c, t, f) -> (
+    match fold_expr c with
+    | Ast.Int 0 -> Ast.If (Ast.Int 0, [], List.map fold_stmt f)
+    | Ast.Int _ -> Ast.If (Ast.Int 1, List.map fold_stmt t, [])
+    | c' -> Ast.If (c', List.map fold_stmt t, List.map fold_stmt f))
+  | Ast.While (c, b) -> Ast.While (fold_expr c, List.map fold_stmt b)
+  | Ast.Return e -> Ast.Return (fold_expr e)
+  | Ast.ExprStmt e -> Ast.ExprStmt (fold_expr e)
+  | Ast.Clflush (g, i) -> Ast.Clflush (g, fold_expr i)
+  | Ast.Lfence -> Ast.Lfence
+
+(* ---- global layout ---------------------------------------------------------- *)
+
+let global_layout (p : Ast.program) =
+  let next = ref (Workloads.Layout.benign_data_base + 0x2_0000) in
+  List.map
+    (fun (g : Ast.global_decl) ->
+      match g.Ast.base with
+      | Some b -> (g.Ast.gname, b, g.Ast.stride)
+      | None ->
+        let b = !next in
+        (* 64-byte-align each array and keep a guard line between them *)
+        next := b + (((g.Ast.count * g.Ast.stride) + 127) land lnot 63);
+        (g.Ast.gname, b, g.Ast.stride))
+    p.Ast.globals
+
+(* ---- code generation ---------------------------------------------------------- *)
+
+(* argument registers, SysV-flavoured *)
+let arg_regs = [ R.RDI; R.RSI; R.RDX; R.RCX ]
+
+type env = {
+  b : B.t;
+  globals : (string * (int * int)) list; (* name -> base, stride *)
+  funcs : (string * int) list;           (* name -> arity *)
+  locals : (string, int) Hashtbl.t;      (* name -> rbp-relative slot disp *)
+  mutable nslots : int;
+  optimize : bool;
+}
+
+let local_slot env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some d -> d
+  | None -> fail "unknown variable %S" name
+
+let declare_local env name =
+  if Hashtbl.mem env.locals name then local_slot env name
+  else begin
+    env.nslots <- env.nslots + 1;
+    let disp = -8 * env.nslots in
+    Hashtbl.replace env.locals name disp;
+    disp
+  end
+
+let global_of env name =
+  match List.assoc_opt name env.globals with
+  | Some bs -> bs
+  | None -> fail "unknown global %S" name
+
+let emit env i = B.emit env.b i
+
+(* Evaluate [e] into RAX.  Intermediates go through the machine stack, so
+   nested calls are safe. *)
+let rec eval env e =
+  match e with
+  | Ast.Int v -> emit env (I.Mov (O.reg R.RAX, O.imm v))
+  | Ast.Var x ->
+    emit env (I.Mov (O.reg R.RAX, O.mem ~base:R.RBP ~disp:(local_slot env x) ()))
+  | Ast.Global (g, idx) ->
+    let base, stride = global_of env g in
+    eval env idx;
+    emit env (I.Mov (O.reg R.RAX, O.mem ~index:R.RAX ~scale:stride ~disp:base ()))
+  | Ast.Neg a ->
+    eval env a;
+    emit env (I.Mov (O.reg R.RBX, O.reg R.RAX));
+    emit env (I.Mov (O.reg R.RAX, O.imm 0));
+    emit env (I.Sub (O.reg R.RAX, O.reg R.RBX))
+  | Ast.Rdtsc -> emit env I.Rdtsc
+  | Ast.Call (f, args) -> eval_call env f args
+  | Ast.Bin (op, a, b) -> eval_bin env op a b
+
+and eval_call env f args =
+  let arity =
+    match List.assoc_opt f env.funcs with
+    | Some a -> a
+    | None -> fail "unknown function %S" f
+  in
+  if List.length args <> arity then
+    fail "%S expects %d arguments, got %d" f arity (List.length args);
+  if arity > List.length arg_regs then
+    fail "%S: at most %d arguments supported" f (List.length arg_regs);
+  (* evaluate left-to-right, park on the stack, then pop into arg regs *)
+  List.iter
+    (fun a ->
+      eval env a;
+      emit env (I.Push (O.reg R.RAX)))
+    args;
+  List.iteri
+    (fun i _ -> emit env (I.Pop (List.nth arg_regs (arity - 1 - i))))
+    args;
+  emit env (I.Call ("fn_" ^ f))
+
+and eval_bin env op a b =
+  match op with
+  | Ast.Shl | Ast.Shr -> (
+    match b with
+    | Ast.Int k when k >= 0 && k < 63 ->
+      eval env a;
+      emit env (if op = Ast.Shl then I.Shl (O.reg R.RAX, k) else I.Shr (O.reg R.RAX, k))
+    | Ast.Int k -> fail "shift amount %d out of range" k
+    | _ -> fail "shift amounts must be integer literals")
+  | _ -> (
+    (* optimized path: literal right operand skips the push/pop protocol *)
+    match b with
+    | Ast.Int v when env.optimize && is_direct_op op ->
+      eval env a;
+      emit_direct env op (O.imm v)
+    | _ ->
+      eval env a;
+      emit env (I.Push (O.reg R.RAX));
+      eval env b;
+      emit env (I.Mov (O.reg R.RBX, O.reg R.RAX));
+      emit env (I.Pop R.RAX);
+      emit_op env op)
+
+and is_direct_op = function
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.BAnd | Ast.BOr | Ast.BXor -> true
+  | _ -> false
+
+and emit_direct env op rhs =
+  match op with
+  | Ast.Add -> emit env (I.Add (O.reg R.RAX, rhs))
+  | Ast.Sub -> emit env (I.Sub (O.reg R.RAX, rhs))
+  | Ast.Mul -> emit env (I.Imul (O.reg R.RAX, rhs))
+  | Ast.BAnd -> emit env (I.And (O.reg R.RAX, rhs))
+  | Ast.BOr -> emit env (I.Or (O.reg R.RAX, rhs))
+  | Ast.BXor -> emit env (I.Xor (O.reg R.RAX, rhs))
+  | _ -> assert false
+
+and emit_op env op =
+  (* lhs in RAX, rhs in RBX *)
+  match op with
+  | Ast.Add -> emit env (I.Add (O.reg R.RAX, O.reg R.RBX))
+  | Ast.Sub -> emit env (I.Sub (O.reg R.RAX, O.reg R.RBX))
+  | Ast.Mul -> emit env (I.Imul (O.reg R.RAX, O.reg R.RBX))
+  | Ast.BAnd -> emit env (I.And (O.reg R.RAX, O.reg R.RBX))
+  | Ast.BOr -> emit env (I.Or (O.reg R.RAX, O.reg R.RBX))
+  | Ast.BXor -> emit env (I.Xor (O.reg R.RAX, O.reg R.RBX))
+  | Ast.Shl | Ast.Shr -> assert false
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    let cond =
+      match op with
+      | Ast.Eq -> I.Eq | Ast.Ne -> I.Ne | Ast.Lt -> I.Lt
+      | Ast.Le -> I.Le | Ast.Gt -> I.Gt | _ -> I.Ge
+    in
+    (* materialize the flag as 0/1 through branches, like -O0 output *)
+    let yes = B.fresh_label env.b "cmp_true" in
+    let done_ = B.fresh_label env.b "cmp_done" in
+    emit env (I.Cmp (O.reg R.RAX, O.reg R.RBX));
+    emit env (I.Jcc (cond, yes));
+    emit env (I.Mov (O.reg R.RAX, O.imm 0));
+    emit env (I.Jmp done_);
+    B.label env.b yes;
+    emit env (I.Mov (O.reg R.RAX, O.imm 1));
+    B.label env.b done_
+
+let emit_epilogue env =
+  emit env (I.Mov (O.reg R.RSP, O.reg R.RBP));
+  emit env (I.Pop R.RBP);
+  emit env I.Ret
+
+let rec emit_stmt env s =
+  match s with
+  | Ast.Decl (x, e) ->
+    let disp = declare_local env x in
+    eval env e;
+    emit env (I.Mov (O.mem ~base:R.RBP ~disp (), O.reg R.RAX))
+  | Ast.Assign (x, e) ->
+    let disp = local_slot env x in
+    eval env e;
+    emit env (I.Mov (O.mem ~base:R.RBP ~disp (), O.reg R.RAX))
+  | Ast.Store (g, idx, e) ->
+    let base, stride = global_of env g in
+    eval env e;
+    emit env (I.Push (O.reg R.RAX));
+    eval env idx;
+    emit env (I.Mov (O.reg R.RBX, O.reg R.RAX));
+    emit env (I.Pop R.RAX);
+    emit env (I.Mov (O.mem ~index:R.RBX ~scale:stride ~disp:base (), O.reg R.RAX))
+  | Ast.If (cond, then_, else_) ->
+    let else_l = B.fresh_label env.b "else" in
+    let end_l = B.fresh_label env.b "endif" in
+    eval env cond;
+    emit env (I.Cmp (O.reg R.RAX, O.imm 0));
+    emit env (I.Jcc (I.Eq, else_l));
+    List.iter (emit_stmt env) then_;
+    emit env (I.Jmp end_l);
+    B.label env.b else_l;
+    List.iter (emit_stmt env) else_;
+    B.label env.b end_l
+  | Ast.While (cond, body) ->
+    let head = B.fresh_label env.b "while" in
+    let end_l = B.fresh_label env.b "endwhile" in
+    B.label env.b head;
+    eval env cond;
+    emit env (I.Cmp (O.reg R.RAX, O.imm 0));
+    emit env (I.Jcc (I.Eq, end_l));
+    List.iter (emit_stmt env) body;
+    emit env (I.Jmp head);
+    B.label env.b end_l
+  | Ast.Return e ->
+    eval env e;
+    emit_epilogue env
+  | Ast.ExprStmt e -> eval env e
+  | Ast.Clflush (g, idx) ->
+    let base, stride = global_of env g in
+    eval env idx;
+    emit env (I.Clflush (O.mem ~index:R.RAX ~scale:stride ~disp:base ()))
+  | Ast.Lfence -> emit env I.Lfence
+
+(* count the local slots a function needs (params + every Decl) *)
+let rec count_decls stmts =
+  List.fold_left
+    (fun n s ->
+      n
+      +
+      match s with
+      | Ast.Decl _ -> 1
+      | Ast.If (_, t, f) -> count_decls t + count_decls f
+      | Ast.While (_, b) -> count_decls b
+      | _ -> 0)
+    0 stmts
+
+let emit_func env_proto (f : Ast.func) =
+  let env = { env_proto with locals = Hashtbl.create 16; nslots = 0 } in
+  B.label env.b ("fn_" ^ f.Ast.name);
+  (* prologue *)
+  emit env (I.Push (O.reg R.RBP));
+  emit env (I.Mov (O.reg R.RBP, O.reg R.RSP));
+  let frame = (List.length f.Ast.params + count_decls f.Ast.body) * 8 in
+  if frame > 0 then emit env (I.Sub (O.reg R.RSP, O.imm frame));
+  (* spill parameters into their slots *)
+  List.iteri
+    (fun i p ->
+      if i >= List.length arg_regs then
+        fail "%S: at most %d parameters supported" f.Ast.name
+          (List.length arg_regs);
+      let disp = declare_local env p in
+      emit env (I.Mov (O.mem ~base:R.RBP ~disp (), O.reg (List.nth arg_regs i))))
+    f.Ast.params;
+  List.iter (emit_stmt env) f.Ast.body;
+  (* implicit return 0 *)
+  emit env (I.Mov (O.reg R.RAX, O.imm 0));
+  emit_epilogue env
+
+let compile ?(optimize = false) ?base ?(name = "minc") (p : Ast.program) =
+  let p =
+    if optimize then
+      {
+        p with
+        Ast.funcs =
+          List.map
+            (fun f -> { f with Ast.body = List.map fold_stmt f.Ast.body })
+            p.Ast.funcs;
+      }
+    else p
+  in
+  if not (List.exists (fun f -> f.Ast.name = "main") p.Ast.funcs) then
+    fail "no main function";
+  let b = B.create () in
+  let env =
+    {
+      b;
+      globals =
+        List.map (fun (n, base, stride) -> (n, (base, stride))) (global_layout p);
+      funcs = List.map (fun f -> (f.Ast.name, List.length f.Ast.params)) p.Ast.funcs;
+      locals = Hashtbl.create 16;
+      nslots = 0;
+      optimize;
+    }
+  in
+  (* entry stub: call main, halt on return *)
+  B.emit b (I.Call "fn_main");
+  B.emit b I.Halt;
+  List.iter (emit_func env) p.Ast.funcs;
+  B.to_program ?base ~name b
+
+let compile_source ?optimize ?base ?name src =
+  compile ?optimize ?base ?name (Parser.parse src)

@@ -1,0 +1,30 @@
+(** MinC → ISA code generation.
+
+    The generator is a classic -O0-style stack machine: expressions evaluate
+    into RAX with intermediates pushed, locals live in an RBP frame, and
+    comparisons materialize 0/1 through branches — producing the branchy,
+    push/pop-heavy shape real unoptimized compiler output has.
+
+    [optimize:true] stands in for "a different compiler": constant folding
+    plus an immediate-operand path that skips the push/pop protocol when a
+    binary operand is a literal.  Same semantics, visibly different
+    instruction sequences — exactly the variation SCAGuard's instruction
+    normalization must absorb. *)
+
+exception Error of string
+(** Semantic errors: unknown variable/global/function, arity mismatch,
+    variable shift amount, missing [main]. *)
+
+val compile :
+  ?optimize:bool -> ?base:int -> ?name:string -> Ast.program -> Isa.Program.t
+(** Execution starts at [main] (entered via [call]); its return halts the
+    machine.  @raise Error as above. *)
+
+val compile_source :
+  ?optimize:bool -> ?base:int -> ?name:string -> string -> Isa.Program.t
+(** Parse and compile MinC source text.
+    @raise Parser.Error / Lexer.Error / Error. *)
+
+val global_layout : Ast.program -> (string * int * int) list
+(** [(name, base, stride)] for every global, fixed-base ones at their
+    requested addresses, the rest allocated in the benign data region. *)

@@ -1,0 +1,79 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+exception Error of string * int
+
+let keywords =
+  [ "fn"; "var"; "if"; "else"; "while"; "return"; "global"; "clflush";
+    "rdtsc"; "lfence" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      (* hex literals *)
+      if c = '0' && peek 1 = Some 'x' then begin
+        i := !i + 2;
+        while !i < n && (is_digit src.[!i]
+                        || (src.[!i] >= 'a' && src.[!i] <= 'f')
+                        || (src.[!i] >= 'A' && src.[!i] <= 'F')) do incr i done
+      end
+      else while !i < n && is_digit src.[!i] do incr i done;
+      let lit = String.sub src start (!i - start) in
+      match int_of_string_opt lit with
+      | Some v -> emit (INT v)
+      | None -> raise (Error (Printf.sprintf "bad literal %S" lit, start))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) else emit (IDENT word)
+    end
+    else begin
+      (* two-char operators first *)
+      let two =
+        match peek 1 with
+        | Some c2 -> Some (Printf.sprintf "%c%c" c c2)
+        | None -> None
+      in
+      match two with
+      | Some (("=="|"!="|"<="|">="|"<<"|">>") as op) ->
+        emit (PUNCT op);
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | '=' | '+' | '-'
+        | '*' | '&' | '|' | '^' | '<' | '>' | ':' | '@' ->
+          emit (PUNCT (String.make 1 c));
+          incr i
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)))
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+let token_to_string = function
+  | INT v -> string_of_int v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "<eof>"

@@ -1,0 +1,16 @@
+(** Hand-written lexer for MinC source text. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string       (** fn var if else while return global clflush rdtsc lfence *)
+  | PUNCT of string    (** ( ) { } [ ] , ; = and the operators *)
+  | EOF
+
+exception Error of string * int
+(** message and byte offset. *)
+
+val tokenize : string -> token list
+(** @raise Error on an unexpected character or malformed literal. *)
+
+val token_to_string : token -> string

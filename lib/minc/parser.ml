@@ -1,0 +1,289 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> fail "expected %S, found %s" p (Lexer.token_to_string t)
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st
+  | t -> fail "expected %S, found %s" k (Lexer.token_to_string t)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %s" (Lexer.token_to_string t)
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    v
+  | t -> fail "expected integer, found %s" (Lexer.token_to_string t)
+
+(* precedence table, loosest first *)
+let precedence = function
+  | "==" | "!=" | "<" | "<=" | ">" | ">=" -> 1
+  | "|" -> 2
+  | "^" -> 3
+  | "&" -> 4
+  | "<<" | ">>" -> 5
+  | "+" | "-" -> 6
+  | "*" -> 7
+  | _ -> 0
+
+let binop_of = function
+  | "+" -> Ast.Add | "-" -> Ast.Sub | "*" -> Ast.Mul
+  | "&" -> Ast.BAnd | "|" -> Ast.BOr | "^" -> Ast.BXor
+  | "<<" -> Ast.Shl | ">>" -> Ast.Shr
+  | "==" -> Ast.Eq | "!=" -> Ast.Ne
+  | "<" -> Ast.Lt | "<=" -> Ast.Le | ">" -> Ast.Gt | ">=" -> Ast.Ge
+  | op -> fail "not a binary operator: %s" op
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT op when precedence op >= min_prec && precedence op > 0 ->
+      advance st;
+      let rhs = parse_binary st (precedence op + 1) in
+      lhs := Ast.Bin (binop_of op, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Ast.Int v
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Ast.Neg (parse_primary st)
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Lexer.KW "rdtsc" ->
+    advance st;
+    expect_punct st "(";
+    expect_punct st ")";
+    Ast.Rdtsc
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      expect_punct st ")";
+      Ast.Call (name, args)
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      Ast.Global (name, idx)
+    | _ -> Ast.Var name)
+  | t -> fail "expected expression, found %s" (Lexer.token_to_string t)
+
+and parse_args st =
+  if peek st = Lexer.PUNCT ")" then []
+  else begin
+    let rec more acc =
+      let e = parse_expr st in
+      if peek st = Lexer.PUNCT "," then begin
+        advance st;
+        more (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    more []
+  end
+
+let rec parse_block st =
+  expect_punct st "{";
+  let rec stmts acc =
+    if peek st = Lexer.PUNCT "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.KW "var" ->
+    advance st;
+    let name = expect_ident st in
+    expect_punct st "=";
+    let e = parse_expr st in
+    expect_punct st ";";
+    Ast.Decl (name, e)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      if peek st = Lexer.KW "else" then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    Ast.While (cond, parse_block st)
+  | Lexer.KW "return" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ";";
+    Ast.Return e
+  | Lexer.KW "clflush" ->
+    advance st;
+    expect_punct st "(";
+    let name = expect_ident st in
+    expect_punct st "[";
+    let idx = parse_expr st in
+    expect_punct st "]";
+    expect_punct st ")";
+    expect_punct st ";";
+    Ast.Clflush (name, idx)
+  | Lexer.KW "lfence" ->
+    advance st;
+    expect_punct st "(";
+    expect_punct st ")";
+    expect_punct st ";";
+    Ast.Lfence
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "=" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ";";
+      Ast.Assign (name, e)
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      (* either a store or an expression statement beginning with a load *)
+      if peek st = Lexer.PUNCT "=" then begin
+        advance st;
+        let e = parse_expr st in
+        expect_punct st ";";
+        Ast.Store (name, idx, e)
+      end
+      else begin
+        (* re-parse as expression continuing from the load *)
+        let lhs = Ast.Global (name, idx) in
+        let e = parse_binary_from st lhs in
+        expect_punct st ";";
+        Ast.ExprStmt e
+      end
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      expect_punct st ")";
+      let lhs = Ast.Call (name, args) in
+      let e = parse_binary_from st lhs in
+      expect_punct st ";";
+      Ast.ExprStmt e
+    | t -> fail "expected statement after %S, found %s" name
+             (Lexer.token_to_string t))
+  | t -> fail "expected statement, found %s" (Lexer.token_to_string t)
+
+and parse_binary_from st lhs =
+  (* continue a binary expression whose first primary was already consumed *)
+  let acc = ref lhs in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT op when precedence op > 0 ->
+      advance st;
+      let rhs = parse_binary st (precedence op + 1) in
+      acc := Ast.Bin (binop_of op, !acc, rhs)
+    | _ -> continue := false
+  done;
+  !acc
+
+let parse_fn st =
+  expect_kw st "fn";
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if peek st = Lexer.PUNCT ")" then []
+    else begin
+      let rec more acc =
+        let p = expect_ident st in
+        if peek st = Lexer.PUNCT "," then begin
+          advance st;
+          more (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      more []
+    end
+  in
+  expect_punct st ")";
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec go () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW "global" ->
+      advance st;
+      let name = expect_ident st in
+      expect_punct st "[";
+      let count = expect_int st in
+      let stride =
+        if peek st = Lexer.PUNCT ":" then begin
+          advance st;
+          expect_int st
+        end
+        else 8
+      in
+      expect_punct st "]";
+      let base =
+        if peek st = Lexer.PUNCT "@" then begin
+          advance st;
+          Some (expect_int st)
+        end
+        else None
+      in
+      expect_punct st ";";
+      globals := { Ast.gname = name; count; stride; base } :: !globals;
+      go ()
+    | Lexer.KW "fn" ->
+      funcs := parse_fn st :: !funcs;
+      go ()
+    | t -> fail "expected 'global' or 'fn', found %s" (Lexer.token_to_string t)
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for MinC.
+
+    Top level: [global name\[count : stride\] @ base;] declarations and
+    [fn name(params) { ... }] definitions.  Statements: [var x = e;],
+    assignments, array stores, [if]/[else], [while], [return], intrinsic
+    calls ([clflush(arr\[i\]);], [lfence();]) and expression statements.
+    Expressions use precedence climbing over
+    comparisons < [|] < [^] < [&] < shifts < [+ -] < [*], with integer
+    literals, variables, array loads, calls, [rdtsc()], unary minus and
+    parentheses as primaries. *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors, [Lexer.Error] on lexical ones. *)

@@ -1,0 +1,51 @@
+let rec expr = function
+  | Ast.Int v -> if v < 0 then Printf.sprintf "(-%d)" (-v) else string_of_int v
+  | Ast.Var x -> x
+  | Ast.Global (g, i) -> Printf.sprintf "%s[%s]" g (expr i)
+  | Ast.Neg e -> Printf.sprintf "(-%s)" (expr e)
+  | Ast.Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (Ast.binop_to_string op) (expr b)
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Ast.Rdtsc -> "rdtsc()"
+
+let rec stmt ?(indent = 1) s =
+  let pad = String.make (indent * 2) ' ' in
+  let block body =
+    String.concat "\n" (List.map (stmt ~indent:(indent + 1)) body)
+  in
+  match s with
+  | Ast.Decl (x, e) -> Printf.sprintf "%svar %s = %s;" pad x (expr e)
+  | Ast.Assign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (expr e)
+  | Ast.Store (g, i, e) ->
+    Printf.sprintf "%s%s[%s] = %s;" pad g (expr i) (expr e)
+  | Ast.If (c, t, []) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr c) (block t) pad
+  | Ast.If (c, t, f) ->
+    Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr c)
+      (block t) pad (block f) pad
+  | Ast.While (c, b) ->
+    Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (expr c) (block b) pad
+  | Ast.Return e -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Ast.ExprStmt e -> Printf.sprintf "%s%s;" pad (expr e)
+  | Ast.Clflush (g, i) -> Printf.sprintf "%sclflush(%s[%s]);" pad g (expr i)
+  | Ast.Lfence -> Printf.sprintf "%slfence();" pad
+
+let func (f : Ast.func) =
+  Printf.sprintf "fn %s(%s) {\n%s\n}" f.Ast.name
+    (String.concat ", " f.Ast.params)
+    (String.concat "\n" (List.map (stmt ~indent:1) f.Ast.body))
+
+let global (g : Ast.global_decl) =
+  let stride = if g.Ast.stride = 8 then "" else Printf.sprintf " : %d" g.Ast.stride in
+  let base =
+    match g.Ast.base with
+    | Some b -> Printf.sprintf " @ %d" b
+    | None -> ""
+  in
+  Printf.sprintf "global %s[%d%s]%s;" g.Ast.gname g.Ast.count stride base
+
+let program (p : Ast.program) =
+  String.concat "\n\n"
+    (List.map global p.Ast.globals @ List.map func p.Ast.funcs)
+  ^ "\n"

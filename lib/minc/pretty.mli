@@ -1,0 +1,10 @@
+(** Pretty-printing MinC ASTs back to parseable source — used by tooling and
+    by the parser round-trip property tests. *)
+
+val expr : Ast.expr -> string
+(** Fully parenthesized (re-parses to the same tree). *)
+
+val stmt : ?indent:int -> Ast.stmt -> string
+val func : Ast.func -> string
+val program : Ast.program -> string
+(** [parse (program p)] yields a structurally equal AST. *)

@@ -1,0 +1,126 @@
+(* The fixed base addresses below mirror Workloads.Layout: the shared
+   library at 0x30000000 (page-stride lines) and the attacker results area.
+   MinC sources carry them literally, like real PoCs carry mmap'ed
+   addresses. *)
+
+let flush_reload_source =
+  Printf.sprintf
+    {|
+// Flush+Reload, written in MinC and compiled to the simulated ISA.
+global shared[8 : 4096] @ %d;
+global results[16] @ %d;
+
+fn main() {
+  var round = 0;
+  while (round < 16) {
+    // flush phase
+    var i = 0;
+    while (i < 8) {
+      clflush(shared[i]);
+      i = i + 1;
+    }
+    // give the victim a chance to touch its lines
+    var w = 0;
+    while (w < 60) {
+      w = w + 1;
+    }
+    // timed reload phase
+    i = 0;
+    while (i < 8) {
+      lfence();
+      var t0 = rdtsc();
+      var v = shared[i];
+      var dt = rdtsc() - t0;
+      if (dt < 150) {
+        results[i] = results[i] + 1;
+      }
+      i = i + 1;
+    }
+    round = round + 1;
+  }
+  return 0;
+}
+|}
+    Workloads.Layout.shared_lib_base Workloads.Layout.attacker_results_base
+
+let benign_sources =
+  [
+    ( "bubble",
+      {|
+global a[32];
+global out[1];
+
+fn main() {
+  // fill with a descending sequence, then bubble it ascending
+  var i = 0;
+  while (i < 32) {
+    a[i] = 32 - i;
+    i = i + 1;
+  }
+  var pass = 0;
+  while (pass < 32) {
+    var j = 0;
+    while (j < 31) {
+      if (a[j] > a[j + 1]) {
+        var t = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+      j = j + 1;
+    }
+    pass = pass + 1;
+  }
+  out[0] = a[0] + a[31] * 100;
+  return a[0];
+}
+|} );
+    ( "checksum",
+      {|
+global data[64];
+global out[1];
+
+fn mix(h, v) {
+  return ((h * 31) ^ v) & 0xFFFFFF;
+}
+
+fn main() {
+  var i = 0;
+  while (i < 64) {
+    data[i] = i * 7 + 3;
+    i = i + 1;
+  }
+  var h = 0;
+  i = 0;
+  while (i < 64) {
+    h = mix(h, data[i]);
+    i = i + 1;
+  }
+  out[0] = h;
+  return h;
+}
+|} );
+    ( "table-walk",
+      {|
+global table[256 : 64];
+global out[1];
+
+fn main() {
+  var i = 0;
+  while (i < 256) {
+    table[i] = (i * 167) & 255;
+    i = i + 1;
+  }
+  var x = 1;
+  var s = 0;
+  var step = 0;
+  while (step < 300) {
+    x = table[x];
+    s = s + x;
+    x = (x + step) & 255;
+    step = step + 1;
+  }
+  out[0] = s;
+  return s;
+}
+|} );
+  ]

@@ -1,0 +1,12 @@
+(** A small corpus of MinC source programs: a Flush+Reload attack written in
+    the language (compiled attacks exercise the pipeline on compiler-shaped
+    code rather than hand-written assembly), and benign sources used by the
+    compiler tests and the compile-and-detect example. *)
+
+val flush_reload_source : string
+(** A complete Flush+Reload attack over the monitored shared-library lines,
+    with the hit counters written to the standard results area — runnable
+    against {!Workloads.Victim.shared_lib}. *)
+
+val benign_sources : (string * string) list
+(** (name, source) pairs: sort, checksum, table-walk kernels. *)

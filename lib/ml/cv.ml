@@ -1,0 +1,23 @@
+let folds ~rng ~k xs =
+  let n = List.length xs in
+  if k <= 1 then invalid_arg "Ml.Cv.folds: k must exceed 1";
+  if k > n then invalid_arg "Ml.Cv.folds: more folds than samples";
+  let shuffled = Array.of_list (Sutil.Rng.shuffle rng xs) in
+  List.init k (fun fold ->
+      let test = ref [] and train = ref [] in
+      Array.iteri
+        (fun i x -> if i mod k = fold then test := x :: !test else train := x :: !train)
+        shuffled;
+      (List.rev !train, List.rev !test))
+
+let cross_validate ~rng ~k ~train ~test xs =
+  let fs = folds ~rng ~k xs in
+  let accs =
+    List.map
+      (fun (tr, te) ->
+        let model = train tr in
+        let correct = List.length (List.filter (test model) te) in
+        float_of_int correct /. float_of_int (List.length te))
+      fs
+  in
+  Sutil.Stats.mean accs

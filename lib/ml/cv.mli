@@ -1,0 +1,13 @@
+(** k-fold cross-validation splits (the paper's baselines use 10-fold CV to
+    pick their best configuration). *)
+
+val folds : rng:Sutil.Rng.t -> k:int -> 'a list -> ('a list * 'a list) list
+(** [folds ~rng ~k xs] shuffles [xs] and returns [k] (train, test) pairs
+    whose test parts partition the data.  @raise Invalid_argument when
+    [k <= 1] or [k > length xs]. *)
+
+val cross_validate :
+  rng:Sutil.Rng.t -> k:int ->
+  train:('a list -> 'm) -> test:('m -> 'a -> bool) ->
+  'a list -> float
+(** Mean accuracy of [test] over the [k] held-out folds. *)

@@ -1,0 +1,34 @@
+type t = { k : int; train : (Vector.t * int) array }
+
+let fit ~k samples =
+  if k <= 0 then invalid_arg "Ml.Knn.fit: k must be positive";
+  if samples = [] then invalid_arg "Ml.Knn.fit: no samples";
+  { k; train = Array.of_list samples }
+
+let neighbours t x =
+  let scored =
+    Array.map (fun (v, l) -> (Vector.euclidean_distance x v, l)) t.train
+  in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) scored;
+  Array.to_list (Array.sub scored 0 (min t.k (Array.length scored)))
+
+let predict_with_votes t x =
+  let ns = neighbours t x in
+  let votes = Hashtbl.create 8 in
+  List.iter
+    (fun (_, l) ->
+      Hashtbl.replace votes l
+        (1 + Option.value ~default:0 (Hashtbl.find_opt votes l)))
+    ns;
+  let vote_list = Hashtbl.fold (fun l n acc -> (l, n) :: acc) votes [] in
+  (* Majority vote; ties break toward the nearest neighbour's label. *)
+  let nearest_label = snd (List.hd ns) in
+  let best =
+    List.fold_left
+      (fun (bl, bn) (l, n) ->
+        if n > bn || (n = bn && l = nearest_label) then (l, n) else (bl, bn))
+      (nearest_label, 0) vote_list
+  in
+  (fst best, List.sort compare vote_list)
+
+let predict t x = fst (predict_with_votes t x)

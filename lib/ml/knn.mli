@@ -1,0 +1,13 @@
+(** k-nearest-neighbours classifier (Euclidean distance, majority vote with
+    nearest-neighbour tie-break) — the classifier behind the KNN-MLFM
+    baseline. *)
+
+type t
+
+val fit : k:int -> (Vector.t * int) list -> t
+(** Stores the training set.  @raise Invalid_argument on [] or [k <= 0]. *)
+
+val predict : t -> Vector.t -> int
+
+val predict_with_votes : t -> Vector.t -> int * (int * int) list
+(** The prediction plus per-label vote counts among the k neighbours. *)

@@ -1,0 +1,54 @@
+type t = { w : float array; b : float }
+
+let sigmoid z =
+  if z >= 0.0 then 1.0 /. (1.0 +. exp (-.z))
+  else
+    let e = exp z in
+    e /. (1.0 +. e)
+
+let train ?(learning_rate = 0.1) ?(epochs = 200) ?(l2 = 1e-4) samples =
+  (match samples with [] -> invalid_arg "Ml.Logreg.train: no samples" | _ -> ());
+  let d = Array.length (fst (List.hd samples)) in
+  let n = float_of_int (List.length samples) in
+  let w = Vector.zeros d in
+  let b = ref 0.0 in
+  for _epoch = 1 to epochs do
+    let gw = Vector.zeros d in
+    let gb = ref 0.0 in
+    List.iter
+      (fun (x, positive) ->
+        let y = if positive then 1.0 else 0.0 in
+        let err = sigmoid (Vector.dot w x +. !b) -. y in
+        Vector.add_scaled gw err x;
+        gb := !gb +. err)
+      samples;
+    Vector.add_scaled gw (l2 *. n) w;
+    Vector.add_scaled w (-.learning_rate /. n) gw;
+    b := !b -. (learning_rate /. n *. !gb)
+  done;
+  { w; b = !b }
+
+let probability t x = sigmoid (Vector.dot t.w x +. t.b)
+let predict t x = probability t x >= 0.5
+
+type multi = (int * t) list
+
+let train_multi ?learning_rate ?epochs ?l2 samples =
+  let labels = List.sort_uniq Int.compare (List.map snd samples) in
+  List.map
+    (fun c ->
+      let binary = List.map (fun (x, l) -> (x, l = c)) samples in
+      (c, train ?learning_rate ?epochs ?l2 binary))
+    labels
+
+let predict_multi multi x =
+  match multi with
+  | [] -> invalid_arg "Ml.Logreg.predict_multi: empty model"
+  | (c0, m0) :: rest ->
+    let best = ref (c0, probability m0 x) in
+    List.iter
+      (fun (c, m) ->
+        let p = probability m x in
+        if p > snd !best then best := (c, p))
+      rest;
+    fst !best

@@ -1,0 +1,24 @@
+(** Logistic / linear-regression classifier (full-batch gradient descent on
+    the cross-entropy loss) with a one-vs-rest multiclass wrapper — the
+    classifier behind the LR-NW baseline. *)
+
+type t
+
+val train :
+  ?learning_rate:float -> ?epochs:int -> ?l2:float ->
+  (Vector.t * bool) list -> t
+(** Defaults: [learning_rate = 0.1], [epochs = 200], [l2 = 1e-4].
+    @raise Invalid_argument on []. *)
+
+val probability : t -> Vector.t -> float
+(** Sigmoid of the linear score, in [\[0,1\]]. *)
+
+val predict : t -> Vector.t -> bool
+
+type multi
+
+val train_multi :
+  ?learning_rate:float -> ?epochs:int -> ?l2:float ->
+  (Vector.t * int) list -> multi
+
+val predict_multi : multi -> Vector.t -> int

@@ -1,0 +1,57 @@
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  accuracy : float;
+}
+
+let evaluate ~classes pairs =
+  if pairs = [] then invalid_arg "Ml.Metrics.evaluate: no samples";
+  let count pred actual =
+    List.length
+      (List.filter (fun (p, a) -> pred p && actual a) pairs)
+  in
+  let per_class c =
+    let tp = count (( = ) c) (( = ) c) in
+    let fp = count (( = ) c) (( <> ) c) in
+    let fn = count (( <> ) c) (( = ) c) in
+    let p = if tp + fp = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fp) in
+    let r = if tp + fn = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fn) in
+    let f = if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r) in
+    (p, r, f)
+  in
+  let n = float_of_int (List.length classes) in
+  let sum3 (a, b, c) (a', b', c') = (a +. a', b +. b', c +. c') in
+  let p, r, f =
+    List.fold_left (fun acc c -> sum3 acc (per_class c)) (0.0, 0.0, 0.0) classes
+  in
+  let correct = List.length (List.filter (fun (p', a) -> p' = a) pairs) in
+  {
+    precision = p /. n;
+    recall = r /. n;
+    f1 = f /. n;
+    accuracy = float_of_int correct /. float_of_int (List.length pairs);
+  }
+
+let confusion ~classes pairs =
+  let idx c =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if x = c then Some i else go (i + 1) rest
+    in
+    go 0 classes
+  in
+  let n = List.length classes in
+  let m = Array.make_matrix n n 0 in
+  List.iter
+    (fun (p, a) ->
+      match (idx a, idx p) with
+      | Some i, Some j -> m.(i).(j) <- m.(i).(j) + 1
+      | _, _ -> ())
+    pairs;
+  m
+
+let pp fmt s =
+  Format.fprintf fmt "P=%.2f%% R=%.2f%% F1=%.2f%% acc=%.2f%%"
+    (100.0 *. s.precision) (100.0 *. s.recall) (100.0 *. s.f1)
+    (100.0 *. s.accuracy)

@@ -1,0 +1,21 @@
+(** Multi-class classification metrics, reported the way Table VI does:
+    macro-averaged Precision / Recall / F1 over the classes present in the
+    ground truth. *)
+
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  accuracy : float;
+}
+
+val evaluate : classes:int list -> (int * int) list -> scores
+(** [evaluate ~classes pairs] where each pair is [(predicted, actual)].
+    Per-class precision/recall treat absent denominators as 0; macro
+    averages run over [classes].  @raise Invalid_argument on []. *)
+
+val confusion : classes:int list -> (int * int) list -> int array array
+(** [confusion.(i).(j)] counts samples of actual class [classes[i]] predicted
+    as [classes[j]]; predictions outside [classes] are dropped. *)
+
+val pp : Format.formatter -> scores -> unit

@@ -1,0 +1,28 @@
+type t = { mean : float array; std : float array }
+
+let fit = function
+  | [] -> invalid_arg "Ml.Scale.fit: empty training set"
+  | (x0 :: _ : Vector.t list) as xs ->
+    let d = Array.length x0 in
+    let n = float_of_int (List.length xs) in
+    let mean = Array.make d 0.0 in
+    List.iter (fun x -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) x) xs;
+    Array.iteri (fun i v -> mean.(i) <- v /. n) mean;
+    let var = Array.make d 0.0 in
+    List.iter
+      (fun x ->
+        Array.iteri
+          (fun i v ->
+            let dl = v -. mean.(i) in
+            var.(i) <- var.(i) +. (dl *. dl))
+          x)
+      xs;
+    let std = Array.map (fun v -> sqrt (v /. n)) var in
+    { mean; std }
+
+let transform t x =
+  Array.mapi
+    (fun i v -> if t.std.(i) > 1e-12 then (v -. t.mean.(i)) /. t.std.(i) else v)
+    x
+
+let transform_all t = List.map (transform t)

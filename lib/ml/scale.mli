@@ -1,0 +1,12 @@
+(** Per-feature standardization (zero mean, unit variance), fitted on
+    training data and applied to both splits. *)
+
+type t
+
+val fit : Vector.t list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val transform : t -> Vector.t -> Vector.t
+(** Standardize one vector (constant features pass through unchanged). *)
+
+val transform_all : t -> Vector.t list -> Vector.t list

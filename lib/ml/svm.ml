@@ -1,0 +1,58 @@
+module Rng = Sutil.Rng
+
+(* Pegasos with the bias folded in as an augmented constant feature (the
+   huge early learning rates 1/(lambda*t) make an unregularized bias swing
+   wildly; augmentation keeps it shrunk like every other weight). *)
+type t = { w : float array (* length d+1; last slot is the bias *) }
+
+let augment x =
+  let d = Array.length x in
+  Array.init (d + 1) (fun i -> if i < d then x.(i) else 1.0)
+
+let train ?(lambda = 1e-3) ?(epochs = 40) ~rng samples =
+  (match samples with [] -> invalid_arg "Ml.Svm.train: no samples" | _ -> ());
+  let arr =
+    Array.of_list (List.map (fun (x, y) -> (augment x, y)) samples)
+  in
+  let d = Array.length (fst arr.(0)) in
+  let w = Vector.zeros d in
+  let t = ref 0 in
+  for _epoch = 1 to epochs do
+    Rng.shuffle_arr rng arr;
+    Array.iter
+      (fun (x, positive) ->
+        incr t;
+        let y = if positive then 1.0 else -1.0 in
+        let eta = 1.0 /. (lambda *. float_of_int !t) in
+        let margin = y *. Vector.dot w x in
+        (* w <- (1 - eta*lambda) w  [+ eta*y*x on margin violation] *)
+        Vector.scale_inplace w (1.0 -. (eta *. lambda));
+        if margin < 1.0 then Vector.add_scaled w (eta *. y) x)
+      arr
+  done;
+  { w }
+
+let decision t x = Vector.dot t.w (augment x)
+let predict t x = decision t x >= 0.0
+
+type multi = (int * t) list
+
+let train_multi ?lambda ?epochs ~rng samples =
+  let labels = List.sort_uniq Int.compare (List.map snd samples) in
+  List.map
+    (fun c ->
+      let binary = List.map (fun (x, l) -> (x, l = c)) samples in
+      (c, train ?lambda ?epochs ~rng binary))
+    labels
+
+let predict_multi multi x =
+  match multi with
+  | [] -> invalid_arg "Ml.Svm.predict_multi: empty model"
+  | (c0, m0) :: rest ->
+    let best = ref (c0, decision m0 x) in
+    List.iter
+      (fun (c, m) ->
+        let s = decision m x in
+        if s > snd !best then best := (c, s))
+      rest;
+    fst !best

@@ -1,0 +1,28 @@
+(** Linear support-vector machine trained with Pegasos (stochastic
+    subgradient on the hinge loss), plus a one-vs-rest multiclass wrapper —
+    the classifier behind the SVM-NW baseline. *)
+
+type t
+(** A binary model (weights + bias). *)
+
+val train :
+  ?lambda:float -> ?epochs:int -> rng:Sutil.Rng.t ->
+  (Vector.t * bool) list -> t
+(** [train ~rng samples] fits w, b on [(x, positive?)] samples.
+    [lambda] (default 1e-3) is the regularization strength; [epochs]
+    (default 40) full passes.  @raise Invalid_argument on []. *)
+
+val decision : t -> Vector.t -> float
+(** Signed margin [w.x + b]. *)
+
+val predict : t -> Vector.t -> bool
+
+type multi
+(** One-vs-rest multiclass model over int labels. *)
+
+val train_multi :
+  ?lambda:float -> ?epochs:int -> rng:Sutil.Rng.t ->
+  (Vector.t * int) list -> multi
+
+val predict_multi : multi -> Vector.t -> int
+(** Label with the largest decision value. *)

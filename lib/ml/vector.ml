@@ -1,0 +1,38 @@
+type t = float array
+
+let check a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ml.Vector: dimension mismatch"
+
+let dot a b =
+  check a b;
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let add_scaled acc c v =
+  check acc v;
+  for i = 0 to Array.length acc - 1 do
+    acc.(i) <- acc.(i) +. (c *. v.(i))
+  done
+
+let scale_inplace v c =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- v.(i) *. c
+  done
+
+let norm v = sqrt (dot v v)
+
+let euclidean_distance a b =
+  check a b;
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  sqrt !s
+
+let zeros n = Array.make n 0.0
+let copy = Array.copy

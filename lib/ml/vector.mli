@@ -1,0 +1,15 @@
+(** Dense float vectors for the learning-based baselines. *)
+
+type t = float array
+
+val dot : t -> t -> float
+(** @raise Invalid_argument on length mismatch. *)
+
+val add_scaled : t -> float -> t -> unit
+(** [add_scaled acc c v] does [acc <- acc + c*v] in place. *)
+
+val scale_inplace : t -> float -> unit
+val norm : t -> float
+val euclidean_distance : t -> t -> float
+val zeros : int -> t
+val copy : t -> t

@@ -1,0 +1,67 @@
+type t = {
+  relevant : int list;
+  tree_edges : (int * int * float * int list) list;
+  nodes : int list;
+  edges : (int * int) list;
+}
+
+let build ?max_paths ?max_len cfg ~hpc ~relevant =
+  let succs = Cfg.Back_edge.acyclic_succs cfg in
+  let is_relevant =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace tbl b ()) relevant;
+    fun b -> Hashtbl.mem tbl b
+  in
+  (* Candidate edges: best path per ordered pair, deduplicated into the
+     undirected view by keeping the heavier direction. *)
+  let candidate_edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v ->
+            if u = v then None
+            else
+              Cfg.Paths.best_between ~succs ~hpc:(fun b -> hpc.(b))
+                ~relevant:is_relevant ?max_paths ?max_len ~src:u ~dst:v ()
+              |> Option.map (fun (p : Cfg.Paths.path) ->
+                     {
+                       Cfg.Mst.u;
+                       v;
+                       weight = p.Cfg.Paths.score;
+                       payload = p.Cfg.Paths.nodes;
+                     }))
+          relevant)
+      relevant
+  in
+  let forest =
+    Cfg.Mst.maximum_spanning_forest ~nodes:relevant ~edges:candidate_edges
+  in
+  let tree_edges =
+    List.map
+      (fun (e : Cfg.Mst.edge) -> (e.Cfg.Mst.u, e.Cfg.Mst.v, e.Cfg.Mst.weight, e.Cfg.Mst.payload))
+      forest
+  in
+  (* Restore the labelled paths: their nodes and consecutive edges form the
+     attack-relevant graph. *)
+  let node_set = Hashtbl.create 32 in
+  let edge_set = Hashtbl.create 32 in
+  List.iter (fun b -> Hashtbl.replace node_set b ()) relevant;
+  List.iter
+    (fun (_, _, _, path) ->
+      List.iter (fun b -> Hashtbl.replace node_set b ()) path;
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          Hashtbl.replace edge_set (a, b) ();
+          pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs path)
+    tree_edges;
+  let nodes =
+    Hashtbl.fold (fun b () acc -> b :: acc) node_set []
+    |> List.sort Int.compare
+  in
+  let edges =
+    Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] |> List.sort compare
+  in
+  { relevant; tree_edges; nodes; edges }

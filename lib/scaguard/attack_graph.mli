@@ -1,0 +1,26 @@
+(** Attack-relevant graph construction — Algorithm 1 of the paper.
+
+    Starting from the CFG and the attack-relevant blocks:
+    1. back edges are removed (loop-free graph);
+    2. every block carries its HPC value;
+    3. for each pair of relevant blocks, the connecting CFG paths that avoid
+       other relevant blocks are scored by the mean interior HPC value (MAX
+       for a direct edge) and the best one becomes a weighted edge;
+    4. a maximum spanning tree (forest, for disconnected inputs) picks the
+       most attack-correlated connections;
+    5. each chosen edge's underlying path is restored, so interior blocks
+       that conduct necessary-but-cache-silent work rejoin the graph. *)
+
+type t = {
+  relevant : int list;           (** the input relevant blocks *)
+  tree_edges : (int * int * float * int list) list;
+    (** spanning-forest edges: (u, v, weight, restored CFG path) *)
+  nodes : int list;              (** all blocks of the attack-relevant graph
+                                     (relevant blocks + restored interiors) *)
+  edges : (int * int) list;      (** restored pairwise CFG edges *)
+}
+
+val build :
+  ?max_paths:int -> ?max_len:int -> Cfg.Graph.t ->
+  hpc:float array -> relevant:int list -> t
+(** Bounds are passed through to {!Cfg.Paths.best_between}. *)

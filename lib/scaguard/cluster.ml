@@ -1,0 +1,76 @@
+let pairwise ?alpha models =
+  let arr = Array.of_list models in
+  let n = Array.length arr in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := (arr.(i), arr.(j), Dtw.compare_models ?alpha arr.(i) arr.(j)) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let by_similarity ?(threshold = Detector.default_threshold) ?alpha models =
+  let arr = Array.of_list models in
+  let n = Array.length arr in
+  (* union-find *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Dtw.compare_models ?alpha arr.(i) arr.(j) >= threshold then union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i m ->
+      let r = find i in
+      Hashtbl.replace groups r
+        (m :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    arr;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) groups []
+  |> List.sort (fun a b -> Int.compare (List.length b) (List.length a))
+
+let medoid ?alpha = function
+  | [] -> invalid_arg "Cluster.medoid: empty cluster"
+  | [ m ] -> m
+  | models ->
+    let score m =
+      List.fold_left
+        (fun acc m' -> if m == m' then acc else acc +. Dtw.compare_models ?alpha m m')
+        0.0 models
+    in
+    List.fold_left
+      (fun (best, bs) m ->
+        let s = score m in
+        if s > bs then (m, s) else (best, bs))
+      (List.hd models, score (List.hd models))
+      models
+    |> fst
+
+let curate_repository ?threshold ?alpha samples =
+  let clusters = by_similarity ?threshold ?alpha (List.map snd samples) in
+  List.map
+    (fun cluster ->
+      let family_of m =
+        (* models are physically shared with the input list *)
+        fst (List.find (fun (_, m') -> m == m') samples)
+      in
+      let majority =
+        let counts = Hashtbl.create 4 in
+        List.iter
+          (fun m ->
+            let f = family_of m in
+            Hashtbl.replace counts f
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts f)))
+          cluster;
+        Hashtbl.fold
+          (fun f n (bf, bn) -> if n > bn then (f, n) else (bf, bn))
+          counts ("?", 0)
+        |> fst
+      in
+      { Detector.family = majority; model = medoid ?alpha cluster })
+    clusters

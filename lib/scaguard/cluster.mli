@@ -1,0 +1,31 @@
+(** Unsupervised grouping of attack behavior models.
+
+    A repository curator collects PoCs without trusting their labels;
+    single-linkage clustering over the DTW similarity (two models join a
+    cluster when {e some} pair across the clusters reaches the threshold)
+    recovers the attack families directly from behavior — and a model that
+    lands in no cluster is a candidate new family. *)
+
+val pairwise :
+  ?alpha:float -> Model.t list -> (Model.t * Model.t * float) list
+(** Similarity of every unordered model pair. *)
+
+val by_similarity :
+  ?threshold:float -> ?alpha:float -> Model.t list -> Model.t list list
+(** Connected components of the "similarity >= threshold" graph
+    (single-linkage agglomerative clustering cut at the threshold).
+    [threshold] defaults to {!Detector.default_threshold}.  Clusters are
+    returned largest-first; singletons last. *)
+
+val medoid : ?alpha:float -> Model.t list -> Model.t
+(** The model with the highest mean similarity to the rest — the cluster's
+    most representative member, used to pick one repository PoC out of many
+    collected samples.  @raise Invalid_argument on []. *)
+
+val curate_repository :
+  ?threshold:float -> ?alpha:float -> (string * Model.t) list ->
+  Detector.repository
+(** Repository curation from a pile of (family, model) samples: cluster by
+    behavior, take each cluster's medoid, and label it with the cluster's
+    majority family.  Keeps the repository small (one entry per discovered
+    behavior group) without hand-picking PoCs. *)

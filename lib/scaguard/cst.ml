@@ -1,0 +1,30 @@
+type t = { before : Cache.State.t; after : Cache.State.t }
+
+let measure ?(config = Cache.Config.cst_probe) accesses =
+  let cache = Cache.Set_assoc.create config in
+  Cache.Set_assoc.fill_all cache ~owner:Cache.Owner.System;
+  let before = Cache.Set_assoc.state cache in
+  List.iter
+    (fun (addr, kind) ->
+      match kind with
+      | Hpc.Collector.Load | Hpc.Collector.Store ->
+        ignore (Cache.Set_assoc.access cache ~owner:Cache.Owner.Attacker addr)
+      | Hpc.Collector.Flush ->
+        (* The probe cache starts "full of data" in the abstract: flushing
+           address X removes the line X occupies in that full cache, so a
+           line absent from the synthetic fill is materialized (as
+           non-attacker data, occupancy-neutral) before invalidation. *)
+        if not (Cache.Set_assoc.probe cache addr) then
+          ignore (Cache.Set_assoc.access cache ~owner:Cache.Owner.System addr);
+        ignore (Cache.Set_assoc.flush cache addr))
+    accesses;
+  { before; after = Cache.Set_assoc.state cache }
+
+let change_magnitude t =
+  Cache.State.change_magnitude ~before:t.before ~after:t.after
+
+let distance a b =
+  Cache.State.distance (a.before, a.after) (b.before, b.after)
+
+let pp fmt t =
+  Format.fprintf fmt "%a -> %a" Cache.State.pp t.before Cache.State.pp t.after

@@ -1,0 +1,25 @@
+(** Cache state transition measurement (§III-A3).
+
+    Each attack-relevant block is replayed in isolation inside a small cache
+    simulator that starts {e full of non-attacker data} ([AO = 0, IO = 1]);
+    feeding the block's recorded memory accesses (as the attacker) yields the
+    block's cache state transition — its semantic cache signature. *)
+
+type t = {
+  before : Cache.State.t;  (** always [(AO=0, IO=1)] under the paper's setup *)
+  after : Cache.State.t;
+}
+
+val measure :
+  ?config:Cache.Config.t ->
+  (int * Hpc.Collector.access_kind) list -> t
+(** Replay one block's accesses.  [config] defaults to
+    {!Cache.Config.cst_probe}. *)
+
+val change_magnitude : t -> float
+(** The paper's [P]: mean absolute occupancy change over the transition. *)
+
+val distance : t -> t -> float
+(** D_CSP between two transitions: [|P2 - P1|]. *)
+
+val pp : Format.formatter -> t -> unit

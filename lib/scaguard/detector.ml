@@ -1,0 +1,31 @@
+type poc = { family : string; model : Model.t }
+type repository = poc list
+
+type verdict = {
+  scores : (string * string * float) list;
+  best_family : string option;
+  best_score : float;
+}
+
+let default_threshold = 0.60
+
+let classify ?(threshold = default_threshold) ?alpha repository target =
+  let scores =
+    List.map
+      (fun p ->
+        ( p.model.Model.name,
+          p.family,
+          Dtw.compare_models ?alpha p.model target ))
+      repository
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+  in
+  match scores with
+  | [] -> { scores = []; best_family = None; best_score = 0.0 }
+  | (_, family, score) :: _ ->
+    {
+      scores;
+      best_family = (if score >= threshold then Some family else None);
+      best_score = score;
+    }
+
+let is_attack v = Option.is_some v.best_family

@@ -1,0 +1,16 @@
+(** The CST distance (§III-B1): the mean of a syntactic term (normalized
+    Levenshtein over normalized instruction sequences) and a semantic term
+    (difference of cache-change magnitudes). *)
+
+val instruction_distance : string array -> string array -> float
+(** D_IS: normalized Levenshtein over normalized instruction tokens,
+    in [\[0,1\]]. *)
+
+val csp_distance : Cst.t -> Cst.t -> float
+(** D_CSP, in [\[0,1\]]. *)
+
+val entry_distance : ?alpha:float -> Model.entry -> Model.entry -> float
+(** [Distance(tau1, tau2) = alpha*D_IS + (1-alpha)*D_CSP]; the paper's
+    definition is the plain mean ([alpha = 0.5], the default).  [alpha] is
+    exposed for the ablation benches (1.0 = syntax only, 0.0 = cache
+    only). *)

@@ -1,0 +1,53 @@
+(* DP over (accumulated cost, path length); the length of the optimal path
+   normalizes the distance so scores are comparable across model sizes. *)
+let dp ~cost a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 && m = 0 then (0.0, 1)
+  else if n = 0 || m = 0 then (infinity, 1)
+  else begin
+    let inf = infinity in
+    let prev_c = Array.make (m + 1) inf in
+    let prev_l = Array.make (m + 1) 0 in
+    let cur_c = Array.make (m + 1) inf in
+    let cur_l = Array.make (m + 1) 0 in
+    prev_c.(0) <- 0.0;
+    for i = 1 to n do
+      cur_c.(0) <- inf;
+      cur_l.(0) <- 0;
+      for j = 1 to m do
+        let c = cost a.(i - 1) b.(j - 1) in
+        (* predecessors: (i-1,j) delete, (i,j-1) insert, (i-1,j-1) match *)
+        let pc, pl =
+          let c1 = prev_c.(j) and c2 = cur_c.(j - 1) and c3 = prev_c.(j - 1) in
+          if c3 <= c1 && c3 <= c2 then (c3, prev_l.(j - 1))
+          else if c1 <= c2 then (c1, prev_l.(j))
+          else (c2, cur_l.(j - 1))
+        in
+        cur_c.(j) <- c +. pc;
+        cur_l.(j) <- pl + 1
+      done;
+      Array.blit cur_c 0 prev_c 0 (m + 1);
+      Array.blit cur_l 0 prev_l 0 (m + 1)
+    done;
+    (prev_c.(m), max 1 prev_l.(m))
+  end
+
+let distance ~cost a b = fst (dp ~cost a b)
+
+let normalized_distance ~cost a b =
+  let d, len = dp ~cost a b in
+  if d = infinity then 1.0 else d /. float_of_int len
+
+let similarity_of_distance d = 1.0 /. (1.0 +. d)
+
+let entries m = Array.of_list m.Model.entries
+
+let compare_models ?alpha m1 m2 =
+  1.0
+  -. normalized_distance
+       ~cost:(Distance.entry_distance ?alpha)
+       (entries m1) (entries m2)
+
+let compare_models_raw ?alpha m1 m2 =
+  similarity_of_distance
+    (distance ~cost:(Distance.entry_distance ?alpha) (entries m1) (entries m2))

@@ -1,0 +1,37 @@
+(** Dynamic Time Warping over CST-BBSes (§III-B2).
+
+    DTW aligns the two sequences monotonically, matching similar
+    subsequences in order, and accumulates the per-step CST distance.
+
+    On similarity calibration: the paper converts a raw DTW distance with
+    [1/(1+D)].  Raw accumulated distance scales with model length, and at our
+    basic-block granularity that maps same-family pairs far below the
+    paper's reported scores.  We therefore use the standard {e normalized}
+    DTW distance (accumulated cost divided by the warping-path length, which
+    lies in [\[0,1\]] for unit step costs) and report [1 - D_norm] — a
+    monotone-equivalent score that lands in the same numeric ranges as
+    Table V.  {!similarity_of_distance} still provides the paper's raw
+    mapping for comparison. *)
+
+val distance :
+  cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
+(** Raw accumulated DTW distance, unit steps (match, insert, delete).
+    Both sequences empty → [0.]; exactly one empty → [infinity]. *)
+
+val normalized_distance :
+  cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
+(** Accumulated cost divided by the optimal warping path's length; in
+    [\[0,1\]] when [cost] is.  Empty-sequence conventions as {!distance}
+    (one empty → [1.]). *)
+
+val similarity_of_distance : float -> float
+(** The paper's raw mapping [1 / (1 + d)]. *)
+
+val compare_models : ?alpha:float -> Model.t -> Model.t -> float
+(** Similarity score of two CST-BBS models: [1 - normalized_distance], in
+    [\[0,1\]] ([0.] when exactly one model is empty, [1.] when both are).
+    [alpha] feeds {!Distance.entry_distance} (ablations). *)
+
+val compare_models_raw : ?alpha:float -> Model.t -> Model.t -> float
+(** The paper's literal [1/(1+D)] on the raw accumulated distance (exposed
+    for the calibration bench). *)

@@ -1,0 +1,50 @@
+module BB = Cfg.Basic_block
+module G = Cfg.Graph
+
+type entry = {
+  block : int;
+  instrs : Isa.Instr.t list;
+  normalized : string array;
+  cst : Cst.t;
+  first_time : int;
+}
+
+type t = { name : string; entries : entry list }
+
+let build ?cst_config ~name (info : Relevant.info) (ag : Attack_graph.t) =
+  let cfg = info.Relevant.cfg in
+  let prog = G.program cfg in
+  let entry_of_block b =
+    let bb = G.block cfg b in
+    let instrs = BB.instrs prog bb in
+    {
+      block = b;
+      instrs;
+      normalized = Isa.Normalize.sequence instrs;
+      cst = Cst.measure ?config:cst_config info.Relevant.accesses_of_block.(b);
+      first_time =
+        Option.value ~default:max_int info.Relevant.first_time_of_block.(b);
+    }
+  in
+  let entries =
+    List.map entry_of_block ag.Attack_graph.nodes
+    |> List.sort (fun a b ->
+           match Int.compare a.first_time b.first_time with
+           | 0 -> Int.compare a.block b.block
+           | c -> c)
+  in
+  { name; entries }
+
+let length t = List.length t.entries
+let is_empty t = t.entries = []
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>CST-BBS %s (%d blocks)@," t.name (length t);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  BB%d @@%d: %s | %a@," e.block
+        (if e.first_time = max_int then -1 else e.first_time)
+        (String.concat ";" (Array.to_list e.normalized))
+        Cst.pp e.cst)
+    t.entries;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,30 @@
+(** The attack behavior model: a cache-state-transition-enhanced basic block
+    sequence (CST-BBS, Definition 5).
+
+    The attack-relevant graph is flattened into a block sequence ordered by
+    each block's first execution timestamp, and every block carries its
+    normalized instruction sequence and its measured CST. *)
+
+type entry = {
+  block : int;                 (** CFG block id *)
+  instrs : Isa.Instr.t list;   (** the block's instructions *)
+  normalized : string array;   (** normalized tokens (imm/mem/reg rules) *)
+  cst : Cst.t;
+  first_time : int;            (** first retirement timestamp; [max_int] for
+                                   statically restored, never-executed blocks *)
+}
+
+type t = {
+  name : string;
+  entries : entry list;        (** the CST-BBS, in timestamp order *)
+}
+
+val build :
+  ?cst_config:Cache.Config.t -> name:string ->
+  Relevant.info -> Attack_graph.t -> t
+(** Assemble the model from identification output and the attack-relevant
+    graph. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,152 @@
+(* Line-oriented format:
+
+     cstbbs 1
+     name <model name>
+     entry <block> <first_time>
+     cst <ao> <io> <ao'> <io'>
+     tokens <count>
+     <one normalized token per line>
+     ...repeat entry...
+     end
+
+   Repositories wrap models with `poc <family>` headers. *)
+
+let buf_add = Buffer.add_string
+
+let entry_to_buffer buf (e : Model.entry) =
+  buf_add buf (Printf.sprintf "entry %d %d\n" e.Model.block e.Model.first_time);
+  let b = e.Model.cst.Cst.before and a = e.Model.cst.Cst.after in
+  buf_add buf
+    (Printf.sprintf "cst %.17g %.17g %.17g %.17g\n" b.Cache.State.ao
+       b.Cache.State.io a.Cache.State.ao a.Cache.State.io);
+  buf_add buf (Printf.sprintf "tokens %d\n" (Array.length e.Model.normalized));
+  Array.iter
+    (fun tok ->
+      if String.contains tok '\n' then failwith "Persist: token contains newline";
+      buf_add buf tok;
+      Buffer.add_char buf '\n')
+    e.Model.normalized
+
+let model_to_buffer buf (m : Model.t) =
+  buf_add buf "cstbbs 1\n";
+  (if String.contains m.Model.name '\n' then
+     failwith "Persist: model name contains newline");
+  buf_add buf (Printf.sprintf "name %s\n" m.Model.name);
+  List.iter (entry_to_buffer buf) m.Model.entries;
+  buf_add buf "end\n"
+
+let model_to_string m =
+  let buf = Buffer.create 1024 in
+  model_to_buffer buf m;
+  Buffer.contents buf
+
+(* -- parsing ----------------------------------------------------------------- *)
+
+type cursor = { lines : string array; mutable pos : int }
+
+let peek c = if c.pos < Array.length c.lines then Some c.lines.(c.pos) else None
+
+let next c =
+  match peek c with
+  | Some l ->
+    c.pos <- c.pos + 1;
+    l
+  | None -> failwith "Persist: unexpected end of input"
+
+let expect_prefix c prefix =
+  let l = next c in
+  let n = String.length prefix in
+  if String.length l < n || String.sub l 0 n <> prefix then
+    failwith (Printf.sprintf "Persist: expected %S, got %S" prefix l);
+  String.sub l n (String.length l - n)
+
+let parse_entry c =
+  let header = expect_prefix c "entry " in
+  let block, first_time =
+    match String.split_on_char ' ' header with
+    | [ b; t ] -> (int_of_string b, int_of_string t)
+    | _ -> failwith "Persist: bad entry header"
+  in
+  let cst_line = expect_prefix c "cst " in
+  let cst =
+    match
+      List.filter_map float_of_string_opt (String.split_on_char ' ' cst_line)
+    with
+    | [ ao; io; ao'; io' ] ->
+      {
+        Cst.before = Cache.State.make ~ao ~io;
+        after = Cache.State.make ~ao:ao' ~io:io';
+      }
+    | _ -> failwith "Persist: bad cst line"
+  in
+  let count = int_of_string (expect_prefix c "tokens ") in
+  if count < 0 || count > 1_000_000 then failwith "Persist: bad token count";
+  let normalized = Array.init count (fun _ -> next c) in
+  { Model.block; instrs = []; normalized; cst; first_time }
+
+let parse_model c =
+  (match next c with
+  | "cstbbs 1" -> ()
+  | l -> failwith (Printf.sprintf "Persist: bad magic %S" l));
+  let name = expect_prefix c "name " in
+  let rec entries acc =
+    match peek c with
+    | Some "end" ->
+      c.pos <- c.pos + 1;
+      List.rev acc
+    | Some _ -> entries (parse_entry c :: acc)
+    | None -> failwith "Persist: missing end"
+  in
+  { Model.name; entries = entries [] }
+
+let cursor_of_string s =
+  (* keep no trailing empty line noise *)
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+    |> Array.of_list
+  in
+  { lines; pos = 0 }
+
+let model_of_string s = parse_model (cursor_of_string s)
+
+let repository_to_string (repo : Detector.repository) =
+  let buf = Buffer.create 4096 in
+  buf_add buf "scaguard-repository 1\n";
+  List.iter
+    (fun (p : Detector.poc) ->
+      (if String.contains p.Detector.family '\n' then
+         failwith "Persist: family contains newline");
+      buf_add buf (Printf.sprintf "poc %s\n" p.Detector.family);
+      model_to_buffer buf p.Detector.model)
+    repo;
+  Buffer.contents buf
+
+let repository_of_string s =
+  let c = cursor_of_string s in
+  (match next c with
+  | "scaguard-repository 1" -> ()
+  | l -> failwith (Printf.sprintf "Persist: bad repository magic %S" l));
+  let rec pocs acc =
+    match peek c with
+    | None -> List.rev acc
+    | Some _ ->
+      let family = expect_prefix c "poc " in
+      let model = parse_model c in
+      pocs ({ Detector.family; model } :: acc)
+  in
+  pocs []
+
+let save_repository ~path repo =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (repository_to_string repo))
+
+let load_repository ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      repository_of_string (really_input_string ic n))

@@ -1,0 +1,23 @@
+(** Textual serialization of CST-BBS models and PoC repositories.
+
+    The deployment story of §V builds the repository once and screens
+    programs later; persistence makes that real: models round-trip through a
+    simple line-oriented format (no external dependencies).
+
+    Loaded models carry empty [instrs] lists — similarity comparison only
+    needs the normalized token sequences and the CSTs, both of which are
+    preserved exactly. *)
+
+val model_to_string : Model.t -> string
+
+val model_of_string : string -> Model.t
+(** @raise Failure on malformed input. *)
+
+val repository_to_string : Detector.repository -> string
+
+val repository_of_string : string -> Detector.repository
+(** @raise Failure on malformed input. *)
+
+val save_repository : path:string -> Detector.repository -> unit
+val load_repository : path:string -> Detector.repository
+(** @raise Sys_error / Failure on IO or parse problems. *)

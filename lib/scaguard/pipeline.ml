@@ -1,0 +1,24 @@
+type analysis = {
+  name : string;
+  cfg : Cfg.Graph.t;
+  info : Relevant.info;
+  attack_graph : Attack_graph.t;
+  model : Model.t;
+  exec : Cpu.Exec.result;
+}
+
+let analyze ?max_paths ?max_len ?cst_config ~name ~program exec =
+  let cfg = Cfg.Graph.of_program program in
+  let info = Relevant.identify cfg exec.Cpu.Exec.collector in
+  let attack_graph =
+    Attack_graph.build ?max_paths ?max_len cfg ~hpc:info.Relevant.hpc_of_block
+      ~relevant:info.Relevant.relevant
+  in
+  let model = Model.build ?cst_config ~name info attack_graph in
+  { name; cfg; info; attack_graph; model; exec }
+
+let run_and_analyze ?settings ?init ?victim ?max_paths ?max_len ?cst_config
+    program =
+  let exec = Cpu.Exec.run ?settings ?init ?victim program in
+  analyze ?max_paths ?max_len ?cst_config ~name:(Isa.Program.name program)
+    ~program exec

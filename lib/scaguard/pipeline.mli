@@ -1,0 +1,25 @@
+(** End-to-end attack behavior modeling: execute (collect runtime data),
+    build the CFG, identify attack-relevant blocks, run Algorithm 1, and
+    assemble the CST-BBS model — Fig. 2's left half. *)
+
+type analysis = {
+  name : string;
+  cfg : Cfg.Graph.t;
+  info : Relevant.info;
+  attack_graph : Attack_graph.t;
+  model : Model.t;
+  exec : Cpu.Exec.result;
+}
+
+val analyze :
+  ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
+  name:string -> program:Isa.Program.t -> Cpu.Exec.result -> analysis
+(** Build the model from an already-collected execution of [program]. *)
+
+val run_and_analyze :
+  ?settings:Cpu.Exec.settings ->
+  ?init:(Cpu.Machine.t -> unit) ->
+  ?victim:Isa.Program.t * (Cpu.Machine.t -> unit) ->
+  ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
+  Isa.Program.t -> analysis
+(** Execute the program (with optional victim) and analyze it. *)

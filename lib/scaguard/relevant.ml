@@ -1,0 +1,94 @@
+module G = Cfg.Graph
+module BB = Cfg.Basic_block
+
+type info = {
+  cfg : G.t;
+  hpc_of_block : float array;
+  accesses_of_block : (int * Hpc.Collector.access_kind) list array;
+  first_time_of_block : int option array;
+  step1 : int list;
+  relevant : int list;
+}
+
+let default_llc_set addr = Cache.Config.set_of_addr Cache.Config.llc addr
+
+let identify ?(llc_set_of_addr = default_llc_set) cfg collector =
+  let n = G.n_blocks cfg in
+  let prog = G.program cfg in
+  let hpc_of_block = Array.make n 0.0 in
+  let first_time_of_block = Array.make n None in
+  (* Step 1: map per-address HPC data onto blocks. *)
+  List.iter
+    (fun (b : BB.t) ->
+      List.iter
+        (fun idx ->
+          let pc = Isa.Program.addr_of_index prog idx in
+          hpc_of_block.(b.BB.id) <-
+            hpc_of_block.(b.BB.id)
+            +. float_of_int (Hpc.Collector.hpc_value_at collector ~pc);
+          match Hpc.Collector.first_time collector ~pc with
+          | Some t ->
+            first_time_of_block.(b.BB.id) <-
+              (match first_time_of_block.(b.BB.id) with
+              | Some t0 -> Some (min t0 t)
+              | None -> Some t)
+          | None -> ())
+        (BB.instr_indices b))
+    (G.blocks cfg);
+  let step1 =
+    List.filter_map
+      (fun (b : BB.t) ->
+        if hpc_of_block.(b.BB.id) > 0.0 then Some b.BB.id else None)
+      (G.blocks cfg)
+  in
+  (* Collect data accesses (the Intel-PT stand-in) per block. *)
+  let accesses_of_block = Array.make n [] in
+  List.iter
+    (fun (a : Hpc.Collector.access) ->
+      match G.block_of_addr cfg a.Hpc.Collector.pc with
+      | Some b ->
+        accesses_of_block.(b.BB.id) <-
+          (a.Hpc.Collector.target, a.Hpc.Collector.kind)
+          :: accesses_of_block.(b.BB.id)
+      | None -> ())
+    (Hpc.Collector.accesses collector);
+  Array.iteri
+    (fun i l -> accesses_of_block.(i) <- List.rev l)
+    accesses_of_block;
+  (* Step 2: keep candidates touching a cache set that at least one other
+     candidate also touches. *)
+  let sets_of_block b =
+    List.sort_uniq Int.compare
+      (List.map (fun (addr, _) -> llc_set_of_addr addr) accesses_of_block.(b))
+  in
+  let touch_count = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace touch_count s
+            (1 + Option.value ~default:0 (Hashtbl.find_opt touch_count s)))
+        (sets_of_block b))
+    step1;
+  let relevant =
+    List.filter
+      (fun b ->
+        List.exists
+          (fun s -> Option.value ~default:0 (Hashtbl.find_opt touch_count s) >= 2)
+          (sets_of_block b))
+      step1
+  in
+  { cfg; hpc_of_block; accesses_of_block; first_time_of_block; step1; relevant }
+
+let ground_truth_blocks cfg =
+  List.filter_map
+    (fun (b : BB.t) ->
+      if BB.is_attack_ground_truth (G.program cfg) b then Some b.BB.id else None)
+    (G.blocks cfg)
+
+let accuracy ~identified ~truth =
+  match truth with
+  | [] -> 1.0
+  | _ ->
+    let hit = List.filter (fun b -> List.mem b identified) truth in
+    float_of_int (List.length hit) /. float_of_int (List.length truth)

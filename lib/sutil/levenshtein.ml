@@ -1,0 +1,27 @@
+(* Two-row dynamic programming; O(|a|*|b|) time, O(min) space after the
+   orientation swap. *)
+
+let distance ~equal a b =
+  let a, b = if Array.length a < Array.length b then (b, a) else (a, b) in
+  let n = Array.length a and m = Array.length b in
+  if m = 0 then n
+  else begin
+    let prev = Array.init (m + 1) (fun j -> j) in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      cur.(0) <- i;
+      for j = 1 to m do
+        let cost = if equal a.(i - 1) b.(j - 1) then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let distance_strings a b = distance ~equal:String.equal a b
+
+let normalized ~equal a b =
+  let n = max (Array.length a) (Array.length b) in
+  if n = 0 then 0.0
+  else float_of_int (distance ~equal a b) /. float_of_int n

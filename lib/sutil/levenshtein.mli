@@ -1,0 +1,14 @@
+(** Edit distance between sequences, used by the CST distance (§III-B1 of the
+    paper) on normalized instruction sequences. *)
+
+val distance : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** [distance ~equal a b] is the Levenshtein (insert/delete/substitute, all
+    cost 1) distance between [a] and [b]. *)
+
+val distance_strings : string array -> string array -> int
+(** Specialization to string tokens with structural equality. *)
+
+val normalized : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> float
+(** [normalized ~equal a b] is
+    [distance a b / max (length a) (length b)], following the paper's
+    D_IS definition; [0.] when both are empty. *)

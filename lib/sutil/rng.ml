@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split t =
+  let s = next_raw t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit logical shift
+     result could still land negative after Int64.to_int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
+  r mod bound
+
+let in_range t lo hi =
+  if lo > hi then invalid_arg "Rng.in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_raw t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let chance t p = float t 1.0 < p
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let choose_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose_arr: empty array";
+  a.(int t (Array.length a))
+
+let shuffle_arr t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  shuffle_arr t a;
+  Array.to_list a
+
+let sample t k xs =
+  let a = Array.of_list xs in
+  shuffle_arr t a;
+  let k = min k (Array.length a) in
+  Array.to_list (Array.sub a 0 k)

@@ -1,0 +1,44 @@
+let sum xs =
+  (* Kahan summation keeps experiment aggregates stable regardless of list
+     order. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  let add x =
+    let y = x -. !comp in
+    let t = !total +. y in
+    comp := t -. !total -. y;
+    total := t
+  in
+  List.iter add xs;
+  !total
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq = List.map (fun x -> (x -. m) *. (x -. m)) xs in
+    sqrt (sum sq /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list (sorted xs) in
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list (sorted xs) in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    a.(idx)
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs

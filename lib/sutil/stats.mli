@@ -1,0 +1,22 @@
+(** Small numeric summaries used by experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [0.] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; [0.] on lists of length < 2. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length); [0.] on []. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank; [0.] on []. *)
+
+val minimum : float list -> float
+(** Smallest element; [0.] on []. *)
+
+val maximum : float list -> float
+(** Largest element; [0.] on []. *)
+
+val sum : float list -> float
+(** Kahan-summed total. *)

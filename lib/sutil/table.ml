@@ -1,0 +1,87 @@
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let arity t = List.length t.headers
+
+let add_row t cells =
+  let n = arity t in
+  let len = List.length cells in
+  let cells =
+    if len = n then cells
+    else if len < n then cells @ List.init (n - len) (fun _ -> "")
+    else List.filteri (fun i _ -> i < n) cells
+  in
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let n = arity t in
+  let w = Array.make n 0 in
+  let feed cells = List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) cells in
+  feed t.headers;
+  List.iter (function Cells c -> feed c | Separator -> ()) t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let hline ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun wi ->
+        Buffer.add_string buf (String.make (wi + 2) ch);
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (w.(i) - String.length c) ' ');
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  hline '-';
+  row t.headers;
+  hline '=';
+  List.iter
+    (function Cells c -> row c | Separator -> hline '-')
+    (List.rev t.rows);
+  hline '-';
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.headers;
+  List.iter (function Cells c -> row c | Separator -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let fpct v = Printf.sprintf "%.2f%%" v
+let pct v = fpct (100.0 *. v)

@@ -1,0 +1,32 @@
+(** ASCII table rendering for experiment output (the bench harness prints the
+    paper's tables with this). *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty cells;
+    longer rows are truncated. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing, columns sized to content. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (headers first, separators dropped); cells
+    containing commas or quotes are quoted. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a newline. *)
+
+val pct : float -> string
+(** Format a ratio in [\[0,1\]] as a percentage with two decimals, e.g.
+    [pct 0.9664 = "96.64%"]. *)
+
+val fpct : float -> string
+(** Format an already-scaled percentage value, e.g. [fpct 96.64 = "96.64%"]. *)

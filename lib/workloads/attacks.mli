@@ -1,0 +1,107 @@
+(** Proof-of-concept generators for the attack families of Table II.
+
+    Each generator assembles a complete attack program in the simulated ISA,
+    in one of several "implementation styles" standing in for the distinct
+    public PoC code bases the paper collected (IAIK, Mastik, Nepoche, ...).
+    Styles differ in loop shapes (indexed vs pointer-walking), address
+    indirection, fencing and register roles, while performing the same
+    attack — exactly the syntactic diversity the paper's similarity
+    comparison must see through.
+
+    Attack-relevant instructions (flush/evict/prime loops, timed
+    reload/probe loops, transient gadgets) are tagged with
+    {!Isa.Program.attack_tag}, giving the Table IV ground truth; instructions
+    inside rdtsc...rdtscp windows additionally carry {!timing_tag}, which the
+    mutation and obfuscation engines treat as do-not-touch zones so that
+    variants retain attack functionality (as §IV-A requires). *)
+
+type style = Iaik | Mastik | Nepoche | Jzhang | Idea | Good | Classic
+
+val style_name : style -> string
+
+type spec = {
+  name : string;
+  label : Label.t;
+  program : Isa.Program.t;
+  init : Cpu.Machine.t -> unit;       (** attacker memory initializer *)
+  victim : Victim.t option;           (** co-running victim, if the attack needs one *)
+  settings : Cpu.Exec.settings option;
+    (** executor settings this attack needs (e.g. Meltdown's protected
+        range); [None] means the defaults *)
+}
+
+val timing_tag : string
+(** Tag marking instructions inside a timing measurement window. *)
+
+val reload_threshold : int
+(** Cycle threshold separating cached from uncached reloads. *)
+
+val flush_timing_threshold : int
+(** Cycle threshold separating clflush of cached vs uncached lines
+    (Flush+Flush). *)
+
+val probe_set_threshold : int
+(** Per-set probe-time threshold for Prime+Probe. *)
+
+val flush_reload : ?rounds:int -> style:style -> unit -> spec
+(** Flush+Reload against the monitored shared-library lines. *)
+
+val flush_flush : ?rounds:int -> unit -> spec
+(** Flush+Flush (times the clflush itself). *)
+
+val evict_reload : ?rounds:int -> unit -> spec
+(** Evict+Reload (evicts via LLC-congruent loads instead of clflush). *)
+
+val prime_probe : ?rounds:int -> style:style -> unit -> spec
+(** Prime+Probe over the LLC sets the victim's secret selects. *)
+
+val spectre_fr : ?rounds:int -> style:style -> unit -> spec
+(** Spectre v1 bounds-check bypass with a Flush+Reload covert channel
+    (self-contained: gadget and probe live in one program). *)
+
+val spectre_pp : ?rounds:int -> unit -> spec
+(** Spectre v1 with a Prime+Probe covert channel. *)
+
+val meltdown_fr : ?rounds:int -> unit -> spec
+(** Extension (not in the paper's dataset): Meltdown-style deferred-fault
+    read of protected kernel memory, recovered with a Flush+Reload probe.
+    The spec carries the protected-range executor settings it needs. *)
+
+val guard_magic : int
+(** The default triggering input word. *)
+
+val with_input_guard : ?magic:int -> spec -> spec
+(** The paper's Limitation (§V): wrap a PoC behind an input check.  The
+    program reads [Layout.input_addr]; unless it holds [magic] the attack
+    body is skipped and only benign cover behavior runs — so dynamic
+    modeling of an untriggered run sees nothing attack-like. *)
+
+val triggering_init :
+  ?magic:int -> (Cpu.Machine.t -> unit) -> Cpu.Machine.t -> unit
+(** [triggering_init base_init] is [base_init] plus planting the trigger. *)
+
+val base_pocs : unit -> spec list
+(** The nine collected PoCs of Table II: FR-IAIK, FR-Mastik, FR-Nepoche,
+    FF-IAIK, ER-IAIK, PP-IAIK, PP-Jzhang, Spectre-FR-{Idea,Good,Classic}
+    minus one (the paper lists 3 S-FR and 1 S-PP), Spectre-PP-Classic. *)
+
+val run_spec :
+  ?settings:Cpu.Exec.settings -> ?hierarchy:Cache.Hierarchy.t ->
+  ?victim_hierarchy:Cache.Hierarchy.t -> spec -> Cpu.Exec.result
+(** Execute a spec with its init and victim wired up.  [hierarchy] overrides
+    the default cache hierarchy (e.g. for replacement-policy sweeps);
+    [victim_hierarchy] gives the victim its own cache view (cross-core). *)
+
+val run_spec_cross_core :
+  ?settings:Cpu.Exec.settings -> spec -> Cpu.Exec.result
+(** Execute with attacker and victim on different cores: private L1s, one
+    shared LLC ({!Cache.Hierarchy.create_cross_core}). *)
+
+val result_histogram : Cpu.Exec.result -> int array
+(** The per-line verdict counters the attack wrote at
+    [Layout.attacker_results_base] (length {!Layout.monitored_lines} * 2 to
+    cover the 16-entry Spectre probe). *)
+
+val secret_guess : Cpu.Exec.result -> int
+(** Index with the largest verdict counter — the attack's recovered secret
+    value (used by the leakage tests). *)

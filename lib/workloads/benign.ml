@@ -1,0 +1,727 @@
+module B = Isa.Builder
+module I = Isa.Instr
+module O = Isa.Operand
+module R = Isa.Reg
+module Rng = Sutil.Rng
+
+type gen = {
+  name : string;
+  category : string;
+  program : Isa.Program.t;
+  init : Cpu.Machine.t -> unit;
+}
+
+let data = Layout.benign_data_base
+let data2 = Layout.benign_data2_base
+
+let a_elem ?(base = data) idx_reg = O.mem ~index:idx_reg ~scale:8 ~disp:base ()
+
+(* for (reg = 0; reg != count; reg++) body *)
+let loop b ~reg ~count ~stem body =
+  let l = B.fresh_label b stem in
+  B.emit b (I.Mov (O.reg reg, O.imm 0));
+  B.label b l;
+  body ();
+  B.emit b (I.Inc (O.reg reg));
+  B.emit b (I.Cmp (O.reg reg, O.imm count));
+  B.emit b (I.Jcc (I.Ne, l))
+
+let random_array rng n bound = Array.init n (fun _ -> Rng.int rng bound)
+
+let init_arrays regions mach =
+  List.iter
+    (fun (base, values) -> Cpu.Machine.init_region mach ~base values)
+    regions
+
+(* ---- LeetCode-style kernels ---------------------------------------------- *)
+
+let bubble_sort rng =
+  let n = Rng.in_range rng 24 48 in
+  let passes = Rng.in_range rng 6 12 in
+  let values = random_array rng n 10_000 in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:passes ~stem:"pass" (fun () ->
+      loop b ~reg:R.R9 ~count:(n - 1) ~stem:"scan" (fun () ->
+          let noswap = B.fresh_label b "noswap" in
+          B.emit b (I.Mov (O.reg R.RBX, a_elem R.R9));
+          B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.R9 ~scale:8 ~disp:(data + 8) ()));
+          B.emit b (I.Cmp (O.reg R.RBX, O.reg R.RCX));
+          B.emit b (I.Jcc (I.Le, noswap));
+          B.emit b (I.Mov (a_elem R.R9, O.reg R.RCX));
+          B.emit b (I.Mov (O.mem ~index:R.R9 ~scale:8 ~disp:(data + 8) (), O.reg R.RBX));
+          B.label b noswap));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "leetcode-bubble-%d" n;
+    category = "LeetCode";
+    program = B.to_program ~name:"bubble-sort" b;
+    init = init_arrays [ (data, values) ];
+  }
+
+let binary_search rng =
+  let n = Rng.in_range rng 64 256 in
+  let queries = Rng.in_range rng 12 28 in
+  let sorted = Array.init n (fun i -> i * 3) in
+  let qs = random_array rng queries (n * 3) in
+  let b = B.create () in
+  (* for each query q: lo/hi binary search over sorted[] *)
+  loop b ~reg:R.R8 ~count:queries ~stem:"query" (fun () ->
+      let again = B.fresh_label b "bs" in
+      let stop = B.fresh_label b "bs_done" in
+      let hi_side = B.fresh_label b "hi" in
+      B.emit b (I.Mov (O.reg R.RDX, a_elem ~base:data2 R.R8)); (* q *)
+      B.emit b (I.Mov (O.reg R.RSI, O.imm 0)); (* lo *)
+      B.emit b (I.Mov (O.reg R.RDI, O.imm n)); (* hi *)
+      B.label b again;
+      B.emit b (I.Cmp (O.reg R.RSI, O.reg R.RDI));
+      B.emit b (I.Jcc (I.Ge, stop));
+      (* mid = (lo + hi) / 2 *)
+      B.emit b (I.Mov (O.reg R.RBX, O.reg R.RSI));
+      B.emit b (I.Add (O.reg R.RBX, O.reg R.RDI));
+      B.emit b (I.Shr (O.reg R.RBX, 1));
+      B.emit b (I.Mov (O.reg R.RCX, a_elem R.RBX));
+      B.emit b (I.Cmp (O.reg R.RCX, O.reg R.RDX));
+      B.emit b (I.Jcc (I.Lt, hi_side));
+      B.emit b (I.Mov (O.reg R.RDI, O.reg R.RBX));
+      B.emit b (I.Jmp again);
+      B.label b hi_side;
+      B.emit b (I.Mov (O.reg R.RSI, O.reg R.RBX));
+      B.emit b (I.Inc (O.reg R.RSI));
+      B.emit b (I.Jmp again);
+      B.label b stop);
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "leetcode-bsearch-%d" n;
+    category = "LeetCode";
+    program = B.to_program ~name:"binary-search" b;
+    init = init_arrays [ (data, sorted); (data2, qs) ];
+  }
+
+let kadane rng =
+  let n = Rng.in_range rng 96 256 in
+  let values = Array.init n (fun _ -> Rng.in_range rng (-500) 500) in
+  let b = B.create () in
+  (* best (r10) / current (r11) max-subarray scan *)
+  B.emit b (I.Mov (O.reg R.R10, O.imm 0));
+  B.emit b (I.Mov (O.reg R.R11, O.imm 0));
+  loop b ~reg:R.R8 ~count:n ~stem:"kadane" (fun () ->
+      let keep = B.fresh_label b "keep" in
+      let no_best = B.fresh_label b "nobest" in
+      B.emit b (I.Add (O.reg R.R11, a_elem R.R8));
+      B.emit b (I.Cmp (O.reg R.R11, O.imm 0));
+      B.emit b (I.Jcc (I.Ge, keep));
+      B.emit b (I.Mov (O.reg R.R11, O.imm 0));
+      B.label b keep;
+      B.emit b (I.Cmp (O.reg R.R11, O.reg R.R10));
+      B.emit b (I.Jcc (I.Le, no_best));
+      B.emit b (I.Mov (O.reg R.R10, O.reg R.R11));
+      B.label b no_best);
+  B.emit b (I.Mov (O.abs data2, O.reg R.R10));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "leetcode-kadane-%d" n;
+    category = "LeetCode";
+    program = B.to_program ~name:"kadane" b;
+    init = init_arrays [ (data, values) ];
+  }
+
+let two_sum rng =
+  let n = Rng.in_range rng 24 48 in
+  let values = random_array rng n 1000 in
+  let target = Rng.int rng 2000 in
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.R12, O.imm 0)); (* match count *)
+  loop b ~reg:R.R8 ~count:n ~stem:"outer" (fun () ->
+      B.emit b (I.Mov (O.reg R.RBX, a_elem R.R8));
+      loop b ~reg:R.R9 ~count:n ~stem:"inner" (fun () ->
+          let nomatch = B.fresh_label b "nomatch" in
+          B.emit b (I.Mov (O.reg R.RCX, a_elem R.R9));
+          B.emit b (I.Add (O.reg R.RCX, O.reg R.RBX));
+          B.emit b (I.Cmp (O.reg R.RCX, O.imm target));
+          B.emit b (I.Jcc (I.Ne, nomatch));
+          B.emit b (I.Inc (O.reg R.R12));
+          B.label b nomatch));
+  B.emit b (I.Mov (O.abs data2, O.reg R.R12));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "leetcode-twosum-%d" n;
+    category = "LeetCode";
+    program = B.to_program ~name:"two-sum" b;
+    init = init_arrays [ (data, values) ];
+  }
+
+let hash_scatter rng =
+  let m = Rng.in_range rng 128 384 in
+  let mask = 255 in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:m ~stem:"hash" (fun () ->
+      B.emit b (I.Mov (O.reg R.RBX, O.reg R.R8));
+      B.emit b (I.Imul (O.reg R.RBX, O.imm 2654435761));
+      B.emit b (I.Shr (O.reg R.RBX, 8));
+      B.emit b (I.And (O.reg R.RBX, O.imm mask));
+      B.emit b (I.Mov (O.mem ~index:R.RBX ~scale:8 ~disp:data2 (), O.reg R.R8));
+      (* chase: read back a neighbouring bucket *)
+      B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.RBX ~scale:8 ~disp:data2 ())));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "leetcode-hash-%d" m;
+    category = "LeetCode";
+    program = B.to_program ~name:"hash-scatter" b;
+    init = (fun _ -> ());
+  }
+
+(* ---- SPEC-style kernels --------------------------------------------------- *)
+
+let stream rng =
+  let n = Rng.in_range rng 192 512 in
+  let av = random_array rng n 1000 in
+  let bv = random_array rng n 1000 in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:n ~stem:"stream" (fun () ->
+      B.emit b (I.Mov (O.reg R.RBX, a_elem R.R8));
+      B.emit b (I.Add (O.reg R.RBX, a_elem ~base:data2 R.R8));
+      B.emit b
+        (I.Mov (O.mem ~index:R.R8 ~scale:8 ~disp:(data2 + 0x8000) (), O.reg R.RBX)));
+  (* reduce *)
+  B.emit b (I.Mov (O.reg R.R10, O.imm 0));
+  loop b ~reg:R.R8 ~count:n ~stem:"reduce" (fun () ->
+      B.emit b (I.Add (O.reg R.R10, O.mem ~index:R.R8 ~scale:8 ~disp:(data2 + 0x8000) ())));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "spec-stream-%d" n;
+    category = "SPEC";
+    program = B.to_program ~name:"stream" b;
+    init = init_arrays [ (data, av); (data2, bv) ];
+  }
+
+let matmul rng =
+  let n = Rng.in_range rng 6 10 in
+  let av = random_array rng (n * n) 100 in
+  let bv = random_array rng (n * n) 100 in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:n ~stem:"mi" (fun () ->
+      loop b ~reg:R.R9 ~count:n ~stem:"mj" (fun () ->
+          B.emit b (I.Mov (O.reg R.R12, O.imm 0));
+          loop b ~reg:R.R10 ~count:n ~stem:"mk" (fun () ->
+              (* rbx = A[i*n+k]; rcx = B[k*n+j] *)
+              B.emit b (I.Mov (O.reg R.RBX, O.reg R.R8));
+              B.emit b (I.Imul (O.reg R.RBX, O.imm n));
+              B.emit b (I.Add (O.reg R.RBX, O.reg R.R10));
+              B.emit b (I.Mov (O.reg R.RBX, a_elem R.RBX));
+              B.emit b (I.Mov (O.reg R.RCX, O.reg R.R10));
+              B.emit b (I.Imul (O.reg R.RCX, O.imm n));
+              B.emit b (I.Add (O.reg R.RCX, O.reg R.R9));
+              B.emit b (I.Mov (O.reg R.RCX, a_elem ~base:data2 R.RCX));
+              B.emit b (I.Imul (O.reg R.RBX, O.reg R.RCX));
+              B.emit b (I.Add (O.reg R.R12, O.reg R.RBX)));
+          (* C[i*n+j] = acc *)
+          B.emit b (I.Mov (O.reg R.RCX, O.reg R.R8));
+          B.emit b (I.Imul (O.reg R.RCX, O.imm n));
+          B.emit b (I.Add (O.reg R.RCX, O.reg R.R9));
+          B.emit b
+            (I.Mov (O.mem ~index:R.RCX ~scale:8 ~disp:(data2 + 0x8000) (), O.reg R.R12))));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "spec-matmul-%d" n;
+    category = "SPEC";
+    program = B.to_program ~name:"matmul" b;
+    init = init_arrays [ (data, av); (data2, bv) ];
+  }
+
+let pointer_chase rng =
+  let n = Rng.in_range rng 64 128 in
+  let steps = Rng.in_range rng 200 600 in
+  (* A random ring: next[i] holds the address of the next node. *)
+  let perm = Array.init n (fun i -> i) in
+  Rng.shuffle_arr rng perm;
+  let next = Array.make n 0 in
+  for i = 0 to n - 1 do
+    next.(perm.(i)) <- data + (8 * perm.((i + 1) mod n))
+  done;
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.RBX, O.imm (data + (8 * perm.(0)))));
+  loop b ~reg:R.R8 ~count:steps ~stem:"chase" (fun () ->
+      B.emit b (I.Mov (O.reg R.RBX, O.mem ~base:R.RBX ())));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "spec-chase-%d" n;
+    category = "SPEC";
+    program = B.to_program ~name:"pointer-chase" b;
+    init = init_arrays [ (data, next) ];
+  }
+
+(* ---- Encryption-style kernels --------------------------------------------- *)
+
+let aes_like rng =
+  let rounds = Rng.in_range rng 4 8 in
+  let table = Array.init 256 (fun i -> (i * 167) land 255) in
+  let state = random_array rng 16 256 in
+  let b = B.create () in
+  (* T-table entries are cache-line spread (stride 64), like real AES
+     T-tables: lookups produce data-dependent set accesses. *)
+  loop b ~reg:R.R8 ~count:rounds ~stem:"round" (fun () ->
+      loop b ~reg:R.R9 ~count:16 ~stem:"byte" (fun () ->
+          B.emit b (I.Mov (O.reg R.RBX, a_elem ~base:data2 R.R9)); (* state[b] *)
+          B.emit b (I.Add (O.reg R.RBX, O.reg R.R8));
+          B.emit b (I.And (O.reg R.RBX, O.imm 255));
+          B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.RBX ~scale:64 ~disp:data ()));
+          (* state[b] ^= T[..] *)
+          B.emit b (I.Xor (O.reg R.RCX, a_elem ~base:data2 R.R9));
+          B.emit b (I.And (O.reg R.RCX, O.imm 255));
+          B.emit b (I.Mov (a_elem ~base:data2 R.R9, O.reg R.RCX))));
+  B.emit b I.Halt;
+  let init mach =
+    (* line-spread table: entry i at data + i*64 *)
+    Array.iteri (fun i v -> Cpu.Machine.store mach (data + (i * 64)) v) table;
+    Cpu.Machine.init_region mach ~base:data2 state
+  in
+  {
+    name = Printf.sprintf "crypto-aes-%d" rounds;
+    category = "Encryption";
+    program = B.to_program ~name:"aes-like" b;
+    init;
+  }
+
+let modexp rng =
+  let bits = 16 in
+  let exponent = Rng.int rng 65536 in
+  let base_v = 3 + Rng.int rng 1000 in
+  let mask = 0x7FFF_FFFF in
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.R10, O.imm 1)); (* result *)
+  B.emit b (I.Mov (O.reg R.R11, O.imm base_v)); (* base *)
+  for k = 0 to bits - 1 do
+    let skip = B.fresh_label b "bit" in
+    (* square *)
+    B.emit b (I.Imul (O.reg R.R10, O.reg R.R10));
+    B.emit b (I.And (O.reg R.R10, O.imm mask));
+    (* exponent bit k (MSB first) *)
+    B.emit b (I.Mov (O.reg R.RBX, O.imm exponent));
+    B.emit b (I.Shr (O.reg R.RBX, bits - 1 - k));
+    B.emit b (I.And (O.reg R.RBX, O.imm 1));
+    B.emit b (I.Cmp (O.reg R.RBX, O.imm 1));
+    B.emit b (I.Jcc (I.Ne, skip));
+    B.emit b (I.Imul (O.reg R.R10, O.reg R.R11));
+    B.emit b (I.And (O.reg R.R10, O.imm mask));
+    B.label b skip
+  done;
+  B.emit b (I.Mov (O.abs data2, O.reg R.R10));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "crypto-modexp-%x" exponent;
+    category = "Encryption";
+    program = B.to_program ~name:"modexp" b;
+    init = (fun _ -> ());
+  }
+
+(* ---- Server-style kernels -------------------------------------------------- *)
+
+let server_like rng =
+  let reqs = Rng.in_range rng 48 128 in
+  let buf = random_array rng reqs 256 in
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.R12, O.imm 0)); (* checksum *)
+  loop b ~reg:R.R8 ~count:reqs ~stem:"req" (fun () ->
+      let low = B.fresh_label b "low" in
+      let mid = B.fresh_label b "mid" in
+      let out = B.fresh_label b "dispatched" in
+      B.emit b (I.Mov (O.reg R.RBX, a_elem R.R8));
+      B.emit b (I.Cmp (O.reg R.RBX, O.imm 85));
+      B.emit b (I.Jcc (I.Lt, low));
+      B.emit b (I.Cmp (O.reg R.RBX, O.imm 170));
+      B.emit b (I.Jcc (I.Lt, mid));
+      (* high: table lookup handler *)
+      B.emit b (I.And (O.reg R.RBX, O.imm 63));
+      B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.RBX ~scale:8 ~disp:data2 ()));
+      B.emit b (I.Add (O.reg R.R12, O.reg R.RCX));
+      B.emit b (I.Jmp out);
+      B.label b low;
+      B.emit b (I.Add (O.reg R.R12, O.reg R.RBX));
+      B.emit b (I.Jmp out);
+      B.label b mid;
+      B.emit b (I.Imul (O.reg R.RBX, O.imm 3));
+      B.emit b (I.Add (O.reg R.R12, O.reg R.RBX));
+      B.label b out;
+      (* write response *)
+      B.emit b
+        (I.Mov (O.mem ~index:R.R8 ~scale:8 ~disp:(data2 + 0x8000) (), O.reg R.R12)));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "server-dispatch-%d" reqs;
+    category = "Server";
+    program = B.to_program ~name:"server-like" b;
+    init = init_arrays [ (data, buf); (data2, random_array rng 64 1000) ];
+  }
+
+let strops rng =
+  let n = Rng.in_range rng 96 256 in
+  let src = random_array rng n 256 in
+  let b = B.create () in
+  (* copy then compare *)
+  loop b ~reg:R.R8 ~count:n ~stem:"copy" (fun () ->
+      B.emit b (I.Mov (O.reg R.RBX, a_elem R.R8));
+      B.emit b (I.Mov (a_elem ~base:data2 R.R8, O.reg R.RBX)));
+  B.emit b (I.Mov (O.reg R.R12, O.imm 0));
+  loop b ~reg:R.R8 ~count:n ~stem:"cmp" (fun () ->
+      let same = B.fresh_label b "same" in
+      B.emit b (I.Mov (O.reg R.RBX, a_elem R.R8));
+      B.emit b (I.Cmp (O.reg R.RBX, a_elem ~base:data2 R.R8));
+      B.emit b (I.Jcc (I.Eq, same));
+      B.emit b (I.Inc (O.reg R.R12));
+      B.label b same);
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "server-strops-%d" n;
+    category = "Server";
+    program = B.to_program ~name:"strops" b;
+    init = init_arrays [ (data, src) ];
+  }
+
+let quicksort rng =
+  (* Iterative quicksort with an explicit lo/hi work stack (push/pop), the
+     classic LeetCode formulation. *)
+  let n = Rng.in_range rng 24 48 in
+  let values = random_array rng n 10_000 in
+  let b = B.create () in
+  let loop_top = B.fresh_label b "qs_loop" in
+  let done_l = B.fresh_label b "qs_done" in
+  let part_loop = B.fresh_label b "qs_part" in
+  let no_swap = B.fresh_label b "qs_noswap" in
+  let skip_push = B.fresh_label b "qs_nopush" in
+  (* push initial range [0, n-1] *)
+  B.emit b (I.Push (O.imm (n - 1)));
+  B.emit b (I.Push (O.imm 0));
+  B.emit b (I.Mov (O.reg R.R13, O.imm 1)); (* ranges on stack *)
+  B.label b loop_top;
+  B.emit b (I.Cmp (O.reg R.R13, O.imm 0));
+  B.emit b (I.Jcc (I.Eq, done_l));
+  B.emit b (I.Pop R.RSI); (* lo *)
+  B.emit b (I.Pop R.RDI); (* hi *)
+  B.emit b (I.Dec (O.reg R.R13));
+  (* if lo >= hi continue *)
+  B.emit b (I.Cmp (O.reg R.RSI, O.reg R.RDI));
+  B.emit b (I.Jcc (I.Ge, loop_top));
+  (* Lomuto partition with pivot a[hi]: i = lo-1; for j in lo..hi-1 *)
+  B.emit b (I.Mov (O.reg R.RDX, a_elem R.RDI)); (* pivot *)
+  B.emit b (I.Mov (O.reg R.R8, O.reg R.RSI));
+  B.emit b (I.Dec (O.reg R.R8)); (* i *)
+  B.emit b (I.Mov (O.reg R.R9, O.reg R.RSI)); (* j *)
+  B.label b part_loop;
+  B.emit b (I.Mov (O.reg R.RBX, a_elem R.R9));
+  B.emit b (I.Cmp (O.reg R.RBX, O.reg R.RDX));
+  B.emit b (I.Jcc (I.Gt, no_swap));
+  B.emit b (I.Inc (O.reg R.R8));
+  (* swap a[i], a[j] *)
+  B.emit b (I.Mov (O.reg R.RCX, a_elem R.R8));
+  B.emit b (I.Mov (a_elem R.R8, O.reg R.RBX));
+  B.emit b (I.Mov (a_elem R.R9, O.reg R.RCX));
+  B.label b no_swap;
+  B.emit b (I.Inc (O.reg R.R9));
+  B.emit b (I.Cmp (O.reg R.R9, O.reg R.RDI));
+  B.emit b (I.Jcc (I.Ne, part_loop));
+  (* place pivot at i+1 *)
+  B.emit b (I.Inc (O.reg R.R8));
+  B.emit b (I.Mov (O.reg R.RCX, a_elem R.R8));
+  B.emit b (I.Mov (a_elem R.R8, O.reg R.RDX));
+  B.emit b (I.Mov (a_elem R.RDI, O.reg R.RCX));
+  (* push [lo, p-1] and [p+1, hi] when non-trivial *)
+  B.emit b (I.Mov (O.reg R.RBX, O.reg R.R8));
+  B.emit b (I.Dec (O.reg R.RBX));
+  B.emit b (I.Cmp (O.reg R.RSI, O.reg R.RBX));
+  B.emit b (I.Jcc (I.Ge, skip_push));
+  B.emit b (I.Push (O.reg R.RBX));
+  B.emit b (I.Push (O.reg R.RSI));
+  B.emit b (I.Inc (O.reg R.R13));
+  B.label b skip_push;
+  let skip2 = B.fresh_label b "qs_nopush2" in
+  B.emit b (I.Mov (O.reg R.RBX, O.reg R.R8));
+  B.emit b (I.Inc (O.reg R.RBX));
+  B.emit b (I.Cmp (O.reg R.RBX, O.reg R.RDI));
+  B.emit b (I.Jcc (I.Ge, skip2));
+  B.emit b (I.Push (O.reg R.RDI));
+  B.emit b (I.Push (O.reg R.RBX));
+  B.emit b (I.Inc (O.reg R.R13));
+  B.label b skip2;
+  B.emit b (I.Jmp loop_top);
+  B.label b done_l;
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "leetcode-quicksort-%d" n;
+    category = "LeetCode";
+    program = B.to_program ~name:"quicksort" b;
+    init = init_arrays [ (data, values) ];
+  }
+
+let edit_distance rng =
+  (* Two-row DP over random strings — branchy, table-walking LeetCode
+     classic. *)
+  let n = Rng.in_range rng 12 24 in
+  let m = Rng.in_range rng 12 24 in
+  let s1 = random_array rng n 4 in
+  let s2 = random_array rng m 4 in
+  let prev = data2 and cur = data2 + 0x800 in
+  let b = B.create () in
+  (* prev[j] = j *)
+  loop b ~reg:R.R8 ~count:(m + 1) ~stem:"ed_init" (fun () ->
+      B.emit b (I.Mov (O.mem ~index:R.R8 ~scale:8 ~disp:prev (), O.reg R.R8)));
+  loop b ~reg:R.R9 ~count:n ~stem:"ed_i" (fun () ->
+      (* cur[0] = i+1 *)
+      B.emit b (I.Mov (O.reg R.RBX, O.reg R.R9));
+      B.emit b (I.Inc (O.reg R.RBX));
+      B.emit b (I.Mov (O.abs cur, O.reg R.RBX));
+      loop b ~reg:R.R10 ~count:m ~stem:"ed_j" (fun () ->
+          let same = B.fresh_label b "ed_same" in
+          let stored = B.fresh_label b "ed_stored" in
+          B.emit b (I.Mov (O.reg R.RBX, a_elem R.R9)); (* s1[i] *)
+          B.emit b (I.Cmp (O.reg R.RBX, O.mem ~index:R.R10 ~scale:8 ~disp:(data + 0x1000) ()));
+          B.emit b (I.Jcc (I.Eq, same));
+          (* 1 + min(prev[j], prev[j+1], cur[j]) — compute min via cmps *)
+          B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.R10 ~scale:8 ~disp:prev ()));
+          B.emit b (I.Mov (O.reg R.RDX, O.mem ~index:R.R10 ~scale:8 ~disp:(prev + 8) ()));
+          let m1 = B.fresh_label b "ed_m1" in
+          B.emit b (I.Cmp (O.reg R.RDX, O.reg R.RCX));
+          B.emit b (I.Jcc (I.Ge, m1));
+          B.emit b (I.Mov (O.reg R.RCX, O.reg R.RDX));
+          B.label b m1;
+          B.emit b (I.Mov (O.reg R.RDX, O.mem ~index:R.R10 ~scale:8 ~disp:cur ()));
+          let m2 = B.fresh_label b "ed_m2" in
+          B.emit b (I.Cmp (O.reg R.RDX, O.reg R.RCX));
+          B.emit b (I.Jcc (I.Ge, m2));
+          B.emit b (I.Mov (O.reg R.RCX, O.reg R.RDX));
+          B.label b m2;
+          B.emit b (I.Inc (O.reg R.RCX));
+          B.emit b (I.Mov (O.mem ~index:R.R10 ~scale:8 ~disp:(cur + 8) (), O.reg R.RCX));
+          B.emit b (I.Jmp stored);
+          B.label b same;
+          B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.R10 ~scale:8 ~disp:prev ()));
+          B.emit b (I.Mov (O.mem ~index:R.R10 ~scale:8 ~disp:(cur + 8) (), O.reg R.RCX));
+          B.label b stored);
+      (* prev <- cur *)
+      loop b ~reg:R.R10 ~count:(m + 1) ~stem:"ed_copy" (fun () ->
+          B.emit b (I.Mov (O.reg R.RCX, O.mem ~index:R.R10 ~scale:8 ~disp:cur ()));
+          B.emit b (I.Mov (O.mem ~index:R.R10 ~scale:8 ~disp:prev (), O.reg R.RCX))));
+  B.emit b I.Halt;
+  let init mach =
+    Cpu.Machine.init_region mach ~base:data s1;
+    Cpu.Machine.init_region mach ~base:(data + 0x1000) s2
+  in
+  {
+    name = Printf.sprintf "leetcode-editdist-%dx%d" n m;
+    category = "LeetCode";
+    program = B.to_program ~name:"edit-distance" b;
+    init;
+  }
+
+let stencil rng =
+  (* lbm-style sweeps: a[i] = (a[i-1] + a[i] + a[i+1]) / 3-ish. *)
+  let n = Rng.in_range rng 128 256 in
+  let iters = Rng.in_range rng 3 6 in
+  let values = random_array rng (n + 2) 1000 in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:iters ~stem:"st_iter" (fun () ->
+      loop b ~reg:R.R9 ~count:n ~stem:"st_i" (fun () ->
+          B.emit b (I.Mov (O.reg R.RBX, a_elem R.R9));
+          B.emit b (I.Add (O.reg R.RBX, O.mem ~index:R.R9 ~scale:8 ~disp:(data + 8) ()));
+          B.emit b (I.Add (O.reg R.RBX, O.mem ~index:R.R9 ~scale:8 ~disp:(data + 16) ()));
+          B.emit b (I.Shr (O.reg R.RBX, 1));
+          B.emit b (I.Mov (O.mem ~index:R.R9 ~scale:8 ~disp:(data2 + 8) (), O.reg R.RBX)));
+      (* swap roles by copying back *)
+      loop b ~reg:R.R9 ~count:n ~stem:"st_copy" (fun () ->
+          B.emit b (I.Mov (O.reg R.RBX, O.mem ~index:R.R9 ~scale:8 ~disp:(data2 + 8) ()));
+          B.emit b (I.Mov (O.mem ~index:R.R9 ~scale:8 ~disp:(data + 8) (), O.reg R.RBX))));
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "spec-stencil-%d" n;
+    category = "SPEC";
+    program = B.to_program ~name:"stencil" b;
+    init = init_arrays [ (data, values) ];
+  }
+
+let feistel rng =
+  (* 8-round Feistel network with a table-based round function — a DES-like
+     block cipher kernel. *)
+  let blocks = Rng.in_range rng 8 20 in
+  let sbox = Array.init 256 (fun i -> (i * 73 + 11) land 255) in
+  let values = random_array rng (blocks * 2) 65536 in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:blocks ~stem:"fe_blk" (fun () ->
+      (* load L, R halves: a[2i], a[2i+1] *)
+      B.emit b (I.Mov (O.reg R.RBX, O.reg R.R8));
+      B.emit b (I.Shl (O.reg R.RBX, 1));
+      B.emit b (I.Mov (O.reg R.RCX, a_elem R.RBX)); (* L *)
+      B.emit b (I.Mov (O.reg R.RDX, O.mem ~index:R.RBX ~scale:8 ~disp:(data + 8) ())); (* R *)
+      loop b ~reg:R.R9 ~count:8 ~stem:"fe_round" (fun () ->
+          (* F(R) = sbox[(R + round) & 255] (line-spread table) *)
+          B.emit b (I.Mov (O.reg R.R10, O.reg R.RDX));
+          B.emit b (I.Add (O.reg R.R10, O.reg R.R9));
+          B.emit b (I.And (O.reg R.R10, O.imm 255));
+          B.emit b (I.Mov (O.reg R.R10, O.mem ~index:R.R10 ~scale:64 ~disp:(data2 + 0x10000) ()));
+          (* L' = R; R' = L xor F(R) *)
+          B.emit b (I.Mov (O.reg R.R11, O.reg R.RDX));
+          B.emit b (I.Xor (O.reg R.RCX, O.reg R.R10));
+          B.emit b (I.Mov (O.reg R.RDX, O.reg R.RCX));
+          B.emit b (I.Mov (O.reg R.RCX, O.reg R.R11)));
+      (* store back *)
+      B.emit b (I.Mov (a_elem R.RBX, O.reg R.RCX));
+      B.emit b (I.Mov (O.mem ~index:R.RBX ~scale:8 ~disp:(data + 8) (), O.reg R.RDX)));
+  B.emit b I.Halt;
+  let init mach =
+    Cpu.Machine.init_region mach ~base:data values;
+    Array.iteri
+      (fun i v -> Cpu.Machine.store mach (data2 + 0x10000 + (i * 64)) v)
+      sbox
+  in
+  {
+    name = Printf.sprintf "crypto-feistel-%d" blocks;
+    category = "Encryption";
+    program = B.to_program ~name:"feistel" b;
+    init;
+  }
+
+let tokenizer rng =
+  (* Request parsing: split a byte buffer on separators, record token
+     lengths — the inner loop of every text protocol server. *)
+  let n = Rng.in_range rng 96 224 in
+  let buf = Array.init n (fun _ -> if Rng.chance rng 0.2 then 32 else 97 + Rng.int rng 26) in
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.R10, O.imm 0)); (* token length *)
+  B.emit b (I.Mov (O.reg R.R11, O.imm 0)); (* token count *)
+  loop b ~reg:R.R8 ~count:n ~stem:"tok" (fun () ->
+      let sep = B.fresh_label b "tok_sep" in
+      let next = B.fresh_label b "tok_next" in
+      B.emit b (I.Mov (O.reg R.RBX, a_elem R.R8));
+      B.emit b (I.Cmp (O.reg R.RBX, O.imm 32));
+      B.emit b (I.Jcc (I.Eq, sep));
+      B.emit b (I.Inc (O.reg R.R10));
+      B.emit b (I.Jmp next);
+      B.label b sep;
+      (* flush token length to the output table *)
+      B.emit b (I.Mov (O.mem ~index:R.R11 ~scale:8 ~disp:(data2 + 0x2000) (), O.reg R.R10));
+      B.emit b (I.Inc (O.reg R.R11));
+      B.emit b (I.And (O.reg R.R11, O.imm 63));
+      B.emit b (I.Mov (O.reg R.R10, O.imm 0));
+      B.label b next);
+  B.emit b I.Halt;
+  {
+    name = Printf.sprintf "server-tokenizer-%d" n;
+    category = "Server";
+    program = B.to_program ~name:"tokenizer" b;
+    init = init_arrays [ (data, buf) ];
+  }
+
+let base64ish rng =
+  (* Table-mapped 3-to-4 expansion over a buffer (base64-style encoder). *)
+  let n3 = Rng.in_range rng 24 64 in
+  let src = random_array rng (n3 * 3) 256 in
+  let table = Array.init 64 (fun i -> 33 + i) in
+  let b = B.create () in
+  loop b ~reg:R.R8 ~count:n3 ~stem:"b64" (fun () ->
+      (* combine three bytes *)
+      B.emit b (I.Mov (O.reg R.RBX, O.reg R.R8));
+      B.emit b (I.Imul (O.reg R.RBX, O.imm 3));
+      B.emit b (I.Mov (O.reg R.RCX, a_elem R.RBX));
+      B.emit b (I.Shl (O.reg R.RCX, 8));
+      B.emit b (I.Or (O.reg R.RCX, O.mem ~index:R.RBX ~scale:8 ~disp:(data + 8) ()));
+      B.emit b (I.Shl (O.reg R.RCX, 8));
+      B.emit b (I.Or (O.reg R.RCX, O.mem ~index:R.RBX ~scale:8 ~disp:(data + 16) ()));
+      (* emit four 6-bit symbols via the table *)
+      B.emit b (I.Mov (O.reg R.RDX, O.reg R.R8));
+      B.emit b (I.Shl (O.reg R.RDX, 2));
+      loop b ~reg:R.R9 ~count:4 ~stem:"b64_sym" (fun () ->
+          B.emit b (I.Mov (O.reg R.R10, O.reg R.RCX));
+          B.emit b (I.Shr (O.reg R.R10, 18));
+          B.emit b (I.And (O.reg R.R10, O.imm 63));
+          B.emit b (I.Mov (O.reg R.R10, O.mem ~index:R.R10 ~scale:8 ~disp:(data2 + 0x3000) ()));
+          B.emit b (I.Mov (O.reg R.R11, O.reg R.RDX));
+          B.emit b (I.Add (O.reg R.R11, O.reg R.R9));
+          B.emit b (I.Mov (O.mem ~index:R.R11 ~scale:8 ~disp:(data2 + 0x4000) (), O.reg R.R10));
+          B.emit b (I.Shl (O.reg R.RCX, 6))));
+  B.emit b I.Halt;
+  let init mach =
+    Cpu.Machine.init_region mach ~base:data src;
+    Cpu.Machine.init_region mach ~base:(data2 + 0x3000) table
+  in
+  {
+    name = Printf.sprintf "server-base64-%d" n3;
+    category = "Server";
+    program = B.to_program ~name:"base64ish" b;
+    init;
+  }
+
+(* ---- registry --------------------------------------------------------------- *)
+
+let builders : (string * string * (Rng.t -> gen)) list =
+  [
+    ("bubble-sort", "LeetCode", bubble_sort);
+    ("binary-search", "LeetCode", binary_search);
+    ("kadane", "LeetCode", kadane);
+    ("two-sum", "LeetCode", two_sum);
+    ("hash-scatter", "LeetCode", hash_scatter);
+    ("quicksort", "LeetCode", quicksort);
+    ("edit-distance", "LeetCode", edit_distance);
+    ("stream", "SPEC", stream);
+    ("matmul", "SPEC", matmul);
+    ("pointer-chase", "SPEC", pointer_chase);
+    ("stencil", "SPEC", stencil);
+    ("aes-like", "Encryption", aes_like);
+    ("modexp", "Encryption", modexp);
+    ("feistel", "Encryption", feistel);
+    ("server-like", "Server", server_like);
+    ("strops", "Server", strops);
+    ("tokenizer", "Server", tokenizer);
+    ("base64ish", "Server", base64ish);
+  ]
+
+let families = List.map (fun (n, c, _) -> (n, c)) builders
+
+let build family rng =
+  match List.find_opt (fun (n, _, _) -> String.equal n family) builders with
+  | Some (_, _, f) -> f rng
+  | None -> invalid_arg (Printf.sprintf "Benign.build: unknown family %S" family)
+
+let generate rng =
+  let _, _, f = Rng.choose rng builders in
+  f rng
+
+let generate_of_category rng category =
+  let candidates =
+    List.filter (fun (_, c, _) -> String.equal c category) builders
+  in
+  if candidates = [] then
+    invalid_arg (Printf.sprintf "Benign.generate_of_category: %S" category);
+  let _, _, f = Rng.choose rng candidates in
+  f rng
+
+(* Successive calls use distinct data regions with distinct sub-64
+   cache-set offsets, so two harness kernels spliced around an attack body
+   neither share cache sets with each other nor alias the page-aligned
+   monitored sets (multiples of 64) — otherwise step 2 of the identification
+   would keep them as false relevant blocks in every sample. *)
+let kernel_region = ref 0
+
+(* Offsets avoid 0 mod 64 (monitored sets), 33 (results), 41 (address
+   table), and 31 (whose 4-line region would reach 33). *)
+let set_offsets = [| 3; 5; 7; 11; 13; 17; 19; 23; 29; 37; 43; 47; 53; 59 |]
+
+let small_kernel rng =
+  let k =
+    incr kernel_region;
+    !kernel_region
+  in
+  let region =
+    data + 0x4000 + (0x2000 * (k mod 16))
+    + (64 * set_offsets.(k mod Array.length set_offsets))
+  in
+  let out = region + 0x1000 in
+  let n = Rng.in_range rng 8 24 in
+  let values = random_array rng n 500 in
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.R9, O.imm 0));
+  loop b ~reg:R.R8 ~count:n ~stem:"cksum" (fun () ->
+      B.emit b (I.Add (O.reg R.R9, O.mem ~index:R.R8 ~scale:8 ~disp:region ()));
+      B.emit b (I.Imul (O.reg R.R9, O.imm 31));
+      B.emit b (I.And (O.reg R.R9, O.imm 0xFFFFFF)));
+  B.emit b (I.Mov (O.abs out, O.reg R.R9));
+  B.emit b I.Halt;
+  ( B.to_program ~name:"harness-cksum" b,
+    fun mach -> Cpu.Machine.init_region mach ~base:region values )

@@ -1,0 +1,34 @@
+(** Benign program generators — the stand-ins for Table III's benign dataset
+    (SPEC2006 kernels, LeetCode solutions, crypto routines, server
+    applications).
+
+    Each family builds a terminating program with rng-driven parameters
+    (sizes, data, loop shapes), so repeated draws give diverse samples with
+    different degrees of memory access, as the paper's benign set has.  The
+    crypto kernels perform table lookups and data-dependent branching — the
+    benign behaviours most likely to confuse a cache-attack detector. *)
+
+type gen = {
+  name : string;
+  category : string;  (** Table III row: "SPEC", "LeetCode", "Encryption", "Server" *)
+  program : Isa.Program.t;
+  init : Cpu.Machine.t -> unit;
+}
+
+val families : (string * string) list
+(** (family name, category) for every generator, in a fixed order. *)
+
+val build : string -> Sutil.Rng.t -> gen
+(** [build family rng] instantiates one sample of a family.
+    @raise Invalid_argument for unknown family names. *)
+
+val generate : Sutil.Rng.t -> gen
+(** A sample of a uniformly chosen family. *)
+
+val generate_of_category : Sutil.Rng.t -> string -> gen
+(** A sample of a uniformly chosen family within a Table III category. *)
+
+val small_kernel : Sutil.Rng.t -> Isa.Program.t * (Cpu.Machine.t -> unit)
+(** A tiny benign snippet (checksum / short copy), used as harness code
+    spliced around attack bodies so attack binaries contain realistic
+    attack-irrelevant blocks. *)

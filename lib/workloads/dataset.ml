@@ -1,0 +1,138 @@
+module Rng = Sutil.Rng
+module P = Isa.Program
+
+type sample = {
+  name : string;
+  label : Label.t;
+  program : Isa.Program.t;
+  init : Cpu.Machine.t -> unit;
+  victim : Victim.t option;
+  settings : Cpu.Exec.settings option;
+}
+
+let of_spec (s : Attacks.spec) =
+  {
+    name = s.Attacks.name;
+    label = s.Attacks.label;
+    program = s.Attacks.program;
+    init = s.Attacks.init;
+    victim = s.Attacks.victim;
+    settings = s.Attacks.settings;
+  }
+
+let base_samples () = List.map of_spec (Attacks.base_pocs ())
+
+let with_harness ~rng sample =
+  let pre, pre_init = Benign.small_kernel rng in
+  let post, post_init = Benign.small_kernel rng in
+  let program =
+    P.splice ~base:(P.base sample.program) ~name:sample.name
+      [ pre; sample.program; post ]
+  in
+  let init mach =
+    pre_init mach;
+    post_init mach;
+    sample.init mach
+  in
+  { sample with program; init }
+
+(* Fresh base PoC of a family with rng-varied rounds. *)
+let fresh_base rng label =
+  let pick = Rng.int rng in
+  let spec =
+    match label with
+    | Label.Fr_family -> (
+      match pick 5 with
+      | 0 -> Attacks.flush_reload ~rounds:(Rng.in_range rng 10 22) ~style:Attacks.Iaik ()
+      | 1 -> Attacks.flush_reload ~rounds:(Rng.in_range rng 10 22) ~style:Attacks.Mastik ()
+      | 2 -> Attacks.flush_reload ~rounds:(Rng.in_range rng 10 22) ~style:Attacks.Nepoche ()
+      | 3 -> Attacks.flush_flush ~rounds:(Rng.in_range rng 10 22) ()
+      | _ -> Attacks.evict_reload ~rounds:(Rng.in_range rng 7 14) ())
+    | Label.Pp_family -> (
+      match pick 2 with
+      | 0 -> Attacks.prime_probe ~rounds:(Rng.in_range rng 7 14) ~style:Attacks.Iaik ()
+      | _ -> Attacks.prime_probe ~rounds:(Rng.in_range rng 7 14) ~style:Attacks.Jzhang ())
+    | Label.Spectre_fr -> (
+      let rounds = Rng.in_range rng 8 16 in
+      match pick 3 with
+      | 0 -> Attacks.spectre_fr ~rounds ~style:Attacks.Idea ()
+      | 1 -> Attacks.spectre_fr ~rounds ~style:Attacks.Good ()
+      | _ -> Attacks.spectre_fr ~rounds ~style:Attacks.Classic ())
+    | Label.Spectre_pp -> Attacks.spectre_pp ~rounds:(Rng.in_range rng 7 14) ()
+    | Label.Benign -> invalid_arg "Dataset: Benign is not an attack family"
+  in
+  of_spec spec
+
+let random_intensity rng =
+  match Rng.int rng 3 with
+  | 0 -> Mutate.light
+  | 1 -> Mutate.default_intensity
+  | _ -> Mutate.heavy
+
+let mutated_attacks ~rng ~count label =
+  List.init count (fun i ->
+      let sample_rng = Rng.split rng in
+      let base = with_harness ~rng:sample_rng (fresh_base sample_rng label) in
+      let name = Printf.sprintf "%s-mut%03d" base.name i in
+      let program =
+        Mutate.mutate ~intensity:(random_intensity sample_rng) ~rng:sample_rng
+          ~name base.program
+      in
+      { base with name; program })
+
+let obfuscated_attacks ~rng ~count label =
+  List.map
+    (fun s ->
+      let rng' = Rng.split rng in
+      let name = s.name ^ "-obf" in
+      let program = Obfuscate.obfuscate ~rng:rng' ~name s.program in
+      { s with name; program })
+    (mutated_attacks ~rng ~count label)
+
+(* Table III proportions out of 400: 12 SPEC + 280 LeetCode + 150... the
+   paper's rows add up via 12 SPEC, 280 LeetCode, 150-ish crypto and 8
+   server applications scaled to 400; we reproduce the ratio
+   SPEC:LeetCode:Encryption:Server = 12:230:150:8. *)
+let category_weights =
+  [ ("SPEC", 12); ("LeetCode", 230); ("Encryption", 150); ("Server", 8) ]
+
+let pick_category rng =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 category_weights in
+  let r = Rng.int rng total in
+  let rec go acc = function
+    | [] -> "LeetCode"
+    | (c, w) :: rest -> if r < acc + w then c else go (acc + w) rest
+  in
+  go 0 category_weights
+
+let benign_samples ~rng ~count =
+  List.init count (fun i ->
+      let sample_rng = Rng.split rng in
+      let g = Benign.generate_of_category sample_rng (pick_category sample_rng) in
+      let name = Printf.sprintf "%s-%03d" g.Benign.name i in
+      let program =
+        if Rng.chance sample_rng 0.5 then
+          Mutate.mutate ~intensity:Mutate.light ~rng:sample_rng ~name
+            g.Benign.program
+        else g.Benign.program
+      in
+      {
+        name;
+        label = Label.Benign;
+        program;
+        init = g.Benign.init;
+        victim = None;
+        settings = None;
+      })
+
+let attack_dataset ~rng ~per_family =
+  List.map
+    (fun label -> (label, mutated_attacks ~rng ~count:per_family label))
+    Label.attack_labels
+
+let run ?settings ?hierarchy sample =
+  let settings =
+    match settings with Some _ -> settings | None -> sample.settings
+  in
+  Cpu.Exec.run ?settings ?hierarchy ~init:sample.init ?victim:sample.victim
+    sample.program

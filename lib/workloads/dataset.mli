@@ -1,0 +1,53 @@
+(** Dataset assembly — Tables II and III.
+
+    Attack samples are built by (1) instantiating a base PoC of the family
+    with rng-varied round counts, (2) splicing small benign harness kernels
+    before and after the attack body (real PoC binaries carry plenty of
+    attack-irrelevant code), and (3) applying semantics-preserving mutation —
+    mirroring the paper's mutate_cpp expansion to 400 samples per type.
+    Obfuscated variants additionally run the polymorphic obfuscator (E4). *)
+
+type sample = {
+  name : string;
+  label : Label.t;
+  program : Isa.Program.t;
+  init : Cpu.Machine.t -> unit;
+  victim : Victim.t option;
+  settings : Cpu.Exec.settings option;
+    (** executor settings the sample needs (defaults when [None]) *)
+}
+
+val of_spec : Attacks.spec -> sample
+(** A base PoC as a bare sample (no harness, no mutation). *)
+
+val base_samples : unit -> sample list
+(** All collected PoCs of Table II, bare. *)
+
+val with_harness : rng:Sutil.Rng.t -> sample -> sample
+(** Splice benign kernels around the sample's program. *)
+
+val mutated_attacks :
+  rng:Sutil.Rng.t -> count:int -> Label.t -> sample list
+(** [count] mutated, harnessed variants of the family's base PoCs.
+    @raise Invalid_argument on [Label.Benign]. *)
+
+val obfuscated_attacks :
+  rng:Sutil.Rng.t -> count:int -> Label.t -> sample list
+(** Obfuscated variants (E4): mutated samples run through
+    {!Obfuscate.obfuscate}. *)
+
+val benign_samples : rng:Sutil.Rng.t -> count:int -> sample list
+(** Benign dataset (Table III), cycling through the four categories with the
+    paper's proportions (LeetCode-heavy), lightly mutated for diversity. *)
+
+val attack_dataset :
+  rng:Sutil.Rng.t -> per_family:int -> (Label.t * sample list) list
+(** The full attack dataset: every attack family with [per_family] mutated
+    samples each. *)
+
+val run :
+  ?settings:Cpu.Exec.settings -> ?hierarchy:Cache.Hierarchy.t -> sample ->
+  Cpu.Exec.result
+(** Execute a sample with its init and victim — the runtime data-collection
+    step of the pipeline.  [hierarchy] overrides the default cache hierarchy
+    (replacement-policy sweeps). *)

@@ -1,0 +1,31 @@
+type t = Fr_family | Pp_family | Spectre_fr | Spectre_pp | Benign
+
+let all = [ Fr_family; Pp_family; Spectre_fr; Spectre_pp; Benign ]
+let attack_labels = [ Fr_family; Pp_family; Spectre_fr; Spectre_pp ]
+
+let to_string = function
+  | Fr_family -> "FR-F"
+  | Pp_family -> "PP-F"
+  | Spectre_fr -> "S-FR"
+  | Spectre_pp -> "S-PP"
+  | Benign -> "Benign"
+
+let of_string = function
+  | "FR-F" -> Some Fr_family
+  | "PP-F" -> Some Pp_family
+  | "S-FR" -> Some Spectre_fr
+  | "S-PP" -> Some Spectre_pp
+  | "Benign" -> Some Benign
+  | _ -> None
+
+let is_attack = function
+  | Fr_family | Pp_family | Spectre_fr | Spectre_pp -> true
+  | Benign -> false
+
+let index = function
+  | Fr_family -> 0 | Pp_family -> 1 | Spectre_fr -> 2 | Spectre_pp -> 3
+  | Benign -> 4
+
+let equal a b = index a = index b
+let compare a b = Int.compare (index a) (index b)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,23 @@
+(** Classification labels: the four attack families of Table II plus
+    benign. *)
+
+type t =
+  | Fr_family   (** Flush+Reload family: FR, Flush+Flush, Evict+Reload *)
+  | Pp_family   (** Prime+Probe family *)
+  | Spectre_fr  (** Spectre-like variants of Flush+Reload *)
+  | Spectre_pp  (** Spectre-like variants of Prime+Probe *)
+  | Benign
+
+val all : t list
+val attack_labels : t list
+(** The four attack families, without [Benign]. *)
+
+val to_string : t -> string
+(** Table II's abbreviations: ["FR-F"], ["PP-F"], ["S-FR"], ["S-PP"],
+    ["Benign"]. *)
+
+val of_string : string -> t option
+val is_attack : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

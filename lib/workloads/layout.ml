@@ -1,0 +1,34 @@
+let shared_lib_base = 0x3000_0000
+let monitored_stride = 4096
+let monitored_lines = 8
+let monitored_addr k = shared_lib_base + (k * monitored_stride)
+
+let evict_buf_base = 0x1000_0000
+
+(* Service regions carry a small set-index offset so they do not alias the
+   monitored LLC sets (64*k), which would pollute Prime+Probe timings. *)
+let attacker_table_base = 0x1100_0000 + (41 * 64)
+let attacker_results_base = 0x1180_0000 + (33 * 64)
+
+let spectre_array1_base = 0x1200_0000
+let spectre_array1_size_addr = 0x1201_0000
+let spectre_secret_addr = 0x1202_0000
+let spectre_probe_base = 0x1300_0000
+
+let victim_data_base = 0x2000_0000 + (19 * 64)
+let victim_secret_base = 0x2100_0000 + (9 * 64)
+
+(* Set-0 aligned: entry [v] maps to the same LLC set as monitored line [v]
+   (what Prime+Probe's victim needs). *)
+let victim_congruent_base = 0x2010_0000
+
+let benign_data_base = 0x4000_0000
+let benign_data2_base = 0x4800_0000
+
+let victim_prog_base = 0x50_0000
+
+let input_addr = 0x1100_0000 + (49 * 64)
+
+let kernel_base = 0x7000_0000
+let kernel_size = 0x1000
+let kernel_secret_addr = kernel_base + 0x80

@@ -1,0 +1,77 @@
+(** Memory-layout conventions shared by the generated attacker, victim and
+    benign programs.
+
+    Addresses are plain byte addresses in the sparse simulated memory; the
+    constants only need to be mutually disjoint and LLC-set-diverse. *)
+
+val shared_lib_base : int
+(** Base of the "shared library" region that Flush+Reload-family attacks and
+    their victims both touch. *)
+
+val monitored_stride : int
+(** Byte stride between monitored shared-library lines (page-sized, like the
+    classic probes on table-based crypto). *)
+
+val monitored_lines : int
+(** Number of monitored shared-library lines (and the victim's secret-value
+    alphabet size). *)
+
+val monitored_addr : int -> int
+(** [monitored_addr k] is the address of the [k]-th monitored line. *)
+
+val evict_buf_base : int
+(** Base of the attacker-private buffer used to build eviction sets
+    (Evict+Reload) and prime sets (Prime+Probe). *)
+
+val attacker_table_base : int
+(** Attacker-private scratch table (address lists, result counters). *)
+
+val attacker_results_base : int
+(** Where attack programs store their per-line hit/miss verdicts. *)
+
+val spectre_array1_base : int
+(** Spectre bounds-checked array. *)
+
+val spectre_array1_size_addr : int
+(** Address holding array1's length (loaded before the bounds check). *)
+
+val spectre_secret_addr : int
+(** The out-of-bounds byte that Spectre PoCs exfiltrate. *)
+
+val spectre_probe_base : int
+(** Spectre probe array base; entry [v] lives at
+    [spectre_probe_base + v * monitored_stride]. *)
+
+val victim_data_base : int
+(** Victim-private working memory. *)
+
+val victim_secret_base : int
+(** Victim's secret index sequence (drives its shared-library accesses). *)
+
+val victim_congruent_base : int
+(** Victim-private region whose entry [v] (stride {!monitored_stride}) maps
+    to the same LLC set as [monitored_addr v] — the congruence Prime+Probe's
+    victim relies on. *)
+
+val benign_data_base : int
+(** Scratch region for benign workloads. *)
+
+val benign_data2_base : int
+(** Second scratch region (matrices, output buffers). *)
+
+val victim_prog_base : int
+(** Code base address for victim programs (distinct from the default
+    attacker code base). *)
+
+val input_addr : int
+(** Where guarded attack programs read their triggering "argv" word (see
+    {!Attacks.with_input_guard}). *)
+
+val kernel_base : int
+(** Base of the protected "kernel" region used by the Meltdown extension
+    (see {!Cpu.Exec.settings.protected_range}). *)
+
+val kernel_size : int
+
+val kernel_secret_addr : int
+(** Where the Meltdown PoC's secret byte lives inside the kernel region. *)

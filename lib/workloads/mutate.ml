@@ -1,0 +1,233 @@
+module I = Isa.Instr
+module O = Isa.Operand
+module R = Isa.Reg
+module P = Isa.Program
+module Rng = Sutil.Rng
+
+type intensity = {
+  rename_regs : bool;
+  junk_per_100 : int;
+  substitute_prob : float;
+  swap_prob : float;
+}
+
+let default_intensity =
+  { rename_regs = true; junk_per_100 = 8; substitute_prob = 0.3; swap_prob = 0.2 }
+
+let light =
+  { rename_regs = false; junk_per_100 = 3; substitute_prob = 0.15; swap_prob = 0.1 }
+
+let heavy =
+  { rename_regs = true; junk_per_100 = 18; substitute_prob = 0.5; swap_prob = 0.35 }
+
+let in_timing (it : P.item) = List.mem Attacks.timing_tag it.P.item_tags
+
+(* ---- register renaming -------------------------------------------------- *)
+
+let map_reg perm r = try List.assoc r perm with Not_found -> r
+
+let map_operand perm = function
+  | O.Imm i -> O.Imm i
+  | O.Reg r -> O.Reg (map_reg perm r)
+  | O.Mem m ->
+    O.Mem
+      {
+        m with
+        O.base = Option.map (map_reg perm) m.O.base;
+        O.index = Option.map (map_reg perm) m.O.index;
+      }
+
+let map_instr perm ins =
+  let f = map_operand perm in
+  let fr = map_reg perm in
+  match ins with
+  | I.Mov (a, b) -> I.Mov (f a, f b)
+  | I.Lea (r, m) -> I.Lea (fr r, f m)
+  | I.Add (a, b) -> I.Add (f a, f b)
+  | I.Sub (a, b) -> I.Sub (f a, f b)
+  | I.Imul (a, b) -> I.Imul (f a, f b)
+  | I.Xor (a, b) -> I.Xor (f a, f b)
+  | I.And (a, b) -> I.And (f a, f b)
+  | I.Or (a, b) -> I.Or (f a, f b)
+  | I.Shl (a, n) -> I.Shl (f a, n)
+  | I.Shr (a, n) -> I.Shr (f a, n)
+  | I.Inc a -> I.Inc (f a)
+  | I.Dec a -> I.Dec (f a)
+  | I.Cmp (a, b) -> I.Cmp (f a, f b)
+  | I.Test (a, b) -> I.Test (f a, f b)
+  | I.Push a -> I.Push (f a)
+  | I.Pop r -> I.Pop (fr r)
+  | I.Clflush m -> I.Clflush (f m)
+  | I.Prefetch m -> I.Prefetch (f m)
+  | I.Jmp _ | I.Jcc _ | I.Call _ | I.Ret | I.Mfence | I.Lfence | I.Cpuid
+  | I.Rdtsc | I.Rdtscp | I.Nop | I.Halt -> ins
+
+let used_regs items =
+  List.fold_left
+    (fun acc (it : P.item) ->
+      I.regs_read it.P.ins @ I.regs_written it.P.ins @ acc)
+    [] items
+  |> List.sort_uniq R.compare
+
+(* Permute the used scratch registers (never RAX: rdtsc writes it
+   physically; never RSP/RBP: stack anchors). *)
+let renaming_permutation rng items =
+  let renamable r =
+    List.mem r R.scratch && not (R.equal r R.RAX)
+  in
+  let candidates = List.filter renamable (used_regs items) in
+  let shuffled = Rng.shuffle rng candidates in
+  List.combine candidates shuffled
+
+let apply_rename rng items =
+  let perm = renaming_permutation rng items in
+  List.map
+    (fun (it : P.item) -> { it with P.ins = map_instr perm it.P.ins })
+    items
+
+(* ---- flag-safe junk insertion ------------------------------------------- *)
+
+let free_regs items =
+  let used = used_regs items in
+  List.filter
+    (fun r ->
+      (not (List.mem r used))
+      && (not (R.equal r R.RAX))
+      && List.mem r R.scratch)
+    R.scratch
+
+let junk_instrs rng free =
+  match free with
+  | [] -> [ I.Nop ]
+  | _ -> (
+    let r = Rng.choose rng free in
+    match Rng.int rng 5 with
+    | 0 -> [ I.Nop ]
+    | 1 -> [ I.Mov (O.reg r, O.imm (Rng.int rng 1024)) ]
+    | 2 -> [ I.Lea (r, O.mem ~base:r ~disp:(Rng.int rng 64) ()) ]
+    | 3 -> [ I.Push (O.reg r); I.Pop r ]
+    | _ ->
+      let r2 = Rng.choose rng free in
+      [ I.Mov (O.reg r, O.reg r2) ])
+
+(* Insertion before item [i] is allowed unless it would land strictly inside
+   a timing window (both neighbours tagged). *)
+let may_insert_at prev_opt (cur : P.item) =
+  match prev_opt with
+  | Some prev -> not (in_timing prev && in_timing cur)
+  | None -> true
+
+let insert_junk rng intensity items =
+  let n = List.length items in
+  let budget = max 0 (n * intensity.junk_per_100 / 100) in
+  if budget = 0 then items
+  else begin
+    let free = free_regs items in
+    let prob = float_of_int budget /. float_of_int n in
+    let rec go prev = function
+      | [] -> []
+      | it :: rest ->
+        let here =
+          if may_insert_at prev it && Rng.chance rng prob then
+            List.map
+              (fun j -> { P.labels = []; ins = j; item_tags = [] })
+              (junk_instrs rng free)
+          else []
+        in
+        (* Junk goes before [it]'s instruction but after its labels, so
+           branch targets still reach the original code; simpler and equally
+           correct: attach the labels to the first inserted junk item. *)
+        (match here with
+        | [] -> it :: go (Some it) rest
+        | first :: more ->
+          { first with P.labels = it.P.labels }
+          :: more
+          @ ({ it with P.labels = [] } :: go (Some it) rest))
+    in
+    go None items
+  end
+
+(* ---- instruction substitution ------------------------------------------- *)
+
+(* Equivalences that preserve the destination value; flag effects differ but
+   are dead by the cmp-before-jcc convention, which [eligible] enforces by
+   refusing to rewrite an instruction immediately preceding a Jcc. *)
+let substitute rng ins =
+  match ins with
+  | I.Inc a -> Some (I.Add (a, O.imm 1))
+  | I.Dec a -> Some (I.Sub (a, O.imm 1))
+  | I.Add (a, O.Imm k) when Rng.bool rng -> Some (I.Sub (a, O.imm (-k)))
+  | I.Mov (O.Reg r, O.Imm 0) when Rng.bool rng ->
+    Some (I.Xor (O.reg r, O.reg r))
+  | I.Shl (a, k) when k <= 8 && Rng.bool rng ->
+    Some (I.Imul (a, O.imm (1 lsl k)))
+  | _ -> None
+
+let apply_substitutions rng intensity items =
+  let rec go = function
+    | [] -> []
+    | [ it ] -> [ it ]
+    | it :: (next :: _ as rest) ->
+      let it' =
+        if
+          (not (in_timing it))
+          && (not (I.is_cond_branch next.P.ins))
+          && Rng.chance rng intensity.substitute_prob
+        then
+          match substitute rng it.P.ins with
+          | Some ins' -> { it with P.ins = ins' }
+          | None -> it
+        else it
+      in
+      it' :: go rest
+  in
+  go items
+
+(* ---- adjacent independent swaps ------------------------------------------ *)
+
+let independent a b =
+  let inter xs ys = List.exists (fun x -> List.mem x ys) xs in
+  let ra = I.regs_read a and wa = I.regs_written a in
+  let rb = I.regs_read b and wb = I.regs_written b in
+  (not (inter wa rb)) && (not (inter wb ra)) && not (inter wa wb)
+
+let touches_memory ins = I.reads_memory ins || I.writes_memory ins
+
+let swappable (a : P.item) (b : P.item) after =
+  let ia = a.P.ins and ib = b.P.ins in
+  (not (I.is_branch ia)) && (not (I.is_branch ib))
+  && b.P.labels = []
+  && (not (in_timing a)) && (not (in_timing b))
+  && (not (touches_memory ia && touches_memory ib))
+  && independent ia ib
+  (* Keep the flag-producer adjacent to a following Jcc. *)
+  && (not
+        ((I.writes_flags ia || I.writes_flags ib)
+        && match after with Some n -> I.is_cond_branch n.P.ins | None -> false))
+  (* Cmp/Test exist only to set flags for the next branch; never move them. *)
+  && (match ia with I.Cmp _ | I.Test _ -> false | _ -> true)
+  && (match ib with I.Cmp _ | I.Test _ -> false | _ -> true)
+
+let apply_swaps rng intensity items =
+  let rec go = function
+    | a :: b :: rest when
+        swappable a b (match rest with x :: _ -> Some x | [] -> None)
+        && Rng.chance rng intensity.swap_prob ->
+      (* Swap instruction payloads but keep label anchoring positions. *)
+      { a with P.ins = b.P.ins; item_tags = b.P.item_tags }
+      :: { b with P.ins = a.P.ins; item_tags = a.P.item_tags }
+      :: go rest
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  go items
+
+(* ---- driver -------------------------------------------------------------- *)
+
+let mutate ?(intensity = default_intensity) ~rng ~name prog =
+  let items = P.deconstruct prog in
+  let items = if intensity.rename_regs then apply_rename rng items else items in
+  let items = apply_substitutions rng intensity items in
+  let items = apply_swaps rng intensity items in
+  let items = insert_junk rng intensity items in
+  P.reconstruct ~base:(P.base prog) ~name items

@@ -1,0 +1,30 @@
+(** Semantics-preserving code mutation — the stand-in for the paper's
+    mutate_cpp-based variant generation (§IV-A), used to expand each PoC (and
+    each benign kernel) into hundreds of syntactically diverse samples.
+
+    Guarantees relied on by the generated code and preserved here:
+    - conditional branches are immediately preceded by their [cmp]/[test], so
+      other instructions' flag effects are dead and flag-safe substitution /
+      insertion is sound;
+    - instructions tagged {!Attacks.timing_tag} form rdtsc windows whose
+      cycle budget attacks depend on, so no mutation touches the inside of a
+      window;
+    - [RAX] is the implicit rdtsc destination and is never renamed. *)
+
+type intensity = {
+  rename_regs : bool;        (** apply a random scratch-register permutation *)
+  junk_per_100 : int;        (** flag-safe junk instructions per 100 original *)
+  substitute_prob : float;   (** chance to rewrite an eligible instruction *)
+  swap_prob : float;         (** chance to swap an eligible adjacent pair *)
+}
+
+val default_intensity : intensity
+val light : intensity
+val heavy : intensity
+
+val mutate :
+  ?intensity:intensity -> rng:Sutil.Rng.t -> name:string ->
+  Isa.Program.t -> Isa.Program.t
+(** [mutate ~rng ~name p] is a behaviourally equivalent variant of [p].
+    Attack tags travel with their instructions, so the Table IV ground truth
+    survives mutation. *)

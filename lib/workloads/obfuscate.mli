@@ -1,0 +1,21 @@
+(** Polymorphic obfuscation — the stand-in for the paper's polymorph-lib
+    (evaluation E4).
+
+    Inserts junk that inflates the basic-block count without changing
+    behaviour: NOP sleds, never-executed dead-code blocks parked behind
+    unconditional jumps, and block splits ([jmp L; L:]).  The paper reports
+    ~70% more BBs per obfuscated sample; {!obfuscate}'s default
+    [bb_inflation] targets the same ratio. *)
+
+val obfuscate :
+  ?bb_inflation:float -> rng:Sutil.Rng.t -> name:string ->
+  Isa.Program.t -> Isa.Program.t
+(** [obfuscate ~rng ~name p] behaves exactly like [p] but with roughly
+    [bb_inflation] (default [0.7]) times more basic blocks: every block
+    terminator gets a NOP sled, a split, or a dead block in front of it.
+    Timing windows (instructions tagged {!Attacks.timing_tag}) are left
+    untouched so attack functionality survives, as the paper's obfuscated
+    variants require. *)
+
+val count_basic_blocks : Isa.Program.t -> int
+(** Leader-based BB count (used by tests to check the inflation ratio). *)

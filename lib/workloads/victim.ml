@@ -1,0 +1,69 @@
+module B = Isa.Builder
+module I = Isa.Instr
+module O = Isa.Operand
+module R = Isa.Reg
+
+type t = Isa.Program.t * (Cpu.Machine.t -> unit)
+
+let default_secret = [| 2; 5; 2; 5; 3; 2; 5; 3; 2; 5; 2; 3; 5; 2; 5; 3 |]
+
+let write_secret secret mach =
+  Cpu.Machine.init_region mach ~base:Layout.victim_secret_base secret
+
+(* Shared loop skeleton: walk the secret sequence forever (the executor
+   restarts the program on halt), applying [access] to the secret value held
+   in RAX. *)
+let secret_walker ~name ~secret ~access =
+  let b = B.create () in
+  let len = Array.length secret in
+  B.emit b (I.Mov (O.reg R.RSI, O.imm 0));
+  B.label b "vloop";
+  (* rax := secret[rsi] *)
+  B.emit b
+    (I.Mov
+       ( O.reg R.RAX,
+         O.mem ~index:R.RSI ~scale:8 ~disp:Layout.victim_secret_base () ));
+  access b;
+  (* A little private work, so the victim is not a pure attack mirror. *)
+  B.emit b (I.Mov (O.reg R.RDX, O.mem ~index:R.RSI ~scale:8
+                     ~disp:Layout.victim_data_base ()));
+  B.emit b (I.Add (O.reg R.RDX, O.reg R.RAX));
+  B.emit b (I.Mov (O.mem ~index:R.RSI ~scale:8 ~disp:Layout.victim_data_base (),
+                   O.reg R.RDX));
+  B.emit b (I.Inc (O.reg R.RSI));
+  B.emit b (I.Cmp (O.reg R.RSI, O.imm len));
+  B.emit b (I.Jcc (I.Ne, "vloop"));
+  B.emit b I.Halt;
+  ( B.to_program ~base:Layout.victim_prog_base ~name b,
+    write_secret secret )
+
+let shared_lib ?(secret = default_secret) () =
+  secret_walker ~name:"victim-shared-lib" ~secret ~access:(fun b ->
+      (* Touch the monitored shared-library line selected by the secret. *)
+      B.emit b
+        (I.Mov
+           ( O.reg R.RBX,
+             O.mem ~index:R.RAX ~scale:Layout.monitored_stride
+               ~disp:Layout.shared_lib_base () )))
+
+let private_sets ?(secret = default_secret) () =
+  secret_walker ~name:"victim-private-sets" ~secret ~access:(fun b ->
+      (* Private address congruent (same LLC set) to monitored line rax. *)
+      B.emit b
+        (I.Mov
+           ( O.reg R.RBX,
+             O.mem ~index:R.RAX ~scale:Layout.monitored_stride
+               ~disp:Layout.victim_congruent_base () )))
+
+let idle () =
+  let b = B.create () in
+  B.emit b (I.Mov (O.reg R.RCX, O.imm 64));
+  B.label b "iloop";
+  B.emit b (I.Add (O.reg R.RAX, O.imm 3));
+  B.emit b (I.Imul (O.reg R.RAX, O.imm 5));
+  B.emit b (I.Mov (O.mem ~disp:Layout.victim_data_base (), O.reg R.RAX));
+  B.emit b (I.Dec (O.reg R.RCX));
+  B.emit b (I.Cmp (O.reg R.RCX, O.imm 0));
+  B.emit b (I.Jcc (I.Ne, "iloop"));
+  B.emit b I.Halt;
+  (B.to_program ~base:Layout.victim_prog_base ~name:"victim-idle" b, fun _ -> ())

@@ -1,0 +1,26 @@
+(** Victim programs that co-run with the attacks.
+
+    Each victim loops over a secret index sequence and performs
+    secret-dependent memory accesses — the access pattern the attacks
+    recover.  Victims are restarted by the executor when they halt, so they
+    model continuously active processes. *)
+
+type t = Isa.Program.t * (Cpu.Machine.t -> unit)
+(** A victim program together with its memory initializer. *)
+
+val default_secret : int array
+(** The secret index sequence planted by the default initializers. *)
+
+val shared_lib : ?secret:int array -> unit -> t
+(** Victim for the Flush+Reload family: each iteration reads the next secret
+    index [v] and loads the monitored shared-library line
+    [Layout.monitored_addr v]. *)
+
+val private_sets : ?secret:int array -> unit -> t
+(** Victim for the Prime+Probe family: reads secret index [v] and loads a
+    {e private} address that maps to the same LLC set as monitored line [v]
+    (no shared memory, as Prime+Probe requires). *)
+
+val idle : unit -> t
+(** A victim that only does register arithmetic and touches one private
+    line — background noise for benign-scenario runs. *)

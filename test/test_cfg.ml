@@ -1,0 +1,227 @@
+(* Tests for the CFG library: basic-block splitting, edges, back-edge
+   elimination, bounded path search and the maximum spanning forest. *)
+
+module I = Isa.Instr
+module O = Isa.Operand
+module R = Isa.Reg
+module P = Isa.Program
+module G = Cfg.Graph
+module BB = Cfg.Basic_block
+
+let check_int = Alcotest.(check int)
+let _check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+
+(* A diamond with a loop:
+   0: entry -> 1 | 2 ; 1 -> 3 ; 2 -> 3 ; 3 -> (loop back to 0) | 4(exit) *)
+let diamond_loop () =
+  P.assemble ~name:"d"
+    [
+      P.Lbl "top";
+      P.Ins (I.Cmp (O.reg R.RAX, O.imm 0));      (* BB0 *)
+      P.Ins (I.Jcc (I.Eq, "right"));
+      P.Ins (I.Add (O.reg R.RBX, O.imm 1));      (* BB1 (left) *)
+      P.Ins (I.Jmp "join");
+      P.Lbl "right";
+      P.Ins (I.Add (O.reg R.RBX, O.imm 2));      (* BB2 *)
+      P.Lbl "join";
+      P.Ins (I.Dec (O.reg R.RCX));               (* BB3 *)
+      P.Ins (I.Cmp (O.reg R.RCX, O.imm 0));
+      P.Ins (I.Jcc (I.Ne, "top"));
+      P.Ins I.Halt;                              (* BB4 *)
+    ]
+
+let test_block_splitting () =
+  let g = G.of_program (diamond_loop ()) in
+  check_int "five blocks" 5 (G.n_blocks g);
+  let b0 = G.block g 0 in
+  check_int "entry first" 0 b0.BB.first;
+  check_int "entry last" 1 b0.BB.last;
+  check_int "entry size" 2 (BB.size b0)
+
+let test_edges () =
+  let g = G.of_program (diamond_loop ()) in
+  check_ints "entry branches" [ 1; 2 ] (G.succs g 0);
+  check_ints "left joins" [ 3 ] (G.succs g 1);
+  check_ints "right falls through" [ 3 ] (G.succs g 2);
+  check_ints "join loops or exits" [ 0; 4 ] (G.succs g 3);
+  check_ints "exit terminal" [] (G.succs g 4);
+  check_ints "join preds" [ 1; 2 ] (G.preds g 3);
+  check_int "edge count" 6 (G.n_edges g)
+
+let test_block_lookup () =
+  let p = diamond_loop () in
+  let g = G.of_program p in
+  check_int "instr 2 in BB1" 1 (G.block_of_index g 2).BB.id;
+  let addr = P.addr_of_index p 4 in
+  check_int "addr lookup" 2 (Option.get (G.block_of_addr g addr)).BB.id;
+  Alcotest.(check bool) "foreign addr" true (G.block_of_addr g 0x9999999 = None)
+
+let test_call_edges () =
+  let p =
+    P.assemble ~name:"c"
+      [
+        P.Ins (I.Call "f");     (* BB0 -> f and fallthrough *)
+        P.Ins I.Halt;           (* BB1 *)
+        P.Lbl "f";
+        P.Ins I.Ret;            (* BB2, no successors *)
+      ]
+  in
+  let g = G.of_program p in
+  check_ints "call edges" [ 1; 2 ] (G.succs g 0);
+  check_ints "ret terminal" [] (G.succs g 2)
+
+let test_back_edges () =
+  let g = G.of_program (diamond_loop ()) in
+  let back = Cfg.Back_edge.find g in
+  Alcotest.(check (list (pair int int))) "loop edge" [ (3, 0) ] back;
+  let acyclic = Cfg.Back_edge.acyclic_succs g in
+  check_ints "join without back edge" [ 4 ] acyclic.(3);
+  check_ints "others untouched" [ 1; 2 ] acyclic.(0)
+
+let test_back_edges_unreachable_cycle () =
+  (* A cycle not reachable from the entry must still be broken. *)
+  let p =
+    P.assemble ~name:"u"
+      [
+        P.Ins I.Halt;             (* entry, terminal *)
+        P.Lbl "island";
+        P.Ins (I.Inc (O.reg R.RAX));
+        P.Ins (I.Jmp "island");
+      ]
+  in
+  let g = G.of_program p in
+  let acyclic = Cfg.Back_edge.acyclic_succs g in
+  let total = Array.fold_left (fun n l -> n + List.length l) 0 acyclic in
+  (* the island's self-loop edge is gone *)
+  check_int "broken" (G.n_edges g - 1) total
+
+(* ---- Paths --------------------------------------------------------------- *)
+
+let test_best_path_prefers_high_hpc () =
+  (* 0 -> 1 -> 3 and 0 -> 2 -> 3; node 1 is hot. *)
+  let succs = [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] in
+  let hpc = function 1 -> 100.0 | 2 -> 1.0 | _ -> 0.0 in
+  let relevant b = b = 0 || b = 3 in
+  let p =
+    Option.get
+      (Cfg.Paths.best_between ~succs ~hpc ~relevant ~src:0 ~dst:3 ())
+  in
+  check_ints "hot path" [ 0; 1; 3 ] p.Cfg.Paths.nodes;
+  Alcotest.(check (float 1e-9)) "score is interior mean" 100.0 p.Cfg.Paths.score
+
+let test_direct_edge_is_max () =
+  let succs = [| [ 1 ]; [] |] in
+  let p =
+    Option.get
+      (Cfg.Paths.best_between ~succs ~hpc:(fun _ -> 0.0)
+         ~relevant:(fun _ -> true) ~src:0 ~dst:1 ())
+  in
+  Alcotest.(check (float 1e-9)) "MAX" Cfg.Paths.max_score p.Cfg.Paths.score
+
+let test_paths_avoid_relevant_interior () =
+  (* 0 -> 1 -> 2 where 1 is also relevant: no valid path 0 -> 2. *)
+  let succs = [| [ 1 ]; [ 2 ]; [] |] in
+  let relevant b = b <> 99 in
+  Alcotest.(check bool) "no path through relevant node" true
+    (Cfg.Paths.best_between ~succs ~hpc:(fun _ -> 1.0) ~relevant ~src:0 ~dst:2 ()
+    = None)
+
+let test_paths_none_when_disconnected () =
+  let succs = [| []; [] |] in
+  Alcotest.(check bool) "disconnected" true
+    (Cfg.Paths.best_between ~succs ~hpc:(fun _ -> 0.0)
+       ~relevant:(fun _ -> false) ~src:0 ~dst:1 ()
+    = None)
+
+(* ---- MST ------------------------------------------------------------------ *)
+
+let edge u v weight = { Cfg.Mst.u; v; weight; payload = [ u; v ] }
+
+let test_mst_picks_heaviest () =
+  (* triangle: 0-1 (10), 1-2 (20), 0-2 (5): forest keeps the two heaviest *)
+  let edges = [ edge 0 1 10.0; edge 1 2 20.0; edge 0 2 5.0 ] in
+  let forest = Cfg.Mst.maximum_spanning_forest ~nodes:[ 0; 1; 2 ] ~edges in
+  check_int "two edges" 2 (List.length forest);
+  let weights = List.sort compare (List.map (fun e -> e.Cfg.Mst.weight) forest) in
+  Alcotest.(check (list (float 1e-9))) "weights" [ 10.0; 20.0 ] weights
+
+let test_mst_forest_for_disconnected () =
+  let edges = [ edge 0 1 1.0; edge 2 3 1.0 ] in
+  let forest = Cfg.Mst.maximum_spanning_forest ~nodes:[ 0; 1; 2; 3 ] ~edges in
+  check_int "two components, two edges" 2 (List.length forest)
+
+let test_mst_isolated_nodes_kept_out () =
+  let forest = Cfg.Mst.maximum_spanning_forest ~nodes:[ 0; 1 ] ~edges:[] in
+  check_int "no edges" 0 (List.length forest)
+
+let prop_mst_edge_count =
+  (* On a random connected-ish graph, a spanning forest has <= n-1 edges and
+     never more edges than components allow. *)
+  QCheck.Test.make ~name:"spanning forest edge count" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 20)
+           (triple (int_range 0 7) (int_range 0 7) (float_range 0.0 10.0))))
+    (fun raw ->
+      let edges =
+        List.filter_map
+          (fun (u, v, w) -> if u <> v then Some (edge u v w) else None)
+          raw
+      in
+      let nodes = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+      let forest = Cfg.Mst.maximum_spanning_forest ~nodes ~edges in
+      List.length forest <= List.length nodes - 1)
+
+(* ---- Dot ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_dot_renders () =
+  let g = G.of_program (diamond_loop ()) in
+  let dot = Cfg.Dot.of_graph ~highlight:[ 1 ] g in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph cfg");
+  Alcotest.(check bool) "edge rendered" true (contains dot "n0 -> n1");
+  Alcotest.(check bool) "highlight filled" true (contains dot "fillcolor");
+  let ag = Cfg.Dot.of_attack_graph g ~relevant:[ 0 ] ~nodes:[ 0; 1 ] ~edges:[ (0, 1) ] in
+  Alcotest.(check bool) "attack graph digraph" true (contains ag "digraph attack_graph");
+  Alcotest.(check bool) "solid attack edge" true (contains ag "penwidth=2")
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "block splitting" `Quick test_block_splitting;
+          Alcotest.test_case "edges" `Quick test_edges;
+          Alcotest.test_case "block lookup" `Quick test_block_lookup;
+          Alcotest.test_case "call edges" `Quick test_call_edges;
+        ] );
+      ( "back_edge",
+        [
+          Alcotest.test_case "loop edge found" `Quick test_back_edges;
+          Alcotest.test_case "unreachable cycle broken" `Quick
+            test_back_edges_unreachable_cycle;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "prefers high HPC" `Quick test_best_path_prefers_high_hpc;
+          Alcotest.test_case "direct edge is MAX" `Quick test_direct_edge_is_max;
+          Alcotest.test_case "avoids relevant interior" `Quick
+            test_paths_avoid_relevant_interior;
+          Alcotest.test_case "none when disconnected" `Quick
+            test_paths_none_when_disconnected;
+        ] );
+      ( "dot", [ Alcotest.test_case "renders" `Quick test_dot_renders ] );
+      ( "mst",
+        [
+          Alcotest.test_case "picks heaviest" `Quick test_mst_picks_heaviest;
+          Alcotest.test_case "forest for disconnected" `Quick
+            test_mst_forest_for_disconnected;
+          Alcotest.test_case "isolated nodes" `Quick test_mst_isolated_nodes_kept_out;
+          QCheck_alcotest.to_alcotest prop_mst_edge_count;
+        ] );
+    ]

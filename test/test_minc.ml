@@ -1,0 +1,395 @@
+(* Tests for the MinC compiler: lexing, parsing, code generation semantics
+   (differentially against an OCaml evaluator), optimization equivalence,
+   and the compiled-attack story. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* run a source program; read back cell 0 of global "out" *)
+let run_out ?(optimize = false) src =
+  let ast = Minc.Parser.parse src in
+  let prog = Minc.Codegen.compile ~optimize ast in
+  let res = Cpu.Exec.run prog in
+  Alcotest.(check bool) "halted" true res.Cpu.Exec.halted_normally;
+  let _, base, stride =
+    List.find (fun (n, _, _) -> n = "out") (Minc.Codegen.global_layout ast)
+  in
+  Cpu.Machine.load res.Cpu.Exec.machine base
+  |> fun v -> ignore stride; v
+
+(* ---- Lexer -------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Minc.Lexer.tokenize "fn f(x) { return x + 0x10; } // c" in
+  check_int "token count" 13 (List.length toks);
+  check_bool "hex literal" true
+    (List.exists (function Minc.Lexer.INT 16 -> true | _ -> false) toks);
+  check_bool "keyword fn" true
+    (List.exists (function Minc.Lexer.KW "fn" -> true | _ -> false) toks)
+
+let test_lexer_two_char_ops () =
+  let toks = Minc.Lexer.tokenize "a <= b << 2 == c" in
+  let puncts =
+    List.filter_map
+      (function Minc.Lexer.PUNCT p -> Some p | _ -> None)
+      toks
+  in
+  Alcotest.(check (list string)) "ops" [ "<="; "<<"; "==" ] puncts
+
+let test_lexer_rejects_garbage () =
+  check_bool "bad char" true
+    (try ignore (Minc.Lexer.tokenize "fn $"); false
+     with Minc.Lexer.Error _ -> true)
+
+(* ---- Parser --------------------------------------------------------------- *)
+
+let test_parser_structure () =
+  let p =
+    Minc.Parser.parse
+      "global a[8]; global probe[16 : 4096] @ 0x30000000;\n\
+       fn main() { return 0; } fn f(x, y) { return x; }"
+  in
+  check_int "globals" 2 (List.length p.Minc.Ast.globals);
+  check_int "funcs" 2 (List.length p.Minc.Ast.funcs);
+  let probe = List.nth p.Minc.Ast.globals 1 in
+  check_int "stride" 4096 probe.Minc.Ast.stride;
+  Alcotest.(check (option int)) "base" (Some 0x30000000) probe.Minc.Ast.base;
+  let a = List.hd p.Minc.Ast.globals in
+  check_int "default stride" 8 a.Minc.Ast.stride
+
+let test_parser_errors () =
+  let bad src =
+    try ignore (Minc.Parser.parse src); false with Minc.Parser.Error _ -> true
+  in
+  check_bool "missing semicolon" true (bad "fn main() { return 0 }");
+  check_bool "bad toplevel" true (bad "return 0;");
+  check_bool "unclosed block" true (bad "fn main() { return 0;");
+  check_bool "bad statement" true (bad "fn main() { 0 = x; }")
+
+(* ---- Codegen semantics ------------------------------------------------------- *)
+
+let test_precedence () =
+  check_int "mul binds tighter" 7 (run_out "global out[1]; fn main() { out[0] = 1 + 2 * 3; return 0; }");
+  check_int "parens" 9 (run_out "global out[1]; fn main() { out[0] = (1 + 2) * 3; return 0; }");
+  check_int "shift" 24 (run_out "global out[1]; fn main() { out[0] = 3 << 3; return 0; }");
+  check_int "comparison chain" 1
+    (run_out "global out[1]; fn main() { out[0] = 1 + 2 < 4; return 0; }")
+
+let test_recursion () =
+  check_int "factorial" 120
+    (run_out
+       "global out[1];\n\
+        fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n\
+        fn main() { out[0] = fact(5); return 0; }")
+
+let test_mutual_calls_and_args () =
+  check_int "four args" 17
+    (run_out
+       "global out[1];\n\
+        fn f(a, b, c, d) { return a + b * c - d; }\n\
+        fn main() { out[0] = f(3, 4, 4, 2); return 0; }")
+
+let test_while_and_if_else () =
+  check_int "collatz steps of 27" 111
+    (run_out
+       "global out[1];\n\
+        fn main() {\n\
+          var n = 27;\n\
+          var steps = 0;\n\
+          while (n != 1) {\n\
+            if ((n & 1) == 1) { n = 3 * n + 1; } else { n = n >> 1; }\n\
+            steps = steps + 1;\n\
+          }\n\
+          out[0] = steps;\n\
+          return 0;\n\
+        }")
+
+let test_globals_stride () =
+  (* stride-64 arrays write to distinct cache lines *)
+  let src =
+    "global t[4 : 64]; global out[1];\n\
+     fn main() { t[0] = 10; t[1] = 20; t[3] = 40; out[0] = t[0] + t[1] + t[3]; return 0; }"
+  in
+  check_int "strided cells" 70 (run_out src)
+
+let test_codegen_errors () =
+  let bad src =
+    try ignore (Minc.Codegen.compile_source src); false
+    with Minc.Codegen.Error _ -> true
+  in
+  check_bool "no main" true (bad "fn f() { return 0; }");
+  check_bool "unknown var" true (bad "fn main() { return x; }");
+  check_bool "unknown global" true (bad "fn main() { return g[0]; }");
+  check_bool "unknown function" true (bad "fn main() { return f(); }");
+  check_bool "arity mismatch" true
+    (bad "fn f(x) { return x; } fn main() { return f(); }");
+  check_bool "variable shift" true
+    (bad "fn main() { var k = 2; return 1 << k; }")
+
+(* ---- Differential testing against an OCaml evaluator --------------------------- *)
+
+let rec eval_ref env (e : Minc.Ast.expr) =
+  match e with
+  | Minc.Ast.Int v -> v
+  | Minc.Ast.Var x -> List.assoc x env
+  | Minc.Ast.Neg a -> -eval_ref env a
+  | Minc.Ast.Bin (op, a, b) -> (
+    let x = eval_ref env a and y = eval_ref env b in
+    match op with
+    | Minc.Ast.Add -> x + y
+    | Minc.Ast.Sub -> x - y
+    | Minc.Ast.Mul -> x * y
+    | Minc.Ast.BAnd -> x land y
+    | Minc.Ast.BOr -> x lor y
+    | Minc.Ast.BXor -> x lxor y
+    | Minc.Ast.Shl -> x lsl y
+    | Minc.Ast.Shr -> x lsr y
+    | Minc.Ast.Eq -> if x = y then 1 else 0
+    | Minc.Ast.Ne -> if x <> y then 1 else 0
+    | Minc.Ast.Lt -> if x < y then 1 else 0
+    | Minc.Ast.Le -> if x <= y then 1 else 0
+    | Minc.Ast.Gt -> if x > y then 1 else 0
+    | Minc.Ast.Ge -> if x >= y then 1 else 0)
+  | Minc.Ast.Global _ | Minc.Ast.Call _ | Minc.Ast.Rdtsc ->
+    invalid_arg "eval_ref"
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun v -> Minc.Ast.Int v) (int_range 0 200);
+        oneofl [ Minc.Ast.Var "x"; Minc.Ast.Var "y" ];
+      ]
+  in
+  let arith_op =
+    oneofl
+      [ Minc.Ast.Add; Minc.Ast.Sub; Minc.Ast.Mul; Minc.Ast.BAnd;
+        Minc.Ast.BOr; Minc.Ast.BXor; Minc.Ast.Eq; Minc.Ast.Ne; Minc.Ast.Lt;
+        Minc.Ast.Le; Minc.Ast.Gt; Minc.Ast.Ge ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (1, leaf);
+            (1, map (fun e -> Minc.Ast.Neg e) (self (depth - 1)));
+            ( 2,
+              map2
+                (fun k e -> Minc.Ast.Bin (Minc.Ast.Shl, e, Minc.Ast.Int k))
+                (int_range 0 4) (self (depth - 1)) );
+            ( 6,
+              map3
+                (fun op a b -> Minc.Ast.Bin (op, a, b))
+                arith_op (self (depth - 1)) (self (depth - 1)) );
+          ])
+    3
+
+let prop_compiled_expressions_match_reference optimize =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "compiled expressions match reference (optimize=%b)"
+         optimize)
+    ~count:150
+    (QCheck.make expr_gen)
+    (fun expr ->
+      let xv = 13 and yv = 7 in
+      let ast =
+        {
+          Minc.Ast.globals =
+            [ { Minc.Ast.gname = "out"; count = 1; stride = 8; base = None } ];
+          funcs =
+            [
+              {
+                Minc.Ast.name = "main";
+                params = [];
+                body =
+                  [
+                    Minc.Ast.Decl ("x", Minc.Ast.Int xv);
+                    Minc.Ast.Decl ("y", Minc.Ast.Int yv);
+                    Minc.Ast.Store ("out", Minc.Ast.Int 0, expr);
+                    Minc.Ast.Return (Minc.Ast.Int 0);
+                  ];
+              };
+            ];
+        }
+      in
+      let prog = Minc.Codegen.compile ~optimize ast in
+      let res = Cpu.Exec.run prog in
+      let _, base, _ =
+        List.find (fun (n, _, _) -> n = "out") (Minc.Codegen.global_layout ast)
+      in
+      let got = Cpu.Machine.load res.Cpu.Exec.machine base in
+      got = eval_ref [ ("x", xv); ("y", yv) ] expr)
+
+(* ---- Optimization equivalence --------------------------------------------------- *)
+
+let test_optimize_equivalent_on_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let v0 = run_out ~optimize:false src in
+      let v1 = run_out ~optimize:true src in
+      check_int (name ^ " same result") v0 v1)
+    Minc.Programs.benign_sources
+
+let test_optimize_changes_code () =
+  let src = snd (List.hd Minc.Programs.benign_sources) in
+  let p0 = Minc.Codegen.compile_source ~optimize:false src in
+  let p1 = Minc.Codegen.compile_source ~optimize:true src in
+  check_bool "code differs" true (Isa.Program.length p0 <> Isa.Program.length p1)
+
+(* ---- Pretty-printer round trips -------------------------------------------------- *)
+
+let test_pretty_roundtrip_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let ast = Minc.Parser.parse src in
+      let printed = Minc.Pretty.program ast in
+      let ast2 = Minc.Parser.parse printed in
+      (* printing is a parser fixed point *)
+      Alcotest.(check string) (name ^ " idempotent") printed
+        (Minc.Pretty.program ast2);
+      (* and behavior is preserved (programs with an "out" global) *)
+      match
+        List.find_opt (fun (n, _, _) -> n = "out") (Minc.Codegen.global_layout ast)
+      with
+      | None -> ()
+      | Some (_, base, _) ->
+        let run ast =
+          let prog = Minc.Codegen.compile ast in
+          let res = Cpu.Exec.run prog in
+          Cpu.Machine.load res.Cpu.Exec.machine base
+        in
+        check_int (name ^ " same behavior") (run ast) (run ast2))
+    (("fr-attack", Minc.Programs.flush_reload_source) :: Minc.Programs.benign_sources)
+
+let prop_pretty_expr_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed expressions re-parse" ~count:150
+    (QCheck.make expr_gen)
+    (fun e ->
+      let src =
+        Printf.sprintf
+          "fn main() { var x = 1; var y = 2; return %s; }" (Minc.Pretty.expr e)
+      in
+      let ast = Minc.Parser.parse src in
+      match (List.hd ast.Minc.Ast.funcs).Minc.Ast.body with
+      | [ _; _; Minc.Ast.Return e' ] -> e = e'
+      | _ -> false)
+
+(* ---- The compiled attack ---------------------------------------------------------- *)
+
+let test_compiled_attack_leaks () =
+  let victim = Workloads.Victim.shared_lib () in
+  let prog =
+    Minc.Codegen.compile_source ~name:"minc-fr" Minc.Programs.flush_reload_source
+  in
+  let res = Cpu.Exec.run ~victim prog in
+  let hist =
+    Array.init 8 (fun i ->
+        Cpu.Machine.load res.Cpu.Exec.machine
+          (Workloads.Layout.attacker_results_base + (8 * i)))
+  in
+  check_bool "victim lines hot" true
+    (hist.(2) >= 12 && hist.(3) >= 12 && hist.(5) >= 12);
+  check_bool "other lines cold" true
+    (hist.(0) <= 2 && hist.(1) <= 2 && hist.(4) <= 2)
+
+let test_compiled_attack_cross_compile_similarity () =
+  let victim = Workloads.Victim.shared_lib () in
+  let model optimize =
+    let prog =
+      Minc.Codegen.compile_source ~optimize ~name:"minc-fr"
+        Minc.Programs.flush_reload_source
+    in
+    (Scaguard.Pipeline.run_and_analyze ~victim prog).Scaguard.Pipeline.model
+  in
+  let s = Scaguard.Dtw.compare_models (model false) (model true) in
+  (* "different compilers" must still look like the same attack *)
+  check_bool "cross-compile similarity high" true (s > 0.85)
+
+let test_compiled_attack_recognized () =
+  let victim = Workloads.Victim.shared_lib () in
+  let prog =
+    Minc.Codegen.compile_source ~name:"minc-fr" Minc.Programs.flush_reload_source
+  in
+  let m = (Scaguard.Pipeline.run_and_analyze ~victim prog).Scaguard.Pipeline.model in
+  let rng = Sutil.Rng.create 1 in
+  let repo = Experiments.Common.repository ~rng Workloads.Label.attack_labels in
+  let v = Scaguard.Detector.classify ~threshold:0.55 repo m in
+  (* compiler-shaped code sits farther from the hand-written PoCs but the
+     top family is still right *)
+  Alcotest.(check (option string)) "classified FR" (Some "FR-F")
+    v.Scaguard.Detector.best_family
+
+let test_compiled_population_separates () =
+  (* Compiler-shaped code compresses the similarity range (stack-frame
+     traffic looks alike everywhere), but within the compiled population the
+     same-attack pair still scores above every benign program — the
+     threshold just needs the Fig.-5 sweep on that population. *)
+  let victim = Workloads.Victim.shared_lib () in
+  let model ?victim ?(optimize = false) name src =
+    let prog = Minc.Codegen.compile_source ~optimize ~name src in
+    (Scaguard.Pipeline.run_and_analyze ?victim prog).Scaguard.Pipeline.model
+  in
+  let fr0 = model ~victim "fr" Minc.Programs.flush_reload_source in
+  let fr1 = model ~victim ~optimize:true "fr" Minc.Programs.flush_reload_source in
+  let same_attack = Scaguard.Dtw.compare_models fr0 fr1 in
+  let benign_max =
+    List.fold_left
+      (fun acc (name, src) ->
+        let s = Scaguard.Dtw.compare_models fr0 (model name src) in
+        max acc s)
+      0.0 Minc.Programs.benign_sources
+  in
+  check_bool "same attack above every compiled benign" true
+    (same_attack > benign_max +. 0.05)
+
+let () =
+  Alcotest.run "minc"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "two-char ops" `Quick test_lexer_two_char_ops;
+          Alcotest.test_case "rejects garbage" `Quick test_lexer_rejects_garbage;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "structure" `Quick test_parser_structure;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "calls and args" `Quick test_mutual_calls_and_args;
+          Alcotest.test_case "while/if-else" `Quick test_while_and_if_else;
+          Alcotest.test_case "strided globals" `Quick test_globals_stride;
+          Alcotest.test_case "semantic errors" `Quick test_codegen_errors;
+          QCheck_alcotest.to_alcotest (prop_compiled_expressions_match_reference false);
+          QCheck_alcotest.to_alcotest (prop_compiled_expressions_match_reference true);
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "equivalent on corpus" `Quick
+            test_optimize_equivalent_on_corpus;
+          Alcotest.test_case "changes code" `Quick test_optimize_changes_code;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "corpus roundtrip" `Quick test_pretty_roundtrip_corpus;
+          QCheck_alcotest.to_alcotest prop_pretty_expr_roundtrip;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "compiled FR leaks" `Slow test_compiled_attack_leaks;
+          Alcotest.test_case "cross-compile similarity" `Slow
+            test_compiled_attack_cross_compile_similarity;
+          Alcotest.test_case "recognized by the detector" `Slow
+            test_compiled_attack_recognized;
+          Alcotest.test_case "compiled population separates" `Slow
+            test_compiled_population_separates;
+        ] );
+    ]

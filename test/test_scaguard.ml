@@ -1,0 +1,557 @@
+(* Tests for the SCAGuard core: attack-relevant identification, Algorithm 1,
+   CST measurement, distances, DTW similarity, and end-to-end detection. *)
+
+module A = Workloads.Attacks
+module D = Workloads.Dataset
+module L = Workloads.Label
+module SG = Scaguard
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let analyze_sample (s : D.sample) =
+  let res = D.run s in
+  SG.Pipeline.analyze ~name:s.D.name ~program:s.D.program res
+
+let fr_analysis =
+  lazy (analyze_sample (D.of_spec (A.flush_reload ~style:A.Iaik ())))
+
+let model_of_spec spec = (analyze_sample (D.of_spec spec)).SG.Pipeline.model
+
+(* ---- Relevant ------------------------------------------------------------- *)
+
+let test_identification_finds_ground_truth () =
+  let a = Lazy.force fr_analysis in
+  let truth = SG.Relevant.ground_truth_blocks a.SG.Pipeline.cfg in
+  check_bool "has ground truth" true (truth <> []);
+  List.iter
+    (fun b ->
+      check_bool
+        (Printf.sprintf "truth BB%d identified" b)
+        true
+        (List.mem b a.SG.Pipeline.info.SG.Relevant.relevant))
+    truth
+
+let test_identification_prunes () =
+  let a = Lazy.force fr_analysis in
+  let info = a.SG.Pipeline.info in
+  let n = Cfg.Graph.n_blocks a.SG.Pipeline.cfg in
+  check_bool "step1 below total" true (List.length info.SG.Relevant.step1 < n);
+  check_bool "step2 below step1" true
+    (List.length info.SG.Relevant.relevant <= List.length info.SG.Relevant.step1);
+  check_bool "step2 subset of step1" true
+    (List.for_all
+       (fun b -> List.mem b info.SG.Relevant.step1)
+       info.SG.Relevant.relevant)
+
+let test_identification_hpc_values () =
+  let a = Lazy.force fr_analysis in
+  let info = a.SG.Pipeline.info in
+  (* every relevant block has a non-zero HPC value (step 1's criterion) *)
+  List.iter
+    (fun b ->
+      check_bool "nonzero hpc" true (info.SG.Relevant.hpc_of_block.(b) > 0.0))
+    info.SG.Relevant.relevant
+
+let test_identification_first_times () =
+  let a = Lazy.force fr_analysis in
+  let info = a.SG.Pipeline.info in
+  List.iter
+    (fun b ->
+      check_bool "executed blocks have timestamps" true
+        (info.SG.Relevant.first_time_of_block.(b) <> None))
+    info.SG.Relevant.relevant
+
+let test_accuracy_helper () =
+  check_float "full" 1.0 (SG.Relevant.accuracy ~identified:[ 1; 2; 3 ] ~truth:[ 1; 2 ]);
+  check_float "half" 0.5 (SG.Relevant.accuracy ~identified:[ 1 ] ~truth:[ 1; 2 ]);
+  check_float "empty truth" 1.0 (SG.Relevant.accuracy ~identified:[] ~truth:[])
+
+(* ---- Attack_graph ------------------------------------------------------------ *)
+
+let test_attack_graph_covers_relevant () =
+  let a = Lazy.force fr_analysis in
+  let ag = a.SG.Pipeline.attack_graph in
+  List.iter
+    (fun b -> check_bool "relevant in graph" true (List.mem b ag.SG.Attack_graph.nodes))
+    a.SG.Pipeline.info.SG.Relevant.relevant
+
+let test_attack_graph_restores_paths () =
+  let a = Lazy.force fr_analysis in
+  let ag = a.SG.Pipeline.attack_graph in
+  (* the flush and reload blocks are connected through restored interiors *)
+  check_bool "interior blocks restored" true
+    (List.length ag.SG.Attack_graph.nodes
+    > List.length a.SG.Pipeline.info.SG.Relevant.relevant);
+  check_bool "edges restored" true (ag.SG.Attack_graph.edges <> []);
+  (* spanning forest has fewer edges than nodes *)
+  check_bool "forest bound" true
+    (List.length ag.SG.Attack_graph.tree_edges
+    < max 1 (List.length a.SG.Pipeline.info.SG.Relevant.relevant))
+
+let test_attack_graph_empty_for_no_relevant () =
+  let cfg =
+    Cfg.Graph.of_program
+      (Isa.Program.assemble ~name:"nop" [ Isa.Program.Ins Isa.Instr.Halt ])
+  in
+  let ag = SG.Attack_graph.build cfg ~hpc:[| 0.0 |] ~relevant:[] in
+  check_bool "empty" true (ag.SG.Attack_graph.nodes = [])
+
+(* ---- Cst ----------------------------------------------------------------------- *)
+
+let test_cst_starts_full () =
+  let cst = SG.Cst.measure [] in
+  check_float "IO=1" 1.0 cst.SG.Cst.before.Cache.State.io;
+  check_float "AO=0" 0.0 cst.SG.Cst.before.Cache.State.ao;
+  check_float "no accesses, no change" 0.0 (SG.Cst.change_magnitude cst)
+
+let test_cst_loads_shift_occupancy () =
+  let accesses = List.init 30 (fun i -> (i * 64, Hpc.Collector.Load)) in
+  let cst = SG.Cst.measure accesses in
+  check_bool "AO grew" true (cst.SG.Cst.after.Cache.State.ao > 0.2);
+  check_bool "IO shrank" true (cst.SG.Cst.after.Cache.State.io < 0.8);
+  check_bool "magnitude meaningful" true (SG.Cst.change_magnitude cst > 0.1)
+
+let test_cst_flushes_reduce_io () =
+  let accesses = List.init 10 (fun i -> (i * 64, Hpc.Collector.Flush)) in
+  let cst = SG.Cst.measure accesses in
+  check_float "AO untouched" 0.0 cst.SG.Cst.after.Cache.State.ao;
+  check_bool "IO reduced" true (cst.SG.Cst.after.Cache.State.io < 1.0)
+
+let test_cst_distance () =
+  let heavy = SG.Cst.measure (List.init 100 (fun i -> (i * 64, Hpc.Collector.Load))) in
+  let light = SG.Cst.measure [ (0, Hpc.Collector.Load) ] in
+  check_float "self distance" 0.0 (SG.Cst.distance heavy heavy);
+  check_bool "heavy vs light large" true (SG.Cst.distance heavy light > 0.3)
+
+(* ---- Distance -------------------------------------------------------------------- *)
+
+let entry_of_instrs ?(accesses = []) instrs =
+  {
+    SG.Model.block = 0;
+    instrs;
+    normalized = Isa.Normalize.sequence instrs;
+    cst = SG.Cst.measure accesses;
+    first_time = 0;
+  }
+
+let test_entry_distance_bounds () =
+  let e1 = entry_of_instrs [ Isa.Instr.Nop; Isa.Instr.Rdtsc ] in
+  let e2 =
+    entry_of_instrs
+      [ Isa.Instr.Clflush (Isa.Operand.abs 0); Isa.Instr.Mfence ]
+      ~accesses:(List.init 50 (fun i -> (i * 64, Hpc.Collector.Load)))
+  in
+  let d = SG.Distance.entry_distance e1 e2 in
+  check_bool "in [0,1]" true (d >= 0.0 && d <= 1.0);
+  check_float "identity" 0.0 (SG.Distance.entry_distance e1 e1)
+
+let test_entry_distance_alpha () =
+  let e1 = entry_of_instrs [ Isa.Instr.Nop ] in
+  let e2 =
+    entry_of_instrs [ Isa.Instr.Rdtsc ]
+      ~accesses:(List.init 50 (fun i -> (i * 64, Hpc.Collector.Load)))
+  in
+  let syntax_only = SG.Distance.entry_distance ~alpha:1.0 e1 e2 in
+  let cst_only = SG.Distance.entry_distance ~alpha:0.0 e1 e2 in
+  check_float "syntax only = IS" 1.0 syntax_only;
+  check_bool "cst only matches csp term" true (cst_only > 0.0 && cst_only < 1.0)
+
+(* ---- Dtw ---------------------------------------------------------------------------- *)
+
+let cost a b = abs_float (a -. b)
+
+let test_dtw_known_values () =
+  check_float "identical" 0.0 (SG.Dtw.distance ~cost [| 1.0; 2.0 |] [| 1.0; 2.0 |]);
+  check_float "both empty" 0.0 (SG.Dtw.distance ~cost [||] [||]);
+  check_bool "one empty" true (SG.Dtw.distance ~cost [| 1.0 |] [||] = infinity);
+  (* classic alignment: [1;2;3] vs [1;2;2;3] aligns the repeated 2 at cost 0 *)
+  check_float "warp absorbs repeats" 0.0
+    (SG.Dtw.distance ~cost [| 1.0; 2.0; 3.0 |] [| 1.0; 2.0; 2.0; 3.0 |]);
+  check_float "substitution cost" 1.0
+    (SG.Dtw.distance ~cost [| 1.0; 2.0 |] [| 1.0; 3.0 |])
+
+let test_dtw_normalized_bounds () =
+  let a = [| 0.0; 1.0; 0.0 |] and b = [| 1.0; 0.0; 1.0; 0.0 |] in
+  let cost a b = if a = b then 0.0 else 1.0 in
+  let d = SG.Dtw.normalized_distance ~cost a b in
+  check_bool "in [0,1]" true (d >= 0.0 && d <= 1.0)
+
+let prop_dtw_symmetric =
+  QCheck.Test.make ~name:"dtw symmetric" ~count:100
+    QCheck.(pair (list (float_range 0.0 5.0)) (list (float_range 0.0 5.0)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let d1 = SG.Dtw.distance ~cost a b in
+      let d2 = SG.Dtw.distance ~cost b a in
+      d1 = d2 || abs_float (d1 -. d2) < 1e-9)
+
+let prop_dtw_identity =
+  QCheck.Test.make ~name:"dtw self distance zero" ~count:100
+    QCheck.(list (float_range 0.0 5.0))
+    (fun a ->
+      let a = Array.of_list a in
+      SG.Dtw.distance ~cost a a = 0.0)
+
+let test_similarity_conversion () =
+  check_float "zero distance" 1.0 (SG.Dtw.similarity_of_distance 0.0);
+  check_float "distance one" 0.5 (SG.Dtw.similarity_of_distance 1.0);
+  check_float "infinite" 0.0 (SG.Dtw.similarity_of_distance infinity)
+
+(* Exhaustive reference DTW for tiny inputs: enumerate all monotone warping
+   paths recursively. *)
+let rec brute_dtw cost a b i j =
+  let n = Array.length a and m = Array.length b in
+  if i = n - 1 && j = m - 1 then cost a.(i) b.(j)
+  else begin
+    let c = cost a.(i) b.(j) in
+    let candidates =
+      (if i + 1 < n then [ brute_dtw cost a b (i + 1) j ] else [])
+      @ (if j + 1 < m then [ brute_dtw cost a b i (j + 1) ] else [])
+      @ (if i + 1 < n && j + 1 < m then [ brute_dtw cost a b (i + 1) (j + 1) ] else [])
+    in
+    c +. List.fold_left min infinity candidates
+  end
+
+let prop_dtw_matches_brute_force =
+  QCheck.Test.make ~name:"dtw equals exhaustive search on small inputs" ~count:200
+    QCheck.(pair
+              (list_of_size (QCheck.Gen.int_range 1 5) (float_range 0.0 3.0))
+              (list_of_size (QCheck.Gen.int_range 1 5) (float_range 0.0 3.0)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let dp = SG.Dtw.distance ~cost a b in
+      let brute = brute_dtw cost a b 0 0 in
+      abs_float (dp -. brute) < 1e-9)
+
+(* ---- Model ----------------------------------------------------------------------------- *)
+
+let test_model_ordered_by_time () =
+  let a = Lazy.force fr_analysis in
+  let times =
+    List.map (fun e -> e.SG.Model.first_time) a.SG.Pipeline.model.SG.Model.entries
+  in
+  check_bool "non-decreasing" true (List.sort compare times = times);
+  check_bool "non-empty" false (SG.Model.is_empty a.SG.Pipeline.model)
+
+let test_model_self_similarity () =
+  let m = (Lazy.force fr_analysis).SG.Pipeline.model in
+  check_float "identical model" 1.0 (SG.Dtw.compare_models m m)
+
+(* ---- Detector (end to end) ---------------------------------------------------------------- *)
+
+let repo =
+  lazy
+    [
+      { SG.Detector.family = "FR-F"; model = model_of_spec (A.flush_reload ~style:A.Iaik ()) };
+      { SG.Detector.family = "PP-F"; model = model_of_spec (A.prime_probe ~style:A.Iaik ()) };
+    ]
+
+let test_detector_classifies_variant () =
+  let target = model_of_spec (A.flush_reload ~style:A.Mastik ()) in
+  let v = SG.Detector.classify (Lazy.force repo) target in
+  Alcotest.(check (option string)) "classified FR" (Some "FR-F")
+    v.SG.Detector.best_family;
+  check_bool "is attack" true (SG.Detector.is_attack v)
+
+let test_detector_scores_sorted () =
+  let target = model_of_spec (A.evict_reload ()) in
+  let v = SG.Detector.classify (Lazy.force repo) target in
+  let scores = List.map (fun (_, _, s) -> s) v.SG.Detector.scores in
+  check_bool "descending" true (List.sort (fun a b -> compare b a) scores = scores);
+  check_int "two pocs" 2 (List.length scores)
+
+let test_detector_rejects_benign () =
+  let benign =
+    List.find
+      (fun (s : D.sample) -> true && s.D.name <> "")
+      (D.benign_samples ~rng:(Sutil.Rng.create 61) ~count:1)
+  in
+  let m = (analyze_sample benign).SG.Pipeline.model in
+  let v = SG.Detector.classify (Lazy.force repo) m in
+  check_bool "below threshold" true
+    (v.SG.Detector.best_score < SG.Detector.default_threshold);
+  check_bool "not attack" false (SG.Detector.is_attack v)
+
+let test_detector_empty_repository () =
+  let v = SG.Detector.classify [] (Lazy.force fr_analysis).SG.Pipeline.model in
+  check_bool "benign verdict" false (SG.Detector.is_attack v);
+  check_float "zero score" 0.0 v.SG.Detector.best_score
+
+let test_detector_threshold_effect () =
+  let target = model_of_spec (A.flush_reload ~style:A.Nepoche ()) in
+  let strict = SG.Detector.classify ~threshold:0.999 (Lazy.force repo) target in
+  let lax = SG.Detector.classify ~threshold:0.01 (Lazy.force repo) target in
+  check_bool "strict rejects" false (SG.Detector.is_attack strict);
+  check_bool "lax accepts" true (SG.Detector.is_attack lax)
+
+let test_meltdown_detected_cross_family () =
+  (* a transient attack family absent from the repository is still flagged
+     via its Flush+Reload recovery behavior (zero-day scenario) *)
+  let m = model_of_spec (A.meltdown_fr ()) in
+  let v = SG.Detector.classify (Lazy.force repo) m in
+  check_bool "flagged" true (SG.Detector.is_attack v)
+
+let test_scenario_ordering () =
+  (* the Table V shape: same-implementation family closest, benign far *)
+  let fr = model_of_spec (A.flush_reload ~style:A.Iaik ()) in
+  let fr' = model_of_spec (A.flush_reload ~style:A.Mastik ()) in
+  let pp = model_of_spec (A.prime_probe ~style:A.Iaik ()) in
+  let s1 = SG.Dtw.compare_models fr fr' in
+  let s3 = SG.Dtw.compare_models fr pp in
+  check_bool "S1 > S3" true (s1 > s3);
+  check_bool "S1 high" true (s1 > 0.8);
+  check_bool "S3 above benign band" true (s3 > 0.5)
+
+let test_empty_model_pipeline () =
+  (* a program with no cache-relevant behavior yields an empty model that
+     classifies as benign against any repository *)
+  let prog =
+    Isa.Program.assemble ~name:"alu-only"
+      (List.map (fun i -> Isa.Program.Ins i)
+         [ Isa.Instr.Mov (Isa.Operand.reg Isa.Reg.RAX, Isa.Operand.imm 1);
+           Isa.Instr.Add (Isa.Operand.reg Isa.Reg.RAX, Isa.Operand.imm 2);
+           Isa.Instr.Halt ])
+  in
+  let a = SG.Pipeline.run_and_analyze prog in
+  check_bool "empty model" true (SG.Model.is_empty a.SG.Pipeline.model);
+  let v = SG.Detector.classify (Lazy.force repo) a.SG.Pipeline.model in
+  check_bool "benign verdict" false (SG.Detector.is_attack v)
+
+let test_threshold_monotonicity () =
+  (* a stricter threshold never flags more programs *)
+  let rng = Sutil.Rng.create 777 in
+  let targets =
+    List.map (fun s -> (analyze_sample s).SG.Pipeline.model)
+      (D.mutated_attacks ~rng ~count:2 L.Fr_family
+      @ D.benign_samples ~rng ~count:2)
+  in
+  let flagged t =
+    List.length
+      (List.filter
+         (fun m -> SG.Detector.is_attack (SG.Detector.classify ~threshold:t (Lazy.force repo) m))
+         targets)
+  in
+  let counts = List.map flagged [ 0.1; 0.3; 0.5; 0.7; 0.9 ] in
+  check_bool "monotonically non-increasing" true
+    (List.sort (fun a b -> compare b a) counts = counts)
+
+(* ---- Cluster -------------------------------------------------------------------------- *)
+
+let test_clustering_recovers_families () =
+  let labelled =
+    List.map
+      (fun (s : A.spec) -> (model_of_spec s, s.A.label))
+      (A.base_pocs ())
+  in
+  let clusters =
+    SG.Cluster.by_similarity ~threshold:0.85 (List.map fst labelled)
+  in
+  check_int "four families discovered" 4 (List.length clusters);
+  (* every cluster is label-pure *)
+  List.iter
+    (fun cluster ->
+      let labels =
+        List.sort_uniq compare
+          (List.map
+             (fun m ->
+               L.to_string (List.assq m labelled))
+             cluster)
+      in
+      check_int "label-pure cluster" 1 (List.length labels))
+    clusters
+
+let test_pairwise_count () =
+  let ms =
+    List.filteri (fun i _ -> i < 4)
+      (List.map (fun (s : A.spec) -> model_of_spec s) (A.base_pocs ()))
+  in
+  check_int "n*(n-1)/2 pairs" 6 (List.length (SG.Cluster.pairwise ms))
+
+let test_curated_repository_detects () =
+  (* build the repository from mutated samples (no hand-picked PoCs), then
+     classify fresh variants with it *)
+  let rng = Sutil.Rng.create 321 in
+  let model_of_sample (s : D.sample) = (analyze_sample s).SG.Pipeline.model in
+  let samples =
+    List.concat_map
+      (fun l ->
+        List.map
+          (fun s -> (L.to_string l, model_of_sample s))
+          (D.mutated_attacks ~rng ~count:3 l))
+      [ L.Fr_family; L.Pp_family ]
+  in
+  let repo = SG.Cluster.curate_repository ~threshold:0.85 samples in
+  check_bool "repository is compact" true
+    (List.length repo <= List.length samples);
+  check_bool "has both families" true
+    (List.exists (fun p -> p.SG.Detector.family = "FR-F") repo
+    && List.exists (fun p -> p.SG.Detector.family = "PP-F") repo);
+  (* fresh variants classify correctly through the curated repository *)
+  let fresh l = model_of_sample (List.hd (D.mutated_attacks ~rng ~count:1 l)) in
+  let verdict l = SG.Detector.classify repo (fresh l) in
+  Alcotest.(check (option string)) "fresh FR" (Some "FR-F")
+    (verdict L.Fr_family).SG.Detector.best_family;
+  Alcotest.(check (option string)) "fresh PP" (Some "PP-F")
+    (verdict L.Pp_family).SG.Detector.best_family
+
+let test_medoid_is_most_central () =
+  let ms =
+    List.map (fun (s : A.spec) -> model_of_spec s)
+      [ A.flush_reload ~style:A.Iaik (); A.flush_reload ~style:A.Mastik ();
+        A.flush_reload ~style:A.Nepoche () ]
+  in
+  let m = SG.Cluster.medoid ms in
+  check_bool "medoid from the cluster" true (List.memq m ms)
+
+(* ---- The Limitation scenario (section V) ---------------------------------------------- *)
+
+let test_guarded_attack_limitation () =
+  let base = A.flush_reload ~style:A.Iaik () in
+  let guarded = A.with_input_guard base in
+  let model_with init =
+    let res = Cpu.Exec.run ~init ?victim:guarded.A.victim guarded.A.program in
+    (SG.Pipeline.analyze ~name:guarded.A.name ~program:guarded.A.program res)
+      .SG.Pipeline.model
+  in
+  let repository = Lazy.force repo in
+  (* untriggered: the attack body never runs; dynamic modeling misses it *)
+  let untriggered = model_with guarded.A.init in
+  let v1 = SG.Detector.classify repository untriggered in
+  check_bool "untriggered run evades detection (the paper's limitation)"
+    false (SG.Detector.is_attack v1);
+  (* triggered: the same binary is detected *)
+  let triggered = model_with (A.triggering_init guarded.A.init) in
+  let v2 = SG.Detector.classify repository triggered in
+  check_bool "triggered run is detected" true (SG.Detector.is_attack v2);
+  (match v2.SG.Detector.best_family with
+  | Some f -> Alcotest.(check string) "right family" "FR-F" f
+  | None -> Alcotest.fail "expected a family")
+
+(* ---- Persist ------------------------------------------------------------------------ *)
+
+let test_persist_model_roundtrip () =
+  let m = (Lazy.force fr_analysis).SG.Pipeline.model in
+  let m' = SG.Persist.model_of_string (SG.Persist.model_to_string m) in
+  Alcotest.(check string) "name" m.SG.Model.name m'.SG.Model.name;
+  check_int "entries" (SG.Model.length m) (SG.Model.length m');
+  check_float "similarity 1 after roundtrip" 1.0 (SG.Dtw.compare_models m m');
+  List.iter2
+    (fun a b ->
+      check_int "block" a.SG.Model.block b.SG.Model.block;
+      check_int "time" a.SG.Model.first_time b.SG.Model.first_time;
+      Alcotest.(check (array string)) "tokens" a.SG.Model.normalized b.SG.Model.normalized)
+    m.SG.Model.entries m'.SG.Model.entries
+
+let test_persist_repository_roundtrip () =
+  let repo = Lazy.force repo in
+  let path = Filename.temp_file "scaguard" ".repo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      SG.Persist.save_repository ~path repo;
+      let loaded = SG.Persist.load_repository ~path in
+      check_int "poc count" (List.length repo) (List.length loaded);
+      (* classification through the loaded repository is identical *)
+      let target = model_of_spec (A.evict_reload ()) in
+      let v1 = SG.Detector.classify repo target in
+      let v2 = SG.Detector.classify loaded target in
+      Alcotest.(check (option string)) "same family"
+        v1.SG.Detector.best_family v2.SG.Detector.best_family;
+      check_float "same score" v1.SG.Detector.best_score v2.SG.Detector.best_score)
+
+let test_persist_rejects_garbage () =
+  check_bool "bad magic" true
+    (try ignore (SG.Persist.model_of_string "nonsense"); false
+     with Failure _ -> true);
+  check_bool "bad repo magic" true
+    (try ignore (SG.Persist.repository_of_string "cstbbs 1"); false
+     with Failure _ -> true);
+  check_bool "truncated" true
+    (try ignore (SG.Persist.model_of_string "cstbbs 1\nname x\nentry 0 0"); false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "scaguard"
+    [
+      ( "relevant",
+        [
+          Alcotest.test_case "finds ground truth" `Quick
+            test_identification_finds_ground_truth;
+          Alcotest.test_case "prunes" `Quick test_identification_prunes;
+          Alcotest.test_case "hpc values" `Quick test_identification_hpc_values;
+          Alcotest.test_case "first times" `Quick test_identification_first_times;
+          Alcotest.test_case "accuracy helper" `Quick test_accuracy_helper;
+        ] );
+      ( "attack_graph",
+        [
+          Alcotest.test_case "covers relevant" `Quick test_attack_graph_covers_relevant;
+          Alcotest.test_case "restores paths" `Quick test_attack_graph_restores_paths;
+          Alcotest.test_case "empty input" `Quick test_attack_graph_empty_for_no_relevant;
+        ] );
+      ( "cst",
+        [
+          Alcotest.test_case "starts full" `Quick test_cst_starts_full;
+          Alcotest.test_case "loads shift occupancy" `Quick test_cst_loads_shift_occupancy;
+          Alcotest.test_case "flushes reduce IO" `Quick test_cst_flushes_reduce_io;
+          Alcotest.test_case "distance" `Quick test_cst_distance;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "bounds" `Quick test_entry_distance_bounds;
+          Alcotest.test_case "alpha blending" `Quick test_entry_distance_alpha;
+        ] );
+      ( "dtw",
+        [
+          Alcotest.test_case "known values" `Quick test_dtw_known_values;
+          Alcotest.test_case "normalized bounds" `Quick test_dtw_normalized_bounds;
+          QCheck_alcotest.to_alcotest prop_dtw_symmetric;
+          QCheck_alcotest.to_alcotest prop_dtw_identity;
+          QCheck_alcotest.to_alcotest prop_dtw_matches_brute_force;
+          Alcotest.test_case "similarity conversion" `Quick test_similarity_conversion;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "ordered by time" `Quick test_model_ordered_by_time;
+          Alcotest.test_case "self similarity" `Quick test_model_self_similarity;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "classifies variant" `Quick test_detector_classifies_variant;
+          Alcotest.test_case "scores sorted" `Quick test_detector_scores_sorted;
+          Alcotest.test_case "rejects benign" `Quick test_detector_rejects_benign;
+          Alcotest.test_case "empty repository" `Quick test_detector_empty_repository;
+          Alcotest.test_case "threshold effect" `Quick test_detector_threshold_effect;
+          Alcotest.test_case "scenario ordering" `Quick test_scenario_ordering;
+          Alcotest.test_case "meltdown cross-family detection" `Quick
+            test_meltdown_detected_cross_family;
+        ] );
+      ( "edge",
+        [
+          Alcotest.test_case "empty model pipeline" `Quick test_empty_model_pipeline;
+          Alcotest.test_case "threshold monotonicity" `Quick
+            test_threshold_monotonicity;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "recovers families unsupervised" `Slow
+            test_clustering_recovers_families;
+          Alcotest.test_case "pairwise count" `Slow test_pairwise_count;
+          Alcotest.test_case "curated repository detects" `Slow
+            test_curated_repository_detects;
+          Alcotest.test_case "medoid is central" `Slow test_medoid_is_most_central;
+        ] );
+      ( "limitation",
+        [
+          Alcotest.test_case "guarded attack needs triggering" `Quick
+            test_guarded_attack_limitation;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "model roundtrip" `Quick test_persist_model_roundtrip;
+          Alcotest.test_case "repository roundtrip" `Quick
+            test_persist_repository_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_persist_rejects_garbage;
+        ] );
+    ]

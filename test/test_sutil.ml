@@ -1,0 +1,206 @@
+(* Tests for the sutil utility library: deterministic RNG, Levenshtein
+   distance, summary statistics and table rendering. *)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sutil.Rng.create 42 in
+  let b = Sutil.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sutil.Rng.int a 1000) (Sutil.Rng.int b 1000)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Sutil.Rng.create 1 in
+  let b = Sutil.Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Sutil.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Sutil.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let test_rng_split_independent () =
+  let parent = Sutil.Rng.create 7 in
+  let child = Sutil.Rng.split parent in
+  let c1 = List.init 10 (fun _ -> Sutil.Rng.int child 100) in
+  (* A second split from the same parent state gives another stream. *)
+  let child2 = Sutil.Rng.split parent in
+  let c2 = List.init 10 (fun _ -> Sutil.Rng.int child2 100) in
+  Alcotest.(check bool) "children differ" false (c1 = c2)
+
+let test_rng_copy () =
+  let a = Sutil.Rng.create 9 in
+  ignore (Sutil.Rng.int a 10);
+  let b = Sutil.Rng.copy a in
+  check_int "copy replays" (Sutil.Rng.int a 1000) (Sutil.Rng.int b 1000)
+
+let test_rng_in_range () =
+  let rng = Sutil.Rng.create 3 in
+  for _ = 1 to 500 do
+    let v = Sutil.Rng.in_range rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_invalid_args () =
+  let rng = Sutil.Rng.create 0 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sutil.Rng.int rng 0));
+  Alcotest.check_raises "choose []" (Invalid_argument "Rng.choose: empty list")
+    (fun () -> ignore (Sutil.Rng.choose rng ([] : int list)))
+
+let test_rng_sample_distinct () =
+  let rng = Sutil.Rng.create 5 in
+  let xs = List.init 20 Fun.id in
+  let s = Sutil.Rng.sample rng 8 xs in
+  check_int "size" 8 (List.length s);
+  check_int "distinct" 8 (List.length (List.sort_uniq compare s))
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Sutil.Rng.create seed in
+      let v = Sutil.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Sutil.Rng.create seed in
+      List.sort compare (Sutil.Rng.shuffle rng xs) = List.sort compare xs)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"rng float within bounds" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Sutil.Rng.create seed in
+      let v = Sutil.Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+(* ---- Levenshtein ---------------------------------------------------------- *)
+
+let dist a b =
+  Sutil.Levenshtein.distance_strings (Array.of_list a) (Array.of_list b)
+
+let test_lev_basic () =
+  check_int "identical" 0 (dist [ "a"; "b" ] [ "a"; "b" ]);
+  check_int "empty vs xs" 3 (dist [] [ "a"; "b"; "c" ]);
+  check_int "single subst" 1 (dist [ "a"; "b"; "c" ] [ "a"; "x"; "c" ]);
+  check_int "insert" 1 (dist [ "a"; "c" ] [ "a"; "b"; "c" ]);
+  check_int "kitten/sitting" 3
+    (Sutil.Levenshtein.distance ~equal:Char.equal
+       [| 'k'; 'i'; 't'; 't'; 'e'; 'n' |]
+       [| 's'; 'i'; 't'; 't'; 'i'; 'n'; 'g' |])
+
+let test_lev_normalized () =
+  check_float "identical" 0.0
+    (Sutil.Levenshtein.normalized ~equal:String.equal [| "a" |] [| "a" |]);
+  check_float "both empty" 0.0
+    (Sutil.Levenshtein.normalized ~equal:String.equal [||] [||]);
+  check_float "disjoint" 1.0
+    (Sutil.Levenshtein.normalized ~equal:String.equal [| "a"; "b" |]
+       [| "x"; "y" |])
+
+let prop_lev_symmetric =
+  QCheck.Test.make ~name:"levenshtein symmetric" ~count:200
+    QCheck.(pair (list (int_range 0 5)) (list (int_range 0 5)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      Sutil.Levenshtein.distance ~equal:Int.equal a b
+      = Sutil.Levenshtein.distance ~equal:Int.equal b a)
+
+let prop_lev_triangle =
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
+    QCheck.(triple (list (int_range 0 3)) (list (int_range 0 3))
+              (list (int_range 0 3)))
+    (fun (a, b, c) ->
+      let a = Array.of_list a and b = Array.of_list b and c = Array.of_list c in
+      let d x y = Sutil.Levenshtein.distance ~equal:Int.equal x y in
+      d a c <= d a b + d b c)
+
+let prop_lev_bounds =
+  QCheck.Test.make ~name:"levenshtein bounded by max length" ~count:200
+    QCheck.(pair (list (int_range 0 5)) (list (int_range 0 5)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let d = Sutil.Levenshtein.distance ~equal:Int.equal a b in
+      d >= abs (Array.length a - Array.length b)
+      && d <= max (Array.length a) (Array.length b))
+
+(* ---- Stats ---------------------------------------------------------------- *)
+
+let test_stats_mean_median () =
+  check_float "mean" 2.5 (Sutil.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median odd" 2.0 (Sutil.Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Sutil.Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check_float "empty mean" 0.0 (Sutil.Stats.mean []);
+  check_float "min" 1.0 (Sutil.Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Sutil.Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Sutil.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "known" 2.0 (Sutil.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50.0 (Sutil.Stats.percentile 0.5 xs);
+  check_float "p99" 99.0 (Sutil.Stats.percentile 0.99 xs)
+
+(* ---- Table ---------------------------------------------------------------- *)
+
+(* tiny substring helper to avoid external deps *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Sutil.Table.create ~title:"T" [ "a"; "bb" ] in
+  Sutil.Table.add_row t [ "1"; "2" ];
+  Sutil.Table.add_row t [ "longer" ];
+  let s = Sutil.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  (* short row padded, long cell widens column *)
+  Alcotest.(check bool) "mentions longer" true (contains s "longer")
+
+let test_table_pct () =
+  Alcotest.(check string) "pct" "96.64%" (Sutil.Table.pct 0.9664);
+  Alcotest.(check string) "fpct" "12.30%" (Sutil.Table.fpct 12.3)
+
+let () =
+  Alcotest.run "sutil"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "in_range" `Quick test_rng_in_range;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid_args;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          QCheck_alcotest.to_alcotest prop_int_bounds;
+          QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_float_bounds;
+        ] );
+      ( "levenshtein",
+        [
+          Alcotest.test_case "basic" `Quick test_lev_basic;
+          Alcotest.test_case "normalized" `Quick test_lev_normalized;
+          QCheck_alcotest.to_alcotest prop_lev_symmetric;
+          QCheck_alcotest.to_alcotest prop_lev_triangle;
+          QCheck_alcotest.to_alcotest prop_lev_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "pct" `Quick test_table_pct;
+        ] );
+    ]
