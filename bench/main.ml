@@ -18,7 +18,7 @@ let seed = ref 20260704
 let out_dir = ref None
 let artifacts = ref []
 
-let usage = "main.exe [--per-family N] [--seed S] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|timecost|all]"
+let usage = "main.exe [--per-family N] [--seed S] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|timecost|all]"
 
 let () =
   let rec parse = function
@@ -239,6 +239,65 @@ let scaling () =
   emit_table ~artifact:"scaling" t;
   Printf.printf "(the shape is stable from small sample counts on)\n"
 
+(* ---- Engine: sequential vs parallel batch classification --------------------------- *)
+
+let engine () =
+  section "Engine: domain-parallel batch classification";
+  let module L = Workloads.Label in
+  let module D = Workloads.Dataset in
+  let rng = rng () in
+  let repo = Experiments.Common.repository ~rng L.attack_labels in
+  let samples =
+    List.concat_map
+      (fun l -> D.mutated_attacks ~rng ~count:!per_family l)
+      L.attack_labels
+    @ D.benign_samples ~rng ~count:!per_family
+  in
+  Printf.printf "building %d target models (repository: %d PoCs)...\n%!"
+    (List.length samples) (List.length repo);
+  let models =
+    List.map
+      (fun (s : D.sample) ->
+        let res = D.run s in
+        (Scaguard.Pipeline.analyze ~name:s.D.name ~program:s.D.program res)
+          .Scaguard.Pipeline.model)
+      samples
+  in
+  (* replicate the models into a batch big enough to time meaningfully *)
+  let base = Array.of_list models in
+  let batch = max (Array.length base) 512 in
+  let targets = Array.init batch (fun i -> base.(i mod Array.length base)) in
+  Printf.printf "batch: %d targets x %d PoCs = %d pairs\n%!" batch
+    (List.length repo) (batch * List.length repo);
+  (* sequential path: the plain allocating Detector.classify loop *)
+  let t0 = Unix.gettimeofday () in
+  let seq = Array.map (Scaguard.Detector.classify repo) targets in
+  let seq_dt = Unix.gettimeofday () -. t0 in
+  (* parallel path: the engine *)
+  let domains = max 4 (Sutil.Pool.default_domains ()) in
+  let par, stats = Scaguard.Engine.classify_batch ~domains repo targets in
+  (* verdicts must be byte-identical — parallelism never changes results *)
+  Array.iteri
+    (fun i (v : Scaguard.Detector.verdict) ->
+      let p = par.(i) in
+      if
+        v.Scaguard.Detector.scores <> p.Scaguard.Detector.scores
+        || v.Scaguard.Detector.best_family <> p.Scaguard.Detector.best_family
+        || v.Scaguard.Detector.best_score <> p.Scaguard.Detector.best_score
+      then begin
+        Printf.eprintf "engine: verdict mismatch at target %d\n" i;
+        exit 1
+      end)
+    seq;
+  let pairs = float_of_int stats.Scaguard.Engine.pairs in
+  Printf.printf "sequential: %.4fs  (%.0f pairs/s)\n" seq_dt (pairs /. seq_dt);
+  Printf.printf "parallel:   %.4fs  (%.0f pairs/s)  speedup %.2fx\n"
+    stats.Scaguard.Engine.wall_s
+    (Scaguard.Engine.throughput stats)
+    (seq_dt /. stats.Scaguard.Engine.wall_s);
+  Format.printf "%a@." Scaguard.Engine.pp_stats stats;
+  Printf.printf "verdicts: all %d identical to the sequential path\n" batch
+
 (* ---- Time cost (Section V), via Bechamel ------------------------------------------ *)
 
 let timecost () =
@@ -311,7 +370,7 @@ let timecost () =
 let all () =
   table1 (); table2 (); table3 (); table4 (); table5 (); table6 ();
   fig5 (); ablation (); extended (); clusters (); robustness (); scaling ();
-  timecost ()
+  engine (); timecost ()
 
 let () =
   Printf.printf
@@ -330,6 +389,7 @@ let () =
     | "extended" -> extended ()
     | "clusters" -> clusters ()
     | "scaling" -> scaling ()
+    | "engine" -> engine ()
     | "timecost" -> timecost ()
     | "all" -> all ()
     | other ->

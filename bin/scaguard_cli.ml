@@ -180,6 +180,66 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Classify a program against a PoC repository.")
     Term.(const run $ seed_t $ repo_t $ threshold_t $ name_arg 0 "Program name.")
 
+(* ---- detect-batch (the parallel engine) ------------------------------------------- *)
+
+let detect_batch_cmd =
+  let run seed repo_names threshold domains band stats names =
+    let families = List.filter_map Workloads.Label.of_string repo_names in
+    if families = [] then begin
+      Printf.eprintf "no valid repository families in %s\n"
+        (String.concat "," repo_names);
+      exit 1
+    end;
+    let rng = Sutil.Rng.create seed in
+    let repo = Experiments.Common.repository ~rng families in
+    let samples = List.map (sample_or_die ~seed) names in
+    let targets =
+      Array.of_list
+        (List.map
+           (fun s -> (fst (analyze s)).Scaguard.Pipeline.model)
+           samples)
+    in
+    let verdicts, st =
+      Scaguard.Engine.classify_batch ~threshold ?band ?domains repo targets
+    in
+    List.iteri
+      (fun i name ->
+        let v = verdicts.(i) in
+        match v.Scaguard.Detector.best_family with
+        | Some f ->
+          Printf.printf "%-24s ATTACK %-6s (%6.2f%%)\n" name f
+            (100.0 *. v.Scaguard.Detector.best_score)
+        | None ->
+          Printf.printf "%-24s benign        (best %6.2f%%)\n" name
+            (100.0 *. v.Scaguard.Detector.best_score))
+      names;
+    if stats then Format.printf "%a@." Scaguard.Engine.pp_stats st
+  in
+  let domains_t =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (default: the recommended domain count).")
+  in
+  let band_t =
+    Arg.(value & opt (some int) None
+         & info [ "band" ] ~docv:"B"
+             ~doc:"Sakoe-Chiba band for the DTW (off by default; exact).")
+  in
+  let stats_t =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print per-batch engine counters.")
+  in
+  let progs_t =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"PROGRAM" ~doc:"Programs to classify (see `list`).")
+  in
+  Cmd.v
+    (Cmd.info "detect-batch"
+       ~doc:"Classify many programs against a PoC repository in one parallel \
+             batch (identical verdicts to `detect`, one per line).")
+    Term.(const run $ seed_t $ repo_t $ threshold_t $ domains_t $ band_t
+          $ stats_t $ progs_t)
+
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
 let build_repo_cmd =
@@ -201,7 +261,12 @@ let build_repo_cmd =
 
 let detect_file_cmd =
   let run seed path threshold name =
-    let repo = Scaguard.Persist.load_repository ~path in
+    let repo =
+      try Scaguard.Persist.load_repository ~path
+      with Failure m | Sys_error m ->
+        Printf.eprintf "cannot load repository %s: %s\n" path m;
+        exit 1
+    in
     let s = sample_or_die ~seed name in
     let a, _ = analyze s in
     let v = Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model in
@@ -473,7 +538,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; leak_cmd; model_cmd; compare_cmd; detect_cmd;
-            build_repo_cmd; detect_file_cmd; dot_cmd; compile_cmd;
+            detect_batch_cmd; build_repo_cmd; detect_file_cmd; dot_cmd; compile_cmd;
             assemble_cmd; disasm_cmd; detect_binary_cmd; heatmap_cmd;
             export_dataset_cmd; scadet_cmd;
           ]))

@@ -9,15 +9,25 @@ type verdict = {
 
 let default_threshold = 0.60
 
-let classify ?(threshold = default_threshold) ?alpha repository target =
+(* Deterministic ordering: score descending, then family, then model name —
+   ties must not depend on how the repository list was assembled. *)
+let compare_scored (n1, f1, s1) (n2, f2, s2) =
+  match Float.compare s2 s1 with
+  | 0 -> (
+    match String.compare f1 f2 with
+    | 0 -> String.compare n1 n2
+    | c -> c)
+  | c -> c
+
+let classify ?(threshold = default_threshold) ?alpha ?ws ?band repository target =
   let scores =
     List.map
       (fun p ->
         ( p.model.Model.name,
           p.family,
-          Dtw.compare_models ?alpha p.model target ))
+          Dtw.compare_models ?ws ?band ?alpha p.model target ))
       repository
-    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+    |> List.sort compare_scored
   in
   match scores with
   | [] -> { scores = []; best_family = None; best_score = 0.0 }
@@ -29,3 +39,17 @@ let classify ?(threshold = default_threshold) ?alpha repository target =
     }
 
 let is_attack v = Option.is_some v.best_family
+
+let empty_verdict = { scores = []; best_family = None; best_score = 0.0 }
+
+let classify_batch ?threshold ?alpha ?band ?domains repository targets =
+  let tasks = Array.length targets in
+  let out = Array.make tasks empty_verdict in
+  let d = Sutil.Pool.domains_for ?domains tasks in
+  let wss = Array.init d (fun _ -> Dtw.workspace ()) in
+  ignore
+    (Sutil.Pool.run ~domains:d ~tasks (fun ~worker i ->
+         out.(i) <-
+           classify ?threshold ?alpha ?band ~ws:wss.(worker) repository
+             targets.(i)));
+  out

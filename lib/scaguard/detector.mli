@@ -11,7 +11,9 @@ type repository = poc list
 
 type verdict = {
   scores : (string * string * float) list;
-    (** (PoC model name, family, similarity), best first *)
+    (** (PoC model name, family, similarity), best first.  Ordering is
+        deterministic: score descending, then family, then model name — a
+        tie never depends on repository assembly order. *)
   best_family : string option;
     (** [Some family] when the best score reaches the threshold *)
   best_score : float;
@@ -24,8 +26,23 @@ val default_threshold : float
     55–65%, hence 60%. *)
 
 val classify :
-  ?threshold:float -> ?alpha:float -> repository -> Model.t -> verdict
+  ?threshold:float -> ?alpha:float -> ?ws:Dtw.workspace -> ?band:int ->
+  repository -> Model.t -> verdict
 (** Compare the target model with every PoC.  An empty repository yields a
-    benign verdict with no scores. *)
+    benign verdict with no scores.  [ws] (buffer reuse) and [band]
+    (Sakoe–Chiba) feed {!Dtw.compare_models}; with [band] absent the scores
+    are exact. *)
+
+val classify_batch :
+  ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->
+  repository -> Model.t array -> verdict array
+(** Classify every target, in parallel across [domains] OCaml domains
+    (default {!Sutil.Pool.default_domains}); each worker reuses one
+    {!Dtw.workspace}.  Verdicts are identical — including score bits and
+    ordering — to mapping {!classify} over the targets sequentially.  See
+    {!Engine.classify_batch} for the instrumented variant. *)
 
 val is_attack : verdict -> bool
+
+val empty_verdict : verdict
+(** The benign verdict of an empty repository: no scores, best score 0. *)

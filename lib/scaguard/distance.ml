@@ -1,8 +1,8 @@
-let instruction_distance a b =
-  Sutil.Levenshtein.normalized ~equal:String.equal a b
+let instruction_distance ?lev a b =
+  Sutil.Levenshtein.normalized ?ws:lev ~equal:String.equal a b
 
 let csp_distance = Cst.distance
 
-let entry_distance ?(alpha = 0.5) (e1 : Model.entry) (e2 : Model.entry) =
-  (alpha *. instruction_distance e1.Model.normalized e2.Model.normalized)
+let entry_distance ?lev ?(alpha = 0.5) (e1 : Model.entry) (e2 : Model.entry) =
+  (alpha *. instruction_distance ?lev e1.Model.normalized e2.Model.normalized)
   +. ((1.0 -. alpha) *. csp_distance e1.Model.cst e2.Model.cst)

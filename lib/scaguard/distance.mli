@@ -2,14 +2,18 @@
     Levenshtein over normalized instruction sequences) and a semantic term
     (difference of cache-change magnitudes). *)
 
-val instruction_distance : string array -> string array -> float
+val instruction_distance :
+  ?lev:Sutil.Levenshtein.workspace -> string array -> string array -> float
 (** D_IS: normalized Levenshtein over normalized instruction tokens,
-    in [\[0,1\]]. *)
+    in [\[0,1\]].  [lev] reuses the edit-distance row buffers (hot batch
+    path); results are identical with or without it. *)
 
 val csp_distance : Cst.t -> Cst.t -> float
 (** D_CSP, in [\[0,1\]]. *)
 
-val entry_distance : ?alpha:float -> Model.entry -> Model.entry -> float
+val entry_distance :
+  ?lev:Sutil.Levenshtein.workspace ->
+  ?alpha:float -> Model.entry -> Model.entry -> float
 (** [Distance(tau1, tau2) = alpha*D_IS + (1-alpha)*D_CSP]; the paper's
     definition is the plain mean ([alpha = 0.5], the default).  [alpha] is
     exposed for the ablation benches (1.0 = syntax only, 0.0 = cache

@@ -1,20 +1,78 @@
 (* DP over (accumulated cost, path length); the length of the optimal path
-   normalizes the distance so scores are comparable across model sizes. *)
-let dp ~cost a b =
+   normalizes the distance so scores are comparable across model sizes.
+
+   Two optional refinements serve the batch engine:
+   - a workspace reuses the four DP rows (and the Levenshtein rows of the
+     entry cost) across calls, making the hot path allocation-free;
+   - a Sakoe-Chiba band restricts the DP to |i - j| <= band, with an early
+     bail-out (infinite distance) when the length difference alone exceeds
+     the band.  Without [band] the full matrix is computed and results are
+     bit-identical to the unbanded code. *)
+
+type workspace = {
+  mutable prev_c : float array;
+  mutable prev_l : int array;
+  mutable cur_c : float array;
+  mutable cur_l : int array;
+  lev : Sutil.Levenshtein.workspace;
+  mutable pairs : int;
+  mutable cells : int;
+}
+
+let workspace () =
+  {
+    prev_c = [||];
+    prev_l = [||];
+    cur_c = [||];
+    cur_l = [||];
+    lev = Sutil.Levenshtein.workspace ();
+    pairs = 0;
+    cells = 0;
+  }
+
+let pairs_scored ws = ws.pairs
+let cells_computed ws = ws.cells
+
+let ensure ws len =
+  if Array.length ws.prev_c < len then begin
+    let cap = max len (2 * Array.length ws.prev_c) in
+    ws.prev_c <- Array.make cap infinity;
+    ws.prev_l <- Array.make cap 0;
+    ws.cur_c <- Array.make cap infinity;
+    ws.cur_l <- Array.make cap 0
+  end
+
+let dp ?ws ?band ~cost a b =
+  (match ws with Some w -> w.pairs <- w.pairs + 1 | None -> ());
   let n = Array.length a and m = Array.length b in
   if n = 0 && m = 0 then (0.0, 1)
   else if n = 0 || m = 0 then (infinity, 1)
+  else if (match band with Some w -> abs (n - m) > w | None -> false) then
+    (* no monotone path stays within the band: bail out without any DP work *)
+    (infinity, 1)
   else begin
     let inf = infinity in
-    let prev_c = Array.make (m + 1) inf in
-    let prev_l = Array.make (m + 1) 0 in
-    let cur_c = Array.make (m + 1) inf in
-    let cur_l = Array.make (m + 1) 0 in
+    let width = match band with Some w -> w | None -> max n m in
+    let prev_c, prev_l, cur_c, cur_l =
+      match ws with
+      | Some w ->
+        ensure w (m + 1);
+        (w.prev_c, w.prev_l, w.cur_c, w.cur_l)
+      | None ->
+        ( Array.make (m + 1) inf,
+          Array.make (m + 1) 0,
+          Array.make (m + 1) inf,
+          Array.make (m + 1) 0 )
+    in
+    Array.fill prev_c 0 (m + 1) inf;
+    Array.fill prev_l 0 (m + 1) 0;
     prev_c.(0) <- 0.0;
+    let cells = ref 0 in
     for i = 1 to n do
-      cur_c.(0) <- inf;
-      cur_l.(0) <- 0;
-      for j = 1 to m do
+      let jlo = max 1 (i - width) and jhi = min m (i + width) in
+      cur_c.(jlo - 1) <- inf;
+      cur_l.(jlo - 1) <- 0;
+      for j = jlo to jhi do
         let c = cost a.(i - 1) b.(j - 1) in
         (* predecessors: (i-1,j) delete, (i,j-1) insert, (i-1,j-1) match *)
         let pc, pl =
@@ -26,28 +84,52 @@ let dp ~cost a b =
         cur_c.(j) <- c +. pc;
         cur_l.(j) <- pl + 1
       done;
-      Array.blit cur_c 0 prev_c 0 (m + 1);
-      Array.blit cur_l 0 prev_l 0 (m + 1)
+      cells := !cells + (jhi - jlo + 1);
+      (* seal the band edge so the next row reads infinity outside it *)
+      if jhi < m then begin
+        cur_c.(jhi + 1) <- inf;
+        cur_l.(jhi + 1) <- 0
+      end;
+      let hi = min m (jhi + 1) in
+      Array.blit cur_c (jlo - 1) prev_c (jlo - 1) (hi - jlo + 2);
+      Array.blit cur_l (jlo - 1) prev_l (jlo - 1) (hi - jlo + 2)
     done;
+    (match ws with Some w -> w.cells <- w.cells + !cells | None -> ());
     (prev_c.(m), max 1 prev_l.(m))
   end
 
-let distance ~cost a b = fst (dp ~cost a b)
+let distance ?ws ?band ~cost a b = fst (dp ?ws ?band ~cost a b)
 
-let normalized_distance ~cost a b =
-  let d, len = dp ~cost a b in
+let normalized_distance ?ws ?band ~cost a b =
+  let d, len = dp ?ws ?band ~cost a b in
   if d = infinity then 1.0 else d /. float_of_int len
 
 let similarity_of_distance d = 1.0 /. (1.0 +. d)
 
 let entries m = Array.of_list m.Model.entries
 
-let compare_models ?alpha m1 m2 =
-  1.0
-  -. normalized_distance
-       ~cost:(Distance.entry_distance ?alpha)
-       (entries m1) (entries m2)
+(* An empty model carries no behavior to compare: any score against it —
+   including another empty model — is 0, never a perfect match. *)
+let compare_models ?ws ?band ?alpha m1 m2 =
+  if Model.is_empty m1 || Model.is_empty m2 then begin
+    (match ws with Some w -> w.pairs <- w.pairs + 1 | None -> ());
+    0.0
+  end
+  else
+    let lev = match ws with Some w -> Some w.lev | None -> None in
+    1.0
+    -. normalized_distance ?ws ?band
+         ~cost:(Distance.entry_distance ?lev ?alpha)
+         (entries m1) (entries m2)
 
-let compare_models_raw ?alpha m1 m2 =
-  similarity_of_distance
-    (distance ~cost:(Distance.entry_distance ?alpha) (entries m1) (entries m2))
+let compare_models_raw ?ws ?band ?alpha m1 m2 =
+  if Model.is_empty m1 || Model.is_empty m2 then begin
+    (match ws with Some w -> w.pairs <- w.pairs + 1 | None -> ());
+    0.0
+  end
+  else
+    let lev = match ws with Some w -> Some w.lev | None -> None in
+    similarity_of_distance
+      (distance ?ws ?band
+         ~cost:(Distance.entry_distance ?lev ?alpha)
+         (entries m1) (entries m2))

@@ -11,14 +11,42 @@
     lies in [\[0,1\]] for unit step costs) and report [1 - D_norm] — a
     monotone-equivalent score that lands in the same numeric ranges as
     Table V.  {!similarity_of_distance} still provides the paper's raw
-    mapping for comparison. *)
+    mapping for comparison.
+
+    {b Workspaces.}  The batch engine scores millions of pairs; [?ws] reuses
+    the DP rows (and the Levenshtein rows inside the entry cost) so the hot
+    path allocates nothing per pair.  A workspace also accumulates counters
+    (pairs scored, DP cells computed) for observability.  Results are
+    bit-identical with or without a workspace.  A workspace must not be
+    shared between concurrently running domains.
+
+    {b Banding.}  [?band] restricts the DP to the Sakoe–Chiba band
+    [|i - j| <= band].  When the two lengths differ by more than the band no
+    warping path exists and the distance is [infinity] (similarity 0) with
+    no DP work — an early bail-out for wildly different-sized models.  With
+    [band >= max n m] (or no [band], the default) results equal the exact,
+    unbanded computation. *)
+
+type workspace
+(** Reusable DP buffers plus per-workspace counters; one per pool worker. *)
+
+val workspace : unit -> workspace
+
+val pairs_scored : workspace -> int
+(** Model/sequence pairs scored through this workspace since creation. *)
+
+val cells_computed : workspace -> int
+(** DP matrix cells evaluated through this workspace since creation. *)
 
 val distance :
+  ?ws:workspace -> ?band:int ->
   cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
 (** Raw accumulated DTW distance, unit steps (match, insert, delete).
-    Both sequences empty → [0.]; exactly one empty → [infinity]. *)
+    Both sequences empty → [0.]; exactly one empty → [infinity]; banded with
+    no in-band path → [infinity]. *)
 
 val normalized_distance :
+  ?ws:workspace -> ?band:int ->
   cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
 (** Accumulated cost divided by the optimal warping path's length; in
     [\[0,1\]] when [cost] is.  Empty-sequence conventions as {!distance}
@@ -27,11 +55,16 @@ val normalized_distance :
 val similarity_of_distance : float -> float
 (** The paper's raw mapping [1 / (1 + d)]. *)
 
-val compare_models : ?alpha:float -> Model.t -> Model.t -> float
+val compare_models :
+  ?ws:workspace -> ?band:int -> ?alpha:float -> Model.t -> Model.t -> float
 (** Similarity score of two CST-BBS models: [1 - normalized_distance], in
-    [\[0,1\]] ([0.] when exactly one model is empty, [1.] when both are).
-    [alpha] feeds {!Distance.entry_distance} (ablations). *)
+    [\[0,1\]].  [0.] whenever either model is empty — an empty model carries
+    no attack behavior, so it can never be a (perfect) match, not even
+    against another empty model.  [alpha] feeds {!Distance.entry_distance}
+    (ablations). *)
 
-val compare_models_raw : ?alpha:float -> Model.t -> Model.t -> float
+val compare_models_raw :
+  ?ws:workspace -> ?band:int -> ?alpha:float -> Model.t -> Model.t -> float
 (** The paper's literal [1/(1+D)] on the raw accumulated distance (exposed
-    for the calibration bench). *)
+    for the calibration bench).  Empty-model convention as
+    {!compare_models}. *)

@@ -1,0 +1,39 @@
+(** The parallel batch detection engine.
+
+    Deployment (§V of the paper) screens many programs against a fixed PoC
+    repository; online detectors live or die on per-sample scoring latency.
+    This engine fans {!Detector.classify} out over a pool of OCaml 5 domains
+    (a shared atomic work queue, so uneven model sizes balance dynamically),
+    gives each worker one reusable {!Dtw.workspace} so the DTW + Levenshtein
+    hot path allocates nothing per pair, and reports per-batch counters.
+
+    Parallelism never changes verdicts: each target is scored by exactly the
+    sequential {!Detector.classify} code path, so the verdict array —
+    including score bits and tie ordering — is identical to a sequential
+    map.  The [band] option (Sakoe–Chiba) is the only knob that trades
+    exactness for speed, and it is off by default. *)
+
+type stats = {
+  domains : int;      (** workers actually used *)
+  targets : int;      (** targets classified *)
+  pairs : int;        (** model pairs scored (targets × repository) *)
+  cells : int;        (** DTW DP cells computed *)
+  wall_s : float;     (** wall-clock seconds for the batch *)
+  cpu_s : float;      (** process CPU seconds for the batch (all domains) *)
+  per_worker : int array;  (** targets classified by each worker *)
+}
+
+val classify_batch :
+  ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->
+  Detector.repository -> Model.t array -> Detector.verdict array * stats
+(** Classify every target against the repository.  [domains] defaults to
+    {!Sutil.Pool.default_domains} (clamped to the batch size). *)
+
+val utilization : stats -> float
+(** [cpu / (wall * domains)], clamped to [\[0,1\]]: 1.0 means every worker
+    was busy the whole batch. *)
+
+val throughput : stats -> float
+(** Pairs scored per wall-clock second. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -69,9 +69,15 @@ let parse_entry c =
   in
   let cst_line = expect_prefix c "cst " in
   let cst =
-    match
-      List.filter_map float_of_string_opt (String.split_on_char ' ' cst_line)
-    with
+    (* every token must parse: a malformed token is corruption, not noise to
+       be filtered out *)
+    let float_or_fail tok =
+      match float_of_string_opt tok with
+      | Some f -> f
+      | None ->
+        failwith (Printf.sprintf "Persist: bad cst token %S in %S" tok cst_line)
+    in
+    match List.map float_or_fail (String.split_on_char ' ' cst_line) with
     | [ ao; io; ao'; io' ] ->
       {
         Cst.before = Cache.State.make ~ao ~io;
@@ -138,10 +144,25 @@ let repository_of_string s =
   pocs []
 
 let save_repository ~path repo =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (repository_to_string repo))
+  (* atomic: write a sibling temp file, then rename over the destination, so
+     a crash mid-write can never corrupt an existing repository *)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "scaguard-repo" ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (repository_to_string repo));
+     (* temp_file creates 0600; restore the conventional data-file mode so the
+        saved repository stays readable by other processes *)
+     Unix.chmod tmp 0o644
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let load_repository ~path =
   let ic = open_in path in

@@ -19,5 +19,11 @@ val repository_of_string : string -> Detector.repository
 (** @raise Failure on malformed input. *)
 
 val save_repository : path:string -> Detector.repository -> unit
+(** Atomic: the repository is written to a temp file in the destination's
+    directory and renamed into place, so a crash mid-write can never leave a
+    truncated or corrupt file at [path]. *)
+
 val load_repository : path:string -> Detector.repository
-(** @raise Sys_error / Failure on IO or parse problems. *)
+(** @raise Sys_error / Failure on IO or parse problems.  Parsing is strict:
+    every token of a [cst] line must be a float — malformed tokens are
+    corruption, not noise. *)

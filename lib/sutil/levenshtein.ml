@@ -1,13 +1,33 @@
 (* Two-row dynamic programming; O(|a|*|b|) time, O(min) space after the
-   orientation swap. *)
+   orientation swap.  A workspace lets hot callers (batch DTW scoring) reuse
+   the two rows instead of allocating per call. *)
 
-let distance ~equal a b =
+type workspace = { mutable prev : int array; mutable cur : int array }
+
+let workspace () = { prev = [||]; cur = [||] }
+
+let ensure ws len =
+  if Array.length ws.prev < len then begin
+    let cap = max len (2 * Array.length ws.prev) in
+    ws.prev <- Array.make cap 0;
+    ws.cur <- Array.make cap 0
+  end
+
+let distance ?ws ~equal a b =
   let a, b = if Array.length a < Array.length b then (b, a) else (a, b) in
   let n = Array.length a and m = Array.length b in
   if m = 0 then n
   else begin
-    let prev = Array.init (m + 1) (fun j -> j) in
-    let cur = Array.make (m + 1) 0 in
+    let prev, cur =
+      match ws with
+      | Some ws ->
+        ensure ws (m + 1);
+        (ws.prev, ws.cur)
+      | None -> (Array.make (m + 1) 0, Array.make (m + 1) 0)
+    in
+    for j = 0 to m do
+      prev.(j) <- j
+    done;
     for i = 1 to n do
       cur.(0) <- i;
       for j = 1 to m do
@@ -19,9 +39,9 @@ let distance ~equal a b =
     prev.(m)
   end
 
-let distance_strings a b = distance ~equal:String.equal a b
+let distance_strings ?ws a b = distance ?ws ~equal:String.equal a b
 
-let normalized ~equal a b =
+let normalized ?ws ~equal a b =
   let n = max (Array.length a) (Array.length b) in
   if n = 0 then 0.0
-  else float_of_int (distance ~equal a b) /. float_of_int n
+  else float_of_int (distance ?ws ~equal a b) /. float_of_int n

@@ -1,14 +1,21 @@
 (** Edit distance between sequences, used by the CST distance (§III-B1 of the
     paper) on normalized instruction sequences. *)
 
-val distance : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> int
-(** [distance ~equal a b] is the Levenshtein (insert/delete/substitute, all
-    cost 1) distance between [a] and [b]. *)
+type workspace
+(** Reusable DP row buffers.  A workspace is owned by one caller at a time
+    (one per pool worker); it grows monotonically and never shrinks. *)
 
-val distance_strings : string array -> string array -> int
+val workspace : unit -> workspace
+
+val distance : ?ws:workspace -> equal:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** [distance ~equal a b] is the Levenshtein (insert/delete/substitute, all
+    cost 1) distance between [a] and [b].  [ws] reuses row buffers across
+    calls; results are identical with or without it. *)
+
+val distance_strings : ?ws:workspace -> string array -> string array -> int
 (** Specialization to string tokens with structural equality. *)
 
-val normalized : equal:('a -> 'a -> bool) -> 'a array -> 'a array -> float
+val normalized : ?ws:workspace -> equal:('a -> 'a -> bool) -> 'a array -> 'a array -> float
 (** [normalized ~equal a b] is
     [distance a b / max (length a) (length b)], following the paper's
     D_IS definition; [0.] when both are empty. *)

@@ -1,0 +1,44 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let domains_for ?domains tasks =
+  let d = match domains with Some d -> d | None -> default_domains () in
+  max 1 (min d (max 1 tasks))
+
+let run ?domains ~tasks f =
+  let d = domains_for ?domains tasks in
+  let counts = Array.make d 0 in
+  let next = Atomic.make 0 in
+  let worker w =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < tasks then begin
+        f ~worker:w i;
+        counts.(w) <- counts.(w) + 1;
+        loop ()
+      end
+    in
+    try loop ()
+    with e ->
+      (* poison the queue so the other workers stop claiming tasks *)
+      Atomic.set next tasks;
+      raise e
+  in
+  if d = 1 then begin
+    worker 0;
+    counts
+  end
+  else begin
+    let spawned =
+      List.init (d - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    let mine = (try worker 0; None with e -> Some e) in
+    let joined =
+      List.filter_map
+        (fun h -> try Domain.join h; None with e -> Some e)
+        spawned
+    in
+    (match (mine, joined) with
+    | Some e, _ | None, e :: _ -> raise e
+    | None, [] -> ());
+    counts
+  end

@@ -1,0 +1,25 @@
+(** A minimal worker pool over OCaml 5 domains.
+
+    Tasks are integer indices drained from a shared atomic counter (a lock-free
+    work queue): each worker claims the next unclaimed index until the range is
+    exhausted, so uneven task costs balance dynamically.  The calling domain
+    acts as worker 0; [domains = 1] degenerates to a plain sequential loop with
+    no spawns, which keeps single-core behavior identical to pre-pool code. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val domains_for : ?domains:int -> int -> int
+(** [domains_for ?domains tasks] is the worker count {!run} will actually use:
+    [domains] (default {!default_domains}) clamped to
+    [1 <= d <= max 1 tasks].  Exposed so callers can pre-allocate one
+    scratch structure per worker. *)
+
+val run : ?domains:int -> tasks:int -> (worker:int -> int -> unit) -> int array
+(** [run ~tasks f] calls [f ~worker i] exactly once for every
+    [i] in [0..tasks-1], distributing indices dynamically over the workers.
+    [worker] is in [0..domains_for ?domains tasks - 1] and is stable for the
+    duration of the call, so per-worker scratch buffers are safe.  Returns
+    how many tasks each worker processed.  The first exception raised by [f]
+    is re-raised in the calling domain after all workers have stopped
+    (pending tasks are abandoned). *)

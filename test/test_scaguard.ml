@@ -429,6 +429,240 @@ let test_guarded_attack_limitation () =
   | Some f -> Alcotest.(check string) "right family" "FR-F" f
   | None -> Alcotest.fail "expected a family")
 
+(* ---- Dtw banding --------------------------------------------------------------------- *)
+
+let test_band_bailout () =
+  (* lengths differing by more than the band: no in-band path, no DP work *)
+  check_bool "bail out to infinity" true
+    (SG.Dtw.distance ~band:1 ~cost [| 1.0 |] [| 1.0; 1.0; 1.0; 1.0; 1.0 |]
+    = infinity);
+  check_float "normalized bail-out is 1" 1.0
+    (SG.Dtw.normalized_distance ~band:1 ~cost [| 1.0 |]
+       [| 1.0; 1.0; 1.0; 1.0; 1.0 |])
+
+let prop_band_full_width_exact =
+  QCheck.Test.make ~name:"full-width band equals unbanded dtw" ~count:200
+    QCheck.(pair (list (float_range 0.0 5.0)) (list (float_range 0.0 5.0)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let band = max (Array.length a) (Array.length b) in
+      SG.Dtw.distance ~cost a b = SG.Dtw.distance ~band ~cost a b
+      && SG.Dtw.normalized_distance ~cost a b
+         = SG.Dtw.normalized_distance ~band ~cost a b)
+
+let prop_band_never_below_exact =
+  QCheck.Test.make ~name:"banded dtw is an upper bound" ~count:200
+    QCheck.(pair (list (float_range 0.0 5.0)) (list (float_range 0.0 5.0)))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      SG.Dtw.distance ~band:1 ~cost a b >= SG.Dtw.distance ~cost a b)
+
+let prop_workspace_identical =
+  QCheck.Test.make ~name:"workspace reuse never changes dtw results" ~count:100
+    QCheck.(pair (list (float_range 0.0 5.0)) (list (float_range 0.0 5.0)))
+    (fun (a, b) ->
+      let ws = SG.Dtw.workspace () in
+      let a = Array.of_list a and b = Array.of_list b in
+      (* two ws calls so the second sees dirty buffers *)
+      ignore (SG.Dtw.distance ~ws ~cost b a);
+      SG.Dtw.distance ~ws ~cost a b = SG.Dtw.distance ~cost a b)
+
+(* ---- Empty-model regression (bug: empty vs empty scored 1.0) -------------------------- *)
+
+let empty_model = { SG.Model.name = "empty"; entries = [] }
+
+let test_empty_model_similarity_zero () =
+  check_float "empty vs empty" 0.0 (SG.Dtw.compare_models empty_model empty_model);
+  let fr = (Lazy.force fr_analysis).SG.Pipeline.model in
+  check_float "empty vs nonempty" 0.0 (SG.Dtw.compare_models empty_model fr);
+  check_float "nonempty vs empty" 0.0 (SG.Dtw.compare_models fr empty_model);
+  check_float "raw mapping too" 0.0 (SG.Dtw.compare_models_raw empty_model empty_model)
+
+let test_empty_target_never_attack () =
+  (* regression: a repository containing an empty PoC model must not classify
+     an empty target as a perfect-score attack *)
+  let repo =
+    { SG.Detector.family = "XX"; model = empty_model } :: Lazy.force repo
+  in
+  let v = SG.Detector.classify repo empty_model in
+  check_bool "not an attack" false (SG.Detector.is_attack v);
+  check_float "score 0" 0.0 v.SG.Detector.best_score
+
+(* ---- Tie-break regression (bug: ties resolved by repository order) -------------------- *)
+
+let test_classify_tie_break_deterministic () =
+  let m = (Lazy.force fr_analysis).SG.Pipeline.model in
+  let pz = { SG.Detector.family = "ZZ"; model = m } in
+  let pa = { SG.Detector.family = "AA"; model = m } in
+  let v1 = SG.Detector.classify [ pz; pa ] m in
+  let v2 = SG.Detector.classify [ pa; pz ] m in
+  (* both PoCs score 1.0; the verdict must not depend on assembly order *)
+  Alcotest.(check (option string)) "first order" (Some "AA") v1.SG.Detector.best_family;
+  Alcotest.(check (option string)) "swapped order" (Some "AA") v2.SG.Detector.best_family;
+  check_bool "identical score lists" true
+    (v1.SG.Detector.scores = v2.SG.Detector.scores)
+
+(* ---- Batch engine --------------------------------------------------------------------- *)
+
+let test_batch_matches_sequential () =
+  let repository = Lazy.force repo in
+  let targets =
+    [|
+      model_of_spec (A.flush_reload ~style:A.Mastik ());
+      model_of_spec (A.evict_reload ());
+      model_of_spec (A.prime_probe ~style:A.Jzhang ());
+      empty_model;
+    |]
+  in
+  let seq = Array.map (SG.Detector.classify repository) targets in
+  let par = SG.Detector.classify_batch ~domains:4 repository targets in
+  check_bool "Detector.classify_batch byte-identical" true (par = seq);
+  let par2, stats = SG.Engine.classify_batch ~domains:4 repository targets in
+  check_bool "Engine.classify_batch byte-identical" true (par2 = seq);
+  check_int "pairs = targets x pocs"
+    (Array.length targets * List.length repository)
+    stats.SG.Engine.pairs;
+  check_int "every target classified once"
+    (Array.length targets)
+    (Array.fold_left ( + ) 0 stats.SG.Engine.per_worker);
+  check_bool "cells counted" true (stats.SG.Engine.cells > 0)
+
+(* random CST-BBS models for the property tests *)
+let model_gen =
+  let open QCheck.Gen in
+  let unit_float = map (fun i -> float_of_int i /. 1000.0) (int_range 0 1000) in
+  let token =
+    oneofl [ "load m"; "store m"; "clflush m"; "mov r r"; "rdtsc"; "mfence" ]
+  in
+  let cst =
+    let* ao = unit_float in
+    let* io = map (fun f -> f *. (1.0 -. ao)) unit_float in
+    let* ao' = unit_float in
+    let* io' = map (fun f -> f *. (1.0 -. ao')) unit_float in
+    return
+      {
+        SG.Cst.before = Cache.State.make ~ao ~io;
+        after = Cache.State.make ~ao:ao' ~io:io';
+      }
+  in
+  let entry =
+    let* block = int_range 0 50 in
+    let* first_time = oneof [ int_range 0 10_000; return max_int ] in
+    let* cst = cst in
+    (* sizes include 1: single-token entries round-trip too *)
+    let* normalized = list_size (int_range 1 5) token in
+    return
+      {
+        SG.Model.block;
+        instrs = [];
+        normalized = Array.of_list normalized;
+        cst;
+        first_time;
+      }
+  in
+  let* name = oneofl [ "m"; "poc-a"; "fr mastik"; "x_1" ] in
+  let* entries = list_size (int_range 0 5) entry in
+  return { SG.Model.name; entries }
+
+let model_arb = QCheck.make ~print:(fun m -> SG.Persist.model_to_string m) model_gen
+
+let entry_equal (a : SG.Model.entry) (b : SG.Model.entry) =
+  a.SG.Model.block = b.SG.Model.block
+  && a.SG.Model.first_time = b.SG.Model.first_time
+  && a.SG.Model.normalized = b.SG.Model.normalized
+  && a.SG.Model.cst = b.SG.Model.cst
+
+let prop_persist_roundtrip =
+  QCheck.Test.make ~name:"persist round-trips arbitrary models" ~count:200
+    model_arb
+    (fun m ->
+      let m' = SG.Persist.model_of_string (SG.Persist.model_to_string m) in
+      m.SG.Model.name = m'.SG.Model.name
+      && List.length m.SG.Model.entries = List.length m'.SG.Model.entries
+      && List.for_all2 entry_equal m.SG.Model.entries m'.SG.Model.entries)
+
+let prop_persist_repository_roundtrip =
+  QCheck.Test.make ~name:"persist round-trips arbitrary repositories" ~count:50
+    QCheck.(
+      list_of_size (Gen.int_range 0 4)
+        (pair (oneofl [ "FR-F"; "PP-F"; "fam x" ]) model_arb))
+    (fun pocs ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      let loaded =
+        SG.Persist.repository_of_string
+          (SG.Persist.repository_to_string repository)
+      in
+      List.length repository = List.length loaded
+      && List.for_all2
+           (fun (a : SG.Detector.poc) (b : SG.Detector.poc) ->
+             a.SG.Detector.family = b.SG.Detector.family
+             && a.SG.Detector.model.SG.Model.name
+                = b.SG.Detector.model.SG.Model.name
+             && List.for_all2 entry_equal a.SG.Detector.model.SG.Model.entries
+                  b.SG.Detector.model.SG.Model.entries)
+           repository loaded)
+
+let prop_batch_equals_sequential =
+  QCheck.Test.make ~name:"classify_batch equals sequential classify" ~count:60
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 4)
+           (pair (oneofl [ "FR-F"; "PP-F"; "S-FR" ]) model_arb))
+        (list_of_size (Gen.int_range 0 6) model_arb))
+    (fun (pocs, targets) ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      let targets = Array.of_list targets in
+      let seq = Array.map (SG.Detector.classify repository) targets in
+      let par = SG.Detector.classify_batch ~domains:3 repository targets in
+      let eng, _ = SG.Engine.classify_batch ~domains:3 repository targets in
+      par = seq && eng = seq)
+
+(* ---- Persist strictness / atomicity regressions ---------------------------------------- *)
+
+let test_persist_rejects_malformed_cst () =
+  (* regression: `cst 1 2 junk 3 4` used to be silently accepted because
+     malformed tokens were filtered out instead of rejected *)
+  let model_with cst_line =
+    Printf.sprintf "cstbbs 1\nname x\nentry 0 0\n%s\ntokens 0\nend\n" cst_line
+  in
+  let rejects s =
+    try
+      ignore (SG.Persist.model_of_string (model_with s));
+      false
+    with Failure _ -> true
+  in
+  check_bool "junk token among four floats" true (rejects "cst 1 2 junk 3 4");
+  check_bool "too few floats" true (rejects "cst 1 2 3");
+  check_bool "trailing junk" true (rejects "cst 0 1 0 1 nonsense");
+  check_bool "well-formed still accepted" true (not (rejects "cst 0 1 0 1"))
+
+let test_persist_save_atomic () =
+  let repository = Lazy.force repo in
+  let dir = Filename.temp_file "scaguard" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "r.repo" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      (* overwriting an existing repository goes through rename, and no temp
+         files are left behind *)
+      SG.Persist.save_repository ~path repository;
+      SG.Persist.save_repository ~path repository;
+      let loaded = SG.Persist.load_repository ~path in
+      check_int "poc count" (List.length repository) (List.length loaded);
+      let leftovers =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f -> f <> "r.repo")
+      in
+      Alcotest.(check (list string)) "no temp files left" [] leftovers)
+
 (* ---- Persist ------------------------------------------------------------------------ *)
 
 let test_persist_model_roundtrip () =
@@ -511,6 +745,31 @@ let () =
           QCheck_alcotest.to_alcotest prop_dtw_matches_brute_force;
           Alcotest.test_case "similarity conversion" `Quick test_similarity_conversion;
         ] );
+      ( "dtw_band",
+        [
+          Alcotest.test_case "band bail-out" `Quick test_band_bailout;
+          QCheck_alcotest.to_alcotest prop_band_full_width_exact;
+          QCheck_alcotest.to_alcotest prop_band_never_below_exact;
+          QCheck_alcotest.to_alcotest prop_workspace_identical;
+        ] );
+      ( "empty_model",
+        [
+          Alcotest.test_case "similarity is zero" `Quick
+            test_empty_model_similarity_zero;
+          Alcotest.test_case "empty target never an attack" `Quick
+            test_empty_target_never_attack;
+        ] );
+      ( "tie_break",
+        [
+          Alcotest.test_case "deterministic under repo order" `Quick
+            test_classify_tie_break_deterministic;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "batch matches sequential" `Quick
+            test_batch_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
+        ] );
       ( "model",
         [
           Alcotest.test_case "ordered by time" `Quick test_model_ordered_by_time;
@@ -553,5 +812,10 @@ let () =
           Alcotest.test_case "repository roundtrip" `Quick
             test_persist_repository_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_persist_rejects_garbage;
+          Alcotest.test_case "rejects malformed cst" `Quick
+            test_persist_rejects_malformed_cst;
+          Alcotest.test_case "atomic save" `Quick test_persist_save_atomic;
+          QCheck_alcotest.to_alcotest prop_persist_roundtrip;
+          QCheck_alcotest.to_alcotest prop_persist_repository_roundtrip;
         ] );
     ]
