@@ -269,34 +269,62 @@ let engine () =
   let targets = Array.init batch (fun i -> base.(i mod Array.length base)) in
   Printf.printf "batch: %d targets x %d PoCs = %d pairs\n%!" batch
     (List.length repo) (batch * List.length repo);
-  (* sequential path: the plain allocating Detector.classify loop *)
+  (* sequential path: the plain allocating Detector.classify loop, pruning
+     off — the exact-DP baseline everything else must match *)
   let t0 = Unix.gettimeofday () in
-  let seq = Array.map (Scaguard.Detector.classify repo) targets in
+  let seq = Array.map (Scaguard.Detector.classify ~prune:false repo) targets in
   let seq_dt = Unix.gettimeofday () -. t0 in
-  (* parallel path: the engine *)
+  let check_identical what (a : Scaguard.Detector.verdict array) b =
+    Array.iteri
+      (fun i (v : Scaguard.Detector.verdict) ->
+        let p = b.(i) in
+        if
+          v.Scaguard.Detector.best_matches <> p.Scaguard.Detector.best_matches
+          || v.Scaguard.Detector.best_family <> p.Scaguard.Detector.best_family
+          || v.Scaguard.Detector.best_score <> p.Scaguard.Detector.best_score
+        then begin
+          Printf.eprintf "engine: %s verdict mismatch at target %d\n" what i;
+          exit 1
+        end)
+      a
+  in
+  (* parallel path, pruning off: parallelism never changes results *)
   let domains = max 4 (Sutil.Pool.default_domains ()) in
-  let par, stats = Scaguard.Engine.classify_batch ~domains repo targets in
-  (* verdicts must be byte-identical — parallelism never changes results *)
-  Array.iteri
-    (fun i (v : Scaguard.Detector.verdict) ->
-      let p = par.(i) in
-      if
-        v.Scaguard.Detector.scores <> p.Scaguard.Detector.scores
-        || v.Scaguard.Detector.best_family <> p.Scaguard.Detector.best_family
-        || v.Scaguard.Detector.best_score <> p.Scaguard.Detector.best_score
-      then begin
-        Printf.eprintf "engine: verdict mismatch at target %d\n" i;
-        exit 1
-      end)
-    seq;
+  let par, stats =
+    Scaguard.Engine.classify_batch ~prune:false ~domains repo targets
+  in
+  check_identical "parallel" seq par;
+  (* parallel path, pruning on: the cascade never changes results either *)
+  let pruned, pstats =
+    Scaguard.Engine.classify_batch ~prune:true ~domains repo targets
+  in
+  check_identical "pruned" par pruned;
   let pairs = float_of_int stats.Scaguard.Engine.pairs in
   Printf.printf "sequential: %.4fs  (%.0f pairs/s)\n" seq_dt (pairs /. seq_dt);
   Printf.printf "parallel:   %.4fs  (%.0f pairs/s)  speedup %.2fx\n"
     stats.Scaguard.Engine.wall_s
     (Scaguard.Engine.throughput stats)
     (seq_dt /. stats.Scaguard.Engine.wall_s);
-  Format.printf "%a@." Scaguard.Engine.pp_stats stats;
-  Printf.printf "verdicts: all %d identical to the sequential path\n" batch
+  Printf.printf "pruned:     %.4fs  (%.0f pairs/s)  speedup %.2fx\n"
+    pstats.Scaguard.Engine.wall_s
+    (Scaguard.Engine.throughput pstats)
+    (seq_dt /. pstats.Scaguard.Engine.wall_s);
+  Format.printf "%a@." Scaguard.Engine.pp_stats pstats;
+  let cells_full = stats.Scaguard.Engine.cells in
+  let cells_pruned = pstats.Scaguard.Engine.cells in
+  let reduction =
+    100.0 *. (1.0 -. (float_of_int cells_pruned /. float_of_int cells_full))
+  in
+  Printf.printf
+    "pruning: %d of %d pairs skipped by lower bound, %d abandoned mid-DP\n"
+    pstats.Scaguard.Engine.pairs_pruned_lb pstats.Scaguard.Engine.pairs
+    pstats.Scaguard.Engine.pairs_abandoned;
+  Printf.printf "DP cells: %d -> %d (%.1f%% saved)\n" cells_full cells_pruned
+    reduction;
+  Printf.printf
+    "verdicts: parallel and pruned runs byte-identical to the sequential \
+     path (%d targets)\n"
+    batch
 
 (* ---- Time cost (Section V), via Bechamel ------------------------------------------ *)
 

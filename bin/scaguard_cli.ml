@@ -170,7 +170,7 @@ let detect_cmd =
     List.iter
       (fun (poc, family, score) ->
         Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
-      v.Scaguard.Detector.scores;
+      (Scaguard.Detector.score_all repo a.Scaguard.Pipeline.model);
     match v.Scaguard.Detector.best_family with
     | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
     | None -> Printf.printf "verdict: benign (best %.2f%% < %.0f%%)\n"
@@ -183,15 +183,25 @@ let detect_cmd =
 (* ---- detect-batch (the parallel engine) ------------------------------------------- *)
 
 let detect_batch_cmd =
-  let run seed repo_names threshold domains band stats names =
-    let families = List.filter_map Workloads.Label.of_string repo_names in
-    if families = [] then begin
-      Printf.eprintf "no valid repository families in %s\n"
-        (String.concat "," repo_names);
-      exit 1
-    end;
-    let rng = Sutil.Rng.create seed in
-    let repo = Experiments.Common.repository ~rng families in
+  let run seed repo_names repo_file threshold domains band no_prune stats names
+      =
+    let repo =
+      match repo_file with
+      | Some path -> (
+        try Scaguard.Persist.load_repository ~path
+        with Failure m | Sys_error m ->
+          Printf.eprintf "cannot load repository %s: %s\n" path m;
+          exit 1)
+      | None ->
+        let families = List.filter_map Workloads.Label.of_string repo_names in
+        if families = [] then begin
+          Printf.eprintf "no valid repository families in %s\n"
+            (String.concat "," repo_names);
+          exit 1
+        end;
+        let rng = Sutil.Rng.create seed in
+        Experiments.Common.repository ~rng families
+    in
     let samples = List.map (sample_or_die ~seed) names in
     let targets =
       Array.of_list
@@ -200,7 +210,8 @@ let detect_batch_cmd =
            samples)
     in
     let verdicts, st =
-      Scaguard.Engine.classify_batch ~threshold ?band ?domains repo targets
+      Scaguard.Engine.classify_batch ~threshold ?band ?domains
+        ~prune:(not no_prune) repo targets
     in
     List.iteri
       (fun i name ->
@@ -225,6 +236,18 @@ let detect_batch_cmd =
          & info [ "band" ] ~docv:"B"
              ~doc:"Sakoe-Chiba band for the DTW (off by default; exact).")
   in
+  let no_prune_t =
+    Arg.(value & flag
+         & info [ "no-prune" ]
+             ~doc:"Disable the exact lower-bound pruning cascade (identical \
+                   verdicts, more DP work; for benchmarking).")
+  in
+  let repo_file_t =
+    Arg.(value & opt (some string) None
+         & info [ "repo-file" ] ~docv:"FILE"
+             ~doc:"Load the PoC repository from a file written by \
+                   `build-repo` instead of rebuilding it from --repo.")
+  in
   let stats_t =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Print per-batch engine counters.")
@@ -237,8 +260,8 @@ let detect_batch_cmd =
     (Cmd.info "detect-batch"
        ~doc:"Classify many programs against a PoC repository in one parallel \
              batch (identical verdicts to `detect`, one per line).")
-    Term.(const run $ seed_t $ repo_t $ threshold_t $ domains_t $ band_t
-          $ stats_t $ progs_t)
+    Term.(const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ domains_t
+          $ band_t $ no_prune_t $ stats_t $ progs_t)
 
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
@@ -273,7 +296,7 @@ let detect_file_cmd =
     List.iter
       (fun (poc, family, score) ->
         Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
-      v.Scaguard.Detector.scores;
+      (Scaguard.Detector.score_all repo a.Scaguard.Pipeline.model);
     match v.Scaguard.Detector.best_family with
     | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
     | None -> Printf.printf "verdict: benign\n"
@@ -331,7 +354,7 @@ let detect_binary_cmd =
     List.iter
       (fun (poc, family, score) ->
         Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
-      v.Scaguard.Detector.scores;
+      (Scaguard.Detector.score_all repo a.Scaguard.Pipeline.model);
     match v.Scaguard.Detector.best_family with
     | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
     | None -> Printf.printf "verdict: benign\n"

@@ -92,7 +92,7 @@ let () =
   List.iter
     (fun (name, family, score) ->
       Printf.printf "similarity vs %s (%s): %.1f%%\n" name family (100.0 *. score))
-    v.Scaguard.Detector.scores;
+    (Scaguard.Detector.score_all repo analysis.Scaguard.Pipeline.model);
   match v.Scaguard.Detector.best_family with
   | Some f ->
     Printf.printf

@@ -13,8 +13,8 @@ let evaluate ~rng ~per_family ?(thresholds = default_thresholds) () =
       (fun (run, truth) ->
         let v = Scaguard.Detector.classify ~threshold:0.0 repo (Common.model run) in
         let best =
-          match v.Scaguard.Detector.scores with
-          | (_, family, score) :: _ -> Some (family, score)
+          match v.Scaguard.Detector.best_matches with
+          | (_, family, _) :: _ -> Some (family, v.Scaguard.Detector.best_score)
           | [] -> None
         in
         (best, truth))

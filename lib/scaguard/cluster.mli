@@ -4,7 +4,12 @@
     single-linkage clustering over the DTW similarity (two models join a
     cluster when {e some} pair across the clusters reaches the threshold)
     recovers the attack families directly from behavior — and a model that
-    lands in no cluster is a candidate new family. *)
+    lands in no cluster is a candidate new family.
+
+    Everything here is O(n²) model comparisons (full DTW, no pruning —
+    clustering needs the whole similarity matrix, not just the best match);
+    curation is an offline, repository-build-time activity, unlike the
+    latency-sensitive screening paths in {!Detector} and {!Engine}. *)
 
 val pairwise :
   ?alpha:float -> Model.t list -> (Model.t * Model.t * float) list

@@ -2,7 +2,7 @@ type poc = { family : string; model : Model.t }
 type repository = poc list
 
 type verdict = {
-  scores : (string * string * float) list;
+  best_matches : (string * string * float) list;
   best_family : string option;
   best_score : float;
 }
@@ -19,37 +19,102 @@ let compare_scored (n1, f1, s1) (n2, f2, s2) =
     | c -> c)
   | c -> c
 
-let classify ?(threshold = default_threshold) ?alpha ?ws ?band repository target =
-  let scores =
-    List.map
-      (fun p ->
-        ( p.model.Model.name,
-          p.family,
-          Dtw.compare_models ?ws ?band ?alpha p.model target ))
-      repository
-    |> List.sort compare_scored
-  in
-  match scores with
-  | [] -> { scores = []; best_family = None; best_score = 0.0 }
-  | (_, family, score) :: _ ->
+let empty_verdict = { best_matches = []; best_family = None; best_score = 0.0 }
+
+let score_all ?alpha ?ws ?band repository target =
+  List.map
+    (fun p ->
+      ( p.model.Model.name,
+        p.family,
+        Dtw.compare_models ?ws ?band ?alpha p.model target ))
+    repository
+  |> List.sort compare_scored
+
+type prepared = { pocs : (poc * Dtw.summary) array }
+
+let prepare repository =
+  { pocs = Array.of_list (List.map (fun p -> (p, Dtw.summarize p.model)) repository) }
+
+let prepared_size prep = Array.length prep.pocs
+
+let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
+    ?(prune = true) prep target =
+  let k = Array.length prep.pocs in
+  if k = 0 then empty_verdict
+  else begin
+    (* the bounds are only sound for a convex blend of the two cost terms;
+       exotic ablation alphas fall back to full scoring *)
+    let prune =
+      prune && (match alpha with None -> true | Some a -> a >= 0.0 && a <= 1.0)
+    in
+    let st = Dtw.summarize target in
+    (* best-so-far ordering: visiting PoCs by ascending lower bound tends to
+       establish a tight cutoff on the very first DP, maximizing what the
+       cascade can prune afterwards.  The index tie-break keeps the visit
+       order deterministic; the final verdict ordering is compare_scored
+       and does not depend on the visit order. *)
+    let order =
+      if not prune then Array.init k (fun i -> (i, None))
+      else begin
+        let lbs =
+          Array.init k (fun i ->
+              (i, Some (Dtw.lower_bound ?ws ?alpha (snd prep.pocs.(i)) st)))
+        in
+        Array.sort
+          (fun (i, la) (j, lb) ->
+            match Float.compare (Option.get la) (Option.get lb) with
+            | 0 -> Int.compare i j
+            | c -> c)
+          lbs;
+        lbs
+      end
+    in
+    let best = ref neg_infinity in
+    let kept = ref [] in
+    Array.iter
+      (fun (i, lb) ->
+        let p, sp = prep.pocs.(i) in
+        (* the cutoff is the best score seen so far: a pair provably below
+           it can never appear among the best-score ties.  The first pair
+           is always scored exactly. *)
+        let cutoff = if prune && !best > neg_infinity then Some !best else None in
+        match Dtw.compare_summaries ?ws ?band ?alpha ?cutoff ?lb sp st with
+        | Some s ->
+          kept := (p.model.Model.name, p.family, s) :: !kept;
+          if s > !best then best := s
+        | None -> ())
+      order;
+    let b = !best in
+    let best_matches =
+      List.filter (fun (_, _, s) -> s = b) !kept |> List.sort compare_scored
+    in
     {
-      scores;
-      best_family = (if score >= threshold then Some family else None);
-      best_score = score;
+      best_matches;
+      best_family =
+        (if b >= threshold then
+           match best_matches with
+           | (_, family, _) :: _ -> Some family
+           | [] -> None
+         else None);
+      best_score = b;
     }
+  end
+
+let classify ?threshold ?alpha ?ws ?band ?prune repository target =
+  classify_prepared ?threshold ?alpha ?ws ?band ?prune (prepare repository)
+    target
 
 let is_attack v = Option.is_some v.best_family
 
-let empty_verdict = { scores = []; best_family = None; best_score = 0.0 }
-
-let classify_batch ?threshold ?alpha ?band ?domains repository targets =
+let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
   let tasks = Array.length targets in
   let out = Array.make tasks empty_verdict in
   let d = Sutil.Pool.domains_for ?domains tasks in
   let wss = Array.init d (fun _ -> Dtw.workspace ()) in
+  let prep = prepare repository in
   ignore
     (Sutil.Pool.run ~domains:d ~tasks (fun ~worker i ->
          out.(i) <-
-           classify ?threshold ?alpha ?band ~ws:wss.(worker) repository
-             targets.(i)));
+           classify_prepared ?threshold ?alpha ?band ?prune ~ws:wss.(worker)
+             prep targets.(i)));
   out

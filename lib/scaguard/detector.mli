@@ -3,19 +3,27 @@
     A repository holds the CST-BBS models of known attack PoCs, each labelled
     with its family.  A target is compared against every PoC; the best score
     decides: above the threshold, the target is classified into the best
-    PoC's family, otherwise it is considered benign. *)
+    PoC's family, otherwise it is considered benign.
+
+    The verdict only commits to what the decision rule needs — the best
+    score and its ties — which is what lets {!classify} skip, via the exact
+    lower-bound cascade in {!Dtw}, any PoC provably unable to affect the
+    outcome.  The full score matrix remains available through {!score_all}
+    (display, debugging, calibration), at full cost. *)
 
 type poc = { family : string; model : Model.t }
 
 type repository = poc list
 
 type verdict = {
-  scores : (string * string * float) list;
-    (** (PoC model name, family, similarity), best first.  Ordering is
-        deterministic: score descending, then family, then model name — a
-        tie never depends on repository assembly order. *)
+  best_matches : (string * string * float) list;
+    (** The PoCs tied at exactly [best_score]: (model name, family,
+        similarity) — usually a single element.  Ordering is deterministic:
+        family, then model name (scores are all equal) — never dependent on
+        repository assembly order. *)
   best_family : string option;
-    (** [Some family] when the best score reaches the threshold *)
+    (** [Some family] when the best score reaches the threshold; the family
+        of the first element of [best_matches]. *)
   best_score : float;
 }
 
@@ -25,24 +33,56 @@ val default_threshold : float
     sweep methodology over this implementation yields a plateau around
     55–65%, hence 60%. *)
 
+val score_all :
+  ?alpha:float -> ?ws:Dtw.workspace -> ?band:int ->
+  repository -> Model.t -> (string * string * float) list
+(** The full score matrix against every PoC, sorted score descending (then
+    family, then model name).  Always computes every pair exactly — no
+    pruning — since every score is reported.  The head of the list agrees
+    with the [best_matches] head of {!classify} on the same inputs. *)
+
 val classify :
   ?threshold:float -> ?alpha:float -> ?ws:Dtw.workspace -> ?band:int ->
-  repository -> Model.t -> verdict
-(** Compare the target model with every PoC.  An empty repository yields a
-    benign verdict with no scores.  [ws] (buffer reuse) and [band]
-    (Sakoe–Chiba) feed {!Dtw.compare_models}; with [band] absent the scores
-    are exact. *)
+  ?prune:bool -> repository -> Model.t -> verdict
+(** Compare the target model with every PoC.  An empty repository yields
+    {!empty_verdict}.  [ws] (buffer reuse) and [band] (Sakoe–Chiba) feed
+    {!Dtw.compare_models}; with [band] absent the scores are exact.
+
+    [prune] (default [true]) enables the exact lower-bound cascade: PoCs are
+    visited in ascending-lower-bound order with a best-so-far cutoff, and a
+    PoC is skipped only when provably below the running best.  Verdicts are
+    bit-identical with pruning on or off (a tested invariant); pruning
+    auto-disables for [alpha] outside [\[0,1\]], where the bounds are not
+    sound. *)
+
+type prepared
+(** A repository with precomputed {!Dtw.summary}s, ready to classify many
+    targets.  Immutable — one [prepared] value is safely shared by all
+    domains of a batch. *)
+
+val prepare : repository -> prepared
+(** Summarize every PoC once.  Repository order is preserved. *)
+
+val prepared_size : prepared -> int
+(** Number of PoCs in the prepared repository. *)
+
+val classify_prepared :
+  ?threshold:float -> ?alpha:float -> ?ws:Dtw.workspace -> ?band:int ->
+  ?prune:bool -> prepared -> Model.t -> verdict
+(** {!classify} against a pre-summarized repository — bit-identical results,
+    minus the per-call summarization cost. *)
 
 val classify_batch :
   ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->
-  repository -> Model.t array -> verdict array
+  ?prune:bool -> repository -> Model.t array -> verdict array
 (** Classify every target, in parallel across [domains] OCaml domains
-    (default {!Sutil.Pool.default_domains}); each worker reuses one
-    {!Dtw.workspace}.  Verdicts are identical — including score bits and
-    ordering — to mapping {!classify} over the targets sequentially.  See
-    {!Engine.classify_batch} for the instrumented variant. *)
+    (default {!Sutil.Pool.default_domains}); the repository is prepared once
+    and each worker reuses one {!Dtw.workspace}.  Verdicts are identical —
+    including score bits and ordering — to mapping {!classify} over the
+    targets sequentially.  See {!Engine.classify_batch} for the instrumented
+    variant. *)
 
 val is_attack : verdict -> bool
 
 val empty_verdict : verdict
-(** The benign verdict of an empty repository: no scores, best score 0. *)
+(** The benign verdict of an empty repository: no matches, best score 0. *)

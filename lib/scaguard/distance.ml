@@ -1,8 +1,26 @@
+let default_alpha = 0.5
+
 let instruction_distance ?lev a b =
   Sutil.Levenshtein.normalized ?ws:lev ~equal:String.equal a b
 
 let csp_distance = Cst.distance
 
-let entry_distance ?lev ?(alpha = 0.5) (e1 : Model.entry) (e2 : Model.entry) =
+let entry_distance ?lev ?(alpha = default_alpha) (e1 : Model.entry)
+    (e2 : Model.entry) =
   (alpha *. instruction_distance ?lev e1.Model.normalized e2.Model.normalized)
   +. ((1.0 -. alpha) *. csp_distance e1.Model.cst e2.Model.cst)
+
+(* Lower bound on [entry_distance] from per-entry summaries alone.
+
+   Soundness: D_IS = lev / max_len >= |len1 - len2| / max_len (the
+   Levenshtein length bound), and D_CSP is *exactly*
+   |mag1 - mag2| when mag_i is the entry's cache-change magnitude
+   (Cst.distance is the absolute magnitude difference), so for
+   alpha in [0,1] the convex blend of the two bounds is <= the blend of
+   the true terms. *)
+let entry_lower_bound ?(alpha = default_alpha) (len1, mag1) (len2, mag2) =
+  let lev_lb =
+    if len1 = 0 && len2 = 0 then 0.0
+    else float_of_int (abs (len1 - len2)) /. float_of_int (max len1 len2)
+  in
+  (alpha *. lev_lb) +. ((1.0 -. alpha) *. abs_float (mag1 -. mag2))

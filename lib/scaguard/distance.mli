@@ -2,6 +2,11 @@
     Levenshtein over normalized instruction sequences) and a semantic term
     (difference of cache-change magnitudes). *)
 
+val default_alpha : float
+(** The paper's weighting of the two terms: [0.5], the plain mean.  Every
+    [?alpha] default in this library (including the pruning bounds in
+    {!Dtw}) refers to this value so they can never drift apart. *)
+
 val instruction_distance :
   ?lev:Sutil.Levenshtein.workspace -> string array -> string array -> float
 (** D_IS: normalized Levenshtein over normalized instruction tokens,
@@ -18,3 +23,14 @@ val entry_distance :
     definition is the plain mean ([alpha = 0.5], the default).  [alpha] is
     exposed for the ablation benches (1.0 = syntax only, 0.0 = cache
     only). *)
+
+val entry_lower_bound :
+  ?alpha:float -> int * float -> int * float -> float
+(** [entry_lower_bound (len1, mag1) (len2, mag2)]: O(1) lower bound on
+    {!entry_distance} computed from per-entry summaries only — each entry
+    reduced to its normalized-token count [len] and the cache-change
+    magnitude [mag] of its CST.  The syntactic term is bounded by
+    the Levenshtein length gap ([Sutil.Levenshtein.normalized_lower_bound]);
+    the semantic term [|mag1 - mag2|] is D_CSP {e exactly}.  Sound (never
+    exceeds the true distance) for [alpha] in [\[0,1\]]; the pruning cascade
+    in {!Dtw} disables itself outside that range. *)

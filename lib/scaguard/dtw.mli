@@ -16,16 +16,27 @@
     {b Workspaces.}  The batch engine scores millions of pairs; [?ws] reuses
     the DP rows (and the Levenshtein rows inside the entry cost) so the hot
     path allocates nothing per pair.  A workspace also accumulates counters
-    (pairs scored, DP cells computed) for observability.  Results are
-    bit-identical with or without a workspace.  A workspace must not be
-    shared between concurrently running domains.
+    (pairs scored, DP cells computed, pairs pruned / abandoned, cells saved)
+    for observability.  Results are bit-identical with or without a
+    workspace.  A workspace must not be shared between concurrently running
+    domains.
 
     {b Banding.}  [?band] restricts the DP to the Sakoe–Chiba band
     [|i - j| <= band].  When the two lengths differ by more than the band no
     warping path exists and the distance is [infinity] (similarity 0) with
     no DP work — an early bail-out for wildly different-sized models.  With
     [band >= max n m] (or no [band], the default) results equal the exact,
-    unbanded computation. *)
+    unbanded computation.
+
+    {b Pruning.}  {!summarize} precomputes per-model summaries;
+    {!lower_bound} turns a pair of summaries into a cheap, provable lower
+    bound on the normalized distance, and {!compare_summaries} combines the
+    bound with early abandonment inside the DP ([?cutoff]) to skip work that
+    cannot affect the verdict.  The cascade is {e exact}: a pair is only
+    skipped when its score is proven to fall strictly below the cutoff, so
+    {!Detector.classify} with pruning on and off returns bit-identical
+    verdicts (a tested invariant).  See [docs/PERFORMANCE.md] for the
+    operator-level picture. *)
 
 type workspace
 (** Reusable DP buffers plus per-workspace counters; one per pool worker. *)
@@ -33,17 +44,37 @@ type workspace
 val workspace : unit -> workspace
 
 val pairs_scored : workspace -> int
-(** Model/sequence pairs scored through this workspace since creation. *)
+(** Model/sequence pairs scored through this workspace since creation
+    (including pairs resolved by bounds without running the DP). *)
 
 val cells_computed : workspace -> int
 (** DP matrix cells evaluated through this workspace since creation. *)
 
+val pairs_pruned_lb : workspace -> int
+(** Pairs skipped entirely because a lower bound proved the score could not
+    reach the cutoff ({!compare_summaries} returned [None] without DP). *)
+
+val pairs_abandoned : workspace -> int
+(** Pairs whose DP was started but abandoned mid-matrix by [?cutoff]. *)
+
+val cells_saved : workspace -> int
+(** DP cells {e not} computed thanks to pruning: the full (banded) matrix
+    for lower-bound-pruned pairs plus the unvisited rows of abandoned
+    pairs. *)
+
 val distance :
-  ?ws:workspace -> ?band:int ->
+  ?ws:workspace -> ?band:int -> ?cutoff:float ->
   cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
 (** Raw accumulated DTW distance, unit steps (match, insert, delete).
     Both sequences empty → [0.]; exactly one empty → [infinity]; banded with
-    no in-band path → [infinity]. *)
+    no in-band path → [infinity].
+
+    [cutoff] enables early abandonment: as soon as every cell of a DP row
+    exceeds [cutoff], the result is [infinity].  Since the row minimum
+    lower-bounds the final accumulated cost (every warping path crosses
+    every row, and costs are non-negative), [infinity] is returned {e only}
+    when the true distance exceeds [cutoff]; any finite result equals the
+    exact distance bit-for-bit. *)
 
 val normalized_distance :
   ?ws:workspace -> ?band:int ->
@@ -68,3 +99,50 @@ val compare_models_raw :
 (** The paper's literal [1/(1+D)] on the raw accumulated distance (exposed
     for the calibration bench).  Empty-model convention as
     {!compare_models}. *)
+
+(** {1 Summaries and the exact lower-bound cascade} *)
+
+type summary
+(** A model plus precomputed scoring ingredients: its entries as an array,
+    per-entry normalized-token counts and cache-change magnitudes, and the
+    magnitudes sorted ascending.  Immutable — safe to share across
+    domains; the engine summarizes the PoC repository once per batch. *)
+
+val summarize : Model.t -> summary
+
+val summary_model : summary -> Model.t
+
+val lower_bound : ?ws:workspace -> ?alpha:float -> summary -> summary -> float
+(** A provable lower bound on the {e normalized} DTW distance between the
+    two summarized models ([0.] when either is empty), the maximum of:
+
+    - {b magnitude-range gap}, O(1): when the models' cache-change
+      magnitude ranges are disjoint, every aligned step costs at least
+      [(1-alpha) * gap], and so does the per-step average;
+    - {b LB_Kim}: every warping path matches the two first and the two
+      last entries, so those two entry costs (divided by the maximal path
+      length [n+m-1]) are unavoidable;
+    - {b row/column bound}, O(n*m) in cheap scalar operations (no
+      Levenshtein DPs): a path visits every row and every column at least
+      once, so the sum over rows (and over columns) of the cheapest
+      {!Distance.entry_lower_bound} is unavoidable.
+
+    [ws] only lends its Levenshtein buffers to the LB_Kim entry costs.
+    Sound for [alpha] in [\[0,1\]]; {!Detector.classify} disables pruning
+    for [alpha] outside that range. *)
+
+val compare_summaries :
+  ?ws:workspace -> ?band:int -> ?alpha:float -> ?cutoff:float ->
+  ?lb:float -> summary -> summary -> float option
+(** [compare_summaries sa sb] is [Some (compare_models a b)] — bit-identical
+    to scoring the underlying models, including the empty-model and
+    out-of-band conventions.
+
+    With [cutoff] (a score), the pair may instead be resolved to [None],
+    {e only} when the score is proven to fall strictly below [cutoff]:
+    first by the cheap {!lower_bound} ([lb] supplies a precomputed value,
+    e.g. from the ordering pass, to avoid recomputing it), then by early
+    abandonment inside the DP.  Both tests include a [1e-9] score-space
+    margin, so float rounding in a bound can never prune a pair whose
+    exactly-computed score would have reached [cutoff].  Without [cutoff]
+    the result is always [Some _]. *)

@@ -1,48 +1,66 @@
 (* The batch detection engine: Detector.classify fanned out over a domain
    pool, one reusable Dtw workspace per worker, with per-batch counters.
-   The scoring code path is exactly Detector.classify, so verdicts are
-   bit-identical to the sequential path by construction. *)
+   The repository is prepared (summarized) once and shared read-only by all
+   workers; the scoring code path is exactly Detector.classify_prepared, so
+   verdicts are bit-identical to the sequential path by construction. *)
 
 type stats = {
   domains : int;
   targets : int;
   pairs : int;
   cells : int;
+  pairs_pruned_lb : int;
+  pairs_abandoned : int;
+  cells_saved : int;
   wall_s : float;
   cpu_s : float;
   per_worker : int array;
 }
 
 let utilization s =
-  if s.wall_s <= 0.0 || s.domains = 0 then 1.0
+  if s.wall_s <= 0.0 || s.domains = 0 then 0.0
   else min 1.0 (s.cpu_s /. (s.wall_s *. float_of_int s.domains))
 
 let throughput s = if s.wall_s <= 0.0 then 0.0 else float_of_int s.pairs /. s.wall_s
 
-let classify_batch ?threshold ?alpha ?band ?domains repository targets =
+let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
   let tasks = Array.length targets in
   let d = Sutil.Pool.domains_for ?domains tasks in
   let wss = Array.init d (fun _ -> Dtw.workspace ()) in
   let out = Array.make tasks Detector.empty_verdict in
+  let prep = Detector.prepare repository in
   let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   let per_worker =
     Sutil.Pool.run ~domains:d ~tasks (fun ~worker i ->
         out.(i) <-
-          Detector.classify ?threshold ?alpha ?band ~ws:wss.(worker)
-            repository targets.(i))
+          Detector.classify_prepared ?threshold ?alpha ?band ?prune
+            ~ws:wss.(worker) prep targets.(i))
   in
   let wall_s = Unix.gettimeofday () -. wall0
   and cpu_s = Sys.time () -. cpu0 in
-  let pairs = Array.fold_left (fun acc w -> acc + Dtw.pairs_scored w) 0 wss in
-  let cells = Array.fold_left (fun acc w -> acc + Dtw.cells_computed w) 0 wss in
-  (out, { domains = d; targets = tasks; pairs; cells; wall_s; cpu_s; per_worker })
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 wss in
+  ( out,
+    {
+      domains = d;
+      targets = tasks;
+      pairs = sum Dtw.pairs_scored;
+      cells = sum Dtw.cells_computed;
+      pairs_pruned_lb = sum Dtw.pairs_pruned_lb;
+      pairs_abandoned = sum Dtw.pairs_abandoned;
+      cells_saved = sum Dtw.cells_saved;
+      wall_s;
+      cpu_s;
+      per_worker;
+    } )
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>engine: %d targets, %d pairs, %d DP cells@,\
+     pruning: %d pairs by lower bound, %d abandoned mid-DP, %d cells saved@,\
      domains %d, wall %.4fs, cpu %.4fs, utilization %.0f%%, %.0f pairs/s@,\
      per-worker targets: [%s]@]"
-    s.targets s.pairs s.cells s.domains s.wall_s s.cpu_s
+    s.targets s.pairs s.cells s.pairs_pruned_lb s.pairs_abandoned s.cells_saved
+    s.domains s.wall_s s.cpu_s
     (100.0 *. utilization s)
     (throughput s)
     (String.concat "; "

@@ -37,6 +37,7 @@ let build ?cst_config ~name (info : Relevant.info) (ag : Attack_graph.t) =
 
 let length t = List.length t.entries
 let is_empty t = t.entries = []
+let entries_array t = Array.of_list t.entries
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>CST-BBS %s (%d blocks)@," t.name (length t);

@@ -27,4 +27,10 @@ val build :
 
 val length : t -> int
 val is_empty : t -> bool
+
+val entries_array : t -> entry array
+(** The CST-BBS as a fresh array, in timestamp order.  The DTW scorers index
+    entries randomly; {!Dtw.summarize} performs this conversion once per
+    model so batch scoring never re-walks the list. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,14 +1,20 @@
 (** End-to-end attack behavior modeling: execute (collect runtime data),
     build the CFG, identify attack-relevant blocks, run Algorithm 1, and
-    assemble the CST-BBS model — Fig. 2's left half. *)
+    assemble the CST-BBS model — Fig. 2's left half.
+
+    Every stage's intermediate output is kept in the {!analysis} record so
+    callers (the CLI, the experiments, the examples) can inspect the
+    pipeline as well as its final model.  Downstream, the model feeds
+    {!Detector.classify} (one-off) or {!Engine.classify_batch} (batch
+    screening — see [docs/PERFORMANCE.md]). *)
 
 type analysis = {
-  name : string;
-  cfg : Cfg.Graph.t;
-  info : Relevant.info;
-  attack_graph : Attack_graph.t;
-  model : Model.t;
-  exec : Cpu.Exec.result;
+  name : string;            (** the analyzed program's name *)
+  cfg : Cfg.Graph.t;        (** the reconstructed control-flow graph *)
+  info : Relevant.info;     (** attack-relevant block identification (§III-A2) *)
+  attack_graph : Attack_graph.t;  (** Algorithm 1's attack-relevant graph *)
+  model : Model.t;          (** the CST-BBS — what the detector consumes *)
+  exec : Cpu.Exec.result;   (** raw execution: HPC counters + address trace *)
 }
 
 val analyze :

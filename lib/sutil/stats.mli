@@ -1,4 +1,11 @@
-(** Small numeric summaries used by experiment reporting. *)
+(** Small numeric summaries used by experiment reporting.
+
+    All functions are total: the empty list yields [0.] rather than an
+    exception, so table code can fold over possibly-empty measurement sets
+    without guards.  {!sum} (and therefore {!mean}) is Kahan-compensated —
+    the experiment harness accumulates thousands of small similarity values
+    and naive summation visibly drifts in the fourth decimal the tables
+    print. *)
 
 val mean : float list -> float
 (** Arithmetic mean; [0.] on the empty list. *)

@@ -1,5 +1,12 @@
 (** ASCII table rendering for experiment output (the bench harness prints the
-    paper's tables with this). *)
+    paper's tables with this).
+
+    A table is built imperatively — {!create} with headers, {!add_row} per
+    data point, {!add_separator} between row groups — and rendered either as
+    a box-drawing string ({!render}, {!print}) or as CSV ({!to_csv}) for the
+    artifact files the bench emits next to each printed table.  {!pct} and
+    {!fpct} are the two percentage formats used throughout the paper's
+    tables. *)
 
 type t
 (** A table under construction. *)

@@ -257,10 +257,22 @@ let test_detector_classifies_variant () =
 
 let test_detector_scores_sorted () =
   let target = model_of_spec (A.evict_reload ()) in
-  let v = SG.Detector.classify (Lazy.force repo) target in
-  let scores = List.map (fun (_, _, s) -> s) v.SG.Detector.scores in
+  let all = SG.Detector.score_all (Lazy.force repo) target in
+  let scores = List.map (fun (_, _, s) -> s) all in
   check_bool "descending" true (List.sort (fun a b -> compare b a) scores = scores);
-  check_int "two pocs" 2 (List.length scores)
+  check_int "two pocs" 2 (List.length scores);
+  (* the verdict's best ties agree with the head of the full matrix *)
+  let v = SG.Detector.classify (Lazy.force repo) target in
+  check_float "best_score = head of score_all"
+    (match scores with s :: _ -> s | [] -> nan)
+    v.SG.Detector.best_score;
+  check_bool "best_matches is the head of score_all" true
+    (match (all, v.SG.Detector.best_matches) with
+    | a :: _, b :: _ -> a = b
+    | _ -> false);
+  List.iter
+    (fun (_, _, s) -> check_float "every match at best_score" v.SG.Detector.best_score s)
+    v.SG.Detector.best_matches
 
 let test_detector_rejects_benign () =
   let benign =
@@ -499,8 +511,12 @@ let test_classify_tie_break_deterministic () =
   (* both PoCs score 1.0; the verdict must not depend on assembly order *)
   Alcotest.(check (option string)) "first order" (Some "AA") v1.SG.Detector.best_family;
   Alcotest.(check (option string)) "swapped order" (Some "AA") v2.SG.Detector.best_family;
-  check_bool "identical score lists" true
-    (v1.SG.Detector.scores = v2.SG.Detector.scores)
+  check_bool "identical match lists" true
+    (v1.SG.Detector.best_matches = v2.SG.Detector.best_matches);
+  (* both tied PoCs are reported, family-ordered *)
+  Alcotest.(check (list string)) "both ties present, deterministic order"
+    [ "AA"; "ZZ" ]
+    (List.map (fun (_, f, _) -> f) v1.SG.Detector.best_matches)
 
 (* ---- Batch engine --------------------------------------------------------------------- *)
 
@@ -620,6 +636,127 @@ let prop_batch_equals_sequential =
       let par = SG.Detector.classify_batch ~domains:3 repository targets in
       let eng, _ = SG.Engine.classify_batch ~domains:3 repository targets in
       par = seq && eng = seq)
+
+(* ---- Pruning cascade (exactness invariants) -------------------------------------------- *)
+
+(* alphas on the sound [0,1] grid, including both pure-term endpoints *)
+let alpha_gen = QCheck.Gen.map (fun i -> float_of_int i /. 10.0) (QCheck.Gen.int_range 0 10)
+let alpha_arb = QCheck.make ~print:string_of_float alpha_gen
+
+let prop_lower_bound_sound =
+  QCheck.Test.make ~name:"every lower bound <= true normalized dtw distance"
+    ~count:300
+    QCheck.(triple model_arb model_arb alpha_arb)
+    (fun (m1, m2, alpha) ->
+      let lb = SG.Dtw.lower_bound ~alpha (SG.Dtw.summarize m1) (SG.Dtw.summarize m2) in
+      if SG.Model.is_empty m1 || SG.Model.is_empty m2 then lb = 0.0
+      else
+        let dnorm = 1.0 -. SG.Dtw.compare_models ~alpha m1 m2 in
+        (* 1e-9 is the pruning margin: a bound may exceed the true distance
+           by float rounding at most, which the margin absorbs *)
+        lb <= dnorm +. 1e-9)
+
+let prop_cutoff_abandon_sound =
+  QCheck.Test.make
+    ~name:"?cutoff dp returns infinity only when distance exceeds cutoff"
+    ~count:300
+    QCheck.(
+      triple (list (float_range 0.0 5.0)) (list (float_range 0.0 5.0))
+        (float_range 0.0 6.0))
+    (fun (a, b, cutoff) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let exact = SG.Dtw.distance ~cost a b in
+      let capped = SG.Dtw.distance ~cutoff ~cost a b in
+      if capped = infinity then exact = infinity || exact > cutoff
+      else capped = exact)
+
+let repo_arb =
+  QCheck.(
+    list_of_size (Gen.int_range 0 5)
+      (pair (oneofl [ "FR-F"; "PP-F"; "S-FR"; "EV-F" ]) model_arb))
+
+let band_arb =
+  QCheck.(option (int_range 0 6))
+
+let prop_classify_prune_identical =
+  QCheck.Test.make
+    ~name:"classify with pruning equals pruning disabled, verdict for verdict"
+    ~count:120
+    QCheck.(pair (pair repo_arb (list_of_size (Gen.int_range 0 5) model_arb))
+              (pair alpha_arb band_arb))
+    (fun ((pocs, targets), (alpha, band)) ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      List.for_all
+        (fun target ->
+          SG.Detector.classify ~alpha ?band ~prune:true repository target
+          = SG.Detector.classify ~alpha ?band ~prune:false repository target)
+        targets)
+
+let prop_engine_prune_identical =
+  QCheck.Test.make
+    ~name:"engine batch with pruning equals pruning disabled" ~count:40
+    QCheck.(pair repo_arb (list_of_size (Gen.int_range 0 5) model_arb))
+    (fun (pocs, targets) ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      let targets = Array.of_list targets in
+      let on, son =
+        SG.Engine.classify_batch ~domains:3 ~prune:true repository targets
+      in
+      let off, soff =
+        SG.Engine.classify_batch ~domains:3 ~prune:false repository targets
+      in
+      on = off
+      (* pairs counts considered pairs, pruned or not *)
+      && son.SG.Engine.pairs = soff.SG.Engine.pairs
+      && soff.SG.Engine.pairs_pruned_lb = 0
+      && soff.SG.Engine.pairs_abandoned = 0
+      && soff.SG.Engine.cells_saved = 0)
+
+let test_classify_prepared_reuse () =
+  let repository = Lazy.force repo in
+  let prep = SG.Detector.prepare repository in
+  check_int "prepared size" (List.length repository)
+    (SG.Detector.prepared_size prep);
+  List.iter
+    (fun spec ->
+      let target = model_of_spec spec in
+      check_bool "prepared classify = classify" true
+        (SG.Detector.classify_prepared prep target
+        = SG.Detector.classify repository target))
+    [ A.flush_reload ~style:A.Mastik (); A.evict_reload () ]
+
+(* ---- Engine stats conventions (bug: nan/infinity on zero-duration batches) ------------- *)
+
+let test_engine_zero_wall_stats () =
+  let s =
+    {
+      SG.Engine.domains = 4;
+      targets = 0;
+      pairs = 0;
+      cells = 0;
+      pairs_pruned_lb = 0;
+      pairs_abandoned = 0;
+      cells_saved = 0;
+      wall_s = 0.0;
+      cpu_s = 0.0;
+      per_worker = [| 0; 0; 0; 0 |];
+    }
+  in
+  check_float "utilization is 0, not nan" 0.0 (SG.Engine.utilization s);
+  check_float "throughput is 0, not infinity" 0.0 (SG.Engine.throughput s);
+  (* and pp_stats renders finite numbers *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let rendered = Format.asprintf "%a" SG.Engine.pp_stats s in
+  check_bool "no nan in output" true (not (contains rendered "nan"));
+  check_bool "no inf in output" true (not (contains rendered "inf"))
 
 (* ---- Persist strictness / atomicity regressions ---------------------------------------- *)
 
@@ -769,6 +906,17 @@ let () =
           Alcotest.test_case "batch matches sequential" `Quick
             test_batch_matches_sequential;
           QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
+          Alcotest.test_case "zero-duration stats stay finite" `Quick
+            test_engine_zero_wall_stats;
+        ] );
+      ( "pruning",
+        [
+          QCheck_alcotest.to_alcotest prop_lower_bound_sound;
+          QCheck_alcotest.to_alcotest prop_cutoff_abandon_sound;
+          QCheck_alcotest.to_alcotest prop_classify_prune_identical;
+          QCheck_alcotest.to_alcotest prop_engine_prune_identical;
+          Alcotest.test_case "prepared repository reuse" `Quick
+            test_classify_prepared_reuse;
         ] );
       ( "model",
         [

@@ -125,8 +125,19 @@ let prop_lev_bounds =
     (fun (a, b) ->
       let a = Array.of_list a and b = Array.of_list b in
       let d = Sutil.Levenshtein.distance ~equal:Int.equal a b in
-      d >= abs (Array.length a - Array.length b)
+      d >= Sutil.Levenshtein.lower_bound a b
       && d <= max (Array.length a) (Array.length b))
+
+let prop_lev_limit =
+  QCheck.Test.make ~name:"levenshtein ?limit caps at min(distance, limit)"
+    ~count:300
+    QCheck.(
+      triple (list (int_range 0 5)) (list (int_range 0 5)) (int_range 0 8))
+    (fun (a, b, limit) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let exact = Sutil.Levenshtein.distance ~equal:Int.equal a b in
+      Sutil.Levenshtein.distance ~limit ~equal:Int.equal a b
+      = min exact limit)
 
 (* ---- Stats ---------------------------------------------------------------- *)
 
@@ -191,6 +202,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_lev_symmetric;
           QCheck_alcotest.to_alcotest prop_lev_triangle;
           QCheck_alcotest.to_alcotest prop_lev_bounds;
+          QCheck_alcotest.to_alcotest prop_lev_limit;
         ] );
       ( "stats",
         [
