@@ -66,6 +66,33 @@ let analyze (s : Workloads.Dataset.sample) =
 let seed_t =
   Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for model building (default: the recommended \
+              domain count).  Models are byte-identical at any job count.")
+
+let cache_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Content-addressed model cache; a hit skips the program's \
+              execution and modeling entirely.  Keys cover the binary, the \
+              exec settings, the CST geometry and the seed, so stale \
+              entries are never returned.")
+
+let cache_of_dir = Option.map (fun dir -> Scaguard.Model_cache.create ~dir)
+
+(* The repository's harness kernels are drawn from the shared rng stream in
+   family-list order, so the same family can get different harness state
+   (init closures, which the cache key cannot hash) under different --repo
+   lists; folding the list into the salt keeps those entries distinct. *)
+let repo_salt ~seed repo_names =
+  Printf.sprintf "%d:%s" seed (String.concat "," repo_names)
+
 let name_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
 (* ---- list ---------------------------------------------------------------------- *)
@@ -183,8 +210,9 @@ let detect_cmd =
 (* ---- detect-batch (the parallel engine) ------------------------------------------- *)
 
 let detect_batch_cmd =
-  let run seed repo_names repo_file threshold domains band no_prune stats names
-      =
+  let run seed repo_names repo_file threshold jobs cache_dir domains band
+      no_prune stats names =
+    let cache = cache_of_dir cache_dir in
     let repo =
       match repo_file with
       | Some path -> (
@@ -200,15 +228,28 @@ let detect_batch_cmd =
           exit 1
         end;
         let rng = Sutil.Rng.create seed in
-        Experiments.Common.repository ~rng families
+        Experiments.Common.repository ?domains:jobs ?cache
+          ~salt:(repo_salt ~seed repo_names) ~rng families
     in
     let samples = List.map (sample_or_die ~seed) names in
-    let targets =
+    let target_jobs =
+      (* benign samples are re-derived from the seed alone (no shared rng
+         stream), so the seed is a sufficient salt here *)
       Array.of_list
         (List.map
-           (fun s -> (fst (analyze s)).Scaguard.Pipeline.model)
+           (fun (s : Workloads.Dataset.sample) ->
+             Scaguard.Pipeline.job ?settings:s.Workloads.Dataset.settings
+               ~init:s.Workloads.Dataset.init ?victim:s.Workloads.Dataset.victim
+               ~salt:(string_of_int seed) ~name:s.Workloads.Dataset.name
+               s.Workloads.Dataset.program)
            samples)
     in
+    let targets =
+      Scaguard.Pipeline.build_models_batch ?domains:jobs ?cache target_jobs
+    in
+    (* --jobs also sets the scoring-engine worker count unless --domains
+       overrides it explicitly *)
+    let domains = match domains with Some _ -> domains | None -> jobs in
     let verdicts, st =
       Scaguard.Engine.classify_batch ~threshold ?band ?domains
         ~prune:(not no_prune) repo targets
@@ -224,7 +265,12 @@ let detect_batch_cmd =
           Printf.printf "%-24s benign        (best %6.2f%%)\n" name
             (100.0 *. v.Scaguard.Detector.best_score))
       names;
-    if stats then Format.printf "%a@." Scaguard.Engine.pp_stats st
+    if stats then begin
+      Format.printf "%a@." Scaguard.Engine.pp_stats st;
+      Option.iter
+        (fun c -> Format.printf "%a@." Scaguard.Model_cache.pp_stats c)
+        cache
+    end
   in
   let domains_t =
     Arg.(value & opt (some int) None
@@ -260,18 +306,25 @@ let detect_batch_cmd =
     (Cmd.info "detect-batch"
        ~doc:"Classify many programs against a PoC repository in one parallel \
              batch (identical verdicts to `detect`, one per line).")
-    Term.(const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ domains_t
-          $ band_t $ no_prune_t $ stats_t $ progs_t)
+    Term.(const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ jobs_t
+          $ cache_dir_t $ domains_t $ band_t $ no_prune_t $ stats_t $ progs_t)
 
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
 let build_repo_cmd =
-  let run seed repo_names path =
+  let run seed repo_names jobs cache_dir path =
     let families = List.filter_map Workloads.Label.of_string repo_names in
     let rng = Sutil.Rng.create seed in
-    let repo = Experiments.Common.repository ~rng families in
+    let cache = cache_of_dir cache_dir in
+    let repo =
+      Experiments.Common.repository ?domains:jobs ?cache
+        ~salt:(repo_salt ~seed repo_names) ~rng families
+    in
     Scaguard.Persist.save_repository ~path repo;
-    Printf.printf "wrote %d PoC models to %s\n" (List.length repo) path
+    Printf.printf "wrote %d PoC models to %s\n" (List.length repo) path;
+    Option.iter
+      (fun c -> Format.printf "%a@." Scaguard.Model_cache.pp_stats c)
+      cache
   in
   let path_t =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
@@ -280,7 +333,7 @@ let build_repo_cmd =
   Cmd.v
     (Cmd.info "build-repo"
        ~doc:"Build a PoC-model repository and save it to a file.")
-    Term.(const run $ seed_t $ repo_t $ path_t)
+    Term.(const run $ seed_t $ repo_t $ jobs_t $ cache_dir_t $ path_t)
 
 let detect_file_cmd =
   let run seed path threshold name =

@@ -44,14 +44,29 @@ let poc_of_family label =
   | L.Spectre_pp -> Workloads.Attacks.spectre_pp ()
   | L.Benign -> invalid_arg "Experiments.Common: benign has no PoC"
 
-let repository ~rng families =
-  List.map
-    (fun family ->
-      let sample =
-        D.with_harness ~rng (D.of_spec (poc_of_family family))
-      in
-      let run = execute sample in
-      { Scaguard.Detector.family = L.to_string family; model = model run })
+let repository ?domains ?cache ?(salt = "") ~rng families =
+  (* Harness construction consumes the rng; execution does not.  Building
+     every sample first (sequentially, in family order) therefore preserves
+     the rng stream exactly, and the executions can then fan out over the
+     pool — or be skipped outright on a model-cache hit — with models
+     byte-identical to the old sequential loop. *)
+  let samples =
+    List.map
+      (fun family -> D.with_harness ~rng (D.of_spec (poc_of_family family)))
+      families
+  in
+  let jobs =
+    Array.of_list
+      (List.map
+         (fun (s : D.sample) ->
+           Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
+             ?victim:s.D.victim ~salt ~name:s.D.name s.D.program)
+         samples)
+  in
+  let models = Scaguard.Pipeline.build_models_batch ?domains ?cache jobs in
+  List.mapi
+    (fun i family ->
+      { Scaguard.Detector.family = L.to_string family; model = models.(i) })
     families
 
 let scaguard_predict ?threshold ?alpha repo run =

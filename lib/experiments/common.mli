@@ -19,9 +19,15 @@ val label_to_int : Workloads.Label.t -> int
 val label_of_int : int -> Workloads.Label.t
 
 val repository :
+  ?domains:int -> ?cache:Scaguard.Model_cache.t -> ?salt:string ->
   rng:Sutil.Rng.t -> Workloads.Label.t list -> Scaguard.Detector.repository
 (** One harnessed PoC model per requested family (the paper's "only one PoC
-    per attack type" repository). *)
+    per attack type" repository).  Sample construction stays sequential (it
+    consumes [rng]); the executions fan out over [domains] workers through
+    {!Scaguard.Pipeline.build_models_batch}, optionally backed by [cache]
+    — models are byte-identical to the sequential build either way.  The
+    harness varies with [rng], so cache users must fold the workload seed
+    into [salt]. *)
 
 val scaguard_predict :
   ?threshold:float -> ?alpha:float ->

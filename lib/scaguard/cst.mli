@@ -10,11 +10,23 @@ type t = {
   after : Cache.State.t;
 }
 
+type measurer
+(** A reusable scratch probe-cache.  Owned by one caller at a time (one per
+    pool worker); reusing it across {!measure} calls skips the per-block
+    cache allocation while producing byte-identical measurements. *)
+
+val measurer : unit -> measurer
+
 val measure :
+  ?measurer:measurer ->
   ?config:Cache.Config.t ->
   (int * Hpc.Collector.access_kind) list -> t
 (** Replay one block's accesses.  [config] defaults to
-    {!Cache.Config.cst_probe}. *)
+    {!Cache.Config.cst_probe}.  [measurer] reuses a scratch simulator
+    (reset + refilled per call) instead of allocating a fresh one; results
+    are identical with or without it.  An empty access list short-circuits
+    to a shared trivial transition ([before = after =] the filled state)
+    with no simulation at all. *)
 
 val change_magnitude : t -> float
 (** The paper's [P]: mean absolute occupancy change over the transition. *)

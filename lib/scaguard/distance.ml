@@ -5,7 +5,17 @@ let instruction_distance ?lev a b =
 
 let csp_distance = Cst.distance
 
+(* The production cost runs the Levenshtein DP over the interned token ids
+   (one int compare per cell).  Interning from one pool preserves token
+   equality — the only thing the DP consults — so this is bit-identical to
+   the string cost below; the bench's modeling stage asserts it. *)
 let entry_distance ?lev ?(alpha = default_alpha) (e1 : Model.entry)
+    (e2 : Model.entry) =
+  (alpha
+  *. Sutil.Levenshtein.normalized_ints ?ws:lev e1.Model.tokens e2.Model.tokens)
+  +. ((1.0 -. alpha) *. csp_distance e1.Model.cst e2.Model.cst)
+
+let entry_distance_strings ?lev ?(alpha = default_alpha) (e1 : Model.entry)
     (e2 : Model.entry) =
   (alpha *. instruction_distance ?lev e1.Model.normalized e2.Model.normalized)
   +. ((1.0 -. alpha) *. csp_distance e1.Model.cst e2.Model.cst)

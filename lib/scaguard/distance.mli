@@ -22,7 +22,18 @@ val entry_distance :
 (** [Distance(tau1, tau2) = alpha*D_IS + (1-alpha)*D_CSP]; the paper's
     definition is the plain mean ([alpha = 0.5], the default).  [alpha] is
     exposed for the ablation benches (1.0 = syntax only, 0.0 = cache
-    only). *)
+    only).  The syntactic term runs over the entries' {e interned} tokens
+    ({!Model.entry.tokens}) — one int compare per DP cell — and is
+    bit-identical to {!entry_distance_strings}, the string-token
+    reference. *)
+
+val entry_distance_strings :
+  ?lev:Sutil.Levenshtein.workspace ->
+  ?alpha:float -> Model.entry -> Model.entry -> float
+(** The pre-interning reference cost: the same blend with the Levenshtein
+    term computed over the [normalized] string arrays.  Exists so tests and
+    the bench can assert "interning on = interning off" bit for bit; the
+    production scorers always use {!entry_distance}. *)
 
 val entry_lower_bound :
   ?alpha:float -> int * float -> int * float -> float

@@ -163,9 +163,16 @@ let normalized_distance ?ws ?band ~cost a b =
 
 let similarity_of_distance d = 1.0 /. (1.0 +. d)
 
+(* Cost selection: [interned] (the default) compares token ids; [false]
+   replays the string-token reference cost.  Scores are bit-identical — the
+   flag exists so tests and the bench can assert exactly that. *)
+let entry_cost ~interned ?lev ?alpha () =
+  if interned then Distance.entry_distance ?lev ?alpha
+  else Distance.entry_distance_strings ?lev ?alpha
+
 (* An empty model carries no behavior to compare: any score against it —
    including another empty model — is 0, never a perfect match. *)
-let compare_models ?ws ?band ?alpha m1 m2 =
+let compare_models ?ws ?band ?alpha ?(interned = true) m1 m2 =
   if Model.is_empty m1 || Model.is_empty m2 then begin
     (match ws with Some w -> w.pairs <- w.pairs + 1 | None -> ());
     0.0
@@ -174,10 +181,10 @@ let compare_models ?ws ?band ?alpha m1 m2 =
     let lev = match ws with Some w -> Some w.lev | None -> None in
     1.0
     -. normalized_distance ?ws ?band
-         ~cost:(Distance.entry_distance ?lev ?alpha)
+         ~cost:(entry_cost ~interned ?lev ?alpha ())
          (Model.entries_array m1) (Model.entries_array m2)
 
-let compare_models_raw ?ws ?band ?alpha m1 m2 =
+let compare_models_raw ?ws ?band ?alpha ?(interned = true) m1 m2 =
   if Model.is_empty m1 || Model.is_empty m2 then begin
     (match ws with Some w -> w.pairs <- w.pairs + 1 | None -> ());
     0.0
@@ -186,7 +193,7 @@ let compare_models_raw ?ws ?band ?alpha m1 m2 =
     let lev = match ws with Some w -> Some w.lev | None -> None in
     similarity_of_distance
       (distance ?ws ?band
-         ~cost:(Distance.entry_distance ?lev ?alpha)
+         ~cost:(entry_cost ~interned ?lev ?alpha ())
          (Model.entries_array m1) (Model.entries_array m2))
 
 (* ------------------------------------------------------------------ *)
@@ -202,7 +209,7 @@ type summary = {
 
 let summarize m =
   let s_entries = Model.entries_array m in
-  let s_lens = Array.map (fun e -> Array.length e.Model.normalized) s_entries in
+  let s_lens = Array.map (fun e -> Array.length e.Model.tokens) s_entries in
   let s_mags =
     Array.map (fun e -> Cst.change_magnitude e.Model.cst) s_entries
   in

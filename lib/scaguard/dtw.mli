@@ -87,17 +87,22 @@ val similarity_of_distance : float -> float
 (** The paper's raw mapping [1 / (1 + d)]. *)
 
 val compare_models :
-  ?ws:workspace -> ?band:int -> ?alpha:float -> Model.t -> Model.t -> float
+  ?ws:workspace -> ?band:int -> ?alpha:float -> ?interned:bool ->
+  Model.t -> Model.t -> float
 (** Similarity score of two CST-BBS models: [1 - normalized_distance], in
     [\[0,1\]].  [0.] whenever either model is empty — an empty model carries
     no attack behavior, so it can never be a (perfect) match, not even
     against another empty model.  [alpha] feeds {!Distance.entry_distance}
-    (ablations). *)
+    (ablations).  [interned] (default [true]) selects the interned-token
+    cost; [false] replays the string-token reference
+    ({!Distance.entry_distance_strings}) — scores are bit-identical either
+    way, and the flag exists so tests can assert that. *)
 
 val compare_models_raw :
-  ?ws:workspace -> ?band:int -> ?alpha:float -> Model.t -> Model.t -> float
+  ?ws:workspace -> ?band:int -> ?alpha:float -> ?interned:bool ->
+  Model.t -> Model.t -> float
 (** The paper's literal [1/(1+D)] on the raw accumulated distance (exposed
-    for the calibration bench).  Empty-model convention as
+    for the calibration bench).  Empty-model and [interned] conventions as
     {!compare_models}. *)
 
 (** {1 Summaries and the exact lower-bound cascade} *)

@@ -5,26 +5,51 @@ type entry = {
   block : int;
   instrs : Isa.Instr.t list;
   normalized : string array;
+  tokens : int array;
   cst : Cst.t;
   first_time : int;
 }
 
-type t = { name : string; entries : entry list }
+type t = { name : string; entries : entry list; entries_arr : entry array }
 
-let build ?cst_config ~name (info : Relevant.info) (ag : Attack_graph.t) =
+let make_entry ~block ~instrs ~normalized ~cst ~first_time =
+  {
+    block;
+    instrs;
+    normalized;
+    tokens = Sutil.Intern.intern_all Sutil.Intern.global normalized;
+    cst;
+    first_time;
+  }
+
+let make ~name entries = { name; entries; entries_arr = Array.of_list entries }
+
+let build ?cst_config ?measurer ~name (info : Relevant.info) (ag : Attack_graph.t)
+    =
   let cfg = info.Relevant.cfg in
   let prog = G.program cfg in
+  (* Distinct blocks often replay identical access lists (e.g. several empty
+     or single-probe blocks); one CST per distinct list suffices.  The memo
+     is per-build: Cst.measure is a pure function of (config, accesses), so
+     sharing the measured record is observationally identical. *)
+  let memo : ((int * Hpc.Collector.access_kind) list, Cst.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let measure accesses =
+    match Hashtbl.find_opt memo accesses with
+    | Some cst -> cst
+    | None ->
+      let cst = Cst.measure ?measurer ?config:cst_config accesses in
+      Hashtbl.add memo accesses cst;
+      cst
+  in
   let entry_of_block b =
     let bb = G.block cfg b in
     let instrs = BB.instrs prog bb in
-    {
-      block = b;
-      instrs;
-      normalized = Isa.Normalize.sequence instrs;
-      cst = Cst.measure ?config:cst_config info.Relevant.accesses_of_block.(b);
-      first_time =
-        Option.value ~default:max_int info.Relevant.first_time_of_block.(b);
-    }
+    make_entry ~block:b ~instrs ~normalized:(Isa.Normalize.sequence instrs)
+      ~cst:(measure info.Relevant.accesses_of_block.(b))
+      ~first_time:
+        (Option.value ~default:max_int info.Relevant.first_time_of_block.(b))
   in
   let entries =
     List.map entry_of_block ag.Attack_graph.nodes
@@ -33,11 +58,11 @@ let build ?cst_config ~name (info : Relevant.info) (ag : Attack_graph.t) =
            | 0 -> Int.compare a.block b.block
            | c -> c)
   in
-  { name; entries }
+  make ~name entries
 
 let length t = List.length t.entries
 let is_empty t = t.entries = []
-let entries_array t = Array.of_list t.entries
+let entries_array t = t.entries_arr
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>CST-BBS %s (%d blocks)@," t.name (length t);

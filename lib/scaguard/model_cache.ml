@@ -1,0 +1,111 @@
+(* Content-addressed store: one model per file, file name = hex digest of
+   every input that determines the model's bytes.  There is no separate
+   invalidation protocol — change an ingredient and the key changes, so the
+   old entry is simply never looked up again. *)
+
+(* Bump whenever the persisted format or the modeling pipeline changes in a
+   way that alters model bytes for identical inputs. *)
+let format_version = 1
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stale : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Model_cache: %s exists and is not a directory" dir)
+
+let create ~dir =
+  mkdir_p dir;
+  {
+    dir;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stale = Atomic.make 0;
+  }
+
+let dir t = t.dir
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let stale t = Atomic.get t.stale
+
+let key ?settings ?cst_config ?max_paths ?max_len ?victim ?(salt = "") ~name
+    program =
+  (* Normalize the optional knobs to what the pipeline actually uses, so
+     [None] and an explicitly-passed default produce the same key. *)
+  let s = Option.value ~default:Cpu.Exec.default_settings settings in
+  let cc = Option.value ~default:Cache.Config.cst_probe cst_config in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun str -> Buffer.add_string buf str) fmt in
+  add "scaguard-model-cache %d\n" format_version;
+  add "name %s\n" name;
+  add "salt %s\n" salt;
+  add "settings %d %d %d %d %s\n" s.Cpu.Exec.spec_window s.Cpu.Exec.quantum
+    s.Cpu.Exec.victim_quantum s.Cpu.Exec.fuel
+    (match s.Cpu.Exec.protected_range with
+    | None -> "-"
+    | Some (lo, hi) -> Printf.sprintf "%d:%d" lo hi);
+  add "cst_config %d %d %d\n" cc.Cache.Config.sets cc.Cache.Config.ways
+    cc.Cache.Config.line_bits;
+  (* Defaults for these two live in Attack_graph; changing those defaults is
+     a pipeline change and is covered by the format_version bump rule. *)
+  add "max_paths %s\n"
+    (match max_paths with None -> "-" | Some n -> string_of_int n);
+  add "max_len %s\n"
+    (match max_len with None -> "-" | Some n -> string_of_int n);
+  (* Binary.encode captures code, base address and labels — everything that
+     determines the program's execution.  The init closures (attacker memory
+     preparation, victim state) cannot be hashed; callers cover them through
+     [salt] (the CLI uses the workload seed). *)
+  (match victim with
+  | None -> add "victim -\n"
+  | Some vp ->
+    let enc = Isa.Binary.encode vp in
+    add "victim %d\n" (String.length enc);
+    Buffer.add_string buf enc;
+    Buffer.add_char buf '\n');
+  let enc = Isa.Binary.encode program in
+  add "program %d\n" (String.length enc);
+  Buffer.add_string buf enc;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let path t ~key = Filename.concat t.dir (key ^ ".cstbbs")
+
+let find t ~key =
+  let file = path t ~key in
+  if not (Sys.file_exists file) then begin
+    Atomic.incr t.misses;
+    None
+  end
+  else
+    match Persist.load_model ~path:file with
+    | model ->
+      Atomic.incr t.hits;
+      Some model
+    | exception _ ->
+      (* unreadable or corrupt: drop the entry and rebuild *)
+      Atomic.incr t.stale;
+      (try Sys.remove file with Sys_error _ -> ());
+      None
+
+let store t ~key model = Persist.save_model ~path:(path t ~key) model
+
+let find_or_build t ~key build =
+  match find t ~key with
+  | Some model -> model
+  | None ->
+    let model = build () in
+    store t ~key model;
+    model
+
+let pp_stats fmt t =
+  Format.fprintf fmt "cache %s: %d hits, %d misses, %d stale" t.dir (hits t)
+    (misses t) (stale t)

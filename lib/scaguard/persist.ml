@@ -88,7 +88,9 @@ let parse_entry c =
   let count = int_of_string (expect_prefix c "tokens ") in
   if count < 0 || count > 1_000_000 then failwith "Persist: bad token count";
   let normalized = Array.init count (fun _ -> next c) in
-  { Model.block; instrs = []; normalized; cst; first_time }
+  (* make_entry re-interns the tokens: interned ids are process-local and
+     are deliberately absent from the on-disk format *)
+  Model.make_entry ~block ~instrs:[] ~normalized ~cst ~first_time
 
 let parse_model c =
   (match next c with
@@ -103,7 +105,7 @@ let parse_model c =
     | Some _ -> entries (parse_entry c :: acc)
     | None -> failwith "Persist: missing end"
   in
-  { Model.name; entries = entries [] }
+  Model.make ~name (entries [])
 
 let cursor_of_string s =
   (* keep no trailing empty line noise *)
@@ -143,18 +145,18 @@ let repository_of_string s =
   in
   pocs []
 
-let save_repository ~path repo =
-  (* atomic: write a sibling temp file, then rename over the destination, so
-     a crash mid-write can never corrupt an existing repository *)
+(* Atomic: write a sibling temp file, then rename over the destination, so a
+   crash mid-write can never corrupt an existing file at [path]. *)
+let write_atomic ~path contents =
   let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir "scaguard-repo" ".tmp" in
+  let tmp = Filename.temp_file ~temp_dir:dir "scaguard" ".tmp" in
   (try
      let oc = open_out tmp in
      Fun.protect
        ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc (repository_to_string repo));
+       (fun () -> output_string oc contents);
      (* temp_file creates 0600; restore the conventional data-file mode so the
-        saved repository stays readable by other processes *)
+        saved file stays readable by other processes *)
      Unix.chmod tmp 0o644
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
@@ -164,10 +166,15 @@ let save_repository ~path repo =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
-let load_repository ~path =
+let read_file ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      repository_of_string (really_input_string ic n))
+      really_input_string ic n)
+
+let save_repository ~path repo = write_atomic ~path (repository_to_string repo)
+let load_repository ~path = repository_of_string (read_file ~path)
+let save_model ~path m = write_atomic ~path (model_to_string m)
+let load_model ~path = model_of_string (read_file ~path)

@@ -27,3 +27,12 @@ val load_repository : path:string -> Detector.repository
 (** @raise Sys_error / Failure on IO or parse problems.  Parsing is strict:
     every token of a [cst] line must be a float — malformed tokens are
     corruption, not noise. *)
+
+val save_model : path:string -> Model.t -> unit
+(** One model to one file (the {!Model_cache} entry format); atomic like
+    {!save_repository}. *)
+
+val load_model : path:string -> Model.t
+(** @raise Sys_error / Failure on IO or parse problems (same strictness as
+    {!load_repository}).  The loaded model's tokens are re-interned in this
+    process; interned ids are never part of the on-disk format. *)

@@ -7,14 +7,14 @@ type analysis = {
   exec : Cpu.Exec.result;
 }
 
-let analyze ?max_paths ?max_len ?cst_config ~name ~program exec =
+let analyze ?max_paths ?max_len ?cst_config ?measurer ~name ~program exec =
   let cfg = Cfg.Graph.of_program program in
   let info = Relevant.identify cfg exec.Cpu.Exec.collector in
   let attack_graph =
     Attack_graph.build ?max_paths ?max_len cfg ~hpc:info.Relevant.hpc_of_block
       ~relevant:info.Relevant.relevant
   in
-  let model = Model.build ?cst_config ~name info attack_graph in
+  let model = Model.build ?cst_config ?measurer ~name info attack_graph in
   { name; cfg; info; attack_graph; model; exec }
 
 let run_and_analyze ?settings ?init ?victim ?max_paths ?max_len ?cst_config
@@ -22,3 +22,69 @@ let run_and_analyze ?settings ?init ?victim ?max_paths ?max_len ?cst_config
   let exec = Cpu.Exec.run ?settings ?init ?victim program in
   analyze ?max_paths ?max_len ?cst_config ~name:(Isa.Program.name program)
     ~program exec
+
+(* ------------------------------------------------------------------ *)
+(* Batch front-end.                                                    *)
+
+type job = {
+  job_name : string;
+  program : Isa.Program.t;
+  settings : Cpu.Exec.settings option;
+  init : (Cpu.Machine.t -> unit) option;
+  victim : (Isa.Program.t * (Cpu.Machine.t -> unit)) option;
+  salt : string;
+}
+
+let job ?settings ?init ?victim ?(salt = "") ~name program =
+  { job_name = name; program; settings; init; victim; salt }
+
+(* Fan [f] over the tasks with one Cst.measurer per worker (the per-block
+   CST simulator is reused instead of reallocated), collecting results by
+   index.  Task order in the output is the input order regardless of which
+   worker ran what, and each task's computation is independent of every
+   other's, so results are byte-identical to a sequential loop. *)
+let batch ?domains n f =
+  let workers = Sutil.Pool.domains_for ?domains n in
+  let measurers = Array.init workers (fun _ -> Cst.measurer ()) in
+  let out = Array.make n None in
+  ignore
+    (Sutil.Pool.run ?domains ~tasks:n (fun ~worker i ->
+         out.(i) <- Some (f ~measurer:(measurers.(worker)) i)));
+  Array.map (fun o -> Option.get o) out
+
+let analyze_batch ?domains ?max_paths ?max_len ?cst_config inputs =
+  batch ?domains (Array.length inputs) (fun ~measurer i ->
+      let name, program, exec = inputs.(i) in
+      analyze ?max_paths ?max_len ?cst_config ~measurer ~name ~program exec)
+
+let run_and_analyze_batch ?domains ?max_paths ?max_len ?cst_config jobs =
+  batch ?domains (Array.length jobs) (fun ~measurer i ->
+      let j = jobs.(i) in
+      let exec =
+        Cpu.Exec.run ?settings:j.settings ?init:j.init ?victim:j.victim
+          j.program
+      in
+      analyze ?max_paths ?max_len ?cst_config ~measurer ~name:j.job_name
+        ~program:j.program exec)
+
+let build_models_batch ?domains ?cache ?max_paths ?max_len ?cst_config jobs =
+  batch ?domains (Array.length jobs) (fun ~measurer i ->
+      let j = jobs.(i) in
+      let build () =
+        let exec =
+          Cpu.Exec.run ?settings:j.settings ?init:j.init ?victim:j.victim
+            j.program
+        in
+        (analyze ?max_paths ?max_len ?cst_config ~measurer ~name:j.job_name
+           ~program:j.program exec)
+          .model
+      in
+      match cache with
+      | None -> build ()
+      | Some c ->
+        let key =
+          Model_cache.key ?settings:j.settings ?cst_config ?max_paths ?max_len
+            ?victim:(Option.map fst j.victim) ~salt:j.salt ~name:j.job_name
+            j.program
+        in
+        Model_cache.find_or_build c ~key build)

@@ -6,7 +6,16 @@
     callers (the CLI, the experiments, the examples) can inspect the
     pipeline as well as its final model.  Downstream, the model feeds
     {!Detector.classify} (one-off) or {!Engine.classify_batch} (batch
-    screening — see [docs/PERFORMANCE.md]). *)
+    screening — see [docs/PERFORMANCE.md]).
+
+    {b Batch building.}  The [_batch] entry points fan the whole chain over
+    a {!Sutil.Pool} of domains.  Each task is independent of every other
+    (its own execution, CFG, identification, graph and model; per-worker
+    scratch only for the CST probe simulator), so the batch results are
+    {e byte-identical} to running the sequential functions in a loop — a
+    property the bench's modeling stage asserts on every run.
+    {!build_models_batch} can additionally consult a {!Model_cache},
+    skipping execution and modeling entirely for cached programs. *)
 
 type analysis = {
   name : string;            (** the analyzed program's name *)
@@ -19,8 +28,12 @@ type analysis = {
 
 val analyze :
   ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
+  ?measurer:Cst.measurer ->
   name:string -> program:Isa.Program.t -> Cpu.Exec.result -> analysis
-(** Build the model from an already-collected execution of [program]. *)
+(** Build the model from an already-collected execution of [program].
+    [measurer] lends a reusable CST probe simulator to the per-block
+    measurements (results identical with or without it); the batch entry
+    points pass one per worker. *)
 
 val run_and_analyze :
   ?settings:Cpu.Exec.settings ->
@@ -29,3 +42,50 @@ val run_and_analyze :
   ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
   Isa.Program.t -> analysis
 (** Execute the program (with optional victim) and analyze it. *)
+
+(** {1 Batch building} *)
+
+type job = {
+  job_name : string;
+  program : Isa.Program.t;
+  settings : Cpu.Exec.settings option;
+  init : (Cpu.Machine.t -> unit) option;
+  victim : (Isa.Program.t * (Cpu.Machine.t -> unit)) option;
+  salt : string;
+    (** Cache-key salt covering the unhashable inputs ([init], the victim's
+        init) — see {!Model_cache.key}.  Irrelevant without a cache. *)
+}
+(** One program to execute and model: the arguments of {!run_and_analyze},
+    reified so a batch can carry many of them. *)
+
+val job :
+  ?settings:Cpu.Exec.settings ->
+  ?init:(Cpu.Machine.t -> unit) ->
+  ?victim:Isa.Program.t * (Cpu.Machine.t -> unit) ->
+  ?salt:string -> name:string -> Isa.Program.t -> job
+
+val analyze_batch :
+  ?domains:int ->
+  ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
+  (string * Isa.Program.t * Cpu.Exec.result) array -> analysis array
+(** {!analyze} over already-collected executions, fanned over [domains]
+    workers (default {!Sutil.Pool.default_domains}).  [results.(i)] is
+    byte-identical to [analyze ~name ~program exec] on [inputs.(i)]. *)
+
+val run_and_analyze_batch :
+  ?domains:int ->
+  ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
+  job array -> analysis array
+(** Execute and analyze every job; [results.(i)] is byte-identical to
+    {!run_and_analyze} on [jobs.(i)]. *)
+
+val build_models_batch :
+  ?domains:int ->
+  ?cache:Model_cache.t ->
+  ?max_paths:int -> ?max_len:int -> ?cst_config:Cache.Config.t ->
+  job array -> Model.t array
+(** Like {!run_and_analyze_batch} but keeping only the models — and, with
+    [cache], consulting it first: a hit skips execution and modeling
+    entirely, a miss builds then stores.  Cached or not, [models.(i)] is
+    byte-identical ({!Persist.model_to_string}) to a fresh sequential
+    build of [jobs.(i)]. *)

@@ -1,0 +1,52 @@
+(* A mutex-protected hashtable plus the reverse id->string array.  All
+   operations take the lock: interning is off the scoring hot path (model
+   build / persist parse time), and OCaml 5 Hashtbls are not safe under
+   concurrent mutation. *)
+
+type pool = {
+  table : (string, int) Hashtbl.t;
+  mutable names : string array; (* id -> string; grows by doubling *)
+  mutable count : int;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    table = Hashtbl.create 256;
+    names = Array.make 64 "";
+    count = 0;
+    lock = Mutex.create ();
+  }
+
+let global = create ()
+
+let locked p f =
+  Mutex.lock p.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.lock) f
+
+let intern_unlocked p s =
+  match Hashtbl.find_opt p.table s with
+  | Some id -> id
+  | None ->
+    let id = p.count in
+    if id >= Array.length p.names then begin
+      let names = Array.make (2 * Array.length p.names) "" in
+      Array.blit p.names 0 names 0 p.count;
+      p.names <- names
+    end;
+    p.names.(id) <- s;
+    p.count <- id + 1;
+    Hashtbl.add p.table s id;
+    id
+
+let intern p s = locked p (fun () -> intern_unlocked p s)
+
+let intern_all p ss = locked p (fun () -> Array.map (intern_unlocked p) ss)
+
+let to_string p id =
+  locked p (fun () ->
+      if id < 0 || id >= p.count then
+        invalid_arg (Printf.sprintf "Intern.to_string: unassigned id %d" id);
+      p.names.(id))
+
+let size p = locked p (fun () -> p.count)

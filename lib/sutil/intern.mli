@@ -1,0 +1,33 @@
+(** String interning: a pool mapping strings to dense integer ids.
+
+    Equal strings intern to equal ids and distinct strings to distinct ids,
+    so comparing two interned tokens is one integer compare — the inner loop
+    of the Levenshtein DP over normalized instruction sequences compares
+    ints instead of hashing strings ({!Levenshtein.distance_ints}).
+
+    A pool is safe to share across domains: {!intern} and {!to_string} are
+    serialized by an internal mutex.  Interning happens at model build /
+    parse time, never on the scoring hot path, so the lock is uncontended
+    where it matters.  Ids are assigned in first-come order and are
+    therefore {e not} stable across processes or interleavings — only
+    id equality is meaningful, which is all the distance code consumes. *)
+
+type pool
+
+val create : unit -> pool
+
+val global : pool
+(** The process-wide pool used by {!Model.make_entry} and the [Persist]
+    parser, so every model in the process shares one id space. *)
+
+val intern : pool -> string -> int
+(** The id of a string, assigning the next free id on first sight. *)
+
+val intern_all : pool -> string array -> int array
+(** Intern a whole token sequence under a single lock acquisition. *)
+
+val to_string : pool -> int -> string
+(** The string behind an id.  @raise Invalid_argument for unassigned ids. *)
+
+val size : pool -> int
+(** Number of distinct strings interned so far. *)

@@ -66,10 +66,17 @@ let distance ?ws ?limit ~equal a b =
 
 let distance_strings ?ws ?limit a b = distance ?ws ?limit ~equal:String.equal a b
 
+(* The annotation monomorphizes the compare to a direct int test — this is
+   the inner loop of every DTW entry cost once tokens are interned. *)
+let int_equal (a : int) b = a = b
+let distance_ints ?ws ?limit a b = distance ?ws ?limit ~equal:int_equal a b
+
 let normalized ?ws ~equal a b =
   let n = max (Array.length a) (Array.length b) in
   if n = 0 then 0.0
   else float_of_int (distance ?ws ~equal a b) /. float_of_int n
+
+let normalized_ints ?ws a b = normalized ?ws ~equal:int_equal a b
 
 let normalized_lower_bound a b =
   let n = max (Array.length a) (Array.length b) in

@@ -31,10 +31,21 @@ val distance :
 val distance_strings : ?ws:workspace -> ?limit:int -> string array -> string array -> int
 (** Specialization to string tokens with structural equality. *)
 
+val distance_ints : ?ws:workspace -> ?limit:int -> int array -> int array -> int
+(** Specialization to interned tokens ({!Intern}): the inner-loop compare is
+    one integer test.  When the int sequences were interned from string
+    sequences out of the same pool, the result equals {!distance_strings} on
+    the originals bit for bit — interning is a bijection, so equality (the
+    only thing the DP consults) is preserved. *)
+
 val normalized : ?ws:workspace -> equal:('a -> 'a -> bool) -> 'a array -> 'a array -> float
 (** [normalized ~equal a b] is
     [distance a b / max (length a) (length b)], following the paper's
     D_IS definition; [0.] when both are empty. *)
+
+val normalized_ints : ?ws:workspace -> int array -> int array -> float
+(** {!normalized} over interned tokens; equals {!normalized} with
+    [String.equal] on the pre-interning sequences bit for bit. *)
 
 val lower_bound : 'a array -> 'a array -> int
 (** [lower_bound a b = abs (length a - length b)]: an O(1) lower bound on

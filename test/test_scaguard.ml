@@ -128,13 +128,9 @@ let test_cst_distance () =
 (* ---- Distance -------------------------------------------------------------------- *)
 
 let entry_of_instrs ?(accesses = []) instrs =
-  {
-    SG.Model.block = 0;
-    instrs;
-    normalized = Isa.Normalize.sequence instrs;
-    cst = SG.Cst.measure accesses;
-    first_time = 0;
-  }
+  SG.Model.make_entry ~block:0 ~instrs
+    ~normalized:(Isa.Normalize.sequence instrs)
+    ~cst:(SG.Cst.measure accesses) ~first_time:0
 
 let test_entry_distance_bounds () =
   let e1 = entry_of_instrs [ Isa.Instr.Nop; Isa.Instr.Rdtsc ] in
@@ -481,7 +477,7 @@ let prop_workspace_identical =
 
 (* ---- Empty-model regression (bug: empty vs empty scored 1.0) -------------------------- *)
 
-let empty_model = { SG.Model.name = "empty"; entries = [] }
+let empty_model = SG.Model.make ~name:"empty" []
 
 let test_empty_model_similarity_zero () =
   check_float "empty vs empty" 0.0 (SG.Dtw.compare_models empty_model empty_model);
@@ -568,17 +564,12 @@ let model_gen =
     (* sizes include 1: single-token entries round-trip too *)
     let* normalized = list_size (int_range 1 5) token in
     return
-      {
-        SG.Model.block;
-        instrs = [];
-        normalized = Array.of_list normalized;
-        cst;
-        first_time;
-      }
+      (SG.Model.make_entry ~block ~instrs:[]
+         ~normalized:(Array.of_list normalized) ~cst ~first_time)
   in
   let* name = oneofl [ "m"; "poc-a"; "fr mastik"; "x_1" ] in
   let* entries = list_size (int_range 0 5) entry in
-  return { SG.Model.name; entries }
+  return (SG.Model.make ~name entries)
 
 let model_arb = QCheck.make ~print:(fun m -> SG.Persist.model_to_string m) model_gen
 
@@ -843,6 +834,202 @@ let test_persist_rejects_garbage () =
     (try ignore (SG.Persist.model_of_string "cstbbs 1\nname x\nentry 0 0"); false
      with Failure _ -> true)
 
+(* ---- Batch model building + model cache ---------------------------------------------- *)
+
+let model_bytes = SG.Persist.model_to_string
+
+let batch_samples () =
+  List.map D.of_spec
+    [
+      A.flush_reload ~style:A.Iaik ();
+      A.prime_probe ~style:A.Jzhang ();
+      A.evict_reload ();
+    ]
+
+let job_of_sample (s : D.sample) =
+  SG.Pipeline.job ?settings:s.D.settings ~init:s.D.init ?victim:s.D.victim
+    ~name:s.D.name s.D.program
+
+let test_cst_measurer_reuse () =
+  let m = SG.Cst.measurer () in
+  let acc1 = List.init 30 (fun i -> (i * 64, Hpc.Collector.Load)) in
+  let acc2 = List.init 10 (fun i -> (i * 128, Hpc.Collector.Flush)) in
+  (* a reused (dirty) measurer must reproduce the fresh-simulator result *)
+  check_bool "first" true (SG.Cst.measure ~measurer:m acc1 = SG.Cst.measure acc1);
+  check_bool "after dirty state" true
+    (SG.Cst.measure ~measurer:m acc2 = SG.Cst.measure acc2);
+  check_bool "empty short-circuit" true (SG.Cst.measure ~measurer:m [] = SG.Cst.measure [])
+
+let test_entries_array_memoized () =
+  let m = (Lazy.force fr_analysis).SG.Pipeline.model in
+  check_bool "one array, shared" true
+    (SG.Model.entries_array m == SG.Model.entries_array m)
+
+let test_analyze_batch_matches_sequential () =
+  let samples = batch_samples () in
+  (* over pre-collected executions (analysis on one exec is deterministic) *)
+  let inputs =
+    Array.of_list
+      (List.map (fun (s : D.sample) -> (s.D.name, s.D.program, D.run s)) samples)
+  in
+  let batch = SG.Pipeline.analyze_batch ~domains:4 inputs in
+  Array.iteri
+    (fun i (a : SG.Pipeline.analysis) ->
+      let name, program, exec = inputs.(i) in
+      let seq = SG.Pipeline.analyze ~name ~program exec in
+      Alcotest.(check string) "analyze_batch model"
+        (model_bytes seq.SG.Pipeline.model)
+        (model_bytes a.SG.Pipeline.model))
+    batch;
+  (* executing inside the batch too *)
+  let jobs = Array.of_list (List.map job_of_sample samples) in
+  let batch2 = SG.Pipeline.run_and_analyze_batch ~domains:4 jobs in
+  List.iteri
+    (fun i (s : D.sample) ->
+      let seq = analyze_sample s in
+      Alcotest.(check string) "run_and_analyze_batch model"
+        (model_bytes seq.SG.Pipeline.model)
+        (model_bytes batch2.(i).SG.Pipeline.model))
+    samples;
+  let models = SG.Pipeline.build_models_batch ~domains:2 jobs in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check string) "build_models_batch model"
+        (model_bytes batch2.(i).SG.Pipeline.model)
+        (model_bytes m))
+    models
+
+let with_temp_cache f =
+  let dir = Filename.temp_file "scaguard" ".cache" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun x ->
+            try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f (SG.Model_cache.create ~dir))
+
+let test_model_cache_hit_bit_identical () =
+  with_temp_cache (fun cache ->
+      let fr = D.of_spec (A.flush_reload ~style:A.Iaik ()) in
+      let fresh = (Lazy.force fr_analysis).SG.Pipeline.model in
+      let key = SG.Model_cache.key ~name:fr.D.name fr.D.program in
+      check_bool "initially absent" true (SG.Model_cache.find cache ~key = None);
+      check_int "miss counted" 1 (SG.Model_cache.misses cache);
+      SG.Model_cache.store cache ~key fresh;
+      match SG.Model_cache.find cache ~key with
+      | None -> Alcotest.fail "stored model not found"
+      | Some cached ->
+        check_int "hit counted" 1 (SG.Model_cache.hits cache);
+        Alcotest.(check string) "bytes identical" (model_bytes fresh)
+          (model_bytes cached);
+        (* the property detection relies on: scoring through the cached model
+           is bit-identical to scoring through the freshly built one *)
+        let probe = (List.nth (Lazy.force repo) 1).SG.Detector.model in
+        check_bool "probe score bit-identical" true
+          (SG.Dtw.compare_models cached probe
+          = SG.Dtw.compare_models fresh probe);
+        check_float "self similarity" 1.0 (SG.Dtw.compare_models cached fresh))
+
+let prop_cache_hit_scores_identical =
+  QCheck.Test.make ~name:"cache hit scores bit-identical to fresh model"
+    ~count:40
+    QCheck.(pair model_arb model_arb)
+    (fun (m, probe) ->
+      with_temp_cache (fun cache ->
+          SG.Model_cache.store cache ~key:"k" m;
+          match SG.Model_cache.find cache ~key:"k" with
+          | None -> false
+          | Some m' ->
+            SG.Dtw.compare_models m' probe = SG.Dtw.compare_models m probe))
+
+let test_model_cache_stale_fallback () =
+  with_temp_cache (fun cache ->
+      let key = "deadbeef" in
+      let path =
+        Filename.concat (SG.Model_cache.dir cache) (key ^ ".cstbbs")
+      in
+      let oc = open_out path in
+      output_string oc "cstbbs 1\nname x\nentry garbage\n";
+      close_out oc;
+      check_bool "corrupt entry rejected" true
+        (SG.Model_cache.find cache ~key = None);
+      check_int "stale counted" 1 (SG.Model_cache.stale cache);
+      check_bool "corrupt file deleted" false (Sys.file_exists path);
+      (* find_or_build falls back to the builder and re-stores *)
+      let fresh = (Lazy.force fr_analysis).SG.Pipeline.model in
+      let built = SG.Model_cache.find_or_build cache ~key (fun () -> fresh) in
+      Alcotest.(check string) "rebuilt" (model_bytes fresh) (model_bytes built);
+      match SG.Model_cache.find cache ~key with
+      | None -> Alcotest.fail "rebuilt entry not stored"
+      | Some again ->
+        Alcotest.(check string) "stored after rebuild" (model_bytes fresh)
+          (model_bytes again))
+
+let test_model_cache_key_sensitivity () =
+  let fr = D.of_spec (A.flush_reload ~style:A.Iaik ()) in
+  let pp = D.of_spec (A.prime_probe ~style:A.Iaik ()) in
+  let k = SG.Model_cache.key ~name:"x" fr.D.program in
+  Alcotest.(check string) "deterministic" k
+    (SG.Model_cache.key ~name:"x" fr.D.program);
+  Alcotest.(check string) "explicit defaults, same key" k
+    (SG.Model_cache.key ~settings:Cpu.Exec.default_settings
+       ~cst_config:Cache.Config.cst_probe ~name:"x" fr.D.program);
+  let variants =
+    [
+      SG.Model_cache.key ~name:"y" fr.D.program;
+      SG.Model_cache.key ~salt:"other" ~name:"x" fr.D.program;
+      SG.Model_cache.key ~max_paths:3 ~name:"x" fr.D.program;
+      SG.Model_cache.key ~max_len:9 ~name:"x" fr.D.program;
+      SG.Model_cache.key
+        ~settings:{ Cpu.Exec.default_settings with Cpu.Exec.fuel = 1 }
+        ~name:"x" fr.D.program;
+      SG.Model_cache.key ~cst_config:Cache.Config.l1d ~name:"x" fr.D.program;
+      SG.Model_cache.key ~victim:pp.D.program ~name:"x" fr.D.program;
+      SG.Model_cache.key ~name:"x" pp.D.program;
+    ]
+  in
+  List.iteri
+    (fun i k' ->
+      check_bool (Printf.sprintf "ingredient %d changes the key" i) false
+        (k' = k))
+    variants;
+  check_int "variants pairwise distinct" (List.length variants)
+    (List.length (List.sort_uniq compare variants))
+
+let test_build_models_batch_cached () =
+  with_temp_cache (fun cache ->
+      let jobs = Array.of_list (List.map job_of_sample (batch_samples ())) in
+      let n = Array.length jobs in
+      let cold = SG.Pipeline.build_models_batch ~domains:2 ~cache jobs in
+      check_int "cold misses" n (SG.Model_cache.misses cache);
+      check_int "cold hits" 0 (SG.Model_cache.hits cache);
+      (* a fresh handle on the same directory: everything must hit *)
+      let warm_cache = SG.Model_cache.create ~dir:(SG.Model_cache.dir cache) in
+      let warm =
+        SG.Pipeline.build_models_batch ~domains:2 ~cache:warm_cache jobs
+      in
+      check_int "warm hits" n (SG.Model_cache.hits warm_cache);
+      check_int "warm misses" 0 (SG.Model_cache.misses warm_cache);
+      Array.iteri
+        (fun i m ->
+          Alcotest.(check string) "warm = cold" (model_bytes cold.(i))
+            (model_bytes m))
+        warm)
+
+let prop_interned_scoring_identical =
+  QCheck.Test.make ~name:"interned scoring = string-token scoring" ~count:100
+    QCheck.(pair model_arb model_arb)
+    (fun (m1, m2) ->
+      SG.Dtw.compare_models m1 m2
+      = SG.Dtw.compare_models ~interned:false m1 m2
+      && SG.Dtw.compare_models_raw m1 m2
+         = SG.Dtw.compare_models_raw ~interned:false m1 m2)
+
 let () =
   Alcotest.run "scaguard"
     [
@@ -965,5 +1152,24 @@ let () =
           Alcotest.test_case "atomic save" `Quick test_persist_save_atomic;
           QCheck_alcotest.to_alcotest prop_persist_roundtrip;
           QCheck_alcotest.to_alcotest prop_persist_repository_roundtrip;
+        ] );
+      ( "batch modeling & cache",
+        [
+          Alcotest.test_case "measurer reuse identical" `Quick
+            test_cst_measurer_reuse;
+          Alcotest.test_case "entries array memoized" `Quick
+            test_entries_array_memoized;
+          Alcotest.test_case "batch matches sequential" `Quick
+            test_analyze_batch_matches_sequential;
+          Alcotest.test_case "cache hit bit-identical" `Quick
+            test_model_cache_hit_bit_identical;
+          Alcotest.test_case "stale entry falls back" `Quick
+            test_model_cache_stale_fallback;
+          Alcotest.test_case "key sensitivity" `Quick
+            test_model_cache_key_sensitivity;
+          Alcotest.test_case "cached batch build" `Quick
+            test_build_models_batch_cached;
+          QCheck_alcotest.to_alcotest prop_cache_hit_scores_identical;
+          QCheck_alcotest.to_alcotest prop_interned_scoring_identical;
         ] );
     ]

@@ -139,6 +139,58 @@ let prop_lev_limit =
       Sutil.Levenshtein.distance ~limit ~equal:Int.equal a b
       = min exact limit)
 
+(* ---- Intern ---------------------------------------------------------------- *)
+
+let test_intern_equality () =
+  let p = Sutil.Intern.create () in
+  let a = Sutil.Intern.intern p "load m" in
+  let b = Sutil.Intern.intern p "store m" in
+  check_int "same string, same id" a (Sutil.Intern.intern p "load m");
+  Alcotest.(check bool) "distinct strings, distinct ids" false (a = b);
+  Alcotest.(check string) "id maps back" "load m" (Sutil.Intern.to_string p a);
+  Alcotest.(check string) "id maps back 2" "store m" (Sutil.Intern.to_string p b);
+  check_int "size counts distinct strings" 2 (Sutil.Intern.size p)
+
+let test_intern_all () =
+  let p = Sutil.Intern.create () in
+  let ss = [| "a"; "b"; "a"; "c"; "b" |] in
+  let ids = Sutil.Intern.intern_all p ss in
+  Alcotest.(check (array int)) "batch = one-by-one"
+    (Array.map (Sutil.Intern.intern p) ss)
+    ids;
+  Alcotest.(check (array string)) "roundtrip"
+    ss
+    (Array.map (Sutil.Intern.to_string p) ids)
+
+let test_intern_growth () =
+  (* push past the initial capacity so the doubling path is exercised *)
+  let p = Sutil.Intern.create () in
+  let ids = List.init 500 (fun i -> Sutil.Intern.intern p (string_of_int i)) in
+  check_int "all distinct" 500 (List.length (List.sort_uniq compare ids));
+  List.iteri
+    (fun i id ->
+      Alcotest.(check string) "stable" (string_of_int i)
+        (Sutil.Intern.to_string p id))
+    ids
+
+(* the interning guarantee the scorers rely on: the int-token Levenshtein is
+   bit-identical to the string-token one whenever ids come from one pool *)
+let prop_interned_levenshtein_identical =
+  QCheck.Test.make ~name:"interned levenshtein = string levenshtein" ~count:300
+    QCheck.(
+      pair
+        (list (oneofl [ "load m"; "store m"; "mov r r"; "rdtsc"; "mfence" ]))
+        (list (oneofl [ "load m"; "store m"; "mov r r"; "clflush m" ])))
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let p = Sutil.Intern.create () in
+      let ia = Sutil.Intern.intern_all p a
+      and ib = Sutil.Intern.intern_all p b in
+      Sutil.Levenshtein.distance_ints ia ib
+      = Sutil.Levenshtein.distance_strings a b
+      && Sutil.Levenshtein.normalized_ints ia ib
+         = Sutil.Levenshtein.normalized ~equal:String.equal a b)
+
 (* ---- Stats ---------------------------------------------------------------- *)
 
 let test_stats_mean_median () =
@@ -203,6 +255,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_lev_triangle;
           QCheck_alcotest.to_alcotest prop_lev_bounds;
           QCheck_alcotest.to_alcotest prop_lev_limit;
+        ] );
+      ( "intern",
+        [
+          Alcotest.test_case "equality" `Quick test_intern_equality;
+          Alcotest.test_case "intern_all" `Quick test_intern_all;
+          Alcotest.test_case "growth" `Quick test_intern_growth;
+          QCheck_alcotest.to_alcotest prop_interned_levenshtein_identical;
         ] );
       ( "stats",
         [
