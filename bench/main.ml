@@ -264,16 +264,25 @@ let engine () =
   in
   Printf.printf "building %d target models (repository: %d PoCs)...\n%!"
     (List.length samples) (List.length repo);
-  let models =
-    List.map
-      (fun (s : D.sample) ->
-        let res = D.run s in
-        (Scaguard.Pipeline.analyze ~name:s.D.name ~program:s.D.program res)
-          .Scaguard.Pipeline.model)
-      samples
+  let build_jobs =
+    Array.of_list
+      (List.map
+         (fun (s : D.sample) ->
+           Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
+             ?victim:s.D.victim ~name:s.D.name s.D.program)
+         samples)
+  in
+  let build_config =
+    { Scaguard.Config.default with Scaguard.Config.domains = Some (worker_domains ()) }
+  in
+  let base =
+    match Scaguard.Service.build build_config build_jobs with
+    | Ok (models, _) -> models
+    | Error e ->
+      Printf.eprintf "engine: service build failed: %s\n" (Scaguard.Err.to_string e);
+      exit 1
   in
   (* replicate the models into a batch big enough to time meaningfully *)
-  let base = Array.of_list models in
   let batch = max (Array.length base) 512 in
   let targets = Array.init batch (fun i -> base.(i mod Array.length base)) in
   Printf.printf "batch: %d targets x %d PoCs = %d pairs\n%!" batch
@@ -308,6 +317,18 @@ let engine () =
     Scaguard.Engine.classify_batch ~prune:true ~domains repo targets
   in
   check_identical "pruned" par pruned;
+  (* service facade: Service.detect is a typed front door over the same
+     engine — verdicts must stay bit-identical to the manual composition *)
+  (match
+     Scaguard.Service.detect
+       { Scaguard.Config.default with Scaguard.Config.domains = Some domains }
+       repo targets
+   with
+  | Ok (svc, _report) -> check_identical "service" seq svc
+  | Error e ->
+    Printf.eprintf "engine: service detect failed: %s\n"
+      (Scaguard.Err.to_string e);
+    exit 1);
   let pairs = float_of_int stats.Scaguard.Engine.pairs in
   Printf.printf "sequential: %.4fs  (%.0f pairs/s)\n" seq_dt (pairs /. seq_dt);
   Printf.printf "parallel:   %.4fs  (%.0f pairs/s)  speedup %.2fx\n"
@@ -331,8 +352,8 @@ let engine () =
   Printf.printf "DP cells: %d -> %d (%.1f%% saved)\n" cells_full cells_pruned
     reduction;
   Printf.printf
-    "verdicts: parallel and pruned runs byte-identical to the sequential \
-     path (%d targets)\n"
+    "verdicts: parallel, pruned and Service.detect runs byte-identical to \
+     the sequential path (%d targets)\n"
     batch
 
 (* ---- Modeling: parallel + cached model building ------------------------------------ *)
@@ -421,6 +442,15 @@ let modeling () =
   if Scaguard.Model_cache.hits warm_cache <> n then
     fail "modeling: warm cache expected %d hits, got %d" n
       (Scaguard.Model_cache.hits warm_cache);
+  (* service facade: Service.build wraps exactly this composition — the
+     models it returns must be byte-identical too *)
+  (match
+     Scaguard.Service.build
+       { Scaguard.Config.default with Scaguard.Config.domains = Some domains }
+       build_jobs
+   with
+  | Ok (svc, _report) -> check_identical "service" seq svc
+  | Error e -> fail "modeling: service build failed: %s" (Scaguard.Err.to_string e));
   (* interned vs string-token scoring: bit-identical similarity *)
   let probe = seq.(0) in
   Array.iter
@@ -456,8 +486,8 @@ let modeling () =
   row "parallel + warm cache" warm_dt;
   emit_table ~artifact:"modeling" t;
   Printf.printf
-    "models: parallel, cold-cache and warm-cache runs byte-identical to the \
-     sequential build (%d models)\n\
+    "models: parallel, cold-cache, warm-cache and Service.build runs \
+     byte-identical to the sequential build (%d models)\n\
      warm cache: %d/%d hits — no execution or CST simulation at all\n\
      scores: interned-token and string-token similarities bit-identical \
      (%d pairs)\n"

@@ -6,9 +6,17 @@
      scaguard compare fr-iaik pp-iaik       # similarity of two programs
      scaguard detect spectre-fr-classic --repo FR-F,PP-F
      scaguard scadet pp-iaik                # run the rule-based baseline
-*)
+
+   Every subcommand is a thin parser over Scaguard.Service/Scaguard.Config:
+   flags are validated through the Config smart constructors, all pipeline
+   work goes through Service.build/detect/screen, and every failure is a
+   typed Scaguard.Err.t mapped to the documented exit codes (0 ok, 1
+   usage/config, 2 runtime). *)
 
 open Cmdliner
+module C = Scaguard.Config
+
+let ( let* ) = Result.bind
 
 (* ---- program registry ------------------------------------------------------ *)
 
@@ -48,23 +56,78 @@ let resolve_sample ~seed name =
     end
     else None
 
-let sample_or_die ~seed name =
+let sample_res ~seed name =
   match resolve_sample ~seed name with
-  | Some s -> s
+  | Some s -> Ok s
   | None ->
-    Printf.eprintf
-      "unknown program %S; run `scaguard list` for available names\n" name;
-    exit 1
+    Error
+      (Scaguard.Err.Invalid_config
+         {
+           field = "PROGRAM";
+           value = name;
+           expected = "a name from `scaguard list`";
+         })
 
+let samples_res ~seed names =
+  List.fold_left
+    (fun acc name ->
+      let* acc = acc in
+      let* s = sample_res ~seed name in
+      Ok (s :: acc))
+    (Ok []) names
+  |> Result.map List.rev
+
+let job_of_sample (s : Workloads.Dataset.sample) =
+  Scaguard.Pipeline.job ?settings:s.Workloads.Dataset.settings
+    ~init:s.Workloads.Dataset.init ?victim:s.Workloads.Dataset.victim
+    ~name:s.Workloads.Dataset.name s.Workloads.Dataset.program
+
+(* Full analysis (CFG, relevant blocks, …) for the inspection commands;
+   detection flows go through Service.build instead. *)
 let analyze (s : Workloads.Dataset.sample) =
   let res = Workloads.Dataset.run s in
-  (Scaguard.Pipeline.analyze ~name:s.Workloads.Dataset.name
-     ~program:s.Workloads.Dataset.program res, res)
+  ( Scaguard.Pipeline.analyze ~name:s.Workloads.Dataset.name
+      ~program:s.Workloads.Dataset.program res,
+    res )
+
+(* ---- error handling ---------------------------------------------------------- *)
+
+(* The single catch-and-exit point: every subcommand body returns
+   [(unit, Scaguard.Err.t) result] and this maps it to the documented exit
+   codes. *)
+let handle = function
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "scaguard: %s\n" (Scaguard.Err.to_string e);
+    Scaguard.Err.exit_code e
+
+(* Filesystem + decode guard for binary/source files. *)
+let io ~path f =
+  match f () with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (Scaguard.Err.Io { path; msg })
+  | exception Failure msg ->
+    Error (Scaguard.Err.Parse { file = Some path; line = None; msg })
 
 (* ---- common options ---------------------------------------------------------- *)
 
 let seed_t =
   Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let threshold_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "threshold" ] ~docv:"T"
+        ~doc:"Similarity threshold in [0,1] (default 0.60).")
+
+let alpha_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:"DTW syntax/semantics weight in [0,1] (default: the paper's \
+              equal weighting).")
 
 let jobs_t =
   Arg.(
@@ -84,7 +147,50 @@ let cache_dir_t =
               exec settings, the CST geometry and the seed, so stale \
               entries are never returned.")
 
-let cache_of_dir = Option.map (fun dir -> Scaguard.Model_cache.create ~dir)
+let config_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "config" ] ~docv:"FILE"
+        ~doc:"Load a saved configuration (key=value lines, see build-repo \
+              $(b,--save-config)); explicit flags override its values.")
+
+(* Gather the base config (--config file or defaults), then apply explicit
+   flags through the Config checkers so a bad value reports the offending
+   flag and its accepted range. *)
+let assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
+    ~cache_dir ~no_prune =
+  let* base =
+    match config_file with None -> Ok C.default | Some path -> C.load ~path
+  in
+  let* threshold =
+    match threshold with
+    | None -> Ok base.C.threshold
+    | Some t -> C.check_threshold ~field:"--threshold" t
+  in
+  let* alpha =
+    match alpha with
+    | None -> Ok base.C.alpha
+    | Some a -> Result.map Option.some (C.check_alpha ~field:"--alpha" a)
+  in
+  let* band =
+    match band with
+    | None -> Ok base.C.band
+    | Some b -> Result.map Option.some (C.check_band ~field:"--band" b)
+  in
+  (* --jobs fans out model building and, for compatibility, also sets the
+     scoring-engine worker count; --domains overrides both when given. *)
+  let* domains =
+    match (domains, jobs) with
+    | Some d, _ -> Result.map Option.some (C.check_domains ~field:"--domains" d)
+    | None, Some j -> Result.map Option.some (C.check_domains ~field:"--jobs" j)
+    | None, None -> Ok base.C.domains
+  in
+  let cache_dir =
+    match cache_dir with Some _ -> cache_dir | None -> base.C.cache_dir
+  in
+  let prune = base.C.prune && not no_prune in
+  C.validate { base with C.threshold; alpha; band; domains; cache_dir; prune }
 
 (* The repository's harness kernels are drawn from the shared rng stream in
    family-list order, so the same family can get different harness state
@@ -93,7 +199,50 @@ let cache_of_dir = Option.map (fun dir -> Scaguard.Model_cache.create ~dir)
 let repo_salt ~seed repo_names =
   Printf.sprintf "%d:%s" seed (String.concat "," repo_names)
 
-let name_arg p doc = Arg.(required & pos p (some string) None & info [] ~docv:"PROGRAM" ~doc)
+(* CLI-derived salts never clobber one the user set in a config file. *)
+let with_salt salt (c : C.t) = if c.C.salt = "" then { c with C.salt = salt } else c
+
+let name_arg p doc =
+  Arg.(required & pos p (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let exits =
+  Cmd.Exit.info 1
+    ~doc:"on usage or configuration errors: a flag value outside its \
+          accepted range, an unknown program name, an empty PoC repository."
+  :: Cmd.Exit.info 2
+       ~doc:"on runtime errors: file I/O failures, corrupt repository, \
+             binary or config files."
+  :: Cmd.Exit.defaults
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
+
+(* ---- shared verdict printing --------------------------------------------------- *)
+
+let print_scores repo model =
+  List.iter
+    (fun (poc, family, score) ->
+      Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
+    (Scaguard.Detector.score_all repo model)
+
+let print_verdict ~threshold (v : Scaguard.Detector.verdict) =
+  match v.Scaguard.Detector.best_family with
+  | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
+  | None ->
+    Printf.printf "verdict: benign (best %.2f%% < %.0f%%)\n"
+      (100.0 *. v.Scaguard.Detector.best_score)
+      (100.0 *. threshold)
+
+(* Score breakdown + verdict of one already-built target model. *)
+let classify_one config repo model =
+  print_scores repo model;
+  let* verdicts, _report = Scaguard.Service.detect config repo [| model |] in
+  print_verdict ~threshold:config.C.threshold verdicts.(0);
+  Ok ()
+
+(* Build the single target model for a one-off detect flow. *)
+let build_one config job =
+  let* models, _report = Scaguard.Service.build config [| job |] in
+  Ok models.(0)
 
 (* ---- list ---------------------------------------------------------------------- *)
 
@@ -104,63 +253,69 @@ let list_cmd =
     Printf.printf "Benign generator families:\n";
     List.iter
       (fun (n, cat) -> Printf.printf "  %-16s (%s)\n" n cat)
-      Workloads.Benign.families
+      Workloads.Benign.families;
+    0
   in
-  Cmd.v (Cmd.info "list" ~doc:"List available programs.")
+  Cmd.v (cmd_info "list" ~doc:"List available programs.")
     Term.(const run $ const ())
 
 (* ---- leak ---------------------------------------------------------------------- *)
 
 let leak_cmd =
   let run seed name =
-    let s = sample_or_die ~seed name in
-    let res = Workloads.Dataset.run s in
-    Printf.printf "%s: %d instructions, %d cycles, halted=%b\n"
-      s.Workloads.Dataset.name res.Cpu.Exec.instructions res.Cpu.Exec.cycles
-      res.Cpu.Exec.halted_normally;
-    let hist = Workloads.Attacks.result_histogram res in
-    if Array.exists (fun v -> v > 0) hist then begin
-      Printf.printf "result histogram: ";
-      Array.iteri (fun i v -> if v > 0 then Printf.printf "%d:%d " i v) hist;
-      Printf.printf "\nbest guess: %d\n" (Workloads.Attacks.secret_guess res)
-    end
-    else Printf.printf "no attack results recorded (benign program?)\n"
+    handle
+    @@ let* s = sample_res ~seed name in
+       let res = Workloads.Dataset.run s in
+       Printf.printf "%s: %d instructions, %d cycles, halted=%b\n"
+         s.Workloads.Dataset.name res.Cpu.Exec.instructions res.Cpu.Exec.cycles
+         res.Cpu.Exec.halted_normally;
+       let hist = Workloads.Attacks.result_histogram res in
+       if Array.exists (fun v -> v > 0) hist then begin
+         Printf.printf "result histogram: ";
+         Array.iteri (fun i v -> if v > 0 then Printf.printf "%d:%d " i v) hist;
+         Printf.printf "\nbest guess: %d\n" (Workloads.Attacks.secret_guess res)
+       end
+       else Printf.printf "no attack results recorded (benign program?)\n";
+       Ok ()
   in
-  Cmd.v
-    (Cmd.info "leak" ~doc:"Execute a program and show its attack results.")
+  Cmd.v (cmd_info "leak" ~doc:"Execute a program and show its attack results.")
     Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`).")
 
 (* ---- model ---------------------------------------------------------------------- *)
 
 let model_cmd =
   let run seed name =
-    let s = sample_or_die ~seed name in
-    let a, _ = analyze s in
-    Printf.printf "CFG: %d blocks; step1 %d; relevant %d; model %d blocks\n\n"
-      (Cfg.Graph.n_blocks a.Scaguard.Pipeline.cfg)
-      (List.length a.Scaguard.Pipeline.info.Scaguard.Relevant.step1)
-      (List.length a.Scaguard.Pipeline.info.Scaguard.Relevant.relevant)
-      (Scaguard.Model.length a.Scaguard.Pipeline.model);
-    Format.printf "%a@." Scaguard.Model.pp a.Scaguard.Pipeline.model
+    handle
+    @@ let* s = sample_res ~seed name in
+       let a, _ = analyze s in
+       Printf.printf "CFG: %d blocks; step1 %d; relevant %d; model %d blocks\n\n"
+         (Cfg.Graph.n_blocks a.Scaguard.Pipeline.cfg)
+         (List.length a.Scaguard.Pipeline.info.Scaguard.Relevant.step1)
+         (List.length a.Scaguard.Pipeline.info.Scaguard.Relevant.relevant)
+         (Scaguard.Model.length a.Scaguard.Pipeline.model);
+       Format.printf "%a@." Scaguard.Model.pp a.Scaguard.Pipeline.model;
+       Ok ()
   in
-  Cmd.v
-    (Cmd.info "model" ~doc:"Build and print a program's CST-BBS model.")
+  Cmd.v (cmd_info "model" ~doc:"Build and print a program's CST-BBS model.")
     Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`).")
 
 (* ---- compare -------------------------------------------------------------------- *)
 
 let compare_cmd =
   let run seed a b =
-    let sa = sample_or_die ~seed a and sb = sample_or_die ~seed b in
-    let ma, _ = analyze sa and mb, _ = analyze sb in
-    Printf.printf "similarity(%s, %s) = %.2f%%\n" a b
-      (100.0
-      *. Scaguard.Dtw.compare_models ma.Scaguard.Pipeline.model
-           mb.Scaguard.Pipeline.model)
+    handle
+    @@ let* sa = sample_res ~seed a in
+       let* sb = sample_res ~seed b in
+       let* ma = build_one C.default (job_of_sample sa) in
+       let* mb = build_one C.default (job_of_sample sb) in
+       Printf.printf "similarity(%s, %s) = %.2f%%\n" a b
+         (100.0 *. Scaguard.Dtw.compare_models ma mb);
+       Ok ()
   in
-  Cmd.v
-    (Cmd.info "compare" ~doc:"Similarity score of two programs' models.")
-    Term.(const run $ seed_t $ name_arg 0 "First program." $ name_arg 1 "Second program.")
+  Cmd.v (cmd_info "compare" ~doc:"Similarity score of two programs' models.")
+    Term.(
+      const run $ seed_t $ name_arg 0 "First program."
+      $ name_arg 1 "Second program.")
 
 (* ---- detect --------------------------------------------------------------------- *)
 
@@ -171,331 +326,380 @@ let repo_t =
     & info [ "repo" ] ~docv:"FAMILIES"
         ~doc:"Attack families in the PoC repository (comma-separated).")
 
-let threshold_t =
-  Arg.(
-    value
-    & opt float Scaguard.Detector.default_threshold
-    & info [ "threshold" ] ~docv:"T" ~doc:"Similarity threshold in [0,1].")
-
 let detect_cmd =
-  let run seed repo_names threshold name =
-    let families =
-      List.filter_map Workloads.Label.of_string repo_names
-    in
-    if families = [] then begin
-      Printf.eprintf "no valid repository families in %s\n"
-        (String.concat "," repo_names);
-      exit 1
-    end;
-    let rng = Sutil.Rng.create seed in
-    let repo = Experiments.Common.repository ~rng families in
-    let s = sample_or_die ~seed name in
-    let a, _ = analyze s in
-    let v =
-      Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model
-    in
-    List.iter
-      (fun (poc, family, score) ->
-        Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
-      (Scaguard.Detector.score_all repo a.Scaguard.Pipeline.model);
-    match v.Scaguard.Detector.best_family with
-    | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
-    | None -> Printf.printf "verdict: benign (best %.2f%% < %.0f%%)\n"
-                (100.0 *. v.Scaguard.Detector.best_score) (100.0 *. threshold)
+  let run seed repo_names threshold alpha config_file name =
+    handle
+    @@ let* config =
+         assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
+           ~domains:None ~cache_dir:None ~no_prune:false
+       in
+       let* families = Experiments.Common.families_of_strings repo_names in
+       let rng = Sutil.Rng.create seed in
+       let* repo, _ =
+         Experiments.Common.repository_service
+           ~config:(with_salt (repo_salt ~seed repo_names) config)
+           ~rng families
+       in
+       let* s = sample_res ~seed name in
+       let* model =
+         build_one (with_salt (string_of_int seed) config) (job_of_sample s)
+       in
+       classify_one config repo model
   in
-  Cmd.v
-    (Cmd.info "detect" ~doc:"Classify a program against a PoC repository.")
-    Term.(const run $ seed_t $ repo_t $ threshold_t $ name_arg 0 "Program name.")
+  Cmd.v (cmd_info "detect" ~doc:"Classify a program against a PoC repository.")
+    Term.(
+      const run $ seed_t $ repo_t $ threshold_t $ alpha_t $ config_file_t
+      $ name_arg 0 "Program name.")
 
 (* ---- detect-batch (the parallel engine) ------------------------------------------- *)
 
 let detect_batch_cmd =
-  let run seed repo_names repo_file threshold jobs cache_dir domains band
-      no_prune stats names =
-    let cache = cache_of_dir cache_dir in
-    let repo =
-      match repo_file with
-      | Some path -> (
-        try Scaguard.Persist.load_repository ~path
-        with Failure m | Sys_error m ->
-          Printf.eprintf "cannot load repository %s: %s\n" path m;
-          exit 1)
-      | None ->
-        let families = List.filter_map Workloads.Label.of_string repo_names in
-        if families = [] then begin
-          Printf.eprintf "no valid repository families in %s\n"
-            (String.concat "," repo_names);
-          exit 1
-        end;
-        let rng = Sutil.Rng.create seed in
-        Experiments.Common.repository ?domains:jobs ?cache
-          ~salt:(repo_salt ~seed repo_names) ~rng families
-    in
-    let samples = List.map (sample_or_die ~seed) names in
-    let target_jobs =
-      (* benign samples are re-derived from the seed alone (no shared rng
-         stream), so the seed is a sufficient salt here *)
-      Array.of_list
-        (List.map
-           (fun (s : Workloads.Dataset.sample) ->
-             Scaguard.Pipeline.job ?settings:s.Workloads.Dataset.settings
-               ~init:s.Workloads.Dataset.init ?victim:s.Workloads.Dataset.victim
-               ~salt:(string_of_int seed) ~name:s.Workloads.Dataset.name
-               s.Workloads.Dataset.program)
-           samples)
-    in
-    let targets =
-      Scaguard.Pipeline.build_models_batch ?domains:jobs ?cache target_jobs
-    in
-    (* --jobs also sets the scoring-engine worker count unless --domains
-       overrides it explicitly *)
-    let domains = match domains with Some _ -> domains | None -> jobs in
-    let verdicts, st =
-      Scaguard.Engine.classify_batch ~threshold ?band ?domains
-        ~prune:(not no_prune) repo targets
-    in
-    List.iteri
-      (fun i name ->
-        let v = verdicts.(i) in
-        match v.Scaguard.Detector.best_family with
-        | Some f ->
-          Printf.printf "%-24s ATTACK %-6s (%6.2f%%)\n" name f
-            (100.0 *. v.Scaguard.Detector.best_score)
-        | None ->
-          Printf.printf "%-24s benign        (best %6.2f%%)\n" name
-            (100.0 *. v.Scaguard.Detector.best_score))
-      names;
-    if stats then begin
-      Format.printf "%a@." Scaguard.Engine.pp_stats st;
-      Option.iter
-        (fun c -> Format.printf "%a@." Scaguard.Model_cache.pp_stats c)
-        cache
-    end
+  let run seed repo_names repo_file threshold alpha band jobs cache_dir domains
+      no_prune config_file stats names =
+    handle
+    @@ let* config =
+         assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
+           ~cache_dir ~no_prune
+       in
+       let* repo, repo_report =
+         match repo_file with
+         | Some path ->
+           let* repo = Scaguard.Persist.load_repository_result ~path in
+           Ok (repo, None)
+         | None ->
+           let* families = Experiments.Common.families_of_strings repo_names in
+           let rng = Sutil.Rng.create seed in
+           let* repo, report =
+             Experiments.Common.repository_service
+               ~config:(with_salt (repo_salt ~seed repo_names) config)
+               ~rng families
+           in
+           Ok (repo, Some report)
+       in
+       let* samples = samples_res ~seed names in
+       let target_jobs =
+         (* benign samples are re-derived from the seed alone (no shared rng
+            stream), so the seed is a sufficient salt here *)
+         Array.of_list (List.map job_of_sample samples)
+       in
+       let* _models, verdicts, report =
+         Scaguard.Service.screen
+           (with_salt (string_of_int seed) config)
+           repo target_jobs
+       in
+       List.iteri
+         (fun i name ->
+           let v = verdicts.(i) in
+           match v.Scaguard.Detector.best_family with
+           | Some f ->
+             Printf.printf "%-24s ATTACK %-6s (%6.2f%%)\n" name f
+               (100.0 *. v.Scaguard.Detector.best_score)
+           | None ->
+             Printf.printf "%-24s benign        (best %6.2f%%)\n" name
+               (100.0 *. v.Scaguard.Detector.best_score))
+         names;
+       if stats then begin
+         Option.iter
+           (fun r ->
+             Format.printf "repository build:@.%a@." Scaguard.Service.pp_report
+               r)
+           repo_report;
+         Format.printf "%a@." Scaguard.Service.pp_report report
+       end;
+       Ok ()
   in
   let domains_t =
-    Arg.(value & opt (some int) None
-         & info [ "domains" ] ~docv:"N"
-             ~doc:"Worker domains (default: the recommended domain count).")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains (default: the recommended domain count).")
   in
   let band_t =
-    Arg.(value & opt (some int) None
-         & info [ "band" ] ~docv:"B"
-             ~doc:"Sakoe-Chiba band for the DTW (off by default; exact).")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "band" ] ~docv:"B"
+          ~doc:"Sakoe-Chiba band for the DTW (off by default; exact).")
   in
   let no_prune_t =
-    Arg.(value & flag
-         & info [ "no-prune" ]
-             ~doc:"Disable the exact lower-bound pruning cascade (identical \
-                   verdicts, more DP work; for benchmarking).")
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:"Disable the exact lower-bound pruning cascade (identical \
+                verdicts, more DP work; for benchmarking).")
   in
   let repo_file_t =
-    Arg.(value & opt (some string) None
-         & info [ "repo-file" ] ~docv:"FILE"
-             ~doc:"Load the PoC repository from a file written by \
-                   `build-repo` instead of rebuilding it from --repo.")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repo-file" ] ~docv:"FILE"
+          ~doc:"Load the PoC repository from a file written by `build-repo` \
+                instead of rebuilding it from --repo.")
   in
   let stats_t =
-    Arg.(value & flag
-         & info [ "stats" ] ~doc:"Print per-batch engine counters.")
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the run report: stage timings, engine counters and \
+                cache counters.")
   in
   let progs_t =
-    Arg.(non_empty & pos_all string []
-         & info [] ~docv:"PROGRAM" ~doc:"Programs to classify (see `list`).")
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PROGRAM" ~doc:"Programs to classify (see `list`).")
   in
   Cmd.v
-    (Cmd.info "detect-batch"
+    (cmd_info "detect-batch"
        ~doc:"Classify many programs against a PoC repository in one parallel \
              batch (identical verdicts to `detect`, one per line).")
-    Term.(const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ jobs_t
-          $ cache_dir_t $ domains_t $ band_t $ no_prune_t $ stats_t $ progs_t)
+    Term.(
+      const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
+      $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ config_file_t
+      $ stats_t $ progs_t)
 
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
 let build_repo_cmd =
-  let run seed repo_names jobs cache_dir path =
-    let families = List.filter_map Workloads.Label.of_string repo_names in
-    let rng = Sutil.Rng.create seed in
-    let cache = cache_of_dir cache_dir in
-    let repo =
-      Experiments.Common.repository ?domains:jobs ?cache
-        ~salt:(repo_salt ~seed repo_names) ~rng families
-    in
-    Scaguard.Persist.save_repository ~path repo;
-    Printf.printf "wrote %d PoC models to %s\n" (List.length repo) path;
-    Option.iter
-      (fun c -> Format.printf "%a@." Scaguard.Model_cache.pp_stats c)
-      cache
+  let run seed repo_names jobs cache_dir config_file save_config path =
+    handle
+    @@ let* config =
+         assemble_config ~config_file ~threshold:None ~alpha:None ~band:None
+           ~jobs ~domains:None ~cache_dir ~no_prune:false
+       in
+       let config = with_salt (repo_salt ~seed repo_names) config in
+       let* families = Experiments.Common.families_of_strings repo_names in
+       let rng = Sutil.Rng.create seed in
+       let* repo, report =
+         Experiments.Common.repository_service ~config ~rng families
+       in
+       let* () = Scaguard.Persist.save_repository_result ~path repo in
+       Printf.printf "wrote %d PoC models to %s\n" (List.length repo) path;
+       (match report.Scaguard.Service.cache with
+       | Some c ->
+         Printf.printf "cache %s: %d hits, %d misses, %d stale\n"
+           c.Scaguard.Service.dir c.Scaguard.Service.hits
+           c.Scaguard.Service.misses c.Scaguard.Service.stale
+       | None -> ());
+       match save_config with
+       | None -> Ok ()
+       | Some cpath ->
+         let* () = C.save ~path:cpath config in
+         Printf.printf "wrote config to %s\n" cpath;
+         Ok ()
   in
   let path_t =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
-           ~doc:"Output repository file.")
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output repository file.")
+  in
+  let save_config_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-config" ] ~docv:"FILE"
+          ~doc:"Also persist the effective configuration (threshold, limits, \
+                cache, salt) next to the repository, for later $(b,--config) \
+                runs.")
   in
   Cmd.v
-    (Cmd.info "build-repo"
+    (cmd_info "build-repo"
        ~doc:"Build a PoC-model repository and save it to a file.")
-    Term.(const run $ seed_t $ repo_t $ jobs_t $ cache_dir_t $ path_t)
+    Term.(
+      const run $ seed_t $ repo_t $ jobs_t $ cache_dir_t $ config_file_t
+      $ save_config_t $ path_t)
 
 let detect_file_cmd =
-  let run seed path threshold name =
-    let repo =
-      try Scaguard.Persist.load_repository ~path
-      with Failure m | Sys_error m ->
-        Printf.eprintf "cannot load repository %s: %s\n" path m;
-        exit 1
-    in
-    let s = sample_or_die ~seed name in
-    let a, _ = analyze s in
-    let v = Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model in
-    List.iter
-      (fun (poc, family, score) ->
-        Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
-      (Scaguard.Detector.score_all repo a.Scaguard.Pipeline.model);
-    match v.Scaguard.Detector.best_family with
-    | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
-    | None -> Printf.printf "verdict: benign\n"
+  let run seed path threshold alpha config_file name =
+    handle
+    @@ let* config =
+         assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
+           ~domains:None ~cache_dir:None ~no_prune:false
+       in
+       let* repo = Scaguard.Persist.load_repository_result ~path in
+       let* s = sample_res ~seed name in
+       let* model =
+         build_one (with_salt (string_of_int seed) config) (job_of_sample s)
+       in
+       classify_one config repo model
   in
   let path_t =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
-           ~doc:"Repository file written by build-repo.")
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Repository file written by build-repo.")
   in
   Cmd.v
-    (Cmd.info "detect-with"
+    (cmd_info "detect-with"
        ~doc:"Classify a program against a saved repository file.")
-    Term.(const run $ seed_t $ path_t $ threshold_t $ name_arg 1 "Program name.")
+    Term.(
+      const run $ seed_t $ path_t $ threshold_t $ alpha_t $ config_file_t
+      $ name_arg 1 "Program name.")
 
 (* ---- assemble / disasm / detect-binary ---------------------------------------------- *)
 
 let assemble_cmd =
   let run seed name path =
-    let s = sample_or_die ~seed name in
-    Isa.Binary.write_file ~path s.Workloads.Dataset.program;
-    Printf.printf "wrote %s (%d instructions) to %s\n" s.Workloads.Dataset.name
-      (Isa.Program.length s.Workloads.Dataset.program) path
+    handle
+    @@ let* s = sample_res ~seed name in
+       let* () =
+         io ~path (fun () ->
+             Isa.Binary.write_file ~path s.Workloads.Dataset.program)
+       in
+       Printf.printf "wrote %s (%d instructions) to %s\n"
+         s.Workloads.Dataset.name
+         (Isa.Program.length s.Workloads.Dataset.program)
+         path;
+       Ok ()
   in
   let path_t =
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
-           ~doc:"Output binary file.")
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output binary file.")
   in
-  Cmd.v
-    (Cmd.info "assemble" ~doc:"Assemble a program to a binary file.")
+  Cmd.v (cmd_info "assemble" ~doc:"Assemble a program to a binary file.")
     Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`)." $ path_t)
 
 let binfile_t p =
-  Arg.(required & pos p (some file) None & info [] ~docv:"BIN"
-         ~doc:"Binary file written by `assemble`.")
+  Arg.(
+    required
+    & pos p (some file) None
+    & info [] ~docv:"BIN" ~doc:"Binary file written by `assemble`.")
 
 let disasm_cmd =
   let run path =
-    let prog = Isa.Binary.read_file ~path in
-    Format.printf "%a@." Isa.Program.pp prog
+    handle
+    @@ let* prog = io ~path (fun () -> Isa.Binary.read_file ~path) in
+       Format.printf "%a@." Isa.Program.pp prog;
+       Ok ()
   in
-  Cmd.v
-    (Cmd.info "disasm" ~doc:"Disassemble a binary file.")
+  Cmd.v (cmd_info "disasm" ~doc:"Disassemble a binary file.")
     Term.(const run $ binfile_t 0)
 
 let detect_binary_cmd =
-  let run seed repo_names threshold with_victim path =
-    let prog = Isa.Binary.read_file ~path in
-    let families = List.filter_map Workloads.Label.of_string repo_names in
-    let rng = Sutil.Rng.create seed in
-    let repo = Experiments.Common.repository ~rng families in
-    let victim =
-      if with_victim then Some (Workloads.Victim.shared_lib ()) else None
-    in
-    let a = Scaguard.Pipeline.run_and_analyze ?victim prog in
-    let v = Scaguard.Detector.classify ~threshold repo a.Scaguard.Pipeline.model in
-    List.iter
-      (fun (poc, family, score) ->
-        Printf.printf "  vs %-22s (%s): %6.2f%%\n" poc family (100.0 *. score))
-      (Scaguard.Detector.score_all repo a.Scaguard.Pipeline.model);
-    match v.Scaguard.Detector.best_family with
-    | Some f -> Printf.printf "verdict: ATTACK, family %s\n" f
-    | None -> Printf.printf "verdict: benign\n"
+  let run seed repo_names threshold alpha config_file with_victim path =
+    handle
+    @@ let* config =
+         assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
+           ~domains:None ~cache_dir:None ~no_prune:false
+       in
+       let* prog = io ~path (fun () -> Isa.Binary.read_file ~path) in
+       let* families = Experiments.Common.families_of_strings repo_names in
+       let rng = Sutil.Rng.create seed in
+       let* repo, _ =
+         Experiments.Common.repository_service
+           ~config:(with_salt (repo_salt ~seed repo_names) config)
+           ~rng families
+       in
+       let victim =
+         if with_victim then Some (Workloads.Victim.shared_lib ()) else None
+       in
+       let* model =
+         build_one config
+           (Scaguard.Pipeline.job ?victim ~name:(Filename.basename path) prog)
+       in
+       classify_one config repo model
   in
   let victim_t =
-    Arg.(value & flag
-         & info [ "with-victim" ] ~doc:"Co-run the shared-library victim.")
+    Arg.(
+      value & flag
+      & info [ "with-victim" ] ~doc:"Co-run the shared-library victim.")
   in
   Cmd.v
-    (Cmd.info "detect-binary"
+    (cmd_info "detect-binary"
        ~doc:"Run the full pipeline on a binary file and classify it.")
-    Term.(const run $ seed_t $ repo_t $ threshold_t $ victim_t $ binfile_t 0)
+    Term.(
+      const run $ seed_t $ repo_t $ threshold_t $ alpha_t $ config_file_t
+      $ victim_t $ binfile_t 0)
 
 (* ---- compile ----------------------------------------------------------------------- *)
 
 let compile_cmd =
   let run optimize with_victim path =
-    let src =
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    let prog =
-      try Minc.Codegen.compile_source ~optimize ~name:(Filename.basename path) src
-      with
-      | Minc.Parser.Error m | Minc.Codegen.Error m ->
-        Printf.eprintf "compile error: %s\n" m;
-        exit 1
-      | Minc.Lexer.Error (m, off) ->
-        Printf.eprintf "lex error at byte %d: %s\n" off m;
-        exit 1
-    in
-    Printf.printf "compiled %s: %d instructions (optimize=%b)\n" path
-      (Isa.Program.length prog) optimize;
-    let victim =
-      if with_victim then Some (Workloads.Victim.shared_lib ()) else None
-    in
-    let res = Cpu.Exec.run ?victim prog in
-    Printf.printf "ran: %d instructions, %d cycles, halted=%b\n"
-      res.Cpu.Exec.instructions res.Cpu.Exec.cycles res.Cpu.Exec.halted_normally;
-    let a = Scaguard.Pipeline.analyze ~name:path ~program:prog res in
-    Printf.printf "model: %d blocks (of %d CFG blocks)\n"
-      (Scaguard.Model.length a.Scaguard.Pipeline.model)
-      (Cfg.Graph.n_blocks a.Scaguard.Pipeline.cfg)
+    handle
+    @@ let* src = io ~path (fun () -> Scaguard.Persist.read_file ~path) in
+       let* prog =
+         match
+           Minc.Codegen.compile_source ~optimize
+             ~name:(Filename.basename path) src
+         with
+         | prog -> Ok prog
+         | exception (Minc.Parser.Error m | Minc.Codegen.Error m) ->
+           Error (Scaguard.Err.Parse { file = Some path; line = None; msg = m })
+         | exception Minc.Lexer.Error (m, off) ->
+           Error
+             (Scaguard.Err.Parse
+                {
+                  file = Some path;
+                  line = None;
+                  msg = Printf.sprintf "lex error at byte %d: %s" off m;
+                })
+       in
+       Printf.printf "compiled %s: %d instructions (optimize=%b)\n" path
+         (Isa.Program.length prog) optimize;
+       let victim =
+         if with_victim then Some (Workloads.Victim.shared_lib ()) else None
+       in
+       let res = Cpu.Exec.run ?victim prog in
+       Printf.printf "ran: %d instructions, %d cycles, halted=%b\n"
+         res.Cpu.Exec.instructions res.Cpu.Exec.cycles
+         res.Cpu.Exec.halted_normally;
+       let a = Scaguard.Pipeline.analyze ~name:path ~program:prog res in
+       Printf.printf "model: %d blocks (of %d CFG blocks)\n"
+         (Scaguard.Model.length a.Scaguard.Pipeline.model)
+         (Cfg.Graph.n_blocks a.Scaguard.Pipeline.cfg);
+       Ok ()
   in
   let opt_t =
     Arg.(value & flag & info [ "O" ] ~doc:"Enable the optimizing pipeline.")
   in
   let victim_t =
-    Arg.(value & flag
-         & info [ "with-victim" ]
-             ~doc:"Co-run the shared-library victim (for compiled attacks).")
+    Arg.(
+      value & flag
+      & info [ "with-victim" ]
+          ~doc:"Co-run the shared-library victim (for compiled attacks).")
   in
   let path_t =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-           ~doc:"MinC source file.")
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MinC source file.")
   in
-  Cmd.v
-    (Cmd.info "compile" ~doc:"Compile and run a MinC source file.")
+  Cmd.v (cmd_info "compile" ~doc:"Compile and run a MinC source file.")
     Term.(const run $ opt_t $ victim_t $ path_t)
 
 (* ---- dot ------------------------------------------------------------------------- *)
 
 let dot_cmd =
   let run seed name attack_graph =
-    let s = sample_or_die ~seed name in
-    let a, _ = analyze s in
-    let cfg = a.Scaguard.Pipeline.cfg in
-    if attack_graph then
-      let ag = a.Scaguard.Pipeline.attack_graph in
-      print_string
-        (Cfg.Dot.of_attack_graph cfg
-           ~relevant:ag.Scaguard.Attack_graph.relevant
-           ~nodes:ag.Scaguard.Attack_graph.nodes
-           ~edges:ag.Scaguard.Attack_graph.edges)
-    else
-      print_string
-        (Cfg.Dot.of_graph
-           ~highlight:a.Scaguard.Pipeline.info.Scaguard.Relevant.relevant cfg)
+    handle
+    @@ let* s = sample_res ~seed name in
+       let a, _ = analyze s in
+       let cfg = a.Scaguard.Pipeline.cfg in
+       (if attack_graph then
+          let ag = a.Scaguard.Pipeline.attack_graph in
+          print_string
+            (Cfg.Dot.of_attack_graph cfg
+               ~relevant:ag.Scaguard.Attack_graph.relevant
+               ~nodes:ag.Scaguard.Attack_graph.nodes
+               ~edges:ag.Scaguard.Attack_graph.edges)
+        else
+          print_string
+            (Cfg.Dot.of_graph
+               ~highlight:a.Scaguard.Pipeline.info.Scaguard.Relevant.relevant
+               cfg));
+       Ok ()
   in
   let ag_t =
-    Arg.(value & flag
-         & info [ "attack-graph" ]
-             ~doc:"Render the attack-relevant graph instead of the plain CFG.")
+    Arg.(
+      value & flag
+      & info [ "attack-graph" ]
+          ~doc:"Render the attack-relevant graph instead of the plain CFG.")
   in
   Cmd.v
-    (Cmd.info "dot"
+    (cmd_info "dot"
        ~doc:"Print a Graphviz rendering of a program's CFG (relevant blocks \
              highlighted).")
     Term.(const run $ seed_t $ name_arg 0 "Program name." $ ag_t)
@@ -504,39 +708,52 @@ let dot_cmd =
 
 let export_dataset_cmd =
   let run seed per_family dir =
-    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-    let rng = Sutil.Rng.create seed in
-    let samples =
-      List.concat_map snd (Workloads.Dataset.attack_dataset ~rng ~per_family)
-      @ Workloads.Dataset.benign_samples ~rng ~count:per_family
-    in
-    let manifest = open_out (Filename.concat dir "manifest.tsv") in
-    Fun.protect
-      ~finally:(fun () -> close_out manifest)
-      (fun () ->
-        output_string manifest "file\tlabel\tname\n";
-        List.iter
-          (fun (s : Workloads.Dataset.sample) ->
-            let file = s.Workloads.Dataset.name ^ ".bin" in
-            Isa.Binary.write_file ~path:(Filename.concat dir file)
-              s.Workloads.Dataset.program;
-            Printf.fprintf manifest "%s\t%s\t%s\n" file
-              (Workloads.Label.to_string s.Workloads.Dataset.label)
-              s.Workloads.Dataset.name)
-          samples);
-    Printf.printf "exported %d binaries + manifest.tsv to %s\n"
-      (List.length samples) dir
+    handle
+    @@ let* () =
+         io ~path:dir (fun () ->
+             try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+       in
+       let rng = Sutil.Rng.create seed in
+       let samples =
+         List.concat_map snd (Workloads.Dataset.attack_dataset ~rng ~per_family)
+         @ Workloads.Dataset.benign_samples ~rng ~count:per_family
+       in
+       let* () =
+         io ~path:dir (fun () ->
+             let manifest = open_out (Filename.concat dir "manifest.tsv") in
+             Fun.protect
+               ~finally:(fun () -> close_out manifest)
+               (fun () ->
+                 output_string manifest "file\tlabel\tname\n";
+                 List.iter
+                   (fun (s : Workloads.Dataset.sample) ->
+                     let file = s.Workloads.Dataset.name ^ ".bin" in
+                     Isa.Binary.write_file ~path:(Filename.concat dir file)
+                       s.Workloads.Dataset.program;
+                     Printf.fprintf manifest "%s\t%s\t%s\n" file
+                       (Workloads.Label.to_string s.Workloads.Dataset.label)
+                       s.Workloads.Dataset.name)
+                   samples))
+       in
+       Printf.printf "exported %d binaries + manifest.tsv to %s\n"
+         (List.length samples) dir;
+       Ok ()
   in
   let per_family_t =
-    Arg.(value & opt int 16 & info [ "per-family" ] ~docv:"N"
-           ~doc:"Samples per attack type (and benign count).")
+    Arg.(
+      value & opt int 16
+      & info [ "per-family" ] ~docv:"N"
+          ~doc:"Samples per attack type (and benign count).")
   in
   let dir_t =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
-           ~doc:"Output directory.")
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Output directory.")
   in
   Cmd.v
-    (Cmd.info "export-dataset"
+    (cmd_info "export-dataset"
        ~doc:"Write the Table II/III dataset as binary files with a manifest.")
     Term.(const run $ seed_t $ per_family_t $ dir_t)
 
@@ -544,46 +761,55 @@ let export_dataset_cmd =
 
 let heatmap_cmd =
   let run seed name =
-    let s = sample_or_die ~seed name in
-    let res = Workloads.Dataset.run s in
-    let sets = Cache.Config.llc.Cache.Config.sets in
-    let counts = Array.make sets 0 in
-    List.iter
-      (fun (a : Hpc.Collector.access) ->
-        let set = Cache.Config.set_of_addr Cache.Config.llc a.Hpc.Collector.target in
-        counts.(set) <- counts.(set) + 1)
-      (Hpc.Collector.accesses res.Cpu.Exec.collector);
-    let bucket = 8 in
-    let buckets = sets / bucket in
-    let agg = Array.init buckets (fun i ->
-        let s = ref 0 in
-        for j = 0 to bucket - 1 do s := !s + counts.((i * bucket) + j) done;
-        !s)
-    in
-    let peak = Array.fold_left max 1 agg in
-    Printf.printf "LLC set access heat map for %s (each column = %d sets, peak %d accesses):\n"
-      s.Workloads.Dataset.name bucket peak;
-    let glyphs = " .:-=+*#%@" in
-    for row = 3 downto 0 do
-      Printf.printf "  ";
-      Array.iter
-        (fun v ->
-          let level = v * 40 / peak in
-          let g =
-            if level > row * 10 then
-              glyphs.[min 9 (max 1 (level - (row * 10)))]
-            else ' '
-          in
-          print_char g)
-        agg;
-      print_newline ()
-    done;
-    Printf.printf "  %s\n" (String.make buckets '-');
-    Printf.printf "  set 0%ssets %d-%d\n" (String.make (buckets - 14) ' ')
-      (sets - bucket) (sets - 1)
+    handle
+    @@ let* s = sample_res ~seed name in
+       let res = Workloads.Dataset.run s in
+       let sets = Cache.Config.llc.Cache.Config.sets in
+       let counts = Array.make sets 0 in
+       List.iter
+         (fun (a : Hpc.Collector.access) ->
+           let set =
+             Cache.Config.set_of_addr Cache.Config.llc a.Hpc.Collector.target
+           in
+           counts.(set) <- counts.(set) + 1)
+         (Hpc.Collector.accesses res.Cpu.Exec.collector);
+       let bucket = 8 in
+       let buckets = sets / bucket in
+       let agg =
+         Array.init buckets (fun i ->
+             let s = ref 0 in
+             for j = 0 to bucket - 1 do
+               s := !s + counts.((i * bucket) + j)
+             done;
+             !s)
+       in
+       let peak = Array.fold_left max 1 agg in
+       Printf.printf
+         "LLC set access heat map for %s (each column = %d sets, peak %d \
+          accesses):\n"
+         s.Workloads.Dataset.name bucket peak;
+       let glyphs = " .:-=+*#%@" in
+       for row = 3 downto 0 do
+         Printf.printf "  ";
+         Array.iter
+           (fun v ->
+             let level = v * 40 / peak in
+             let g =
+               if level > row * 10 then glyphs.[min 9 (max 1 (level - (row * 10)))]
+               else ' '
+             in
+             print_char g)
+           agg;
+         print_newline ()
+       done;
+       Printf.printf "  %s\n" (String.make buckets '-');
+       Printf.printf "  set 0%ssets %d-%d\n"
+         (String.make (buckets - 14) ' ')
+         (sets - bucket) (sets - 1);
+       Ok ()
   in
   Cmd.v
-    (Cmd.info "heatmap"
+    (cmd_info "heatmap"
        ~doc:"ASCII heat map of a program's LLC set accesses (attacks show \
              their page-stride stripes).")
     Term.(const run $ seed_t $ name_arg 0 "Program name.")
@@ -592,29 +818,33 @@ let heatmap_cmd =
 
 let scadet_cmd =
   let run seed name =
-    let s = sample_or_die ~seed name in
-    let res = Workloads.Dataset.run s in
-    let r = Baselines.Scadet.detect s.Workloads.Dataset.program res in
-    Printf.printf "tight loops: %d\nswept sets: [%s]\nverdict: %s\n"
-      r.Baselines.Scadet.tight_loops
-      (String.concat "; " (List.map string_of_int r.Baselines.Scadet.swept_sets))
-      (if r.Baselines.Scadet.detected then "Prime+Probe detected" else "nothing")
+    handle
+    @@ let* s = sample_res ~seed name in
+       let res = Workloads.Dataset.run s in
+       let r = Baselines.Scadet.detect s.Workloads.Dataset.program res in
+       Printf.printf "tight loops: %d\nswept sets: [%s]\nverdict: %s\n"
+         r.Baselines.Scadet.tight_loops
+         (String.concat "; "
+            (List.map string_of_int r.Baselines.Scadet.swept_sets))
+         (if r.Baselines.Scadet.detected then "Prime+Probe detected"
+          else "nothing");
+       Ok ()
   in
   Cmd.v
-    (Cmd.info "scadet" ~doc:"Run the rule-based SCADET baseline on a program.")
+    (cmd_info "scadet" ~doc:"Run the rule-based SCADET baseline on a program.")
     Term.(const run $ seed_t $ name_arg 0 "Program name.")
 
 (* ---- main ----------------------------------------------------------------------- *)
 
 let () =
   let doc = "SCAGuard: cache side-channel attack detection (DAC'23 reproduction)" in
-  let info = Cmd.info "scaguard" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "scaguard" ~version:"1.0.0" ~doc ~exits in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             list_cmd; leak_cmd; model_cmd; compare_cmd; detect_cmd;
-            detect_batch_cmd; build_repo_cmd; detect_file_cmd; dot_cmd; compile_cmd;
-            assemble_cmd; disasm_cmd; detect_binary_cmd; heatmap_cmd;
-            export_dataset_cmd; scadet_cmd;
+            detect_batch_cmd; build_repo_cmd; detect_file_cmd; dot_cmd;
+            compile_cmd; assemble_cmd; disasm_cmd; detect_binary_cmd;
+            heatmap_cmd; export_dataset_cmd; scadet_cmd;
           ]))

@@ -82,17 +82,30 @@ let () =
     (String.concat "," (List.map string_of_int guessed));
 
   (* 2. SCAGuard has never seen Flush+Prefetch, but classifies it *)
-  let rng = Sutil.Rng.create 7 in
-  let repo =
-    Experiments.Common.repository ~rng
-      [ Workloads.Label.Fr_family; Workloads.Label.Pp_family ]
+  let or_die = function
+    | Ok v -> v
+    | Error e ->
+      prerr_endline (Scaguard.Err.to_string e);
+      exit 1
   in
-  let analysis = Scaguard.Pipeline.run_and_analyze ~victim program in
-  let v = Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model in
+  let config = Scaguard.Config.default in
+  let rng = Sutil.Rng.create 7 in
+  let repo, _ =
+    or_die
+      (Experiments.Common.repository_service ~config ~rng
+         [ Workloads.Label.Fr_family; Workloads.Label.Pp_family ])
+  in
+  let models, _ =
+    or_die
+      (Scaguard.Service.build config
+         [| Scaguard.Pipeline.job ~victim ~name:(Isa.Program.name program) program |])
+  in
+  let verdicts, _ = or_die (Scaguard.Service.detect config repo models) in
+  let v = verdicts.(0) in
   List.iter
     (fun (name, family, score) ->
       Printf.printf "similarity vs %s (%s): %.1f%%\n" name family (100.0 *. score))
-    (Scaguard.Detector.score_all repo analysis.Scaguard.Pipeline.model);
+    (Scaguard.Detector.score_all repo models.(0));
   match v.Scaguard.Detector.best_family with
   | Some f ->
     Printf.printf

@@ -1,7 +1,7 @@
 (* The deployment scenario of Section V: a server-cluster guard checks
    untrusted programs before installation.  A repository of PoC models is
    built once; each incoming program is executed in the sandbox, modelled,
-   and classified by similarity.
+   and classified by similarity — one Scaguard.Service.screen call.
 
      dune exec examples/detect_unknown.exe *)
 
@@ -28,15 +28,31 @@ let () =
   in
   let shuffled = Sutil.Rng.shuffle rng unknown in
 
+  (* Screen the whole batch: build every model, classify every model, one
+     report for the run. *)
+  let jobs =
+    Array.of_list
+      (List.map
+         (fun (s : Workloads.Dataset.sample) ->
+           Scaguard.Pipeline.job ?settings:s.Workloads.Dataset.settings
+             ~init:s.Workloads.Dataset.init ?victim:s.Workloads.Dataset.victim
+             ~name:s.Workloads.Dataset.name s.Workloads.Dataset.program)
+         shuffled)
+  in
+  let verdicts, report =
+    match Scaguard.Service.screen Scaguard.Config.default repo jobs with
+    | Ok (_models, verdicts, report) -> (verdicts, report)
+    | Error e ->
+      prerr_endline (Scaguard.Err.to_string e);
+      exit 1
+  in
+
   Printf.printf "%-34s %-8s %-10s %s\n" "program" "verdict" "score" "truth";
   Printf.printf "%s\n" (String.make 70 '-');
   let correct = ref 0 in
-  List.iter
-    (fun (s : Workloads.Dataset.sample) ->
-      let run = Experiments.Common.execute s in
-      let verdict =
-        Scaguard.Detector.classify repo (Experiments.Common.model run)
-      in
+  List.iteri
+    (fun i (s : Workloads.Dataset.sample) ->
+      let verdict = verdicts.(i) in
       let predicted =
         Option.value ~default:"benign" verdict.Scaguard.Detector.best_family
       in
@@ -49,5 +65,6 @@ let () =
         truth_str
         (if predicted = truth_str then "" else "  <-- MISCLASSIFIED"))
     shuffled;
-  Printf.printf "%s\n%d/%d correct\n" (String.make 70 '-') !correct
-    (List.length shuffled)
+  Printf.printf "%s\n%d/%d correct\n\n" (String.make 70 '-') !correct
+    (List.length shuffled);
+  Format.printf "%a@." Scaguard.Service.pp_report report

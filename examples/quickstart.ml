@@ -11,7 +11,9 @@ let () =
     (Isa.Program.length fr.Workloads.Attacks.program);
 
   (* 2. Execute it to collect runtime data (HPC events + address trace) and
-        build its attack behavior model — the CST-BBS. *)
+        build its attack behavior model — the CST-BBS.  run_and_analyze keeps
+        every intermediate stage for inspection; pure model building below
+        goes through the service facade instead. *)
   let analysis =
     Scaguard.Pipeline.run_and_analyze ~init:fr.Workloads.Attacks.init
       ?victim:fr.Workloads.Attacks.victim fr.Workloads.Attacks.program
@@ -21,22 +23,35 @@ let () =
     (List.length analysis.Scaguard.Pipeline.info.Scaguard.Relevant.relevant);
   Format.printf "%a@." Scaguard.Model.pp analysis.Scaguard.Pipeline.model;
 
-  (* 3. Compare with other programs. *)
-  let model_of (spec : Workloads.Attacks.spec) =
-    (Scaguard.Pipeline.run_and_analyze ~init:spec.Workloads.Attacks.init
-       ?victim:spec.Workloads.Attacks.victim spec.Workloads.Attacks.program)
-      .Scaguard.Pipeline.model
+  (* 3. Build the comparison models in one service batch. *)
+  let job_of (spec : Workloads.Attacks.spec) =
+    Scaguard.Pipeline.job ~init:spec.Workloads.Attacks.init
+      ?victim:spec.Workloads.Attacks.victim
+      ~name:(Isa.Program.name spec.Workloads.Attacks.program)
+      spec.Workloads.Attacks.program
   in
-  let er = model_of (Workloads.Attacks.evict_reload ()) in
-  let pp = model_of (Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Iaik ()) in
   let benign_sample =
     List.hd
       (Workloads.Dataset.benign_samples ~rng:(Sutil.Rng.create 1) ~count:1)
   in
-  let benign =
-    (Scaguard.Pipeline.run_and_analyze ~init:benign_sample.Workloads.Dataset.init
-       benign_sample.Workloads.Dataset.program)
-      .Scaguard.Pipeline.model
+  let benign_job =
+    Scaguard.Pipeline.job ~init:benign_sample.Workloads.Dataset.init
+      ~name:(Isa.Program.name benign_sample.Workloads.Dataset.program)
+      benign_sample.Workloads.Dataset.program
+  in
+  let models, report =
+    match
+      Scaguard.Service.build Scaguard.Config.default
+        [|
+          job_of (Workloads.Attacks.evict_reload ());
+          job_of (Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Iaik ());
+          benign_job;
+        |]
+    with
+    | Ok (models, report) -> (models, report)
+    | Error e ->
+      prerr_endline (Scaguard.Err.to_string e);
+      exit 1
   in
   let fr_model = analysis.Scaguard.Pipeline.model in
   let show name m =
@@ -45,9 +60,10 @@ let () =
   in
   Printf.printf "\nSimilarity comparison (threshold %.0f%%):\n"
     (100.0 *. Scaguard.Detector.default_threshold);
-  show "Evict+Reload" er;
-  show "Prime+Probe" pp;
-  show benign_sample.Workloads.Dataset.name benign;
+  show "Evict+Reload" models.(0);
+  show "Prime+Probe" models.(1);
+  show benign_sample.Workloads.Dataset.name models.(2);
+  Format.printf "\n(%a)@." Scaguard.Service.pp_report report;
   Printf.printf
     "\nEvict+Reload is a variant of the same family (high similarity);\n\
      Prime+Probe is a different attack (medium); benign falls below the\n\

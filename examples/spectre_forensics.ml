@@ -5,6 +5,12 @@
 
      dune exec examples/spectre_forensics.exe *)
 
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline (Scaguard.Err.to_string e);
+    exit 1
+
 let () =
   (* --- the attack works ---------------------------------------------- *)
   let spec = Workloads.Attacks.spectre_fr ~style:Workloads.Attacks.Classic () in
@@ -21,26 +27,37 @@ let () =
      else "(unexpected)");
 
   (* --- SCAGuard catches it knowing only plain Flush+Reload ------------ *)
+  let config = Scaguard.Config.default in
   let rng = Sutil.Rng.create 42 in
-  let repo = Experiments.Common.repository ~rng [ Workloads.Label.Fr_family ] in
-  let analysis =
-    Scaguard.Pipeline.run_and_analyze ~init:spec.Workloads.Attacks.init
-      spec.Workloads.Attacks.program
+  let repo, _ =
+    or_die
+      (Experiments.Common.repository_service ~config ~rng
+         [ Workloads.Label.Fr_family ])
   in
-  let v = Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model in
+  let models, _ =
+    or_die
+      (Scaguard.Service.build config
+         [|
+           Scaguard.Pipeline.job ~init:spec.Workloads.Attacks.init
+             ~name:(Isa.Program.name spec.Workloads.Attacks.program)
+             spec.Workloads.Attacks.program;
+         |])
+  in
+  let verdicts, _ = or_die (Scaguard.Service.detect config repo models) in
+  let v = verdicts.(0) in
   Printf.printf
     "Detection with a repository containing ONLY Flush+Reload (E2):\n";
   List.iter
     (fun (name, family, score) ->
       Printf.printf "  vs %s (%s): %.1f%%\n" name family (100.0 *. score))
-    (Scaguard.Detector.score_all repo analysis.Scaguard.Pipeline.model);
+    (Scaguard.Detector.score_all repo models.(0));
   (match v.Scaguard.Detector.best_family with
   | Some f ->
     Printf.printf
       "  => flagged as a %s variant (threshold %.0f%%): the transient gadget\n\
       \     still flushes, reloads and times cache lines, so the CST-BBS\n\
       \     stays close to its non-Spectre counterpart.\n"
-      f (100.0 *. Scaguard.Detector.default_threshold)
+      f (100.0 *. config.Scaguard.Config.threshold)
   | None -> Printf.printf "  => missed (below threshold)\n");
 
   (* --- and the rule-based baseline does not ---------------------------- *)

@@ -44,30 +44,54 @@ let poc_of_family label =
   | L.Spectre_pp -> Workloads.Attacks.spectre_pp ()
   | L.Benign -> invalid_arg "Experiments.Common: benign has no PoC"
 
-let repository ?domains ?cache ?(salt = "") ~rng families =
-  (* Harness construction consumes the rng; execution does not.  Building
-     every sample first (sequentially, in family order) therefore preserves
-     the rng stream exactly, and the executions can then fan out over the
-     pool — or be skipped outright on a model-cache hit — with models
-     byte-identical to the old sequential loop. *)
-  let samples =
-    List.map
-      (fun family -> D.with_harness ~rng (D.of_spec (poc_of_family family)))
-      families
-  in
-  let jobs =
-    Array.of_list
-      (List.map
-         (fun (s : D.sample) ->
-           Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
-             ?victim:s.D.victim ~salt ~name:s.D.name s.D.program)
-         samples)
-  in
-  let models = Scaguard.Pipeline.build_models_batch ?domains ?cache jobs in
-  List.mapi
-    (fun i family ->
-      { Scaguard.Detector.family = L.to_string family; model = models.(i) })
-    families
+let families_of_strings names =
+  match List.filter_map L.of_string names with
+  | [] -> Error Scaguard.Err.Empty_repository
+  | families -> Ok families
+
+let repository_service ~config ~rng families =
+  if families = [] then Error Scaguard.Err.Empty_repository
+  else
+    (* Harness construction consumes the rng; execution does not.  Building
+       every sample first (sequentially, in family order) therefore preserves
+       the rng stream exactly, and the executions can then fan out over the
+       pool — or be skipped outright on a model-cache hit — with models
+       byte-identical to the old sequential loop. *)
+    let samples =
+      List.map
+        (fun family -> D.with_harness ~rng (D.of_spec (poc_of_family family)))
+        families
+    in
+    let jobs =
+      (* No per-job salt: jobs pick up [config.salt] inside the service. *)
+      Array.of_list
+        (List.map
+           (fun (s : D.sample) ->
+             Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
+               ?victim:s.D.victim ~name:s.D.name s.D.program)
+           samples)
+    in
+    Result.map
+      (fun (models, report) ->
+        ( List.mapi
+            (fun i family ->
+              {
+                Scaguard.Detector.family = L.to_string family;
+                model = models.(i);
+              })
+            families,
+          report ))
+      (Scaguard.Service.build config jobs)
+
+let repository ?(config = Scaguard.Config.default) ~rng families =
+  match families with
+  | [] -> []
+  | _ -> (
+    match repository_service ~config ~rng families with
+    | Ok (repo, _) -> repo
+    | Error e ->
+      invalid_arg
+        ("Experiments.Common.repository: " ^ Scaguard.Err.to_string e))
 
 let scaguard_predict ?threshold ?alpha repo run =
   let verdict = Scaguard.Detector.classify ?threshold ?alpha repo (model run) in

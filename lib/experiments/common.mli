@@ -18,16 +18,32 @@ val label : run -> Workloads.Label.t
 val label_to_int : Workloads.Label.t -> int
 val label_of_int : int -> Workloads.Label.t
 
-val repository :
-  ?domains:int -> ?cache:Scaguard.Model_cache.t -> ?salt:string ->
-  rng:Sutil.Rng.t -> Workloads.Label.t list -> Scaguard.Detector.repository
+val families_of_strings :
+  string list -> (Workloads.Label.t list, Scaguard.Err.t) result
+(** Map family names ({!Workloads.Label.of_string}) to labels, dropping
+    unknown names; [Error Empty_repository] when nothing is left. *)
+
+val repository_service :
+  config:Scaguard.Config.t ->
+  rng:Sutil.Rng.t ->
+  Workloads.Label.t list ->
+  (Scaguard.Detector.repository * Scaguard.Service.report, Scaguard.Err.t)
+  result
 (** One harnessed PoC model per requested family (the paper's "only one PoC
-    per attack type" repository).  Sample construction stays sequential (it
-    consumes [rng]); the executions fan out over [domains] workers through
-    {!Scaguard.Pipeline.build_models_batch}, optionally backed by [cache]
-    — models are byte-identical to the sequential build either way.  The
+    per attack type" repository), built through {!Scaguard.Service.build}
+    with [config]'s domains/cache/limits.  Sample construction stays
+    sequential (it consumes [rng]); the executions fan out over the service
+    — models are byte-identical to a sequential build either way.  The
     harness varies with [rng], so cache users must fold the workload seed
-    into [salt]. *)
+    into [config.salt].  [Error Empty_repository] on an empty family
+    list. *)
+
+val repository :
+  ?config:Scaguard.Config.t ->
+  rng:Sutil.Rng.t -> Workloads.Label.t list -> Scaguard.Detector.repository
+(** {!repository_service} for callers that need no report: returns the
+    repository (empty for an empty family list).
+    @raise Invalid_argument if [config] is invalid. *)
 
 val scaguard_predict :
   ?threshold:float -> ?alpha:float ->

@@ -1,0 +1,95 @@
+(** One typed record for every knob of the build→detect stack.
+
+    Three PRs of pipeline work left the knobs smeared across the stack as
+    optional arguments ([?threshold ?alpha ?band ?domains ?prune] on
+    {!Detector}/{!Engine}, [?max_paths ?max_len ?cst_config ?settings] on
+    {!Pipeline}, [--jobs]/[--cache-dir] only at the CLI).  [Config.t] gathers
+    them in one validated value that can be passed to {!Service}, printed,
+    and persisted next to a model repository ({!to_string}/{!of_string}
+    round-trip exactly).
+
+    {!default} reproduces today's behaviour knob for knob: running
+    {!Service.build}/{!Service.detect} with it is bit-identical to the bare
+    [Pipeline.build_models_batch] / [Engine.classify_batch] composition. *)
+
+type t = {
+  (* detection *)
+  threshold : float;  (** similarity threshold θ in [0, 1]; default 0.60 *)
+  alpha : float option;
+      (** DTW syntax/semantics weight in [0, 1]; [None] = paper default *)
+  band : int option;  (** Sakoe–Chiba band half-width; [None] = unbanded *)
+  prune : bool;  (** exact lower-bound pruning cascade; default [true] *)
+  (* modeling *)
+  max_paths : int option;  (** CFG path-enumeration bound per block pair *)
+  max_len : int option;  (** CFG path length bound *)
+  cst_config : Cache.Config.t;
+      (** probe-cache geometry for CST measurement; default
+          [Cache.Config.cst_probe] *)
+  exec : Cpu.Exec.settings;
+      (** execution settings for jobs that do not carry their own; a
+          {!Pipeline.job} with [settings = Some _] keeps its own (e.g. the
+          Meltdown PoCs' protected range) *)
+  (* execution *)
+  domains : int option;
+      (** worker domains for both model building and the scoring engine;
+          [None] = library default ([Sutil.Pool.default_domains]) *)
+  cache_dir : string option;  (** on-disk model cache; [None] = no cache *)
+  salt : string;
+      (** cache-key salt, applied to jobs that do not set their own (dataset
+          seed provenance); default [""] *)
+}
+
+val default : t
+(** Today's behaviour: threshold 0.60 ({!Detector.default_threshold}), no
+    alpha/band overrides, pruning on, paper modeling limits,
+    [Cache.Config.cst_probe], [Cpu.Exec.default_settings], default domain
+    count, no cache, empty salt. *)
+
+(** {1 Field validation}
+
+    Each checker returns the value unchanged or
+    [Error (Invalid_config {field; value; expected})] — the CLI reuses them
+    to reject bad flag values with the accepted range in the message. *)
+
+val check_threshold : ?field:string -> float -> (float, Err.t) result
+(** Finite and in [0, 1].  [field] overrides the reported field name (e.g.
+    ["--threshold"]). *)
+
+val check_alpha : ?field:string -> float -> (float, Err.t) result
+(** Finite and in [0, 1]. *)
+
+val check_band : ?field:string -> int -> (int, Err.t) result
+(** Non-negative. *)
+
+val check_domains : ?field:string -> int -> (int, Err.t) result
+(** At least 1. *)
+
+val check_max_paths : ?field:string -> int -> (int, Err.t) result
+(** At least 1. *)
+
+val check_max_len : ?field:string -> int -> (int, Err.t) result
+(** At least 1. *)
+
+val validate : t -> (t, Err.t) result
+(** Re-check every field of a record built by hand (the type is public on
+    purpose — [{ default with threshold = 0.8 }] is the intended style).
+    {!Service} validates the config it is given, so a NaN threshold or a
+    zero-way probe cache is caught before any work starts. *)
+
+(** {1 Persistence}
+
+    Human-readable [key=value] lines under a [scaguard-config 1] header.
+    [of_string (to_string c) = Ok c] for every valid [c] (floats are printed
+    round-trip exactly); omitted keys keep their {!default}, unknown keys are
+    a {!Err.Parse} error with the line number. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, Err.t) result
+
+val save : path:string -> t -> (unit, Err.t) result
+(** Atomic, via the same writer as {!Persist}. *)
+
+val load : path:string -> (t, Err.t) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type t =
+  | Parse of { file : string option; line : int option; msg : string }
+  | Io of { path : string; msg : string }
+  | Invalid_config of { field : string; value : string; expected : string }
+  | Empty_repository
+
+let to_string = function
+  | Parse { file; line; msg } ->
+    let where =
+      match (file, line) with
+      | Some f, Some l -> Printf.sprintf " at %s:%d" f l
+      | Some f, None -> Printf.sprintf " in %s" f
+      | None, Some l -> Printf.sprintf " at line %d" l
+      | None, None -> ""
+    in
+    Printf.sprintf "parse error%s: %s" where msg
+  | Io { path; msg } -> Printf.sprintf "i/o error on %s: %s" path msg
+  | Invalid_config { field; value; expected } ->
+    Printf.sprintf "invalid %s %s: expected %s" field value expected
+  | Empty_repository -> "empty repository: no PoC models to compare against"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let exit_code = function
+  | Invalid_config _ | Empty_repository -> 1
+  | Parse _ | Io _ -> 2

@@ -1,0 +1,31 @@
+(** Typed errors for the library boundary.
+
+    Every recoverable failure mode of the build→detect stack is one of these
+    constructors, so front-ends can render a precise message (and pick an
+    exit code) without pattern-matching on exception strings.  The
+    exception-raising entry points elsewhere in the library keep raising
+    [Failure] for compatibility; the [_result] variants return [t] instead. *)
+
+type t =
+  | Parse of { file : string option; line : int option; msg : string }
+      (** A persisted artefact (model, repository, config) failed to parse.
+          [line] is the 1-based line number in the original text, counting
+          blank lines; [None] when the failure has no single location. *)
+  | Io of { path : string; msg : string }
+      (** A filesystem operation failed. [msg] is the OS-level reason. *)
+  | Invalid_config of { field : string; value : string; expected : string }
+      (** A configuration field (or CLI flag — [field] then names the flag)
+          holds [value], which is outside the accepted range [expected]. *)
+  | Empty_repository
+      (** A detection run was asked to score against zero PoC models. *)
+
+val to_string : t -> string
+(** One-line human-readable rendering, e.g.
+    ["parse error at r.repo:12: bad cst line"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** The documented CLI exit code for this error: [1] for usage/configuration
+    errors ([Invalid_config], [Empty_repository]), [2] for runtime errors
+    ([Parse], [Io]).  [0] is never returned. *)

@@ -32,6 +32,21 @@ let create ~dir =
     stale = Atomic.make 0;
   }
 
+let create_result ~dir =
+  match create ~dir with
+  | t -> Ok t
+  | exception Invalid_argument _ ->
+    Error
+      (Err.Invalid_config
+         {
+           field = "cache_dir";
+           value = dir;
+           expected = "a directory (or a path where one can be created)";
+         })
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Err.Io { path = dir; msg = Unix.error_message e })
+  | exception Sys_error msg -> Error (Err.Io { path = dir; msg })
+
 let dir t = t.dir
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses

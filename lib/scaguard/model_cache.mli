@@ -30,6 +30,10 @@ val create : dir:string -> t
 (** Open (creating directories as needed) a cache rooted at [dir].
     @raise Invalid_argument if [dir] exists and is not a directory. *)
 
+val create_result : dir:string -> (t, Err.t) result
+(** Like {!create}: [Error (Invalid_config _)] if [dir] exists and is not a
+    directory, [Error (Io _)] if the directories cannot be created. *)
+
 val dir : t -> string
 
 val key :

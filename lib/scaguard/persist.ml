@@ -40,84 +40,6 @@ let model_to_string m =
   model_to_buffer buf m;
   Buffer.contents buf
 
-(* -- parsing ----------------------------------------------------------------- *)
-
-type cursor = { lines : string array; mutable pos : int }
-
-let peek c = if c.pos < Array.length c.lines then Some c.lines.(c.pos) else None
-
-let next c =
-  match peek c with
-  | Some l ->
-    c.pos <- c.pos + 1;
-    l
-  | None -> failwith "Persist: unexpected end of input"
-
-let expect_prefix c prefix =
-  let l = next c in
-  let n = String.length prefix in
-  if String.length l < n || String.sub l 0 n <> prefix then
-    failwith (Printf.sprintf "Persist: expected %S, got %S" prefix l);
-  String.sub l n (String.length l - n)
-
-let parse_entry c =
-  let header = expect_prefix c "entry " in
-  let block, first_time =
-    match String.split_on_char ' ' header with
-    | [ b; t ] -> (int_of_string b, int_of_string t)
-    | _ -> failwith "Persist: bad entry header"
-  in
-  let cst_line = expect_prefix c "cst " in
-  let cst =
-    (* every token must parse: a malformed token is corruption, not noise to
-       be filtered out *)
-    let float_or_fail tok =
-      match float_of_string_opt tok with
-      | Some f -> f
-      | None ->
-        failwith (Printf.sprintf "Persist: bad cst token %S in %S" tok cst_line)
-    in
-    match List.map float_or_fail (String.split_on_char ' ' cst_line) with
-    | [ ao; io; ao'; io' ] ->
-      {
-        Cst.before = Cache.State.make ~ao ~io;
-        after = Cache.State.make ~ao:ao' ~io:io';
-      }
-    | _ -> failwith "Persist: bad cst line"
-  in
-  let count = int_of_string (expect_prefix c "tokens ") in
-  if count < 0 || count > 1_000_000 then failwith "Persist: bad token count";
-  let normalized = Array.init count (fun _ -> next c) in
-  (* make_entry re-interns the tokens: interned ids are process-local and
-     are deliberately absent from the on-disk format *)
-  Model.make_entry ~block ~instrs:[] ~normalized ~cst ~first_time
-
-let parse_model c =
-  (match next c with
-  | "cstbbs 1" -> ()
-  | l -> failwith (Printf.sprintf "Persist: bad magic %S" l));
-  let name = expect_prefix c "name " in
-  let rec entries acc =
-    match peek c with
-    | Some "end" ->
-      c.pos <- c.pos + 1;
-      List.rev acc
-    | Some _ -> entries (parse_entry c :: acc)
-    | None -> failwith "Persist: missing end"
-  in
-  Model.make ~name (entries [])
-
-let cursor_of_string s =
-  (* keep no trailing empty line noise *)
-  let lines =
-    String.split_on_char '\n' s
-    |> List.filter (fun l -> l <> "")
-    |> Array.of_list
-  in
-  { lines; pos = 0 }
-
-let model_of_string s = parse_model (cursor_of_string s)
-
 let repository_to_string (repo : Detector.repository) =
   let buf = Buffer.create 4096 in
   buf_add buf "scaguard-repository 1\n";
@@ -130,11 +52,114 @@ let repository_to_string (repo : Detector.repository) =
     repo;
   Buffer.contents buf
 
-let repository_of_string s =
-  let c = cursor_of_string s in
+(* -- parsing ----------------------------------------------------------------- *)
+
+(* Parse failures carry the 1-based line number of the offending line in the
+   original text (blank lines count, even though the cursor skips them), so
+   [Err.Parse] can point at the exact spot in a saved file. *)
+exception Parse_stop of int option * string
+
+let stop ?line fmt = Printf.ksprintf (fun msg -> raise (Parse_stop (line, msg))) fmt
+
+(* [lines] keeps only non-empty lines (blank-line noise is tolerated) but each
+   is paired with its original 1-based line number for error reporting. *)
+type cursor = { lines : (int * string) array; mutable pos : int }
+
+let peek c =
+  if c.pos < Array.length c.lines then Some (snd c.lines.(c.pos)) else None
+
+(* Line number to report for "ran off the end": one past the last kept line. *)
+let eof_line c =
+  let n = Array.length c.lines in
+  if n = 0 then Some 1 else Some (fst c.lines.(n - 1) + 1)
+
+(* Line number of the line the cursor last consumed. *)
+let here c =
+  if c.pos = 0 then Some 1 else Some (fst c.lines.(c.pos - 1))
+
+let next c =
+  match peek c with
+  | Some l ->
+    c.pos <- c.pos + 1;
+    l
+  | None -> stop ?line:(eof_line c) "unexpected end of input"
+
+let expect_prefix c prefix =
+  let l = next c in
+  let n = String.length prefix in
+  if String.length l < n || String.sub l 0 n <> prefix then
+    stop ?line:(here c) "expected %S, got %S" prefix l;
+  String.sub l n (String.length l - n)
+
+let parse_entry c =
+  let header = expect_prefix c "entry " in
+  let block, first_time =
+    match String.split_on_char ' ' header with
+    | [ b; t ] -> (
+      match (int_of_string_opt b, int_of_string_opt t) with
+      | Some b, Some t -> (b, t)
+      | _ -> stop ?line:(here c) "bad entry header %S" header)
+    | _ -> stop ?line:(here c) "bad entry header %S" header
+  in
+  let cst_line = expect_prefix c "cst " in
+  let cst =
+    (* every token must parse: a malformed token is corruption, not noise to
+       be filtered out *)
+    let float_or_fail tok =
+      match float_of_string_opt tok with
+      | Some f -> f
+      | None -> stop ?line:(here c) "bad cst token %S in %S" tok cst_line
+    in
+    match List.map float_or_fail (String.split_on_char ' ' cst_line) with
+    | [ ao; io; ao'; io' ] ->
+      {
+        Cst.before = Cache.State.make ~ao ~io;
+        after = Cache.State.make ~ao:ao' ~io:io';
+      }
+    | _ -> stop ?line:(here c) "bad cst line %S" cst_line
+  in
+  let count =
+    let raw = expect_prefix c "tokens " in
+    match int_of_string_opt raw with
+    | Some n -> n
+    | None -> stop ?line:(here c) "bad token count %S" raw
+  in
+  if count < 0 || count > 1_000_000 then
+    stop ?line:(here c) "bad token count %d" count;
+  let normalized = Array.init count (fun _ -> next c) in
+  (* make_entry re-interns the tokens: interned ids are process-local and
+     are deliberately absent from the on-disk format *)
+  Model.make_entry ~block ~instrs:[] ~normalized ~cst ~first_time
+
+let parse_model c =
+  (match next c with
+  | "cstbbs 1" -> ()
+  | l -> stop ?line:(here c) "bad magic %S" l);
+  let name = expect_prefix c "name " in
+  let rec entries acc =
+    match peek c with
+    | Some "end" ->
+      c.pos <- c.pos + 1;
+      List.rev acc
+    | Some _ -> entries (parse_entry c :: acc)
+    | None -> stop ?line:(eof_line c) "missing end"
+  in
+  Model.make ~name (entries [])
+
+let cursor_of_string s =
+  (* keep no trailing empty line noise, but remember original line numbers *)
+  let lines =
+    String.split_on_char '\n' s
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> l <> "")
+    |> Array.of_list
+  in
+  { lines; pos = 0 }
+
+let parse_repository c =
   (match next c with
   | "scaguard-repository 1" -> ()
-  | l -> failwith (Printf.sprintf "Persist: bad repository magic %S" l));
+  | l -> stop ?line:(here c) "bad repository magic %S" l);
   let rec pocs acc =
     match peek c with
     | None -> List.rev acc
@@ -144,6 +169,21 @@ let repository_of_string s =
       pocs ({ Detector.family; model } :: acc)
   in
   pocs []
+
+let run_parser ?file parse s =
+  match parse (cursor_of_string s) with
+  | v -> Ok v
+  | exception Parse_stop (line, msg) -> Error (Err.Parse { file; line; msg })
+
+let model_of_string_result ?file s = run_parser ?file parse_model s
+let repository_of_string_result ?file s = run_parser ?file parse_repository s
+
+let ok_or_failwith = function
+  | Ok v -> v
+  | Error e -> failwith (Err.to_string e)
+
+let model_of_string s = ok_or_failwith (model_of_string_result s)
+let repository_of_string s = ok_or_failwith (repository_of_string_result s)
 
 (* Atomic: write a sibling temp file, then rename over the destination, so a
    crash mid-write can never corrupt an existing file at [path]. *)
@@ -174,7 +214,41 @@ let read_file ~path =
       let n = in_channel_length ic in
       really_input_string ic n)
 
+let io_result ~path f =
+  match f () with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (Err.Io { path; msg })
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Err.Io { path; msg = Unix.error_message e })
+
+let load_result ~path parse =
+  match io_result ~path (fun () -> read_file ~path) with
+  | Error _ as e -> e
+  | Ok s -> run_parser ~file:path parse s
+
+let load_repository_result ~path = load_result ~path parse_repository
+let load_model_result ~path = load_result ~path parse_model
+
+let save_repository_result ~path repo =
+  io_result ~path (fun () -> write_atomic ~path (repository_to_string repo))
+
+let save_model_result ~path m =
+  io_result ~path (fun () -> write_atomic ~path (model_to_string m))
+
+let raise_load_error = function
+  | Err.Io { msg; _ } -> raise (Sys_error msg)
+  | e -> failwith (Err.to_string e)
+
 let save_repository ~path repo = write_atomic ~path (repository_to_string repo)
-let load_repository ~path = repository_of_string (read_file ~path)
+
+let load_repository ~path =
+  match load_repository_result ~path with
+  | Ok repo -> repo
+  | Error e -> raise_load_error e
+
 let save_model ~path m = write_atomic ~path (model_to_string m)
-let load_model ~path = model_of_string (read_file ~path)
+
+let load_model ~path =
+  match load_model_result ~path with
+  | Ok m -> m
+  | Error e -> raise_load_error e

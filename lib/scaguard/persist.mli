@@ -4,35 +4,76 @@
     programs later; persistence makes that real: models round-trip through a
     simple line-oriented format (no external dependencies).
 
+    Every operation comes in two flavours: a [_result] variant returning
+    typed {!Err.t} errors — parse failures carry the file name and 1-based
+    line number — and a compatibility variant that raises [Failure] (parse)
+    or [Sys_error] (IO) like it always has.
+
     Loaded models carry empty [instrs] lists — similarity comparison only
     needs the normalized token sequences and the CSTs, both of which are
     preserved exactly. *)
 
 val model_to_string : Model.t -> string
 
+val model_of_string_result : ?file:string -> string -> (Model.t, Err.t) result
+(** [Error (Parse _)] on malformed input; [?file] is only used to label the
+    error location. *)
+
 val model_of_string : string -> Model.t
 (** @raise Failure on malformed input. *)
 
 val repository_to_string : Detector.repository -> string
 
+val repository_of_string_result :
+  ?file:string -> string -> (Detector.repository, Err.t) result
+
 val repository_of_string : string -> Detector.repository
 (** @raise Failure on malformed input. *)
 
-val save_repository : path:string -> Detector.repository -> unit
+val save_repository_result :
+  path:string -> Detector.repository -> (unit, Err.t) result
 (** Atomic: the repository is written to a temp file in the destination's
     directory and renamed into place, so a crash mid-write can never leave a
     truncated or corrupt file at [path]. *)
 
+val save_repository : path:string -> Detector.repository -> unit
+(** Like {!save_repository_result}.
+    @raise Sys_error on IO problems. *)
+
+val load_repository_result :
+  path:string -> (Detector.repository, Err.t) result
+(** [Error (Io _)] on IO problems, [Error (Parse {file; line; _})] on
+    malformed content.  Parsing is strict: every token of a [cst] line must
+    be a float — malformed tokens are corruption, not noise. *)
+
 val load_repository : path:string -> Detector.repository
-(** @raise Sys_error / Failure on IO or parse problems.  Parsing is strict:
-    every token of a [cst] line must be a float — malformed tokens are
-    corruption, not noise. *)
+(** @raise Sys_error / Failure on IO or parse problems (parse messages
+    include the file name and line number). *)
+
+val save_model_result : path:string -> Model.t -> (unit, Err.t) result
+(** One model to one file (the {!Model_cache} entry format); atomic like
+    {!save_repository_result}. *)
 
 val save_model : path:string -> Model.t -> unit
-(** One model to one file (the {!Model_cache} entry format); atomic like
-    {!save_repository}. *)
+(** @raise Sys_error on IO problems. *)
+
+val load_model_result : path:string -> (Model.t, Err.t) result
+(** Same strictness as {!load_repository_result}.  The loaded model's tokens
+    are re-interned in this process; interned ids are never part of the
+    on-disk format. *)
 
 val load_model : path:string -> Model.t
-(** @raise Sys_error / Failure on IO or parse problems (same strictness as
-    {!load_repository}).  The loaded model's tokens are re-interned in this
-    process; interned ids are never part of the on-disk format. *)
+(** @raise Sys_error / Failure on IO or parse problems. *)
+
+(** {1 Shared file plumbing}
+
+    Used by {!Config} (and available to other callers) so every artefact the
+    system persists goes through the same atomic writer. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [contents] to a sibling temp file and rename it over [path].
+    @raise Sys_error on IO problems. *)
+
+val read_file : path:string -> string
+(** Read the whole file.
+    @raise Sys_error on IO problems. *)

@@ -1,0 +1,124 @@
+type cache_stats = { dir : string; hits : int; misses : int; stale : int }
+type timing = { stage : string; wall_s : float; cpu_s : float }
+
+type report = {
+  built : int;
+  classified : int;
+  cache : cache_stats option;
+  engine : Engine.stats option;
+  timings : timing list;
+}
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "@[<v>";
+  List.iteri
+    (fun i t ->
+      if i > 0 then fprintf ppf "@,";
+      fprintf ppf "%s: wall %.4fs, cpu %.4fs" t.stage t.wall_s t.cpu_s)
+    r.timings;
+  (match r.engine with
+  | Some stats -> fprintf ppf "@,%a" Engine.pp_stats stats
+  | None -> ());
+  (match r.cache with
+  | Some c ->
+    fprintf ppf "@,cache %s: %d hits, %d misses, %d stale" c.dir c.hits
+      c.misses c.stale
+  | None -> ());
+  fprintf ppf "@]"
+
+let ( let* ) = Result.bind
+
+let timed stage f =
+  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  let v = f () in
+  ({ stage; wall_s = Unix.gettimeofday () -. w0; cpu_s = Sys.time () -. c0 }, v)
+
+let cache_of_config (config : Config.t) =
+  match config.Config.cache_dir with
+  | None -> Ok None
+  | Some dir -> Result.map Option.some (Model_cache.create_result ~dir)
+
+let cache_stats_of cache =
+  Option.map
+    (fun c ->
+      {
+        dir = Model_cache.dir c;
+        hits = Model_cache.hits c;
+        misses = Model_cache.misses c;
+        stale = Model_cache.stale c;
+      })
+    cache
+
+(* Jobs inherit the config's execution settings and salt unless they carry
+   their own.  Filling in the explicit defaults is key-neutral: both
+   [Cst.measure] and [Model_cache.key] normalize an omitted settings/config
+   to the same defaults, so models and cache keys stay byte-identical to the
+   pre-service composition. *)
+let resolve_job (config : Config.t) (j : Pipeline.job) =
+  {
+    j with
+    Pipeline.settings =
+      Some (Option.value j.Pipeline.settings ~default:config.Config.exec);
+    salt = (if j.Pipeline.salt = "" then config.Config.salt else j.Pipeline.salt);
+  }
+
+let build_stage (config : Config.t) cache jobs =
+  let jobs = Array.map (resolve_job config) jobs in
+  timed "build" (fun () ->
+      Pipeline.build_models_batch ?domains:config.Config.domains ?cache
+        ?max_paths:config.Config.max_paths ?max_len:config.Config.max_len
+        ~cst_config:config.Config.cst_config jobs)
+
+let build config jobs =
+  let* config = Config.validate config in
+  let* cache = cache_of_config config in
+  let timing, models = build_stage config cache jobs in
+  Ok
+    ( models,
+      {
+        built = Array.length models;
+        classified = 0;
+        cache = cache_stats_of cache;
+        engine = None;
+        timings = [ timing ];
+      } )
+
+let detect_stage (config : Config.t) repo targets =
+  timed "detect" (fun () ->
+      Engine.classify_batch ~threshold:config.Config.threshold
+        ?alpha:config.Config.alpha ?band:config.Config.band
+        ?domains:config.Config.domains ~prune:config.Config.prune repo targets)
+
+let detect config repo targets =
+  let* config = Config.validate config in
+  if repo = [] then Error Err.Empty_repository
+  else
+    let timing, (verdicts, stats) = detect_stage config repo targets in
+    Ok
+      ( verdicts,
+        {
+          built = 0;
+          classified = Array.length targets;
+          cache = None;
+          engine = Some stats;
+          timings = [ timing ];
+        } )
+
+let screen config repo jobs =
+  let* config = Config.validate config in
+  if repo = [] then Error Err.Empty_repository
+  else
+    let* cache = cache_of_config config in
+    let build_timing, models = build_stage config cache jobs in
+    let detect_timing, (verdicts, stats) = detect_stage config repo models in
+    Ok
+      ( models,
+        verdicts,
+        {
+          built = Array.length models;
+          classified = Array.length models;
+          cache = cache_stats_of cache;
+          engine = Some stats;
+          timings = [ build_timing; detect_timing ];
+        } )

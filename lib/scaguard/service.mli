@@ -1,0 +1,58 @@
+(** The service facade: one validated {!Config.t} in, models/verdicts plus a
+    unified run {!report} out, every failure a typed {!Err.t}.
+
+    Every front-end (CLI, bench, experiments, examples) goes through these
+    three entry points instead of hand-composing
+    [Pipeline.build_models_batch] + [Engine.classify_batch] with ten
+    optional arguments.  The facade adds {e no} behaviour of its own:
+    {!build} results are byte-identical ({!Persist.model_to_string}) and
+    {!detect} verdicts bit-identical (score bits and tie order) to the
+    manual composition with the same knobs — asserted by the test suite and
+    by the bench on every run. *)
+
+type cache_stats = { dir : string; hits : int; misses : int; stale : int }
+(** Hit/miss/stale counters of the {!Model_cache} this run opened —
+    deltas for this run, since the cache handle is private to it. *)
+
+type timing = { stage : string; wall_s : float; cpu_s : float }
+(** Wall/CPU seconds of one pipeline stage (["build"] or ["detect"]). *)
+
+type report = {
+  built : int;  (** models built (or served from cache) by this run *)
+  classified : int;  (** targets classified by this run *)
+  cache : cache_stats option;  (** present iff [config.cache_dir] was set *)
+  engine : Engine.stats option;  (** present iff the run classified *)
+  timings : timing list;  (** per-stage wall/cpu, in execution order *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line, human-readable: per-stage timings, then the engine counters
+    ({!Engine.pp_stats}), then the cache counters, as present. *)
+
+val build :
+  Config.t -> Pipeline.job array -> (Model.t array * report, Err.t) result
+(** Build one model per job — execute, identify, restore, measure — fanned
+    over [config.domains] workers and consulting the [config.cache_dir]
+    cache when set.  Jobs with [settings = None] run under [config.exec];
+    jobs with their own settings (e.g. the Meltdown PoCs' protected range)
+    keep them.  Likewise [config.salt] applies to jobs whose own [salt] is
+    [""].  Errors: [Invalid_config] (bad config field), [Io]
+    (cache directory unusable). *)
+
+val detect :
+  Config.t ->
+  Detector.repository ->
+  Model.t array ->
+  (Detector.verdict array * report, Err.t) result
+(** Score every target model against the repository on the batch engine,
+    with [config]'s threshold/alpha/band/prune/domains.  Errors:
+    [Invalid_config], [Empty_repository]. *)
+
+val screen :
+  Config.t ->
+  Detector.repository ->
+  Pipeline.job array ->
+  (Model.t array * Detector.verdict array * report, Err.t) result
+(** {!build} the jobs, then {!detect} the resulting models: the §V
+    deployment loop in one call.  The report carries both stages' timings,
+    the build's cache counters and the detect's engine counters. *)

@@ -1,0 +1,442 @@
+(* The service facade: Config round-trips and validation, Err taxonomy, and
+   the core guarantee that Service.build / Service.detect add no behaviour —
+   byte-identical models, bit-identical verdicts — over the manual
+   Pipeline + Engine composition. *)
+
+module SG = Scaguard
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "scaguard_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then (
+        Array.iter
+          (fun n -> Sys.remove (Filename.concat dir n))
+          (Sys.readdir dir);
+        Unix.rmdir dir))
+    (fun () -> f dir)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (SG.Err.to_string e)
+
+(* -- Config generator: arbitrary *valid* configs --------------------------- *)
+
+let config_gen : SG.Config.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let line_string =
+    string_size ~gen:(char_range ' ' '~') (int_range 0 12)
+  in
+  let* threshold = float_range 0.0 1.0 in
+  let* alpha = opt (float_range 0.0 1.0) in
+  let* band = opt (int_range 0 40) in
+  let* prune = bool in
+  let* max_paths = opt (int_range 1 64) in
+  let* max_len = opt (int_range 1 64) in
+  let* sets = int_range 1 128 in
+  let* ways = int_range 1 8 in
+  let* line_bits = int_range 0 8 in
+  let* spec_window = int_range 0 300 in
+  let* quantum = int_range 1 200 in
+  let* victim_quantum = int_range 1 200 in
+  let* fuel = int_range 1 1_000_000 in
+  let* protected_range =
+    opt
+      (let* lo = int_range 0 4096 in
+       let* len = int_range 0 4096 in
+       return (lo, lo + len))
+  in
+  let* domains = opt (int_range 1 8) in
+  let* cache_dir = opt line_string in
+  let* salt = line_string in
+  return
+    {
+      SG.Config.threshold;
+      alpha;
+      band;
+      prune;
+      max_paths;
+      max_len;
+      cst_config = { Cache.Config.sets; ways; line_bits };
+      exec =
+        { Cpu.Exec.spec_window; quantum; victim_quantum; fuel; protected_range };
+      domains;
+      cache_dir;
+      salt;
+    }
+
+let config_arb =
+  QCheck.make ~print:(fun c -> SG.Config.to_string c) config_gen
+
+let prop_config_roundtrip =
+  QCheck.Test.make ~name:"config to_string/of_string round-trips" ~count:300
+    config_arb (fun c ->
+      match SG.Config.of_string (SG.Config.to_string c) with
+      | Ok c' -> c' = c
+      | Error e -> QCheck.Test.fail_reportf "%s" (SG.Err.to_string e))
+
+(* -- Config validation ------------------------------------------------------ *)
+
+let field_of = function
+  | Error (SG.Err.Invalid_config { field; _ }) -> field
+  | Ok _ -> Alcotest.fail "expected Invalid_config, got Ok"
+  | Error e -> Alcotest.failf "expected Invalid_config, got %s" (SG.Err.to_string e)
+
+let test_config_validate_rejects () =
+  let d = SG.Config.default in
+  check_string "nan threshold" "threshold"
+    (field_of (SG.Config.validate { d with SG.Config.threshold = Float.nan }));
+  check_string "threshold > 1" "threshold"
+    (field_of (SG.Config.validate { d with SG.Config.threshold = 1.5 }));
+  check_string "negative alpha" "alpha"
+    (field_of (SG.Config.validate { d with SG.Config.alpha = Some (-0.1) }));
+  check_string "negative band" "band"
+    (field_of (SG.Config.validate { d with SG.Config.band = Some (-1) }));
+  check_string "zero max_paths" "max_paths"
+    (field_of (SG.Config.validate { d with SG.Config.max_paths = Some 0 }));
+  check_string "zero domains" "domains"
+    (field_of (SG.Config.validate { d with SG.Config.domains = Some 0 }));
+  check_string "zero-way probe cache" "cst_ways"
+    (field_of
+       (SG.Config.validate
+          {
+            d with
+            SG.Config.cst_config =
+              { d.SG.Config.cst_config with Cache.Config.ways = 0 };
+          }));
+  check_string "zero fuel" "exec_fuel"
+    (field_of
+       (SG.Config.validate
+          {
+            d with
+            SG.Config.exec = { d.SG.Config.exec with Cpu.Exec.fuel = 0 };
+          }));
+  check_string "inverted protected range" "exec_protected_range"
+    (field_of
+       (SG.Config.validate
+          {
+            d with
+            SG.Config.exec =
+              {
+                d.SG.Config.exec with
+                Cpu.Exec.protected_range = Some (10, 5);
+              };
+          }));
+  check_string "newline in salt" "salt"
+    (field_of (SG.Config.validate { d with SG.Config.salt = "a\nb" }));
+  (* the checkers report the caller-chosen field name (CLI flags) *)
+  check_string "flag name override" "--threshold"
+    (field_of (SG.Config.check_threshold ~field:"--threshold" 2.0));
+  (* exit-code taxonomy: config errors are usage errors *)
+  check_int "config errors exit 1" 1
+    (SG.Err.exit_code
+       (SG.Err.Invalid_config { field = "x"; value = "y"; expected = "z" }));
+  check_int "parse errors exit 2" 2
+    (SG.Err.exit_code (SG.Err.Parse { file = None; line = None; msg = "m" }))
+
+let parse_line = function
+  | Error (SG.Err.Parse { line; _ }) -> line
+  | Ok _ -> Alcotest.fail "expected Parse error, got Ok"
+  | Error e -> Alcotest.failf "expected Parse, got %s" (SG.Err.to_string e)
+
+let test_config_of_string_errors () =
+  Alcotest.(check (option int))
+    "bad magic points at line 1" (Some 1)
+    (parse_line (SG.Config.of_string "bogus\n"));
+  Alcotest.(check (option int))
+    "unknown key points at its line" (Some 4)
+    (parse_line
+       (SG.Config.of_string "scaguard-config 1\n# comment\nthreshold=0.5\nwat=1\n"));
+  Alcotest.(check (option int))
+    "bad number points at its line" (Some 2)
+    (parse_line (SG.Config.of_string "scaguard-config 1\nthreshold=abc\n"));
+  (match SG.Config.of_string "scaguard-config 1\nthreshold=2\n" with
+  | Error (SG.Err.Invalid_config { field = "threshold"; _ }) -> ()
+  | r ->
+    Alcotest.failf "expected Invalid_config threshold, got %s"
+      (match r with Ok _ -> "Ok" | Error e -> SG.Err.to_string e));
+  (* comments, blank lines and omitted keys are fine *)
+  let c =
+    ok_exn
+      (SG.Config.of_string
+         "scaguard-config 1\n\n# tuned for the cluster\nthreshold=0.5\nband=3\n")
+  in
+  check_bool "parsed partial config" true
+    (c
+    = {
+        SG.Config.default with
+        SG.Config.threshold = 0.5;
+        SG.Config.band = Some 3;
+      })
+
+let test_config_save_load () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "run.conf" in
+      let c =
+        {
+          SG.Config.default with
+          SG.Config.threshold = 0.55;
+          SG.Config.domains = Some 2;
+          SG.Config.salt = "2026:FR-F";
+        }
+      in
+      ok_exn (SG.Config.save ~path c);
+      check_bool "load returns the saved config" true
+        (ok_exn (SG.Config.load ~path) = c);
+      (match SG.Config.load ~path:(Filename.concat dir "absent.conf") with
+      | Error (SG.Err.Io _) -> ()
+      | r ->
+        Alcotest.failf "expected Io, got %s"
+          (match r with Ok _ -> "Ok" | Error e -> SG.Err.to_string e));
+      let garbage = Filename.concat dir "garbage.conf" in
+      let oc = open_out garbage in
+      output_string oc "scaguard-config 1\nthreshold=oops\n";
+      close_out oc;
+      match SG.Config.load ~path:garbage with
+      | Error (SG.Err.Parse { file = Some f; line = Some 2; _ }) ->
+        check_string "parse error names the file" garbage f
+      | r ->
+        Alcotest.failf "expected Parse with file+line, got %s"
+          (match r with Ok _ -> "Ok" | Error e -> SG.Err.to_string e))
+
+(* -- Service bit-identity --------------------------------------------------- *)
+
+let job_of (spec : Workloads.Attacks.spec) =
+  SG.Pipeline.job ?settings:spec.Workloads.Attacks.settings
+    ~init:spec.Workloads.Attacks.init ?victim:spec.Workloads.Attacks.victim
+    ~name:(Isa.Program.name spec.Workloads.Attacks.program)
+    spec.Workloads.Attacks.program
+
+let test_jobs () =
+  [|
+    job_of (Workloads.Attacks.flush_reload ~style:Workloads.Attacks.Iaik ());
+    job_of (Workloads.Attacks.evict_reload ());
+    job_of (Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Mastik ());
+  |]
+
+let strings models = Array.map SG.Persist.model_to_string models
+
+let test_build_identical () =
+  let jobs = test_jobs () in
+  let manual = SG.Pipeline.build_models_batch jobs in
+  let models, report = ok_exn (SG.Service.build SG.Config.default jobs) in
+  check_bool "models byte-identical to the manual composition" true
+    (strings manual = strings models);
+  check_int "report counts the builds" (Array.length jobs)
+    report.SG.Service.built;
+  check_bool "no cache configured, no cache stats" true
+    (report.SG.Service.cache = None)
+
+let test_detect_identical () =
+  let rng = Sutil.Rng.create 11 in
+  let repo =
+    Experiments.Common.repository ~rng
+      [ Workloads.Label.Fr_family; Workloads.Label.Pp_family ]
+  in
+  let targets = SG.Pipeline.build_models_batch (test_jobs ()) in
+  let manual, _ = SG.Engine.classify_batch repo targets in
+  let verdicts, report =
+    ok_exn (SG.Service.detect SG.Config.default repo targets)
+  in
+  check_bool "verdicts bit-identical to the manual composition" true
+    (manual = verdicts);
+  check_int "report counts the targets" (Array.length targets)
+    report.SG.Service.classified;
+  match report.SG.Service.engine with
+  | Some stats ->
+    check_int "engine stats cover the batch" (Array.length targets)
+      stats.SG.Engine.targets
+  | None -> Alcotest.fail "detect report is missing engine stats"
+
+let test_screen_composes () =
+  let rng = Sutil.Rng.create 12 in
+  let repo =
+    Experiments.Common.repository ~rng [ Workloads.Label.Fr_family ]
+  in
+  let jobs = test_jobs () in
+  let models, verdicts, report =
+    ok_exn (SG.Service.screen SG.Config.default repo jobs)
+  in
+  let models', _ = ok_exn (SG.Service.build SG.Config.default jobs) in
+  let verdicts', _ = ok_exn (SG.Service.detect SG.Config.default repo models') in
+  check_bool "screen builds the same models" true
+    (strings models = strings models');
+  check_bool "screen reaches the same verdicts" true (verdicts = verdicts');
+  check_int "screen reports both stages" 2
+    (List.length report.SG.Service.timings)
+
+let test_config_knobs_flow_through () =
+  (* a non-default detection config must agree with the manual composition
+     given the same knobs *)
+  let config =
+    {
+      SG.Config.default with
+      SG.Config.threshold = 0.4;
+      SG.Config.alpha = Some 0.9;
+      SG.Config.band = Some 6;
+      SG.Config.prune = false;
+      SG.Config.domains = Some 2;
+    }
+  in
+  let rng = Sutil.Rng.create 13 in
+  let repo =
+    Experiments.Common.repository ~rng
+      [ Workloads.Label.Fr_family; Workloads.Label.Spectre_fr ]
+  in
+  let targets = SG.Pipeline.build_models_batch (test_jobs ()) in
+  let manual, _ =
+    SG.Engine.classify_batch ~threshold:0.4 ~alpha:0.9 ~band:6 ~domains:2
+      ~prune:false repo targets
+  in
+  let verdicts, _ = ok_exn (SG.Service.detect config repo targets) in
+  check_bool "knobbed verdicts identical" true (manual = verdicts)
+
+let test_build_with_cache () =
+  with_tmp_dir (fun dir ->
+      let config =
+        { SG.Config.default with SG.Config.cache_dir = Some dir } in
+      let jobs = test_jobs () in
+      let cold, cold_report = ok_exn (SG.Service.build config jobs) in
+      let warm, warm_report = ok_exn (SG.Service.build config jobs) in
+      check_bool "warm cache models byte-identical" true
+        (strings cold = strings warm);
+      match (cold_report.SG.Service.cache, warm_report.SG.Service.cache) with
+      | Some c, Some w ->
+        check_int "cold run misses every job" (Array.length jobs)
+          c.SG.Service.misses;
+        check_int "cold run hits nothing" 0 c.SG.Service.hits;
+        check_int "warm run hits every job" (Array.length jobs)
+          w.SG.Service.hits;
+        check_int "warm run misses nothing" 0 w.SG.Service.misses
+      | _ -> Alcotest.fail "cache_dir set but report has no cache stats")
+
+(* -- Service error paths ---------------------------------------------------- *)
+
+let test_service_error_paths () =
+  let jobs = test_jobs () in
+  (match
+     SG.Service.build
+       { SG.Config.default with SG.Config.threshold = Float.nan }
+       jobs
+   with
+  | Error (SG.Err.Invalid_config { field = "threshold"; _ }) -> ()
+  | Ok _ -> Alcotest.fail "NaN threshold accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (SG.Err.to_string e));
+  (match SG.Service.detect SG.Config.default [] [| |] with
+  | Error SG.Err.Empty_repository -> ()
+  | Ok _ -> Alcotest.fail "empty repository accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (SG.Err.to_string e));
+  (* a cache_dir that collides with an existing *file* cannot be created *)
+  let file = Filename.temp_file "scaguard_service" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      match
+        SG.Service.build
+          { SG.Config.default with SG.Config.cache_dir = Some file }
+          jobs
+      with
+      | Error (SG.Err.Invalid_config _ | SG.Err.Io _) -> ()
+      | Ok _ -> Alcotest.fail "file as cache_dir accepted"
+      | Error e -> Alcotest.failf "wrong error: %s" (SG.Err.to_string e))
+
+(* -- Persist result variants ------------------------------------------------ *)
+
+let test_persist_parse_locations () =
+  let spec = Workloads.Attacks.flush_reload ~style:Workloads.Attacks.Iaik () in
+  let analysis =
+    SG.Pipeline.run_and_analyze ~init:spec.Workloads.Attacks.init
+      ?victim:spec.Workloads.Attacks.victim spec.Workloads.Attacks.program
+  in
+  let repo =
+    [ { SG.Detector.family = "FR-F"; model = analysis.SG.Pipeline.model } ]
+  in
+  let s = SG.Persist.repository_to_string repo in
+  (* truncate mid-model: drop everything from the last 2 lines *)
+  let lines = String.split_on_char '\n' s in
+  let keep = List.filteri (fun i _ -> i < List.length lines - 3) lines in
+  let truncated = String.concat "\n" keep in
+  (match SG.Persist.repository_of_string_result truncated with
+  | Error (SG.Err.Parse { line = Some n; _ }) ->
+    check_bool "truncation reported near the end" true
+      (n >= List.length keep - 1)
+  | Ok _ -> Alcotest.fail "truncated repository parsed"
+  | Error e -> Alcotest.failf "wrong error: %s" (SG.Err.to_string e));
+  (* a corrupted line is reported with its exact 1-based number *)
+  let is_cst l = String.length l >= 4 && String.sub l 0 4 = "cst " in
+  let cst_line =
+    1 + Option.get (List.find_index is_cst lines)
+  in
+  let corrupted =
+    lines
+    |> List.mapi (fun i l -> if i + 1 = cst_line then "cst wat" else l)
+    |> String.concat "\n"
+  in
+  (match SG.Persist.repository_of_string_result corrupted with
+  | Error (SG.Err.Parse { line = Some n; _ }) when n = cst_line -> ()
+  | Error (SG.Err.Parse { line; _ }) ->
+    Alcotest.failf "wrong line: %s (expected %d)"
+      (match line with Some n -> string_of_int n | None -> "none")
+      cst_line
+  | Ok _ -> Alcotest.fail "corrupt repository parsed"
+  | Error e -> Alcotest.failf "wrong error: %s" (SG.Err.to_string e));
+  with_tmp_dir (fun dir ->
+      (* on-disk loads label errors with the path *)
+      let path = Filename.concat dir "trunc.repo" in
+      let oc = open_out path in
+      output_string oc truncated;
+      close_out oc;
+      (match SG.Persist.load_repository_result ~path with
+      | Error (SG.Err.Parse { file = Some f; line = Some _; _ }) ->
+        check_string "parse error names the file" path f
+      | r ->
+        Alcotest.failf "expected Parse with file, got %s"
+          (match r with Ok _ -> "Ok" | Error e -> SG.Err.to_string e));
+      (* and a missing file is Io, not Parse *)
+      match
+        SG.Persist.load_repository_result
+          ~path:(Filename.concat dir "missing.repo")
+      with
+      | Error (SG.Err.Io _) -> ()
+      | r ->
+        Alcotest.failf "expected Io, got %s"
+          (match r with Ok _ -> "Ok" | Error e -> SG.Err.to_string e))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "config",
+        [
+          QCheck_alcotest.to_alcotest prop_config_roundtrip;
+          Alcotest.test_case "validate rejects bad fields" `Quick
+            test_config_validate_rejects;
+          Alcotest.test_case "of_string error locations" `Quick
+            test_config_of_string_errors;
+          Alcotest.test_case "save/load" `Quick test_config_save_load;
+        ] );
+      ( "facade identity",
+        [
+          Alcotest.test_case "build matches manual composition" `Quick
+            test_build_identical;
+          Alcotest.test_case "detect matches manual composition" `Quick
+            test_detect_identical;
+          Alcotest.test_case "screen composes build+detect" `Quick
+            test_screen_composes;
+          Alcotest.test_case "non-default knobs flow through" `Quick
+            test_config_knobs_flow_through;
+          Alcotest.test_case "cache round-trip via config" `Quick
+            test_build_with_cache;
+        ] );
+      ( "error paths",
+        [
+          Alcotest.test_case "service errors" `Quick test_service_error_paths;
+          Alcotest.test_case "persist parse locations" `Quick
+            test_persist_parse_locations;
+        ] );
+    ]
