@@ -17,9 +17,11 @@ let per_family = ref 16
 let seed = ref 20260704
 let out_dir = ref None
 let jobs = ref None
+let trace_out = ref None
+let metrics_out = ref None
 let artifacts = ref []
 
-let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|timecost|all]"
+let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|timecost|all]"
 
 let () =
   let rec parse = function
@@ -36,11 +38,20 @@ let () =
     | "--jobs" :: n :: rest ->
       jobs := Some (int_of_string n);
       parse rest
+    | "--trace-out" :: path :: rest ->
+      trace_out := Some path;
+      parse rest
+    | "--metrics-out" :: path :: rest ->
+      metrics_out := Some path;
+      parse rest
     | x :: rest ->
       artifacts := x :: !artifacts;
       parse rest
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  parse (List.tl (Array.to_list Sys.argv));
+  (* the bench emits the same observability artifacts as the CLI *)
+  Scaguard.Obs.set_tracing (!trace_out <> None);
+  Scaguard.Obs.set_metrics (!metrics_out <> None)
 
 (* worker count for the parallel stages: --jobs, else a reasonable floor so
    the speedup numbers mean something even on small CI machines *)
@@ -288,10 +299,11 @@ let engine () =
   Printf.printf "batch: %d targets x %d PoCs = %d pairs\n%!" batch
     (List.length repo) (batch * List.length repo);
   (* sequential path: the plain allocating Detector.classify loop, pruning
-     off — the exact-DP baseline everything else must match *)
-  let t0 = Unix.gettimeofday () in
+     off — the exact-DP baseline everything else must match.  Timed on the
+     stack's monotonic clock (Obs.Clock), like every other stage. *)
+  let t0 = Scaguard.Obs.Clock.now_ns () in
   let seq = Array.map (Scaguard.Detector.classify ~prune:false repo) targets in
-  let seq_dt = Unix.gettimeofday () -. t0 in
+  let seq_dt = Scaguard.Obs.Clock.elapsed_s ~since:t0 in
   let check_identical what (a : Scaguard.Detector.verdict array) b =
     Array.iteri
       (fun i (v : Scaguard.Detector.verdict) ->
@@ -317,6 +329,18 @@ let engine () =
     Scaguard.Engine.classify_batch ~prune:true ~domains repo targets
   in
   check_identical "pruned" par pruned;
+  (* observability is pure observation: forcing tracing + metrics on must not
+     change a single verdict bit *)
+  let prev_tracing = Scaguard.Obs.tracing ()
+  and prev_metrics = Scaguard.Obs.metrics () in
+  Scaguard.Obs.set_tracing true;
+  Scaguard.Obs.set_metrics true;
+  let observed, _ =
+    Scaguard.Engine.classify_batch ~prune:true ~domains repo targets
+  in
+  Scaguard.Obs.set_tracing prev_tracing;
+  Scaguard.Obs.set_metrics prev_metrics;
+  check_identical "instrumented" pruned observed;
   (* service facade: Service.detect is a typed front door over the same
      engine — verdicts must stay bit-identical to the manual composition *)
   (match
@@ -351,9 +375,28 @@ let engine () =
     pstats.Scaguard.Engine.pairs_abandoned;
   Printf.printf "DP cells: %d -> %d (%.1f%% saved)\n" cells_full cells_pruned
     reduction;
+  (* per-verdict latency quantiles, estimated from the histogram buckets
+     the instrumented run above filled *)
+  List.iter
+    (fun (e : Scaguard.Obs.Registry.snapshot_entry) ->
+      match e.Scaguard.Obs.Registry.entry_value with
+      | Scaguard.Obs.Registry.Histogram_value h
+        when e.Scaguard.Obs.Registry.entry_name = "scaguard_verdict_seconds"
+             && h.Scaguard.Obs.Registry.count > 0 ->
+        let q p =
+          Sutil.Stats.percentile_of_buckets
+            ~bounds:h.Scaguard.Obs.Registry.bounds
+            ~counts:h.Scaguard.Obs.Registry.counts p
+        in
+        Printf.printf
+          "verdict latency (instrumented run, %d verdicts): p50 %.2es, p90 \
+           %.2es, p99 %.2es\n"
+          h.Scaguard.Obs.Registry.count (q 0.5) (q 0.9) (q 0.99)
+      | _ -> ())
+    (Scaguard.Obs.snapshot ());
   Printf.printf
-    "verdicts: parallel, pruned and Service.detect runs byte-identical to \
-     the sequential path (%d targets)\n"
+    "verdicts: parallel, pruned, instrumented and Service.detect runs \
+     byte-identical to the sequential path (%d targets)\n"
     batch
 
 (* ---- Modeling: parallel + cached model building ------------------------------------ *)
@@ -387,9 +430,9 @@ let modeling () =
   in
   Printf.printf "building %d models (execute + identify + graph + measure)...\n%!" n;
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Scaguard.Obs.Clock.now_ns () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Scaguard.Obs.Clock.elapsed_s ~since:t0)
   in
   let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
   let bytes m = Scaguard.Persist.model_to_string m in
@@ -415,6 +458,16 @@ let modeling () =
   if domains < 4 then
     check_identical "parallel (4 domains)" seq
       (Scaguard.Pipeline.build_models_batch ~domains:4 build_jobs);
+  (* observability is pure observation on the build path too: models must
+     stay byte-identical with tracing + metrics forced on *)
+  let prev_tracing = Scaguard.Obs.tracing ()
+  and prev_metrics = Scaguard.Obs.metrics () in
+  Scaguard.Obs.set_tracing true;
+  Scaguard.Obs.set_metrics true;
+  let observed = Scaguard.Pipeline.build_models_batch ~domains build_jobs in
+  Scaguard.Obs.set_tracing prev_tracing;
+  Scaguard.Obs.set_metrics prev_metrics;
+  check_identical "instrumented" seq observed;
   (* cold cache: builds everything, stores everything *)
   let dir =
     Filename.concat
@@ -486,8 +539,8 @@ let modeling () =
   row "parallel + warm cache" warm_dt;
   emit_table ~artifact:"modeling" t;
   Printf.printf
-    "models: parallel, cold-cache, warm-cache and Service.build runs \
-     byte-identical to the sequential build (%d models)\n\
+    "models: parallel, cold-cache, warm-cache, instrumented and \
+     Service.build runs byte-identical to the sequential build (%d models)\n\
      warm cache: %d/%d hits — no execution or CST simulation at all\n\
      scores: interned-token and string-token similarities bit-identical \
      (%d pairs)\n"
@@ -594,6 +647,26 @@ let () =
       Printf.eprintf "unknown artifact %S\n%s\n" other usage;
       exit 1
   in
-  match !artifacts with
+  (match !artifacts with
   | [] -> all ()
-  | xs -> List.iter run (List.rev xs)
+  | xs -> List.iter run (List.rev xs));
+  let write what result =
+    match result with
+    | Ok path -> Printf.printf "(%s written to %s)\n" what path
+    | Error e ->
+      Printf.eprintf "bench: writing %s failed: %s\n" what
+        (Scaguard.Err.to_string e);
+      exit 2
+  in
+  Option.iter
+    (fun path ->
+      write "trace"
+        (Result.map
+           (fun () -> path)
+           (Scaguard.Obs.Trace_writer.write ~path (Scaguard.Obs.spans ()))))
+    !trace_out;
+  Option.iter
+    (fun path ->
+      write "metrics"
+        (Result.map (fun () -> path) (Scaguard.Obs.write_metrics ~path)))
+    !metrics_out

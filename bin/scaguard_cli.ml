@@ -353,14 +353,54 @@ let detect_cmd =
 
 (* ---- detect-batch (the parallel engine) ------------------------------------------- *)
 
+(* Observability flags: validate the sample rate, flip the Obs switches for
+   the run.  Tracing/metrics only observe — verdicts are bit-identical with
+   them on or off — so this needs no plumbing through Config.t. *)
+let setup_observability ~trace_out ~metrics_out ~span_sample_rate =
+  if Float.is_nan span_sample_rate || span_sample_rate < 0.0
+     || span_sample_rate > 1.0
+  then
+    Error
+      (Scaguard.Err.Invalid_config
+         {
+           field = "--span-sample-rate";
+           value = string_of_float span_sample_rate;
+           expected = "a fraction in [0, 1]";
+         })
+  else begin
+    Scaguard.Obs.reset ();
+    Scaguard.Obs.set_tracing (trace_out <> None);
+    Scaguard.Obs.set_metrics (metrics_out <> None);
+    Scaguard.Obs.set_span_sample_rate span_sample_rate;
+    Ok ()
+  end
+
+let write_observability ~trace_out ~metrics_out =
+  let* () =
+    match trace_out with
+    | None -> Ok ()
+    | Some path ->
+      let* () = Scaguard.Obs.Trace_writer.write ~path (Scaguard.Obs.spans ()) in
+      Printf.printf "wrote trace to %s (load in ui.perfetto.dev)\n" path;
+      Ok ()
+  in
+  match metrics_out with
+  | None -> Ok ()
+  | Some path ->
+    let* () = Scaguard.Obs.write_metrics ~path in
+    Printf.printf "wrote metrics to %s (Prometheus text format)\n" path;
+    Ok ()
+
 let detect_batch_cmd =
   let run seed repo_names repo_file threshold alpha band jobs cache_dir domains
-      no_prune config_file stats names =
+      no_prune config_file stats trace_out metrics_out span_sample_rate
+      report_format names =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
            ~cache_dir ~no_prune
        in
+       let* () = setup_observability ~trace_out ~metrics_out ~span_sample_rate in
        let* repo, repo_report =
          match repo_file with
          | Some path ->
@@ -398,15 +438,29 @@ let detect_batch_cmd =
              Printf.printf "%-24s benign        (best %6.2f%%)\n" name
                (100.0 *. v.Scaguard.Detector.best_score))
          names;
-       if stats then begin
-         Option.iter
-           (fun r ->
-             Format.printf "repository build:@.%a@." Scaguard.Service.pp_report
-               r)
-           repo_report;
-         Format.printf "%a@." Scaguard.Service.pp_report report
-       end;
-       Ok ()
+       (if stats then
+          match report_format with
+          | `Text ->
+            Option.iter
+              (fun r ->
+                Format.printf "repository build:@.%a@."
+                  Scaguard.Service.pp_report r)
+              repo_report;
+            Format.printf "%a@." Scaguard.Service.pp_report report
+          | `Json ->
+            let buf = Buffer.create 512 in
+            Buffer.add_string buf "{";
+            Option.iter
+              (fun r ->
+                Buffer.add_string buf "\"repository_build\":";
+                Buffer.add_string buf (Scaguard.Service.report_to_json r);
+                Buffer.add_string buf ",")
+              repo_report;
+            Buffer.add_string buf "\"run\":";
+            Buffer.add_string buf (Scaguard.Service.report_to_json report);
+            Buffer.add_string buf "}";
+            print_endline (Buffer.contents buf));
+       write_observability ~trace_out ~metrics_out
   in
   let domains_t =
     Arg.(
@@ -444,6 +498,40 @@ let detect_batch_cmd =
           ~doc:"Print the run report: stage timings, engine counters and \
                 cache counters.")
   in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record spans (pipeline stages, pool tasks, per-pair \
+                classification, cache lookups) and write a Chrome \
+                trace-event JSON file — load it in ui.perfetto.dev or \
+                chrome://tracing.")
+  in
+  let metrics_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Record counters and latency histograms and write them in \
+                Prometheus text exposition format.")
+  in
+  let span_sample_rate_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "span-sample-rate" ] ~docv:"R"
+          ~doc:"Fraction of per-task spans to record, in [0,1] (default 1): \
+                1 records every task, 0.1 every tenth, 0 only the coarse \
+                stage spans.  Sampling is deterministic by task index.")
+  in
+  let report_format_t =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "report-format" ] ~docv:"FMT"
+          ~doc:"How $(b,--stats) renders the run report: $(b,text) (aligned \
+                tables) or $(b,json) (one machine-readable object).")
+  in
   let progs_t =
     Arg.(
       non_empty & pos_all string []
@@ -456,7 +544,8 @@ let detect_batch_cmd =
     Term.(
       const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
       $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ config_file_t
-      $ stats_t $ progs_t)
+      $ stats_t $ trace_out_t $ metrics_out_t $ span_sample_rate_t
+      $ report_format_t $ progs_t)
 
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 

@@ -23,23 +23,66 @@ let utilization s =
 
 let throughput s = if s.wall_s <= 0.0 then 0.0 else float_of_int s.pairs /. s.wall_s
 
+(* Observed variant of one classify task: times the verdict, feeds the
+   latency histograms, and (when this task index is sampled) emits an
+   engine:classify span.  Lives outside the hot closure so the un-observed
+   path below stays allocation-free. *)
+let classify_observed ~classify ~ws ~worker ~target i out =
+  let p0 = Dtw.pairs_scored ws in
+  let t0 = Obs.Clock.now_ns () in
+  out.(i) <- classify ();
+  let dur_ns = Obs.Clock.elapsed_ns ~since:t0 in
+  let dp = Dtw.pairs_scored ws - p0 in
+  if Obs.metrics () then begin
+    let dt = Obs.Clock.ns_to_s dur_ns in
+    Obs.Registry.observe Obs.Metrics.verdict_seconds dt;
+    if dp > 0 then
+      Obs.Registry.observe Obs.Metrics.dtw_pair_seconds
+        (dt /. float_of_int dp)
+  end;
+  if Obs.sampled i then
+    Obs.emit_span ~cat:"engine" ~tid:worker
+      ~args:
+        [ ("target", target.Model.name); ("pairs", string_of_int dp) ]
+      ~name:"engine:classify" ~ts_ns:t0 ~dur_ns ()
+
+let publish_stats s =
+  let open Obs.Metrics in
+  Obs.Registry.incr batches_total;
+  Obs.Registry.add targets_total s.targets;
+  Obs.Registry.add pairs_total s.pairs;
+  Obs.Registry.add cells_total s.cells;
+  Obs.Registry.add pairs_pruned_lb_total s.pairs_pruned_lb;
+  Obs.Registry.add pairs_abandoned_total s.pairs_abandoned;
+  Obs.Registry.add cells_saved_total s.cells_saved
+
 let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
   let tasks = Array.length targets in
   let d = Sutil.Pool.domains_for ?domains tasks in
   let wss = Array.init d (fun _ -> Dtw.workspace ()) in
   let out = Array.make tasks Detector.empty_verdict in
   let prep = Detector.prepare repository in
-  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+  let observing = Obs.enabled () in
+  let probe = if observing then Obs.pool_probe ~stage:"engine" else None in
+  let wall0 = Obs.Clock.now_ns () and cpu0 = Sys.time () in
   let per_worker =
-    Sutil.Pool.run ~domains:d ~tasks (fun ~worker i ->
-        out.(i) <-
-          Detector.classify_prepared ?threshold ?alpha ?band ?prune
-            ~ws:wss.(worker) prep targets.(i))
+    Sutil.Pool.run ~domains:d ?probe ~tasks (fun ~worker i ->
+        let ws = wss.(worker) in
+        if observing then
+          classify_observed
+            ~classify:(fun () ->
+              Detector.classify_prepared ?threshold ?alpha ?band ?prune ~ws
+                prep targets.(i))
+            ~ws ~worker ~target:targets.(i) i out
+        else
+          out.(i) <-
+            Detector.classify_prepared ?threshold ?alpha ?band ?prune ~ws prep
+              targets.(i))
   in
-  let wall_s = Unix.gettimeofday () -. wall0
+  let wall_s = Obs.Clock.elapsed_s ~since:wall0
   and cpu_s = Sys.time () -. cpu0 in
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 wss in
-  ( out,
+  let stats =
     {
       domains = d;
       targets = tasks;
@@ -51,7 +94,10 @@ let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
       wall_s;
       cpu_s;
       per_worker;
-    } )
+    }
+  in
+  if Obs.metrics () then publish_stats stats;
+  (out, stats)
 
 let pp_stats fmt s =
   Format.fprintf fmt

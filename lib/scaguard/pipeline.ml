@@ -47,37 +47,62 @@ let batch ?domains n f =
   let workers = Sutil.Pool.domains_for ?domains n in
   let measurers = Array.init workers (fun _ -> Cst.measurer ()) in
   let out = Array.make n None in
+  let probe = if Obs.tracing () then Obs.pool_probe ~stage:"build" else None in
   ignore
-    (Sutil.Pool.run ?domains ~tasks:n (fun ~worker i ->
+    (Sutil.Pool.run ?domains ?probe ~tasks:n (fun ~worker i ->
          out.(i) <- Some (f ~measurer:(measurers.(worker)) i)));
   Array.map (fun o -> Option.get o) out
+
+(* Observe one actual model construction (cache hits never reach this):
+   bump the build counter and latency histogram, and emit a sampled
+   build:model span tagged with the job name.  [build] is the untimed
+   construction; when observability is off this is exactly [build ()]. *)
+let timed_build ~name i build =
+  if Obs.enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let result = build () in
+    let dur_ns = Obs.Clock.elapsed_ns ~since:t0 in
+    if Obs.metrics () then begin
+      Obs.Registry.incr Obs.Metrics.models_built_total;
+      Obs.Registry.observe Obs.Metrics.model_build_seconds
+        (Obs.Clock.ns_to_s dur_ns)
+    end;
+    if Obs.sampled i then
+      Obs.emit_span ~cat:"build" ~args:[ ("model", name) ] ~name:"build:model"
+        ~ts_ns:t0 ~dur_ns ();
+    result
+  end
+  else build ()
 
 let analyze_batch ?domains ?max_paths ?max_len ?cst_config inputs =
   batch ?domains (Array.length inputs) (fun ~measurer i ->
       let name, program, exec = inputs.(i) in
-      analyze ?max_paths ?max_len ?cst_config ~measurer ~name ~program exec)
+      timed_build ~name i (fun () ->
+          analyze ?max_paths ?max_len ?cst_config ~measurer ~name ~program exec))
 
 let run_and_analyze_batch ?domains ?max_paths ?max_len ?cst_config jobs =
   batch ?domains (Array.length jobs) (fun ~measurer i ->
       let j = jobs.(i) in
-      let exec =
-        Cpu.Exec.run ?settings:j.settings ?init:j.init ?victim:j.victim
-          j.program
-      in
-      analyze ?max_paths ?max_len ?cst_config ~measurer ~name:j.job_name
-        ~program:j.program exec)
+      timed_build ~name:j.job_name i (fun () ->
+          let exec =
+            Cpu.Exec.run ?settings:j.settings ?init:j.init ?victim:j.victim
+              j.program
+          in
+          analyze ?max_paths ?max_len ?cst_config ~measurer ~name:j.job_name
+            ~program:j.program exec))
 
 let build_models_batch ?domains ?cache ?max_paths ?max_len ?cst_config jobs =
   batch ?domains (Array.length jobs) (fun ~measurer i ->
       let j = jobs.(i) in
       let build () =
-        let exec =
-          Cpu.Exec.run ?settings:j.settings ?init:j.init ?victim:j.victim
-            j.program
-        in
-        (analyze ?max_paths ?max_len ?cst_config ~measurer ~name:j.job_name
-           ~program:j.program exec)
-          .model
+        timed_build ~name:j.job_name i (fun () ->
+            let exec =
+              Cpu.Exec.run ?settings:j.settings ?init:j.init ?victim:j.victim
+                j.program
+            in
+            (analyze ?max_paths ?max_len ?cst_config ~measurer
+               ~name:j.job_name ~program:j.program exec)
+              .model)
       in
       match cache with
       | None -> build ()

@@ -7,32 +7,216 @@ type report = {
   cache : cache_stats option;
   engine : Engine.stats option;
   timings : timing list;
+  metrics : Obs.Registry.snapshot option;
 }
+
+(* ---- rendering -------------------------------------------------------------- *)
+
+let fsec s = Printf.sprintf "%.4f" s
+
+(* Sort a snapshot by (name, labels) so the rendered order never depends on
+   which instrumentation site happened to register first. *)
+let stable_snapshot snap =
+  List.sort
+    (fun a b ->
+      compare
+        (a.Obs.Registry.entry_name, a.Obs.Registry.entry_labels)
+        (b.Obs.Registry.entry_name, b.Obs.Registry.entry_labels))
+    snap
+
+let label_suffix = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+    ^ "}"
+
+let timings_table timings =
+  let t = Sutil.Table.create ~title:"stages" [ "stage"; "wall (s)"; "cpu (s)" ] in
+  List.iter
+    (fun tm -> Sutil.Table.add_row t [ tm.stage; fsec tm.wall_s; fsec tm.cpu_s ])
+    timings;
+  t
+
+let counters_table r =
+  let t = Sutil.Table.create ~title:"counters" [ "counter"; "value" ] in
+  let row name v = Sutil.Table.add_row t [ name; v ] in
+  let int_row name v = row name (string_of_int v) in
+  int_row "models built" r.built;
+  int_row "targets classified" r.classified;
+  (match r.engine with
+  | None -> ()
+  | Some (s : Engine.stats) ->
+    Sutil.Table.add_separator t;
+    int_row "engine domains" s.Engine.domains;
+    int_row "engine pairs" s.Engine.pairs;
+    int_row "engine DP cells" s.Engine.cells;
+    int_row "pairs pruned (lower bound)" s.Engine.pairs_pruned_lb;
+    int_row "pairs abandoned (cutoff)" s.Engine.pairs_abandoned;
+    int_row "DP cells saved" s.Engine.cells_saved;
+    row "engine utilization" (Sutil.Table.pct (Engine.utilization s));
+    row "engine throughput (pairs/s)"
+      (Printf.sprintf "%.0f" (Engine.throughput s)));
+  (match r.cache with
+  | None -> ()
+  | Some c ->
+    Sutil.Table.add_separator t;
+    int_row "cache hits" c.hits;
+    int_row "cache misses" c.misses;
+    int_row "cache stale" c.stale);
+  t
+
+let latency_table snap =
+  let hists =
+    List.filter_map
+      (fun e ->
+        match e.Obs.Registry.entry_value with
+        | Obs.Registry.Histogram_value h when h.Obs.Registry.count > 0 ->
+          Some (e, h)
+        | _ -> None)
+      (stable_snapshot snap)
+  in
+  match hists with
+  | [] -> None
+  | hists ->
+    let t =
+      Sutil.Table.create ~title:"latency"
+        [ "histogram"; "count"; "p50 (s)"; "p90 (s)"; "p99 (s)" ]
+    in
+    List.iter
+      (fun ((e : Obs.Registry.snapshot_entry), (h : Obs.Registry.hist_snapshot)) ->
+        let q p =
+          Sutil.Stats.percentile_of_buckets ~bounds:h.Obs.Registry.bounds
+            ~counts:h.Obs.Registry.counts p
+        in
+        Sutil.Table.add_row t
+          [
+            e.Obs.Registry.entry_name ^ label_suffix e.Obs.Registry.entry_labels;
+            string_of_int h.Obs.Registry.count;
+            Printf.sprintf "%.2e" (q 0.5);
+            Printf.sprintf "%.2e" (q 0.9);
+            Printf.sprintf "%.2e" (q 0.99);
+          ])
+      hists;
+    Some t
 
 let pp_report ppf r =
   let open Format in
+  let tables =
+    [ timings_table r.timings; counters_table r ]
+    @ (match r.metrics with
+      | None -> []
+      | Some snap -> Option.to_list (latency_table snap))
+  in
   fprintf ppf "@[<v>";
   List.iteri
     (fun i t ->
       if i > 0 then fprintf ppf "@,";
-      fprintf ppf "%s: wall %.4fs, cpu %.4fs" t.stage t.wall_s t.cpu_s)
-    r.timings;
-  (match r.engine with
-  | Some stats -> fprintf ppf "@,%a" Engine.pp_stats stats
-  | None -> ());
-  (match r.cache with
-  | Some c ->
-    fprintf ppf "@,cache %s: %d hits, %d misses, %d stale" c.dir c.hits
-      c.misses c.stale
-  | None -> ());
+      (* Table renders with trailing newline-free lines; split so the
+         formatter owns line breaks. *)
+      let lines = String.split_on_char '\n' (Sutil.Table.render t) in
+      List.iteri
+        (fun j line ->
+          if j > 0 then fprintf ppf "@,";
+          pp_print_string ppf line)
+        lines)
+    tables;
   fprintf ppf "@]"
+
+(* ---- JSON report ------------------------------------------------------------ *)
+
+let report_to_json r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let field_sep first = if !first then first := false else add "," in
+  add "{";
+  add "\"built\":%d,\"classified\":%d" r.built r.classified;
+  add ",\"timings\":[";
+  List.iteri
+    (fun i (t : timing) ->
+      if i > 0 then add ",";
+      add "{\"stage\":%s,\"wall_s\":%s,\"cpu_s\":%s}" (Obs.Json.str t.stage)
+        (Obs.Json.float t.wall_s) (Obs.Json.float t.cpu_s))
+    r.timings;
+  add "]";
+  (match r.cache with
+  | None -> ()
+  | Some c ->
+    add ",\"cache\":{\"dir\":%s,\"hits\":%d,\"misses\":%d,\"stale\":%d}"
+      (Obs.Json.str c.dir) c.hits c.misses c.stale);
+  (match r.engine with
+  | None -> ()
+  | Some (s : Engine.stats) ->
+    add
+      ",\"engine\":{\"domains\":%d,\"targets\":%d,\"pairs\":%d,\"cells\":%d,\
+       \"pairs_pruned_lb\":%d,\"pairs_abandoned\":%d,\"cells_saved\":%d,\
+       \"wall_s\":%s,\"cpu_s\":%s,\"per_worker\":[%s]}"
+      s.Engine.domains s.Engine.targets s.Engine.pairs s.Engine.cells
+      s.Engine.pairs_pruned_lb s.Engine.pairs_abandoned s.Engine.cells_saved
+      (Obs.Json.float s.Engine.wall_s)
+      (Obs.Json.float s.Engine.cpu_s)
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int s.Engine.per_worker))));
+  (match r.metrics with
+  | None -> ()
+  | Some snap ->
+    add ",\"metrics\":[";
+    let first = ref true in
+    List.iter
+      (fun (e : Obs.Registry.snapshot_entry) ->
+        field_sep first;
+        add "{\"name\":%s" (Obs.Json.str e.Obs.Registry.entry_name);
+        (match e.Obs.Registry.entry_labels with
+        | [] -> ()
+        | labels ->
+          add ",\"labels\":{%s}"
+            (String.concat ","
+               (List.map
+                  (fun (k, v) -> Obs.Json.str k ^ ":" ^ Obs.Json.str v)
+                  labels)));
+        (match e.Obs.Registry.entry_value with
+        | Obs.Registry.Counter_value v -> add ",\"value\":%d" v
+        | Obs.Registry.Gauge_value v -> add ",\"value\":%s" (Obs.Json.float v)
+        | Obs.Registry.Histogram_value h ->
+          add ",\"count\":%d,\"sum\":%s,\"buckets\":[" h.Obs.Registry.count
+            (Obs.Json.float h.Obs.Registry.sum);
+          Array.iteri
+            (fun i c ->
+              if i > 0 then add ",";
+              let le =
+                if i < Array.length h.Obs.Registry.bounds then
+                  Obs.Json.float h.Obs.Registry.bounds.(i)
+                else "\"+Inf\""
+              in
+              add "{\"le\":%s,\"count\":%d}" le c)
+            h.Obs.Registry.counts;
+          add "]");
+        add "}")
+      (stable_snapshot snap);
+    add "]");
+  add "}";
+  Buffer.contents buf
+
+(* ---- stages ----------------------------------------------------------------- *)
 
 let ( let* ) = Result.bind
 
+(* Stage timing reads the monotonic clock (Obs.Clock) — the one clock the
+   whole stack uses — so a wall-clock step (NTP, suspend) can never produce
+   a negative or wildly wrong stage duration.  When observability is on the
+   stage also lands in the stage_seconds histogram and (tracing) as a
+   coarse stage:<name> span. *)
 let timed stage f =
-  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  let w0 = Obs.Clock.now_ns () and c0 = Sys.time () in
   let v = f () in
-  ({ stage; wall_s = Unix.gettimeofday () -. w0; cpu_s = Sys.time () -. c0 }, v)
+  let dur_ns = Obs.Clock.elapsed_ns ~since:w0 in
+  let wall_s = Obs.Clock.ns_to_s dur_ns in
+  if Obs.metrics () then
+    Obs.Registry.observe (Obs.Metrics.stage_seconds ~stage) wall_s;
+  if Obs.tracing () then
+    Obs.emit_span ~cat:"stage" ~name:("stage:" ^ stage) ~ts_ns:w0 ~dur_ns ();
+  ({ stage; wall_s; cpu_s = Sys.time () -. c0 }, v)
 
 let cache_of_config (config : Config.t) =
   match config.Config.cache_dir with
@@ -49,6 +233,8 @@ let cache_stats_of cache =
         stale = Model_cache.stale c;
       })
     cache
+
+let metrics_snapshot () = if Obs.metrics () then Some (Obs.snapshot ()) else None
 
 (* Jobs inherit the config's execution settings and salt unless they carry
    their own.  Filling in the explicit defaults is key-neutral: both
@@ -82,6 +268,7 @@ let build config jobs =
         cache = cache_stats_of cache;
         engine = None;
         timings = [ timing ];
+        metrics = metrics_snapshot ();
       } )
 
 let detect_stage (config : Config.t) repo targets =
@@ -103,6 +290,7 @@ let detect config repo targets =
           cache = None;
           engine = Some stats;
           timings = [ timing ];
+          metrics = metrics_snapshot ();
         } )
 
 let screen config repo jobs =
@@ -121,4 +309,5 @@ let screen config repo jobs =
           cache = cache_stats_of cache;
           engine = Some stats;
           timings = [ build_timing; detect_timing ];
+          metrics = metrics_snapshot ();
         } )

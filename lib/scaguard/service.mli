@@ -15,7 +15,9 @@ type cache_stats = { dir : string; hits : int; misses : int; stale : int }
     deltas for this run, since the cache handle is private to it. *)
 
 type timing = { stage : string; wall_s : float; cpu_s : float }
-(** Wall/CPU seconds of one pipeline stage (["build"] or ["detect"]). *)
+(** Wall/CPU seconds of one pipeline stage (["build"] or ["detect"]).
+    [wall_s] is measured on {!Obs.Clock} (monotonic), so it is immune to
+    wall-clock steps and never negative. *)
 
 type report = {
   built : int;  (** models built (or served from cache) by this run *)
@@ -23,11 +25,23 @@ type report = {
   cache : cache_stats option;  (** present iff [config.cache_dir] was set *)
   engine : Engine.stats option;  (** present iff the run classified *)
   timings : timing list;  (** per-stage wall/cpu, in execution order *)
+  metrics : Obs.Registry.snapshot option;
+      (** the {!Obs.default} registry at the end of the run; present iff
+          [Obs.metrics ()] was on *)
 }
 
 val pp_report : Format.formatter -> report -> unit
-(** Multi-line, human-readable: per-stage timings, then the engine counters
-    ({!Engine.pp_stats}), then the cache counters, as present. *)
+(** Human-readable report as aligned {!Sutil.Table}s with stable row
+    ordering: a per-stage timings table, a counters table (build/classify
+    totals, engine counters, cache counters, as present), and — when a
+    metrics snapshot is present — a latency table with p50/p90/p99 per
+    histogram (estimated from the buckets via
+    {!Sutil.Stats.percentile_of_buckets}). *)
+
+val report_to_json : report -> string
+(** The same report as a single JSON object ([built], [classified],
+    [timings], and [cache]/[engine]/[metrics] when present) for
+    machine-readable output ([--report-format json]). *)
 
 val build :
   Config.t -> Pipeline.job array -> (Model.t array * report, Err.t) result

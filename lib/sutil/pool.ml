@@ -4,15 +4,30 @@ let domains_for ?domains tasks =
   let d = match domains with Some d -> d | None -> default_domains () in
   max 1 (min d (max 1 tasks))
 
-let run ?domains ~tasks f =
+type probe = {
+  task_start : worker:int -> int -> unit;
+  task_stop : worker:int -> int -> unit;
+}
+
+let run ?domains ?probe ~tasks f =
   let d = domains_for ?domains tasks in
   let counts = Array.make d 0 in
   let next = Atomic.make 0 in
+  (* Resolve the probe to one closure per event outside the claim loop, so
+     the probe-less hot path pays a single physical-equality test per task
+     and no per-task allocation. *)
+  let on_start, on_stop =
+    match probe with
+    | None -> ((fun ~worker:_ _ -> ()), fun ~worker:_ _ -> ())
+    | Some p -> (p.task_start, p.task_stop)
+  in
   let worker w =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < tasks then begin
+        on_start ~worker:w i;
         f ~worker:w i;
+        on_stop ~worker:w i;
         counts.(w) <- counts.(w) + 1;
         loop ()
       end

@@ -15,7 +15,23 @@ val domains_for : ?domains:int -> int -> int
     [1 <= d <= max 1 tasks].  Exposed so callers can pre-allocate one
     scratch structure per worker. *)
 
-val run : ?domains:int -> tasks:int -> (worker:int -> int -> unit) -> int array
+type probe = {
+  task_start : worker:int -> int -> unit;
+      (** Called on the worker's own domain immediately before [f ~worker i].
+          The gap between a worker's previous [task_stop] and the next
+          [task_start] is its queue-wait (claim contention + scheduling). *)
+  task_stop : worker:int -> int -> unit;
+      (** Called immediately after [f ~worker i] returns (not on raise). *)
+}
+(** Instrumentation hooks around each task, for observability layers
+    ([Scaguard.Obs] builds queue-wait/run spans from these).  Callbacks run
+    on the worker's domain and must be domain-safe; they should not raise.
+    With no probe the task loop pays one physical-equality test per task and
+    nothing else. *)
+
+val run :
+  ?domains:int -> ?probe:probe -> tasks:int ->
+  (worker:int -> int -> unit) -> int array
 (** [run ~tasks f] calls [f ~worker i] exactly once for every
     [i] in [0..tasks-1], distributing indices dynamically over the workers.
     [worker] is in [0..domains_for ?domains tasks - 1] and is stable for the

@@ -42,3 +42,45 @@ let percentile p = function
 
 let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
 let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
+
+(* ---- histogram-bucket quantiles ------------------------------------------- *)
+
+let bucket_total counts = Array.fold_left ( + ) 0 counts
+
+let percentile_of_buckets ~bounds ~counts p =
+  let nb = Array.length bounds in
+  if Array.length counts <> nb + 1 then
+    invalid_arg "Stats.percentile_of_buckets: need one count per bound plus overflow";
+  let total = bucket_total counts in
+  if total = 0 then 0.0
+  else begin
+    (* Nearest-rank into the cumulative counts, then linear interpolation
+       inside the chosen bucket (observations are assumed uniform within a
+       bucket, the standard Prometheus histogram_quantile estimate). *)
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int total))) in
+    let rank = min rank total in
+    let rec find b cum =
+      if b > nb then nb
+      else if cum + counts.(b) >= rank then b
+      else find (b + 1) (cum + counts.(b))
+    in
+    let b = find 0 0 in
+    if b >= nb then
+      (* overflow bucket: no finite upper edge, report the largest bound *)
+      if nb = 0 then 0.0 else bounds.(nb - 1)
+    else begin
+      let cum_before = ref 0 in
+      for i = 0 to b - 1 do
+        cum_before := !cum_before + counts.(i)
+      done;
+      let lo = if b = 0 then 0.0 else bounds.(b - 1) in
+      let hi = bounds.(b) in
+      let within =
+        float_of_int (rank - !cum_before) /. float_of_int counts.(b)
+      in
+      lo +. (within *. (hi -. lo))
+    end
+  end
+
+let quantiles_of_buckets ~bounds ~counts ps =
+  List.map (percentile_of_buckets ~bounds ~counts) ps

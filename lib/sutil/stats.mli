@@ -27,3 +27,32 @@ val maximum : float list -> float
 
 val sum : float list -> float
 (** Kahan-summed total. *)
+
+(** {1 Histogram-bucket quantiles}
+
+    The observability registry keeps latency distributions as fixed-bucket
+    histograms (an array of ascending upper bounds plus one overflow bucket),
+    so quantiles can only be estimated from the bucket counts.  These
+    helpers implement the standard estimate — nearest-rank into the
+    cumulative counts, then linear interpolation inside the chosen bucket —
+    the same model as Prometheus' [histogram_quantile]. *)
+
+val bucket_total : int array -> int
+(** Total number of observations across all buckets. *)
+
+val percentile_of_buckets :
+  bounds:float array -> counts:int array -> float -> float
+(** [percentile_of_buckets ~bounds ~counts p] with [p] in [\[0,1\]]:
+    [bounds] are the ascending finite upper bucket edges and [counts] the
+    per-bucket (non-cumulative) observation counts, with
+    [length counts = length bounds + 1] — the extra cell is the overflow
+    (+inf) bucket.  The first bucket's lower edge is [0.].  Returns [0.]
+    when the histogram is empty; a rank landing in the overflow bucket
+    reports the largest finite bound (the estimate cannot exceed the
+    instrumented range).
+    @raise Invalid_argument on a length mismatch. *)
+
+val quantiles_of_buckets :
+  bounds:float array -> counts:int array -> float list -> float list
+(** {!percentile_of_buckets} mapped over several ranks (e.g.
+    [[0.5; 0.9; 0.99]] for p50/p90/p99). *)

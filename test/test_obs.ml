@@ -1,0 +1,487 @@
+(* The observability subsystem: registry exactness (including under domain
+   concurrency), Prometheus exposition shape, Chrome trace-event JSON
+   validity, deterministic sampling, and the core guarantee that turning
+   tracing/metrics on changes no verdict bit and no model byte. *)
+
+module SG = Scaguard
+module Obs = Scaguard.Obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Every test leaves the global switches off and the global state clean,
+   whatever happens. *)
+let with_obs ~tracing ~metrics f =
+  Obs.reset ();
+  Obs.set_tracing tracing;
+  Obs.set_metrics metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_tracing false;
+      Obs.set_metrics false;
+      Obs.set_span_sample_rate 1.0;
+      Obs.reset ())
+    f
+
+(* -- clock ------------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  let prev = ref (Obs.Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_ns () in
+    check_bool "clock never goes backwards" true (Int64.compare t !prev >= 0);
+    prev := t
+  done;
+  check_bool "elapsed is non-negative" true
+    (Obs.Clock.elapsed_s ~since:(Obs.Clock.now_ns ()) >= 0.0)
+
+(* -- registry --------------------------------------------------------------- *)
+
+let find_value name snap =
+  match
+    List.find_opt (fun e -> e.Obs.Registry.entry_name = name) snap
+  with
+  | Some e -> e.Obs.Registry.entry_value
+  | None -> Alcotest.failf "metric %s not in snapshot" name
+
+let test_counter_exact () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r ~help:"h" "c_total" in
+  Obs.Registry.incr c;
+  Obs.Registry.add c 41;
+  (match find_value "c_total" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Counter_value v -> check_int "counter sums" 42 v
+  | _ -> Alcotest.fail "expected a counter");
+  (* create-or-get: the same (name, labels) pair is the same metric *)
+  let c' = Obs.Registry.counter r "c_total" in
+  Obs.Registry.incr c';
+  (match find_value "c_total" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Counter_value v -> check_int "same handle" 43 v
+  | _ -> Alcotest.fail "expected a counter");
+  (* distinct labels are a distinct series *)
+  let cl = Obs.Registry.counter r ~labels:[ ("k", "v") ] "c_total" in
+  Obs.Registry.add cl 7;
+  let labelled =
+    List.filter (fun e -> e.Obs.Registry.entry_name = "c_total")
+      (Obs.Registry.snapshot r)
+  in
+  check_int "two series" 2 (List.length labelled);
+  (* kind clash is a programming error *)
+  Alcotest.check_raises "kind clash raises"
+    (Invalid_argument
+       "Obs.Registry: metric \"c_total\" already registered as a non-gauge")
+    (fun () -> ignore (Obs.Registry.gauge r "c_total"))
+
+let test_gauge_and_reset () =
+  let r = Obs.Registry.create () in
+  let g = Obs.Registry.gauge r "g" in
+  Obs.Registry.set_gauge g 2.5;
+  (match find_value "g" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Gauge_value v -> Alcotest.(check (float 0.0)) "gauge" 2.5 v
+  | _ -> Alcotest.fail "expected a gauge");
+  Obs.Registry.reset r;
+  match find_value "g" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Gauge_value v -> Alcotest.(check (float 0.0)) "reset" 0.0 v
+  | _ -> Alcotest.fail "expected a gauge"
+
+let test_histogram_exact () =
+  let r = Obs.Registry.create () in
+  let h =
+    Obs.Registry.histogram r ~buckets:[| 0.1; 1.0; 10.0 |] "h_seconds"
+  in
+  (* one per bucket: edge values land in the bucket they bound (le) *)
+  List.iter (Obs.Registry.observe h) [ 0.05; 0.1; 0.5; 10.0; 11.0 ];
+  (match find_value "h_seconds" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Histogram_value hs ->
+    Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1; 1 |]
+      hs.Obs.Registry.counts;
+    check_int "count" 5 hs.Obs.Registry.count;
+    check_bool "sum (fixed-point 1e-9) is close" true
+      (Float.abs (hs.Obs.Registry.sum -. 21.65) < 1e-6)
+  | _ -> Alcotest.fail "expected a histogram");
+  Alcotest.check_raises "bad ladder raises"
+    (Invalid_argument
+       "Obs.Registry.histogram: buckets must be finite and strictly ascending")
+    (fun () ->
+      ignore (Obs.Registry.histogram r ~buckets:[| 1.0; 1.0 |] "h2"))
+
+(* N domains hammering the same counter and histogram: the sharded cells
+   must merge to exact totals — no lost updates. *)
+let test_concurrent_exact () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "hammer_total" in
+  let h = Obs.Registry.histogram r ~buckets:[| 0.5 |] "hammer_seconds" in
+  let domains = 6 and per_domain = 20_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Registry.incr c;
+              Obs.Registry.observe h (if i mod 2 = 0 then 0.25 else 0.75)
+            done))
+  in
+  List.iter Domain.join workers;
+  (match find_value "hammer_total" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Counter_value v ->
+    check_int "no lost counter updates" (domains * per_domain) v
+  | _ -> Alcotest.fail "expected a counter");
+  match find_value "hammer_seconds" (Obs.Registry.snapshot r) with
+  | Obs.Registry.Histogram_value hs ->
+    check_int "no lost observations" (domains * per_domain)
+      hs.Obs.Registry.count;
+    Alcotest.(check (array int))
+      "buckets split exactly"
+      [| domains * per_domain / 2; domains * per_domain / 2 |]
+      hs.Obs.Registry.counts
+  | _ -> Alcotest.fail "expected a histogram"
+
+(* -- Prometheus exposition -------------------------------------------------- *)
+
+let test_prometheus_format () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r ~help:"a counter" "x_total" in
+  Obs.Registry.add c 3;
+  let h =
+    Obs.Registry.histogram r ~labels:[ ("stage", "build") ]
+      ~buckets:[| 0.5; 1.0 |] "lat_seconds"
+  in
+  Obs.Registry.observe h 0.25;
+  Obs.Registry.observe h 0.75;
+  Obs.Registry.observe h 2.0;
+  let text = Obs.Registry.to_prometheus (Obs.Registry.snapshot r) in
+  let has line =
+    List.mem line (String.split_on_char '\n' text)
+  in
+  check_bool "HELP line" true (has "# HELP x_total a counter");
+  check_bool "TYPE line" true (has "# TYPE x_total counter");
+  check_bool "counter sample" true (has "x_total 3");
+  check_bool "histogram TYPE" true (has "# TYPE lat_seconds histogram");
+  (* buckets are cumulative, +Inf covers everything *)
+  check_bool "le=0.5" true (has "lat_seconds_bucket{stage=\"build\",le=\"0.5\"} 1");
+  check_bool "le=1" true (has "lat_seconds_bucket{stage=\"build\",le=\"1\"} 2");
+  check_bool "le=+Inf" true
+    (has "lat_seconds_bucket{stage=\"build\",le=\"+Inf\"} 3");
+  check_bool "count" true (has "lat_seconds_count{stage=\"build\"} 3");
+  check_bool "sum" true (has "lat_seconds_sum{stage=\"build\"} 3")
+
+(* -- sampling --------------------------------------------------------------- *)
+
+let test_sampling () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      Obs.set_span_sample_rate 1.0;
+      check_bool "rate 1 keeps everything" true
+        (List.for_all Obs.sampled [ 0; 1; 2; 3 ]);
+      Obs.set_span_sample_rate 0.25;
+      let kept = List.filter Obs.sampled (List.init 100 Fun.id) in
+      check_int "rate 0.25 keeps 1 in 4, deterministically" 25
+        (List.length kept);
+      check_bool "stride pattern" true (List.mem 0 kept && List.mem 4 kept);
+      Obs.set_span_sample_rate 0.0;
+      check_bool "rate 0 keeps nothing" true
+        (not (List.exists Obs.sampled (List.init 100 Fun.id)));
+      Obs.set_span_sample_rate 1.0;
+      Obs.set_tracing false;
+      check_bool "tracing off keeps nothing" true (not (Obs.sampled 0)));
+  Alcotest.check_raises "rate outside [0,1] raises"
+    (Invalid_argument "Obs.set_span_sample_rate: rate must be in [0, 1]")
+    (fun () -> Obs.set_span_sample_rate 1.5)
+
+(* -- spans ------------------------------------------------------------------ *)
+
+let test_spans () =
+  with_obs ~tracing:false ~metrics:false (fun () ->
+      Obs.emit_span ~name:"ignored" ~ts_ns:0L ~dur_ns:1L ();
+      check_int "tracing off records nothing" 0 (List.length (Obs.spans ())));
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      let v = Obs.with_span "outer" (fun () -> 42) in
+      check_int "with_span is transparent" 42 v;
+      Obs.emit_span ~cat:"c" ~tid:7 ~args:[ ("k", "v") ] ~name:"manual"
+        ~ts_ns:5L ~dur_ns:2L ();
+      let spans = Obs.spans () in
+      check_int "both spans recorded" 2 (List.length spans);
+      let first = List.hd spans in
+      check_string "sorted by start time" "manual" first.Obs.name;
+      check_int "tid kept" 7 first.Obs.tid)
+
+(* -- trace JSON validity ---------------------------------------------------- *)
+
+(* A tiny recursive-descent JSON parser — enough to prove the trace file is
+   well-formed JSON with the Chrome trace-event shape, without a JSON
+   dependency. *)
+module Json_check = struct
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  exception Bad of string
+
+  let parse (s : string) : v =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail m = raise (Bad (Printf.sprintf "%s at byte %d" m !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/') ->
+            Buffer.add_char buf (Option.get (peek ()));
+            advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 'b' | Some 'f' -> advance ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> fail "bad \\u escape"
+            done
+          | _ -> fail "bad escape");
+          go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+end
+
+let test_trace_json () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      Obs.with_span ~cat:"stage" "stage:one" (fun () -> ());
+      Obs.emit_span ~cat:"engine" ~tid:3
+        ~args:[ ("target", "FR \"quoted\"\n") ]
+        ~name:"engine:classify"
+        ~ts_ns:(Obs.Clock.now_ns ()) ~dur_ns:1234L ();
+      let json = Obs.Trace_writer.to_json (Obs.spans ()) in
+      let v =
+        try Json_check.parse json
+        with Json_check.Bad m -> Alcotest.failf "trace is not valid JSON: %s" m
+      in
+      match v with
+      | Json_check.Obj fields ->
+        let events =
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Json_check.Arr evs) -> evs
+          | _ -> Alcotest.fail "no traceEvents array"
+        in
+        check_int "both spans exported" 2 (List.length events);
+        List.iter
+          (fun ev ->
+            match ev with
+            | Json_check.Obj f ->
+              let num k =
+                match List.assoc_opt k f with
+                | Some (Json_check.Num x) -> x
+                | _ -> Alcotest.failf "event field %s missing" k
+              in
+              check_bool "ts is non-negative" true (num "ts" >= 0.0);
+              check_bool "dur is non-negative" true (num "dur" >= 0.0);
+              check_bool "ph is X" true
+                (List.assoc_opt "ph" f = Some (Json_check.Str "X"))
+            | _ -> Alcotest.fail "event is not an object")
+          events
+      | _ -> Alcotest.fail "trace is not a JSON object")
+
+(* -- observation never changes results -------------------------------------- *)
+
+let obs_jobs () =
+  let job_of (spec : Workloads.Attacks.spec) =
+    SG.Pipeline.job ?settings:spec.Workloads.Attacks.settings
+      ~init:spec.Workloads.Attacks.init ?victim:spec.Workloads.Attacks.victim
+      ~name:(Isa.Program.name spec.Workloads.Attacks.program)
+      spec.Workloads.Attacks.program
+  in
+  [|
+    job_of (Workloads.Attacks.flush_reload ~style:Workloads.Attacks.Iaik ());
+    job_of (Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Jzhang ());
+    job_of (Workloads.Attacks.flush_flush ());
+  |]
+
+(* QCheck property: for any switch combination, sample rate and engine
+   knobs, observability leaves models byte-identical and verdicts
+   bit-identical.  The baseline runs with everything off; the probe run
+   with the drawn switches. *)
+let prop_observation_is_pure =
+  QCheck.Test.make ~name:"tracing/metrics leave models and verdicts identical"
+    ~count:12
+    QCheck.(
+      quad bool bool
+        (float_range 0.0 1.0)
+        (pair bool (int_range 1 4)))
+    (fun (tracing, metrics, rate, (prune, domains)) ->
+      let jobs = obs_jobs () in
+      let rng = Sutil.Rng.create 77 in
+      let repo =
+        Experiments.Common.repository ~rng
+          [ Workloads.Label.Fr_family; Workloads.Label.Pp_family ]
+      in
+      let baseline_models =
+        with_obs ~tracing:false ~metrics:false (fun () ->
+            SG.Pipeline.build_models_batch ~domains jobs)
+      in
+      let baseline_verdicts, _ =
+        with_obs ~tracing:false ~metrics:false (fun () ->
+            SG.Engine.classify_batch ~prune ~domains repo baseline_models)
+      in
+      let models, verdicts =
+        with_obs ~tracing ~metrics (fun () ->
+            Obs.set_span_sample_rate rate;
+            let models = SG.Pipeline.build_models_batch ~domains jobs in
+            let verdicts, _ =
+              SG.Engine.classify_batch ~prune ~domains repo models
+            in
+            (models, verdicts))
+      in
+      let bytes = Array.map SG.Persist.model_to_string in
+      if bytes models <> bytes baseline_models then
+        QCheck.Test.fail_report "models changed under observation";
+      if verdicts <> baseline_verdicts then
+        QCheck.Test.fail_report "verdicts changed under observation";
+      true)
+
+let test_service_metrics_snapshot () =
+  let jobs = obs_jobs () in
+  let baseline =
+    with_obs ~tracing:false ~metrics:false (fun () ->
+        let models, report = Result.get_ok (SG.Service.build SG.Config.default jobs) in
+        check_bool "metrics absent when disabled" true
+          (report.SG.Service.metrics = None);
+        models)
+  in
+  with_obs ~tracing:true ~metrics:true (fun () ->
+      let models, report =
+        Result.get_ok (SG.Service.build SG.Config.default jobs)
+      in
+      check_bool "models identical under full observability" true
+        (Array.map SG.Persist.model_to_string models
+        = Array.map SG.Persist.model_to_string baseline);
+      match report.SG.Service.metrics with
+      | None -> Alcotest.fail "metrics enabled but snapshot missing"
+      | Some snap ->
+        (match find_value "scaguard_models_built_total" snap with
+        | Obs.Registry.Counter_value v ->
+          check_int "build counter covers the jobs" (Array.length jobs) v
+        | _ -> Alcotest.fail "expected a counter");
+        check_bool "stage timing recorded" true
+          (List.exists
+             (fun e ->
+               e.Obs.Registry.entry_name = "scaguard_stage_seconds"
+               && e.Obs.Registry.entry_labels = [ ("stage", "build") ])
+             snap);
+        check_bool "spans recorded" true (Obs.spans () <> []))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_exact;
+          Alcotest.test_case "gauge+reset" `Quick test_gauge_and_reset;
+          Alcotest.test_case "histogram" `Quick test_histogram_exact;
+          Alcotest.test_case "concurrent exactness" `Quick
+            test_concurrent_exact;
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "sampling" `Quick test_sampling;
+          Alcotest.test_case "spans" `Quick test_spans;
+          Alcotest.test_case "trace JSON" `Quick test_trace_json;
+        ] );
+      ( "purity",
+        [
+          QCheck_alcotest.to_alcotest prop_observation_is_pure;
+          Alcotest.test_case "service metrics snapshot" `Quick
+            test_service_metrics_snapshot;
+        ] );
+    ]

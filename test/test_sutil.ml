@@ -210,6 +210,83 @@ let test_stats_percentile () =
   check_float "p50" 50.0 (Sutil.Stats.percentile 0.5 xs);
   check_float "p99" 99.0 (Sutil.Stats.percentile 0.99 xs)
 
+let test_bucket_percentiles () =
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  (* 10 observations in (0,1], 10 in (1,2], none higher *)
+  let counts = [| 10; 10; 0; 0 |] in
+  check_float "total" 20.0 (float_of_int (Sutil.Stats.bucket_total counts));
+  (* rank 10 is the last of the first bucket: interpolates to its top edge *)
+  check_float "p50 at bucket edge" 1.0
+    (Sutil.Stats.percentile_of_buckets ~bounds ~counts 0.5);
+  (* rank 5 sits halfway through the first bucket (0..1) *)
+  check_float "p25 interpolates" 0.5
+    (Sutil.Stats.percentile_of_buckets ~bounds ~counts 0.25);
+  (* rank 18 is 8/10 through the second bucket (1..2) *)
+  check_float "p90 interpolates" 1.8
+    (Sutil.Stats.percentile_of_buckets ~bounds ~counts 0.9);
+  (* empty histogram is total *)
+  check_float "empty" 0.0
+    (Sutil.Stats.percentile_of_buckets ~bounds ~counts:[| 0; 0; 0; 0 |] 0.5);
+  (* overflow ranks clamp to the largest finite bound *)
+  check_float "overflow clamps" 4.0
+    (Sutil.Stats.percentile_of_buckets ~bounds ~counts:[| 0; 0; 0; 5 |] 0.99);
+  (* quantile batches map one-to-one *)
+  (match Sutil.Stats.quantiles_of_buckets ~bounds ~counts [ 0.25; 0.5; 0.9 ] with
+  | [ a; b; c ] ->
+    check_float "q25" 0.5 a;
+    check_float "q50" 1.0 b;
+    check_float "q90" 1.8 c
+  | _ -> Alcotest.fail "expected three quantiles");
+  Alcotest.check_raises "length mismatch raises"
+    (Invalid_argument
+       "Stats.percentile_of_buckets: need one count per bound plus overflow")
+    (fun () ->
+      ignore (Sutil.Stats.percentile_of_buckets ~bounds ~counts:[| 1 |] 0.5))
+
+(* ---- Pool probe ------------------------------------------------------------ *)
+
+let test_pool_probe () =
+  (* every task gets exactly one start and one stop, stop after start, with
+     matching worker ids — across a multi-domain run *)
+  let tasks = 64 in
+  let starts = Array.make tasks 0 and stops = Array.make tasks 0 in
+  let start_worker = Array.make tasks (-1) in
+  let lock = Mutex.create () in
+  let probe =
+    {
+      Sutil.Pool.task_start =
+        (fun ~worker i ->
+          Mutex.lock lock;
+          starts.(i) <- starts.(i) + 1;
+          start_worker.(i) <- worker;
+          Mutex.unlock lock);
+      task_stop =
+        (fun ~worker i ->
+          Mutex.lock lock;
+          Alcotest.(check int) "stop on the same worker" start_worker.(i) worker;
+          Alcotest.(check int) "started before stopping" 1 starts.(i);
+          stops.(i) <- stops.(i) + 1;
+          Mutex.unlock lock);
+    }
+  in
+  let hit = Array.make tasks false in
+  ignore
+    (Sutil.Pool.run ~domains:4 ~probe ~tasks (fun ~worker:_ i ->
+         hit.(i) <- true));
+  Alcotest.(check bool) "every task ran" true (Array.for_all Fun.id hit);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int) (Printf.sprintf "task %d started once" i) 1 s;
+      Alcotest.(check int) (Printf.sprintf "task %d stopped once" i) 1 stops.(i))
+    starts
+
+let test_pool_probe_optional () =
+  (* ?probe:None is the plain un-instrumented run *)
+  let count = ref 0 in
+  ignore
+    (Sutil.Pool.run ~domains:1 ~tasks:10 (fun ~worker:_ _ -> incr count));
+  Alcotest.(check int) "all tasks, no probe" 10 !count
+
 (* ---- Table ---------------------------------------------------------------- *)
 
 (* tiny substring helper to avoid external deps *)
@@ -268,6 +345,12 @@ let () =
           Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "bucket percentiles" `Quick test_bucket_percentiles;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "probe fires once per task" `Quick test_pool_probe;
+          Alcotest.test_case "probe optional" `Quick test_pool_probe_optional;
         ] );
       ( "table",
         [
