@@ -21,7 +21,7 @@ let trace_out = ref None
 let metrics_out = ref None
 let artifacts = ref []
 
-let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|timecost|all]"
+let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|timecost|all]"
 
 let () =
   let rec parse = function
@@ -548,6 +548,184 @@ let modeling () =
     (Scaguard.Model_cache.hits warm_cache)
     n n
 
+(* ---- Persist: binary repository image vs text ------------------------------------- *)
+
+let persist () =
+  section "Persist: binary repository image vs text";
+  let module L = Workloads.Label in
+  let module D = Workloads.Dataset in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  let time f =
+    let t0 = Scaguard.Obs.Clock.now_ns () in
+    let r = f () in
+    (r, Scaguard.Obs.Clock.elapsed_s ~since:t0)
+  in
+  let rng = rng () in
+  (* a repository big enough to time: the per-family PoCs plus the mutated
+     attack population, every model labelled with its family *)
+  let base_repo = Experiments.Common.repository ~rng L.attack_labels in
+  let extra_samples =
+    List.concat_map
+      (fun l ->
+        List.map
+          (fun s -> (L.to_string l, s))
+          (D.mutated_attacks ~rng ~count:!per_family l))
+      L.attack_labels
+  in
+  let extra_jobs =
+    Array.of_list
+      (List.map
+         (fun (_, (s : D.sample)) ->
+           Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
+             ?victim:s.D.victim ~name:s.D.name s.D.program)
+         extra_samples)
+  in
+  let build_config =
+    { Scaguard.Config.default with
+      Scaguard.Config.domains = Some (worker_domains ()) }
+  in
+  let extra_models =
+    match Scaguard.Service.build build_config extra_jobs with
+    | Ok (models, _) -> models
+    | Error e -> fail "persist: build failed: %s" (Scaguard.Err.to_string e)
+  in
+  let repo =
+    base_repo
+    @ List.mapi
+        (fun i (family, _) ->
+          { Scaguard.Detector.family; model = extra_models.(i) })
+        extra_samples
+  in
+  let n = List.length repo in
+  Printf.printf "repository: %d models\n%!" n;
+  (* byte identity: text -> binary -> text must be the identity on the
+     canonical text encoding *)
+  let text = Scaguard.Persist.repository_to_string repo in
+  let bin = Scaguard.Persist.repository_to_bytes repo in
+  (match Scaguard.Persist.repository_of_bytes_result bin with
+  | Error e -> fail "persist: binary decode failed: %s" (Scaguard.Err.to_string e)
+  | Ok decoded ->
+    if Scaguard.Persist.repository_to_string decoded <> text then
+      fail "persist: text -> binary -> text round-trip not byte-identical");
+  (* cold-start: save both formats, time the loads from disk *)
+  let tmp suffix =
+    Filename.temp_file "scaguard-bench-repo" suffix
+  in
+  let text_path = tmp ".txt" and bin_path = tmp ".bin" in
+  let ok what = function
+    | Ok v -> v
+    | Error e -> fail "persist: %s failed: %s" what (Scaguard.Err.to_string e)
+  in
+  ok "text save" (Scaguard.Persist.save_repository_result ~path:text_path repo);
+  ok "binary save"
+    (Scaguard.Persist.save_repository_bin_result ~path:bin_path repo);
+  let heap f =
+    (* live-words delta with the loaded value held alive: the in-memory
+       footprint of one loaded repository *)
+    Gc.compact ();
+    let before = (Gc.stat ()).Gc.live_words in
+    let v = f () in
+    Gc.full_major ();
+    let after = (Gc.stat ()).Gc.live_words in
+    (v, max 0 (after - before))
+  in
+  (* heap measured on one load (GC barriers would pollute the timing), load
+     latency timed on a separate, GC-free load of the same file *)
+  let text_loaded, text_heap =
+    heap (fun () ->
+        ok "text load"
+          (Scaguard.Persist.load_repository_prepared_result ~path:text_path))
+  in
+  let bin_loaded, bin_heap =
+    heap (fun () ->
+        ok "binary load"
+          (Scaguard.Persist.load_repository_prepared_result ~path:bin_path))
+  in
+  let _, text_load_dt =
+    time (fun () ->
+        ok "text load"
+          (Scaguard.Persist.load_repository_prepared_result ~path:text_path))
+  in
+  let _, bin_load_dt =
+    time (fun () ->
+        ok "binary load"
+          (Scaguard.Persist.load_repository_prepared_result ~path:bin_path))
+  in
+  let img, img_open_dt =
+    time (fun () -> ok "image open" (Scaguard.Persist.open_image_result ~path:bin_path))
+  in
+  let first_name = (fst (Scaguard.Persist.image_pocs img).(0)) in
+  let _one, img_one_dt =
+    time (fun () ->
+        ok "image load" (Scaguard.Persist.image_load_prepared_result img ~name:first_name))
+  in
+  (* verdict bit-identity across every load path: classify the PoC models
+     themselves against (a) the in-memory repository, (b) the text load,
+     (c) the binary load's inline summaries, (d) a lazily-assembled image *)
+  let targets =
+    Array.of_list
+      (List.filteri (fun i _ -> i < 8) repo
+      |> List.map (fun p -> p.Scaguard.Detector.model))
+  in
+  let verdicts_of prep =
+    Array.map (Scaguard.Detector.classify_prepared prep) targets
+  in
+  let reference = verdicts_of (Scaguard.Detector.prepare repo) in
+  let check_identical what b =
+    Array.iteri
+      (fun i (v : Scaguard.Detector.verdict) ->
+        let p : Scaguard.Detector.verdict = b.(i) in
+        if
+          v.Scaguard.Detector.best_matches <> p.Scaguard.Detector.best_matches
+          || v.Scaguard.Detector.best_family <> p.Scaguard.Detector.best_family
+          || v.Scaguard.Detector.best_score <> p.Scaguard.Detector.best_score
+        then fail "persist: %s verdict mismatch at target %d" what i)
+      reference
+  in
+  check_identical "text-loaded"
+    (verdicts_of (Scaguard.Detector.prepare (fst text_loaded)));
+  check_identical "binary-loaded (inline summaries)"
+    (verdicts_of (snd bin_loaded));
+  let lazy_prep =
+    Scaguard.Detector.prepare_summarized
+      (Array.map
+         (fun (name, _) ->
+           ok "lazy load" (Scaguard.Persist.image_load_prepared_result img ~name))
+         (Scaguard.Persist.image_pocs img))
+  in
+  check_identical "lazy image" (verdicts_of lazy_prep);
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ text_path; bin_path ];
+  let t =
+    Sutil.Table.create
+      ~title:(Printf.sprintf "Repository persistence (%d models)" n)
+      [ "format"; "bytes"; "load (s)"; "heap (words)" ]
+  in
+  let row name bytes dt words =
+    Sutil.Table.add_row t
+      [
+        name;
+        string_of_int bytes;
+        Printf.sprintf "%.4f" dt;
+        (match words with Some w -> string_of_int w | None -> "-");
+      ]
+  in
+  row "text" (String.length text) text_load_dt (Some text_heap);
+  row "binary" (String.length bin) bin_load_dt (Some bin_heap);
+  row "binary (open index)" (String.length bin) img_open_dt None;
+  row "binary (index + 1 model)" (String.length bin)
+    (img_open_dt +. img_one_dt) None;
+  emit_table ~artifact:"persist" t;
+  Printf.printf
+    "size: binary is %.0f%% of text\n\
+     cold start: text load+prepare %.4fs, binary load %.4fs (%.2fx), lazy \
+     single-model %.4fs\n\
+     verdicts: text, binary (inline summaries) and lazy-image loads \
+     bit-identical to the in-memory repository (%d targets x %d PoCs)\n"
+    (100.0 *. float_of_int (String.length bin) /. float_of_int (String.length text))
+    text_load_dt bin_load_dt (text_load_dt /. bin_load_dt) img_one_dt
+    (Array.length targets) n
+
 (* ---- Time cost (Section V), via Bechamel ------------------------------------------ *)
 
 let timecost () =
@@ -620,7 +798,7 @@ let timecost () =
 let all () =
   table1 (); table2 (); table3 (); table4 (); table5 (); table6 ();
   fig5 (); ablation (); extended (); clusters (); robustness (); scaling ();
-  engine (); modeling (); timecost ()
+  engine (); modeling (); persist (); timecost ()
 
 let () =
   Printf.printf
@@ -641,6 +819,7 @@ let () =
     | "scaling" -> scaling ()
     | "engine" -> engine ()
     | "modeling" -> modeling ()
+    | "persist" -> persist ()
     | "timecost" -> timecost ()
     | "all" -> all ()
     | other ->

@@ -155,6 +155,21 @@ let config_file_t =
         ~doc:"Load a saved configuration (key=value lines, see build-repo \
               $(b,--save-config)); explicit flags override its values.")
 
+let repo_format_conv = Arg.enum [ ("text", C.Text); ("binary", C.Binary) ]
+
+let format_t =
+  Arg.(
+    value
+    & opt (some repo_format_conv) None
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Repository file format: $(b,text) (line-oriented, diffable) or \
+              $(b,binary) (compact SCAGBIN image with inline summaries and \
+              an index for instant loads).  Loading always auto-detects the \
+              format; this flag only selects what gets written.")
+
+let with_format format (c : C.t) =
+  match format with None -> c | Some f -> { c with C.repo_format = f }
+
 (* Gather the base config (--config file or defaults), then apply explicit
    flags through the Config checkers so a bad value reports the offending
    flag and its accepted range. *)
@@ -401,11 +416,14 @@ let detect_batch_cmd =
            ~cache_dir ~no_prune
        in
        let* () = setup_observability ~trace_out ~metrics_out ~span_sample_rate in
-       let* repo, repo_report =
+       (* With --repo-file the repository arrives prepared (binary images
+          carry their summaries inline), so the engine skips the summarize
+          pass; the load timing shows up in --stats as its own report. *)
+       let* repo_src, repo_report =
          match repo_file with
          | Some path ->
-           let* repo = Scaguard.Persist.load_repository_result ~path in
-           Ok (repo, None)
+           let* _repo, prep, load_report = Scaguard.Service.load_repository ~path in
+           Ok (`Prepared prep, Some ("repository load", "repository_load", load_report))
          | None ->
            let* families = Experiments.Common.families_of_strings repo_names in
            let rng = Sutil.Rng.create seed in
@@ -414,7 +432,7 @@ let detect_batch_cmd =
                ~config:(with_salt (repo_salt ~seed repo_names) config)
                ~rng families
            in
-           Ok (repo, Some report)
+           Ok (`Repo repo, Some ("repository build", "repository_build", report))
        in
        let* samples = samples_res ~seed names in
        let target_jobs =
@@ -422,10 +440,12 @@ let detect_batch_cmd =
             stream), so the seed is a sufficient salt here *)
          Array.of_list (List.map job_of_sample samples)
        in
+       let config' = with_salt (string_of_int seed) config in
        let* _models, verdicts, report =
-         Scaguard.Service.screen
-           (with_salt (string_of_int seed) config)
-           repo target_jobs
+         match repo_src with
+         | `Prepared prep ->
+           Scaguard.Service.screen_prepared config' prep target_jobs
+         | `Repo repo -> Scaguard.Service.screen config' repo target_jobs
        in
        List.iteri
          (fun i name ->
@@ -442,17 +462,16 @@ let detect_batch_cmd =
           match report_format with
           | `Text ->
             Option.iter
-              (fun r ->
-                Format.printf "repository build:@.%a@."
-                  Scaguard.Service.pp_report r)
+              (fun (title, _, r) ->
+                Format.printf "%s:@.%a@." title Scaguard.Service.pp_report r)
               repo_report;
             Format.printf "%a@." Scaguard.Service.pp_report report
           | `Json ->
             let buf = Buffer.create 512 in
             Buffer.add_string buf "{";
             Option.iter
-              (fun r ->
-                Buffer.add_string buf "\"repository_build\":";
+              (fun (_, json_key, r) ->
+                Buffer.add_string buf (Printf.sprintf "%S:" json_key);
                 Buffer.add_string buf (Scaguard.Service.report_to_json r);
                 Buffer.add_string buf ",")
               repo_report;
@@ -550,20 +569,24 @@ let detect_batch_cmd =
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
 let build_repo_cmd =
-  let run seed repo_names jobs cache_dir config_file save_config path =
+  let run seed repo_names jobs cache_dir config_file format save_config path =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold:None ~alpha:None ~band:None
            ~jobs ~domains:None ~cache_dir ~no_prune:false
        in
-       let config = with_salt (repo_salt ~seed repo_names) config in
+       let config =
+         with_format format (with_salt (repo_salt ~seed repo_names) config)
+       in
        let* families = Experiments.Common.families_of_strings repo_names in
        let rng = Sutil.Rng.create seed in
        let* repo, report =
          Experiments.Common.repository_service ~config ~rng families
        in
-       let* () = Scaguard.Persist.save_repository_result ~path repo in
-       Printf.printf "wrote %d PoC models to %s\n" (List.length repo) path;
+       let* _save_report = Scaguard.Service.save_repository config ~path repo in
+       Printf.printf "wrote %d PoC models to %s (%s format)\n"
+         (List.length repo) path
+         (C.repo_format_to_string config.C.repo_format);
        (match report.Scaguard.Service.cache with
        | Some c ->
          Printf.printf "cache %s: %d hits, %d misses, %d stale\n"
@@ -597,7 +620,78 @@ let build_repo_cmd =
        ~doc:"Build a PoC-model repository and save it to a file.")
     Term.(
       const run $ seed_t $ repo_t $ jobs_t $ cache_dir_t $ config_file_t
-      $ save_config_t $ path_t)
+      $ format_t $ save_config_t $ path_t)
+
+(* ---- migrate-repo ------------------------------------------------------------------ *)
+
+let migrate_repo_cmd =
+  let run format in_path out_path =
+    handle
+    @@ let* in_bytes =
+         io ~path:in_path (fun () -> Scaguard.Persist.read_file ~path:in_path)
+       in
+       let in_format =
+         if Scaguard.Persist.is_binary in_bytes then C.Binary else C.Text
+       in
+       let* repo =
+         if in_format = C.Binary then
+           Scaguard.Persist.repository_of_bytes_result ~file:in_path in_bytes
+         else
+           Scaguard.Persist.repository_of_string_result ~file:in_path in_bytes
+       in
+       let format = Option.value format ~default:C.Binary in
+       let* () =
+         match format with
+         | C.Text -> Scaguard.Persist.save_repository_result ~path:out_path repo
+         | C.Binary ->
+           Scaguard.Persist.save_repository_bin_result ~path:out_path repo
+       in
+       (* Paranoia that costs one read: reload what we just wrote and check
+          it is the same repository, so a migration can never silently
+          corrupt the models. *)
+       let* check = Scaguard.Persist.load_repository_result ~path:out_path in
+       if
+         Scaguard.Persist.repository_to_string check
+         <> Scaguard.Persist.repository_to_string repo
+       then
+         Error
+           (Scaguard.Err.Parse
+              {
+                file = Some out_path;
+                line = None;
+                msg = "migration verification failed: reloaded repository differs";
+              })
+       else
+         let* out_size =
+           io ~path:out_path (fun () -> (Unix.stat out_path).Unix.st_size)
+         in
+         Printf.printf "migrated %d models: %s (%s, %d bytes) -> %s (%s, %d bytes)\n"
+           (List.length repo) in_path
+           (C.repo_format_to_string in_format)
+           (String.length in_bytes) out_path
+           (C.repo_format_to_string format)
+           out_size;
+         Ok ()
+  in
+  let in_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"IN" ~doc:"Repository file to migrate (either format).")
+  in
+  let out_t =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output repository file.")
+  in
+  Cmd.v
+    (cmd_info "migrate-repo"
+       ~doc:"Convert a repository file between the text format and the \
+             binary image (default: to binary).  The result is verified by \
+             reloading it and checking it matches the input model for \
+             model.")
+    Term.(const run $ format_t $ in_t $ out_t)
 
 let detect_file_cmd =
   let run seed path threshold alpha config_file name =
@@ -933,7 +1027,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; leak_cmd; model_cmd; compare_cmd; detect_cmd;
-            detect_batch_cmd; build_repo_cmd; detect_file_cmd; dot_cmd;
-            compile_cmd; assemble_cmd; disasm_cmd; detect_binary_cmd;
+            detect_batch_cmd; build_repo_cmd; migrate_repo_cmd; detect_file_cmd;
+            dot_cmd; compile_cmd; assemble_cmd; disasm_cmd; detect_binary_cmd;
             heatmap_cmd; export_dataset_cmd; scadet_cmd;
           ]))

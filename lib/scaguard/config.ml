@@ -1,3 +1,12 @@
+type repo_format = Text | Binary
+
+let repo_format_to_string = function Text -> "text" | Binary -> "binary"
+
+let repo_format_of_string = function
+  | "text" -> Some Text
+  | "binary" -> Some Binary
+  | _ -> None
+
 type t = {
   threshold : float;
   alpha : float option;
@@ -10,6 +19,7 @@ type t = {
   domains : int option;
   cache_dir : string option;
   salt : string;
+  repo_format : repo_format;
 }
 
 let default =
@@ -25,6 +35,7 @@ let default =
     domains = None;
     cache_dir = None;
     salt = "";
+    repo_format = Text;
   }
 
 (* -- field validation -------------------------------------------------------- *)
@@ -154,6 +165,7 @@ let to_string c =
   (match c.domains with Some n -> add "domains=%d\n" n | None -> ());
   (match c.cache_dir with Some d -> add "cache_dir=%s\n" d | None -> ());
   add "salt=%s\n" c.salt;
+  add "repo_format=%s\n" (repo_format_to_string c.repo_format);
   Buffer.contents b
 
 let of_string s =
@@ -243,6 +255,11 @@ let of_string s =
                 | "domains" -> { cur with domains = Some (int_v ln v) }
                 | "cache_dir" -> { cur with cache_dir = Some v }
                 | "salt" -> { cur with salt = v }
+                | "repo_format" -> (
+                  match repo_format_of_string v with
+                  | Some f -> { cur with repo_format = f }
+                  | None ->
+                    stopf ln "bad repo_format %S (use text or binary)" v)
                 | _ -> stopf ln "unknown key %S" key))
         rest;
       validate !c

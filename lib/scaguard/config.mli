@@ -12,6 +12,18 @@
     {!Service.build}/{!Service.detect} with it is bit-identical to the bare
     [Pipeline.build_models_batch] / [Engine.classify_batch] composition. *)
 
+type repo_format = Text | Binary
+(** On-disk repository format: the line-oriented text format (diffable,
+    backward compatible) or the compact ["SCAGBIN"] binary image with inline
+    summaries and a lazy-load index (see {!Persist}).  Loads always sniff
+    the file, so this knob only selects what {e saves} write. *)
+
+val repo_format_to_string : repo_format -> string
+(** ["text"] / ["binary"] — the spelling used by the config file and the
+    CLI's [--format] flag. *)
+
+val repo_format_of_string : string -> repo_format option
+
 type t = {
   (* detection *)
   threshold : float;  (** similarity threshold θ in [0, 1]; default 0.60 *)
@@ -37,6 +49,9 @@ type t = {
   salt : string;
       (** cache-key salt, applied to jobs that do not set their own (dataset
           seed provenance); default [""] *)
+  repo_format : repo_format;
+      (** format {!Service.save_repository} (and [build-repo]) writes;
+          default [Text] *)
 }
 
 val default : t

@@ -35,6 +35,11 @@ type prepared = { pocs : (poc * Dtw.summary) array }
 let prepare repository =
   { pocs = Array.of_list (List.map (fun p -> (p, Dtw.summarize p.model)) repository) }
 
+(* The binary repository image loads each PoC together with its summary
+   (magnitudes are stored inline), so Persist can hand back a prepared
+   repository without a summarization pass. *)
+let prepare_summarized pocs = { pocs = Array.copy pocs }
+
 let prepared_size prep = Array.length prep.pocs
 
 let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band

@@ -63,6 +63,15 @@ type prepared
 val prepare : repository -> prepared
 (** Summarize every PoC once.  Repository order is preserved. *)
 
+val prepare_summarized : (poc * Dtw.summary) array -> prepared
+(** Assemble a prepared repository from PoCs whose summaries already exist —
+    the instant-start path of the binary repository image, where
+    {!Persist.load_repository_prepared_result} reads the summaries inline
+    and {!prepare} would only recompute what the file carries.  Each summary
+    must be {!Dtw.summarize} (or {!Dtw.summarize_with} with that model's
+    stored magnitudes) of its paired PoC's model; array order is the
+    repository order.  The array is copied. *)
+
 val prepared_size : prepared -> int
 (** Number of PoCs in the prepared repository. *)
 

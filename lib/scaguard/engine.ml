@@ -56,12 +56,12 @@ let publish_stats s =
   Obs.Registry.add pairs_abandoned_total s.pairs_abandoned;
   Obs.Registry.add cells_saved_total s.cells_saved
 
-let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
+let classify_batch_prepared ?threshold ?alpha ?band ?domains ?prune prep
+    targets =
   let tasks = Array.length targets in
   let d = Sutil.Pool.domains_for ?domains tasks in
   let wss = Array.init d (fun _ -> Dtw.workspace ()) in
   let out = Array.make tasks Detector.empty_verdict in
-  let prep = Detector.prepare repository in
   let observing = Obs.enabled () in
   let probe = if observing then Obs.pool_probe ~stage:"engine" else None in
   let wall0 = Obs.Clock.now_ns () and cpu0 = Sys.time () in
@@ -98,6 +98,10 @@ let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
   in
   if Obs.metrics () then publish_stats stats;
   (out, stats)
+
+let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
+  classify_batch_prepared ?threshold ?alpha ?band ?domains ?prune
+    (Detector.prepare repository) targets
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -44,6 +44,16 @@ val classify_batch :
     (default [true]) toggles the exact lower-bound cascade — verdicts are
     bit-identical either way, only the counters move. *)
 
+val classify_batch_prepared :
+  ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->
+  ?prune:bool ->
+  Detector.prepared -> Model.t array -> Detector.verdict array * stats
+(** {!classify_batch} against an already-prepared repository — the
+    instant-start path of the binary repository image, where
+    {!Persist.load_repository_prepared_result} hands back the summaries
+    without a {!Detector.prepare} pass.  Verdicts and counters are identical
+    to {!classify_batch} on the repository the [prepared] was built from. *)
+
 val utilization : stats -> float
 (** [cpu / (wall * domains)], clamped to [\[0,1\]]: 1.0 means every worker
     was busy the whole batch.  By convention [0.] when [wall_s = 0.] (a

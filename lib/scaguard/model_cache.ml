@@ -4,8 +4,9 @@
    old entry is simply never looked up again. *)
 
 (* Bump whenever the persisted format or the modeling pipeline changes in a
-   way that alters model bytes for identical inputs. *)
-let format_version = 1
+   way that alters model bytes for identical inputs.  2: entries moved from
+   the text format to the SCAGBIN binary encoding. *)
+let format_version = 2
 
 type t = {
   dir : string;
@@ -113,19 +114,22 @@ let find t ~key =
     None
   end
   else
-    match Persist.load_model ~path:file with
-    | model ->
+    match Persist.load_model_result ~path:file with
+    | Ok model ->
       Atomic.incr t.hits;
       if observing then observed ~outcome:"hit" ~counter:Obs.Metrics.cache_hits_total t0;
       Some model
-    | exception _ ->
-      (* unreadable or corrupt: drop the entry and rebuild *)
+    | Error _ ->
+      (* Unreadable, corrupt, or written by a different binary-format
+         version (the loader reports an unsupported version as a parse
+         error): the entry is stale, not fatal — drop it and rebuild. *)
       Atomic.incr t.stale;
       (try Sys.remove file with Sys_error _ -> ());
       if observing then observed ~outcome:"stale" ~counter:Obs.Metrics.cache_stale_total t0;
       None
 
-let store t ~key model = Persist.save_model ~path:(path t ~key) model
+let store t ~key model =
+  Persist.write_atomic ~path:(path t ~key) (Persist.model_to_bytes model)
 
 let find_or_build t ~key build =
   match find t ~key with

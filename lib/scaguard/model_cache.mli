@@ -3,8 +3,9 @@
     Model building is the front-end's dominant cost (simulate, identify,
     walk, measure); for a fixed binary and fixed knobs the resulting model
     is deterministic, so it can be built once and reloaded forever after.
-    An entry is one {!Persist.save_model} file named by the hex digest of
-    everything that determines the model's bytes:
+    An entry is one model in the {!Persist} binary encoding
+    ({!Persist.model_to_bytes}), named by the hex digest of everything that
+    determines the model's bytes:
 
     - a format version (bumped when the pipeline or the persisted format
       changes behavior),
@@ -19,10 +20,11 @@
 
     There is no invalidation protocol: change any ingredient and the key
     changes, so the old entry is never looked up again.  Corrupt or
-    unreadable entries count as {e stale}, are deleted, and fall back to a
-    rebuild.  Counters use [Atomic] and the store writes atomically
-    ({!Persist.save_model}), so one cache may be shared by all pool
-    workers of a batch build. *)
+    unreadable entries — including entries whose binary-format version this
+    build does not read — count as {e stale}, are deleted, and fall back to
+    a rebuild; a cache directory can never make a run fail.  Counters use
+    [Atomic] and the store writes atomically ({!Persist.write_atomic}), so
+    one cache may be shared by all pool workers of a batch build. *)
 
 type t
 
@@ -50,7 +52,8 @@ val key :
 
 val find : t -> key:string -> Model.t option
 (** Look up a model; counts a hit, a miss (no entry), or a stale entry
-    (present but unparseable — the file is deleted). *)
+    (present but unloadable — corrupt, truncated, or an unsupported format
+    version; the file is deleted). *)
 
 val store : t -> key:string -> Model.t -> unit
 (** Write-through (atomic temp-file + rename). *)

@@ -277,21 +277,75 @@ let detect_stage (config : Config.t) repo targets =
         ?alpha:config.Config.alpha ?band:config.Config.band
         ?domains:config.Config.domains ~prune:config.Config.prune repo targets)
 
+let detect_report ?(timings = []) targets stats =
+  {
+    built = 0;
+    classified = Array.length targets;
+    cache = None;
+    engine = Some stats;
+    timings;
+    metrics = metrics_snapshot ();
+  }
+
 let detect config repo targets =
   let* config = Config.validate config in
   if repo = [] then Error Err.Empty_repository
   else
     let timing, (verdicts, stats) = detect_stage config repo targets in
-    Ok
-      ( verdicts,
-        {
-          built = 0;
-          classified = Array.length targets;
-          cache = None;
-          engine = Some stats;
-          timings = [ timing ];
-          metrics = metrics_snapshot ();
-        } )
+    Ok (verdicts, detect_report ~timings:[ timing ] targets stats)
+
+let detect_prepared_stage (config : Config.t) prep targets =
+  timed "detect" (fun () ->
+      Engine.classify_batch_prepared ~threshold:config.Config.threshold
+        ?alpha:config.Config.alpha ?band:config.Config.band
+        ?domains:config.Config.domains ~prune:config.Config.prune prep targets)
+
+let detect_prepared config prep targets =
+  let* config = Config.validate config in
+  if Detector.prepared_size prep = 0 then Error Err.Empty_repository
+  else
+    let timing, (verdicts, stats) = detect_prepared_stage config prep targets in
+    Ok (verdicts, detect_report ~timings:[ timing ] targets stats)
+
+(* ---- repository IO ----------------------------------------------------------- *)
+
+let io_report ?built timing =
+  {
+    built = Option.value built ~default:0;
+    classified = 0;
+    cache = None;
+    engine = None;
+    timings = [ timing ];
+    metrics = metrics_snapshot ();
+  }
+
+let save_repository config ~path repo =
+  let* config = Config.validate config in
+  let timing, result =
+    timed "save" (fun () ->
+        match config.Config.repo_format with
+        | Config.Text -> Persist.save_repository_result ~path repo
+        | Config.Binary -> Persist.save_repository_bin_result ~path repo)
+  in
+  let* () = result in
+  Ok (io_report timing)
+
+let load_repository ~path =
+  let timing, result =
+    timed "load" (fun () -> Persist.load_repository_prepared_result ~path)
+  in
+  let* repo, prep = result in
+  Ok (repo, prep, io_report ~built:(List.length repo) timing)
+
+let screen_report ~cache ~build_timing ~detect_timing models stats =
+  {
+    built = Array.length models;
+    classified = Array.length models;
+    cache = cache_stats_of cache;
+    engine = Some stats;
+    timings = [ build_timing; detect_timing ];
+    metrics = metrics_snapshot ();
+  }
 
 let screen config repo jobs =
   let* config = Config.validate config in
@@ -300,14 +354,15 @@ let screen config repo jobs =
     let* cache = cache_of_config config in
     let build_timing, models = build_stage config cache jobs in
     let detect_timing, (verdicts, stats) = detect_stage config repo models in
-    Ok
-      ( models,
-        verdicts,
-        {
-          built = Array.length models;
-          classified = Array.length models;
-          cache = cache_stats_of cache;
-          engine = Some stats;
-          timings = [ build_timing; detect_timing ];
-          metrics = metrics_snapshot ();
-        } )
+    Ok (models, verdicts, screen_report ~cache ~build_timing ~detect_timing models stats)
+
+let screen_prepared config prep jobs =
+  let* config = Config.validate config in
+  if Detector.prepared_size prep = 0 then Error Err.Empty_repository
+  else
+    let* cache = cache_of_config config in
+    let build_timing, models = build_stage config cache jobs in
+    let detect_timing, (verdicts, stats) =
+      detect_prepared_stage config prep models
+    in
+    Ok (models, verdicts, screen_report ~cache ~build_timing ~detect_timing models stats)

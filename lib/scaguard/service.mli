@@ -62,6 +62,31 @@ val detect :
     with [config]'s threshold/alpha/band/prune/domains.  Errors:
     [Invalid_config], [Empty_repository]. *)
 
+val detect_prepared :
+  Config.t ->
+  Detector.prepared ->
+  Model.t array ->
+  (Detector.verdict array * report, Err.t) result
+(** {!detect} against an already-prepared repository — pairs with
+    {!load_repository} so a binary image's inline summaries go straight to
+    the engine with no {!Detector.prepare} pass.  Verdicts are bit-identical
+    to {!detect} on the repository the [prepared] was built from.  Errors:
+    [Invalid_config], [Empty_repository]. *)
+
+val save_repository :
+  Config.t -> path:string -> Detector.repository -> (report, Err.t) result
+(** Persist the repository at [path] in [config.repo_format] (atomic,
+    durable — see {!Persist.write_atomic}).  The report carries a ["save"]
+    timing.  Errors: [Invalid_config], [Io]. *)
+
+val load_repository :
+  path:string ->
+  (Detector.repository * Detector.prepared * report, Err.t) result
+(** Load a repository (either format, sniffed) together with its
+    {!Detector.prepared} — free for binary images, a [prepare] pass for text
+    files — and a report carrying a ["load"] timing with [built] set to the
+    repository size.  Errors: [Io], [Parse]. *)
+
 val screen :
   Config.t ->
   Detector.repository ->
@@ -70,3 +95,13 @@ val screen :
 (** {!build} the jobs, then {!detect} the resulting models: the §V
     deployment loop in one call.  The report carries both stages' timings,
     the build's cache counters and the detect's engine counters. *)
+
+val screen_prepared :
+  Config.t ->
+  Detector.prepared ->
+  Pipeline.job array ->
+  (Model.t array * Detector.verdict array * report, Err.t) result
+(** {!screen} against an already-prepared repository (e.g. from
+    {!load_repository}) — identical models, verdicts and counters; no
+    re-summarization.  Errors: [Invalid_config], [Empty_repository],
+    [Io]. *)

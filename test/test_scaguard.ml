@@ -544,7 +544,13 @@ let model_gen =
   let open QCheck.Gen in
   let unit_float = map (fun i -> float_of_int i /. 1000.0) (int_range 0 1000) in
   let token =
-    oneofl [ "load m"; "store m"; "clflush m"; "mov r r"; "rdtsc"; "mfence" ]
+    (* includes the writer's worst cases: empty tokens, embedded newlines,
+       backslashes, and the literal spelling of the empty-token escape *)
+    oneofl
+      [
+        "load m"; "store m"; "clflush m"; "mov r r"; "rdtsc"; "mfence";
+        ""; "new\nline"; "back\\slash"; "\\_";
+      ]
   in
   let cst =
     let* ao = unit_float in
@@ -567,7 +573,7 @@ let model_gen =
       (SG.Model.make_entry ~block ~instrs:[]
          ~normalized:(Array.of_list normalized) ~cst ~first_time)
   in
-  let* name = oneofl [ "m"; "poc-a"; "fr mastik"; "x_1" ] in
+  let* name = oneofl [ "m"; "poc-a"; "fr mastik"; "x_1"; "evil\nname"; "" ] in
   let* entries = list_size (int_range 0 5) entry in
   return (SG.Model.make ~name entries)
 
@@ -592,7 +598,7 @@ let prop_persist_repository_roundtrip =
   QCheck.Test.make ~name:"persist round-trips arbitrary repositories" ~count:50
     QCheck.(
       list_of_size (Gen.int_range 0 4)
-        (pair (oneofl [ "FR-F"; "PP-F"; "fam x" ]) model_arb))
+        (pair (oneofl [ "FR-F"; "PP-F"; "fam x"; "fam\nnl" ]) model_arb))
     (fun pocs ->
       let repository =
         List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
@@ -834,9 +840,236 @@ let test_persist_rejects_garbage () =
     (try ignore (SG.Persist.model_of_string "cstbbs 1\nname x\nentry 0 0"); false
      with Failure _ -> true)
 
-(* ---- Batch model building + model cache ---------------------------------------------- *)
+(* ---- Binary format (SCAGBIN) --------------------------------------------------------- *)
 
 let model_bytes = SG.Persist.model_to_string
+
+(* byte-identity through the canonical text encoding is the round-trip
+   criterion everywhere below: it covers names, tokens, blocks, timings and
+   the exact CST float bits in one comparison *)
+let prop_persist_binary_roundtrip =
+  QCheck.Test.make
+    ~name:"binary model encoding round-trips byte-identically" ~count:200
+    model_arb
+    (fun m ->
+      match SG.Persist.model_of_bytes_result (SG.Persist.model_to_bytes m) with
+      | Error e -> QCheck.Test.fail_report (SG.Err.to_string e)
+      | Ok m' ->
+        SG.Persist.model_to_string m' = SG.Persist.model_to_string m)
+
+let prop_persist_binary_repository_roundtrip =
+  QCheck.Test.make
+    ~name:"binary repository image round-trips and classifies identically"
+    ~count:50
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 4)
+           (pair (oneofl [ "FR-F"; "PP-F"; "fam x"; "fam\nnl" ]) model_arb))
+        model_arb)
+    (fun (pocs, target) ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      let bytes = SG.Persist.repository_to_bytes repository in
+      match SG.Persist.repository_of_bytes_result bytes with
+      | Error e -> QCheck.Test.fail_report (SG.Err.to_string e)
+      | Ok loaded ->
+        SG.Persist.repository_to_string loaded
+        = SG.Persist.repository_to_string repository
+        &&
+        (* the inline summaries feed prepare_summarized: verdicts must be
+           bit-identical to classifying the original repository *)
+        (match SG.Persist.repository_of_bytes_prepared_result bytes with
+        | Error e -> QCheck.Test.fail_report (SG.Err.to_string e)
+        | Ok pairs ->
+          let prep = SG.Detector.prepare_summarized (Array.of_list pairs) in
+          SG.Detector.classify_prepared prep target
+          = SG.Detector.classify repository target))
+
+let test_persist_newline_tokens () =
+  (* regression: tokens/names/families containing newlines, backslashes or
+     nothing at all used to hit a [failwith] in the text writers *)
+  let entry =
+    SG.Model.make_entry ~block:3 ~instrs:[]
+      ~normalized:[| "new\nline"; "back\\slash"; ""; "\\_"; "plain" |]
+      ~cst:
+        {
+          SG.Cst.before = Cache.State.make ~ao:0.5 ~io:0.25;
+          after = Cache.State.make ~ao:0.125 ~io:0.5;
+        }
+      ~first_time:7
+  in
+  let m = SG.Model.make ~name:"evil\nname" [ entry ] in
+  let m' = SG.Persist.model_of_string (SG.Persist.model_to_string m) in
+  Alcotest.(check string) "name survives" m.SG.Model.name m'.SG.Model.name;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (array string)) "tokens survive"
+        a.SG.Model.normalized b.SG.Model.normalized)
+    m.SG.Model.entries m'.SG.Model.entries;
+  let repository = [ { SG.Detector.family = "fam\nnl"; model = m } ] in
+  let text_rt =
+    SG.Persist.repository_of_string
+      (SG.Persist.repository_to_string repository)
+  in
+  Alcotest.(check string) "family survives" "fam\nnl"
+    (List.hd text_rt).SG.Detector.family;
+  (* binary agrees *)
+  (match
+     SG.Persist.repository_of_bytes_result
+       (SG.Persist.repository_to_bytes repository)
+   with
+  | Error e -> Alcotest.fail (SG.Err.to_string e)
+  | Ok bin_rt ->
+    Alcotest.(check string) "binary = text"
+      (SG.Persist.repository_to_string text_rt)
+      (SG.Persist.repository_to_string bin_rt));
+  (* and through a file, in both formats *)
+  List.iter
+    (fun save ->
+      let path = Filename.temp_file "scaguard" ".repo" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          (match save ~path repository with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (SG.Err.to_string e));
+          let loaded = SG.Persist.load_repository ~path in
+          Alcotest.(check string) "file roundtrip"
+            (SG.Persist.repository_to_string repository)
+            (SG.Persist.repository_to_string loaded)))
+    [ SG.Persist.save_repository_result; SG.Persist.save_repository_bin_result ]
+
+let err_msg_contains e sub =
+  let s = SG.Err.to_string e in
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_persist_binary_errors () =
+  let m = (Lazy.force fr_analysis).SG.Pipeline.model in
+  let bytes = SG.Persist.model_to_bytes m in
+  (* truncation at every boundary-ish point is a Parse error, never a raise *)
+  List.iter
+    (fun len ->
+      match
+        SG.Persist.model_of_bytes_result (String.sub bytes 0 len)
+      with
+      | Error (SG.Err.Parse { line = None; _ }) -> ()
+      | Error e ->
+        Alcotest.fail ("unexpected error kind: " ^ SG.Err.to_string e)
+      | Ok _ -> Alcotest.fail "truncated bytes accepted")
+    [ 0; 3; 8; 9; String.length bytes - 1 ];
+  (* version byte (offset 7, right after the 7-byte magic) *)
+  let wrong_version = Bytes.of_string bytes in
+  Bytes.set wrong_version 7 '\xff';
+  (match
+     SG.Persist.model_of_bytes_result (Bytes.to_string wrong_version)
+   with
+  | Error e ->
+    check_bool "mentions version" true (err_msg_contains e "version")
+  | Ok _ -> Alcotest.fail "wrong version accepted");
+  (* a repository image is not a model file: the kind byte is checked *)
+  let repo_bytes =
+    SG.Persist.repository_to_bytes [ { SG.Detector.family = "F"; model = m } ]
+  in
+  (match SG.Persist.model_of_bytes_result repo_bytes with
+  | Error (SG.Err.Parse _) -> ()
+  | Error e -> Alcotest.fail ("unexpected error kind: " ^ SG.Err.to_string e)
+  | Ok _ -> Alcotest.fail "repository bytes accepted as a model");
+  (* errors from file loads carry the file name *)
+  let path = Filename.temp_file "scaguard" ".cstbbs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub bytes 0 9);
+      close_out oc;
+      match SG.Persist.load_model_result ~path with
+      | Error (SG.Err.Parse { file = Some f; _ }) ->
+        Alcotest.(check string) "file context" path f
+      | Error e ->
+        Alcotest.fail ("error lost file context: " ^ SG.Err.to_string e)
+      | Ok _ -> Alcotest.fail "truncated file accepted")
+
+let test_persist_image_lazy () =
+  let repository = Lazy.force repo in
+  let path = Filename.temp_file "scaguard" ".repo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match SG.Persist.save_repository_bin_result ~path repository with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (SG.Err.to_string e));
+      match SG.Persist.open_image_result ~path with
+      | Error e -> Alcotest.fail (SG.Err.to_string e)
+      | Ok image ->
+        check_int "index size" (List.length repository)
+          (SG.Persist.image_size image);
+        let pocs = SG.Persist.image_pocs image in
+        List.iteri
+          (fun i (poc : SG.Detector.poc) ->
+            let name, family = pocs.(i) in
+            Alcotest.(check string) "index name order"
+              poc.SG.Detector.model.SG.Model.name name;
+            Alcotest.(check string) "index family order"
+              poc.SG.Detector.family family)
+          repository;
+        (* each lazily-loaded model is byte-identical to the original *)
+        let pairs =
+          List.map
+            (fun (poc : SG.Detector.poc) ->
+              match
+                SG.Persist.image_load_prepared_result image
+                  ~name:poc.SG.Detector.model.SG.Model.name
+              with
+              | Error e -> Alcotest.fail (SG.Err.to_string e)
+              | Ok ((loaded, _) as pair) ->
+                Alcotest.(check string) "lazy load byte-identical"
+                  (model_bytes poc.SG.Detector.model)
+                  (model_bytes loaded.SG.Detector.model);
+                pair)
+            repository
+        in
+        (* verdicts through the lazily-assembled prepared repository are
+           bit-identical to the eager path *)
+        let prep = SG.Detector.prepare_summarized (Array.of_list pairs) in
+        List.iter
+          (fun spec ->
+            let target = model_of_spec spec in
+            check_bool "lazy verdict = eager verdict" true
+              (SG.Detector.classify_prepared prep target
+              = SG.Detector.classify repository target))
+          [ A.flush_reload ~style:A.Mastik (); A.evict_reload () ];
+        (match SG.Persist.image_load_result image ~name:"no such model" with
+        | Error (SG.Err.Parse _) -> ()
+        | Error e ->
+          Alcotest.fail ("unexpected error kind: " ^ SG.Err.to_string e)
+        | Ok _ -> Alcotest.fail "absent name loaded"));
+  (* a text repository has no index: open_image must refuse, not raise *)
+  let text_path = Filename.temp_file "scaguard" ".repo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove text_path)
+    (fun () ->
+      SG.Persist.save_repository ~path:text_path repository;
+      match SG.Persist.open_image_result ~path:text_path with
+      | Error (SG.Err.Parse _) -> ()
+      | Error e -> Alcotest.fail ("unexpected error kind: " ^ SG.Err.to_string e)
+      | Ok _ -> Alcotest.fail "text file opened as image")
+
+let test_persist_save_io_error () =
+  let repository = Lazy.force repo in
+  let path = "/nonexistent-scaguard-dir/r.repo" in
+  List.iter
+    (fun save ->
+      match save ~path repository with
+      | Error (SG.Err.Io { path = p; _ }) ->
+        Alcotest.(check string) "error names the path" path p
+      | Error e -> Alcotest.fail ("unexpected error kind: " ^ SG.Err.to_string e)
+      | Ok () -> Alcotest.fail "save into missing directory succeeded")
+    [ SG.Persist.save_repository_result; SG.Persist.save_repository_bin_result ]
+
+(* ---- Batch model building + model cache ---------------------------------------------- *)
 
 let batch_samples () =
   List.map D.of_spec
@@ -969,6 +1202,32 @@ let test_model_cache_stale_fallback () =
       | Some again ->
         Alcotest.(check string) "stored after rebuild" (model_bytes fresh)
           (model_bytes again))
+
+let test_model_cache_version_stale () =
+  (* a cache entry written by a future (or past) binary format version is
+     stale — rebuilt and recounted, never a fatal parse error *)
+  with_temp_cache (fun cache ->
+      let fresh = (Lazy.force fr_analysis).SG.Pipeline.model in
+      let key = "versioned" in
+      SG.Model_cache.store cache ~key fresh;
+      let path =
+        Filename.concat (SG.Model_cache.dir cache) (key ^ ".cstbbs")
+      in
+      let data = SG.Persist.read_file ~path in
+      check_bool "cache entries are binary" true (SG.Persist.is_binary data);
+      let tampered = Bytes.of_string data in
+      Bytes.set tampered 7 '\xff';
+      let oc = open_out_bin path in
+      output_bytes oc tampered;
+      close_out oc;
+      (* a fresh handle (no in-memory memoization) must treat it as stale *)
+      let cache2 = SG.Model_cache.create ~dir:(SG.Model_cache.dir cache) in
+      check_bool "version mismatch is a miss" true
+        (SG.Model_cache.find cache2 ~key = None);
+      check_int "stale counted" 1 (SG.Model_cache.stale cache2);
+      check_bool "stale entry deleted" false (Sys.file_exists path);
+      let built = SG.Model_cache.find_or_build cache2 ~key (fun () -> fresh) in
+      Alcotest.(check string) "rebuilt" (model_bytes fresh) (model_bytes built))
 
 let test_model_cache_key_sensitivity () =
   let fr = D.of_spec (A.flush_reload ~style:A.Iaik ()) in
@@ -1150,8 +1409,17 @@ let () =
           Alcotest.test_case "rejects malformed cst" `Quick
             test_persist_rejects_malformed_cst;
           Alcotest.test_case "atomic save" `Quick test_persist_save_atomic;
+          Alcotest.test_case "newline tokens survive" `Quick
+            test_persist_newline_tokens;
+          Alcotest.test_case "binary corruption is a typed error" `Quick
+            test_persist_binary_errors;
+          Alcotest.test_case "lazy image loads" `Quick test_persist_image_lazy;
+          Alcotest.test_case "save into missing dir is Io" `Quick
+            test_persist_save_io_error;
           QCheck_alcotest.to_alcotest prop_persist_roundtrip;
           QCheck_alcotest.to_alcotest prop_persist_repository_roundtrip;
+          QCheck_alcotest.to_alcotest prop_persist_binary_roundtrip;
+          QCheck_alcotest.to_alcotest prop_persist_binary_repository_roundtrip;
         ] );
       ( "batch modeling & cache",
         [
@@ -1165,6 +1433,8 @@ let () =
             test_model_cache_hit_bit_identical;
           Alcotest.test_case "stale entry falls back" `Quick
             test_model_cache_stale_fallback;
+          Alcotest.test_case "version mismatch is stale" `Quick
+            test_model_cache_version_stale;
           Alcotest.test_case "key sensitivity" `Quick
             test_model_cache_key_sensitivity;
           Alcotest.test_case "cached batch build" `Quick

@@ -55,6 +55,7 @@ let config_gen : SG.Config.t QCheck.Gen.t =
   let* domains = opt (int_range 1 8) in
   let* cache_dir = opt line_string in
   let* salt = line_string in
+  let* repo_format = oneofl [ SG.Config.Text; SG.Config.Binary ] in
   return
     {
       SG.Config.threshold;
@@ -69,6 +70,7 @@ let config_gen : SG.Config.t QCheck.Gen.t =
       domains;
       cache_dir;
       salt;
+      repo_format;
     }
 
 let config_arb =
@@ -316,6 +318,51 @@ let test_build_with_cache () =
         check_int "warm run misses nothing" 0 w.SG.Service.misses
       | _ -> Alcotest.fail "cache_dir set but report has no cache stats")
 
+let test_save_load_formats () =
+  (* Service.save_repository honours config.repo_format; load_repository
+     sniffs either format and detect_prepared on the loaded prepared
+     repository reaches the same verdicts as detect on the repository *)
+  let rng = Sutil.Rng.create 14 in
+  let repo =
+    Experiments.Common.repository ~rng
+      [ Workloads.Label.Fr_family; Workloads.Label.Pp_family ]
+  in
+  let targets = SG.Pipeline.build_models_batch (test_jobs ()) in
+  let reference, _ = ok_exn (SG.Service.detect SG.Config.default repo targets) in
+  with_tmp_dir (fun dir ->
+      List.iter
+        (fun fmt ->
+          let config = { SG.Config.default with SG.Config.repo_format = fmt } in
+          let path =
+            Filename.concat dir
+              ("r." ^ SG.Config.repo_format_to_string fmt)
+          in
+          let save_report = ok_exn (SG.Service.save_repository config ~path repo) in
+          check_bool "save report has a save timing" true
+            (List.exists
+               (fun t -> t.SG.Service.stage = "save")
+               save_report.SG.Service.timings);
+          check_bool "format on disk matches the knob" true
+            (SG.Persist.is_binary (SG.Persist.read_file ~path)
+            = (fmt = SG.Config.Binary));
+          let loaded, prep, load_report =
+            ok_exn (SG.Service.load_repository ~path)
+          in
+          check_int "load report counts the models" (List.length repo)
+            load_report.SG.Service.built;
+          check_string "loaded repository byte-identical"
+            (SG.Persist.repository_to_string repo)
+            (SG.Persist.repository_to_string loaded);
+          let verdicts, _ =
+            ok_exn (SG.Service.detect_prepared SG.Config.default prep targets)
+          in
+          check_bool
+            ("detect_prepared = detect ("
+            ^ SG.Config.repo_format_to_string fmt ^ ")")
+            true
+            (verdicts = reference))
+        [ SG.Config.Text; SG.Config.Binary ])
+
 (* -- Service error paths ---------------------------------------------------- *)
 
 let test_service_error_paths () =
@@ -432,6 +479,8 @@ let () =
             test_config_knobs_flow_through;
           Alcotest.test_case "cache round-trip via config" `Quick
             test_build_with_cache;
+          Alcotest.test_case "save/load both formats, prepared detect" `Quick
+            test_save_load_formats;
         ] );
       ( "error paths",
         [
