@@ -1,0 +1,16 @@
+let () =
+  (* SCAGBIN v1 'R' + string-table count as 9-byte varint decoding negative *)
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf "SCAGBIN";
+  Buffer.add_char buf '\001';
+  Buffer.add_char buf 'R';
+  for _ = 1 to 8 do Buffer.add_char buf '\x80' done;
+  Buffer.add_char buf '\x40';
+  (* padding so "remaining" is positive *)
+  Buffer.add_string buf "XXXX";
+  let s = Buffer.contents buf in
+  (match Scaguard.Persist.repository_of_bytes_result ~file:"crafted" s with
+   | Ok _ -> print_endline "Ok (unexpected)"
+   | Error e -> Printf.printf "typed error (good): %s\n" (Scaguard.Err.to_string e)
+   | exception exn ->
+     Printf.printf "UNCAUGHT EXCEPTION (bug): %s\n" (Printexc.to_string exn))
