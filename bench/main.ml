@@ -21,7 +21,7 @@ let trace_out = ref None
 let metrics_out = ref None
 let artifacts = ref []
 
-let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|timecost|all]"
+let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|serve|timecost|all]"
 
 let () =
   let rec parse = function
@@ -726,6 +726,146 @@ let persist () =
     text_load_dt bin_load_dt (text_load_dt /. bin_load_dt) img_one_dt
     (Array.length targets) n
 
+(* ---- Serve: the resident daemon vs detect-batch ----------------------------------- *)
+
+(* Drive the serve core in-process (connect/feed/step — the same code path
+   the socket transports pump), one detect request per target, and then
+   assert the streamed verdicts are bit-identical to one
+   Service.screen_prepared batch over the identical jobs and salt.  The
+   scores compared on the serve side have been through the wire format
+   (%.17g), so this also proves the protocol loses no bits. *)
+let serve_bench () =
+  section "Serve: resident daemon request latency";
+  let module L = Workloads.Label in
+  let module D = Workloads.Dataset in
+  let module Server = Scaguard.Server in
+  let module J = Scaguard.Server.Json in
+  let rng = rng () in
+  let repo = Experiments.Common.repository ~rng L.attack_labels in
+  let prepared = Scaguard.Detector.prepare repo in
+  let per = max 2 (!per_family / 4) in
+  let samples =
+    List.concat_map (fun l -> D.mutated_attacks ~rng ~count:per l) L.attack_labels
+    @ D.benign_samples ~rng ~count:per
+  in
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (s : D.sample) -> Hashtbl.replace by_name s.D.name s)
+    samples;
+  let job_of (s : D.sample) =
+    Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
+      ?victim:s.D.victim ~name:s.D.name s.D.program
+  in
+  let resolve ~seed:_ name =
+    match Hashtbl.find_opt by_name name with
+    | Some s -> Ok (job_of s)
+    | None ->
+      Error
+        (Scaguard.Err.Invalid_config
+           { field = "target"; value = name; expected = "a bench sample" })
+  in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  let server =
+    match
+      Server.create ~config:Scaguard.Config.default ~resolve ~prepared ()
+    with
+    | Ok t -> t
+    | Error e -> fail "serve: create failed: %s" (Scaguard.Err.to_string e)
+  in
+  let frames = ref [] in
+  let conn =
+    Server.connect server ~emit:(fun line ->
+        match J.parse line with
+        | Ok v -> frames := v :: !frames
+        | Error e -> fail "serve: emitted invalid JSON: %s" e)
+  in
+  let names = List.map (fun (s : D.sample) -> s.D.name) samples in
+  let n = List.length names in
+  Printf.printf "serving %d single-target detect requests (%d resident PoCs)...\n%!"
+    n (List.length repo);
+  (* warm the first-touch costs out of the measured loop, like a resident
+     daemon that has already answered a request *)
+  Server.feed server conn
+    (Printf.sprintf "{\"id\":0,\"op\":\"detect\",\"targets\":[%S],\"seed\":%d}\n"
+       (List.hd names) !seed);
+  ignore (Server.drain server);
+  frames := [];
+  let t_all0 = Scaguard.Obs.Clock.now_ns () in
+  let latencies =
+    List.mapi
+      (fun i name ->
+        let t0 = Scaguard.Obs.Clock.now_ns () in
+        Server.feed server conn
+          (Printf.sprintf
+             "{\"id\":%d,\"op\":\"detect\",\"targets\":[%S],\"seed\":%d}\n"
+             (i + 1) name !seed);
+        (match Server.drain server with
+        | `Idle -> ()
+        | `Stop -> fail "serve: unexpected stop");
+        Scaguard.Obs.Clock.elapsed_s ~since:t0)
+      names
+  in
+  let wall = Scaguard.Obs.Clock.elapsed_s ~since:t_all0 in
+  (* collect the streamed verdicts, in request order *)
+  let verdict_frames =
+    List.filter (fun f -> J.member "event" f <> None) (List.rev !frames)
+  in
+  if List.length verdict_frames <> n then
+    fail "serve: expected %d verdict frames, got %d" n
+      (List.length verdict_frames);
+  (* the reference: one batch over the same jobs, with the salt policy the
+     server applies (detect-batch's) *)
+  let config' =
+    { Scaguard.Config.default with Scaguard.Config.salt = string_of_int !seed }
+  in
+  let jobs =
+    Array.of_list
+      (List.map (fun name -> Hashtbl.find by_name name |> job_of) names)
+  in
+  let verdicts =
+    match Scaguard.Service.screen_prepared config' prepared jobs with
+    | Ok (_, v, _) -> v
+    | Error e -> fail "serve: batch reference failed: %s" (Scaguard.Err.to_string e)
+  in
+  List.iteri
+    (fun i frame ->
+      let score =
+        match J.member "score" frame with
+        | Some (J.Num f) -> f
+        | _ -> fail "serve: verdict frame %d lacks a score" i
+      in
+      let family =
+        match J.member "family" frame with
+        | Some (J.Str f) -> Some f
+        | Some J.Null -> None
+        | _ -> fail "serve: verdict frame %d lacks a family" i
+      in
+      let v = verdicts.(i) in
+      if
+        Int64.bits_of_float score
+        <> Int64.bits_of_float v.Scaguard.Detector.best_score
+        || family <> v.Scaguard.Detector.best_family
+      then fail "serve: verdict mismatch at target %d (%s)" i (List.nth names i))
+    verdict_frames;
+  let q p = 1e3 *. Sutil.Stats.percentile p latencies in
+  let t =
+    Sutil.Table.create
+      ~title:(Printf.sprintf "Serve request latency (%d detect requests)" n)
+      [ "metric"; "value" ]
+  in
+  let row k v = Sutil.Table.add_row t [ k; v ] in
+  row "requests" (string_of_int n);
+  row "p50 (ms)" (Printf.sprintf "%.3f" (q 0.50));
+  row "p90 (ms)" (Printf.sprintf "%.3f" (q 0.90));
+  row "p99 (ms)" (Printf.sprintf "%.3f" (q 0.99));
+  row "max (ms)" (Printf.sprintf "%.3f" (1e3 *. Sutil.Stats.maximum latencies));
+  row "throughput (req/s)" (Printf.sprintf "%.1f" (float_of_int n /. wall));
+  emit_table ~artifact:"serve" t;
+  Printf.printf
+    "verdicts: all %d streamed serve verdicts bit-identical to one \
+     Service.screen_prepared batch (same salt) after the wire round-trip\n"
+    n
+
 (* ---- Time cost (Section V), via Bechamel ------------------------------------------ *)
 
 let timecost () =
@@ -798,7 +938,7 @@ let timecost () =
 let all () =
   table1 (); table2 (); table3 (); table4 (); table5 (); table6 ();
   fig5 (); ablation (); extended (); clusters (); robustness (); scaling ();
-  engine (); modeling (); persist (); timecost ()
+  engine (); modeling (); persist (); serve_bench (); timecost ()
 
 let () =
   Printf.printf
@@ -820,6 +960,7 @@ let () =
     | "engine" -> engine ()
     | "modeling" -> modeling ()
     | "persist" -> persist ()
+    | "serve" -> serve_bench ()
     | "timecost" -> timecost ()
     | "all" -> all ()
     | other ->

@@ -1017,6 +1017,444 @@ let scadet_cmd =
     (cmd_info "scadet" ~doc:"Run the rule-based SCADET baseline on a program.")
     Term.(const run $ seed_t $ name_arg 0 "Program name.")
 
+(* ---- serve ---------------------------------------------------------------------- *)
+
+(* "HOST:PORT" for --tcp; the last ':' splits, so a numeric host like
+   127.0.0.1 parses. *)
+let parse_hostport s =
+  let bad () =
+    Error
+      (Scaguard.Err.Invalid_config
+         { field = "--tcp"; value = s; expected = "HOST:PORT" })
+  in
+  match String.rindex_opt s ':' with
+  | None -> bad ()
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+    | _ -> bad ())
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (serve) or connect to (client) a Unix domain socket. \
+              Serve reclaims a stale socket file left by a crash; a live \
+              server keeps the address.")
+
+let tcp_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on (serve) or connect to (client) a TCP address.")
+
+let serve_cmd =
+  let run seed repo_names repo_file threshold alpha band jobs cache_dir domains
+      no_prune config_file queue_capacity max_line deadline_ms socket tcp stdio
+      metrics_on trace_out metrics_out span_sample_rate =
+    handle
+    @@ let* endpoint =
+         match (socket, tcp, stdio) with
+         | Some p, None, false -> Ok (Scaguard.Server.Unix_socket p)
+         | None, Some hp, false ->
+           let* host, port = parse_hostport hp in
+           Ok (Scaguard.Server.Tcp { host; port })
+         | None, None, _ -> Ok Scaguard.Server.Stdio
+         | _ ->
+           Error
+             (Scaguard.Err.Invalid_config
+                {
+                  field = "--socket/--tcp/--stdio";
+                  value = "(several)";
+                  expected = "at most one endpoint";
+                })
+       in
+       let* config =
+         assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
+           ~cache_dir ~no_prune
+       in
+       let* () = setup_observability ~trace_out ~metrics_out ~span_sample_rate in
+       (* the protocol's `metrics` verb reads the live registry, so --metrics
+          turns collection on even without a --metrics-out file *)
+       if metrics_on then Scaguard.Obs.set_metrics true;
+       let* prepared, repo_path =
+         match repo_file with
+         | Some path ->
+           let* _repo, prep, _ = Scaguard.Service.load_repository ~path in
+           Ok (prep, Some path)
+         | None ->
+           let* families = Experiments.Common.families_of_strings repo_names in
+           let rng = Sutil.Rng.create seed in
+           let* repo, _ =
+             Experiments.Common.repository_service
+               ~config:(with_salt (repo_salt ~seed repo_names) config)
+               ~rng families
+           in
+           Ok (Scaguard.Detector.prepare repo, None)
+       in
+       let resolve ~seed name =
+         Result.map job_of_sample (sample_res ~seed name)
+       in
+       let* server =
+         Scaguard.Server.create ~config ~resolve ~prepared ?repo_path
+           ~queue_capacity ~max_line ~default_deadline_ms:deadline_ms ()
+       in
+       (* the banner goes to stderr so --stdio keeps stdout protocol-clean *)
+       Printf.eprintf "scaguard serve: %d models resident, listening on %s\n%!"
+         (Scaguard.Detector.prepared_size prepared)
+         (Scaguard.Server.endpoint_to_string endpoint);
+       let* () = Scaguard.Server.serve server endpoint in
+       Printf.eprintf "scaguard serve: drained after %d requests (up %.1f s)\n%!"
+         (Scaguard.Server.served server)
+         (Scaguard.Server.uptime_s server);
+       write_observability ~trace_out ~metrics_out
+  in
+  let domains_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for unstreamed batches (default: the \
+                recommended domain count).")
+  in
+  let band_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "band" ] ~docv:"B"
+          ~doc:"Sakoe-Chiba band for the DTW (off by default; exact).")
+  in
+  let no_prune_t =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:"Disable the exact lower-bound pruning cascade.")
+  in
+  let repo_file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repo-file" ] ~docv:"FILE"
+          ~doc:"Load the resident PoC repository from a file written by \
+                `build-repo` (the binary image's inline summaries make this \
+                the fast path); without it the repository is rebuilt from \
+                $(b,--repo).  Also the default path for the protocol's \
+                $(b,reload) verb.")
+  in
+  let queue_capacity_t =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Bounded request queue size; a full queue answers new \
+                requests with an explicit $(b,busy) error (backpressure) \
+                instead of buffering without limit.")
+  in
+  let max_line_t =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:"Longest accepted request frame; an oversized line is \
+                discarded with a $(b,parse) error and the stream resyncs at \
+                the next newline.")
+  in
+  let deadline_ms_t =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline in milliseconds (0 = none); a \
+                request's own $(b,deadline_ms) field overrides it.")
+  in
+  let stdio_flag_t =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Speak the protocol on stdin/stdout (the default endpoint; \
+                for tests and pipelines).")
+  in
+  let metrics_flag_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect Prometheus metrics for the protocol's $(b,metrics) \
+                verb (implied by $(b,--metrics-out)).")
+  in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record spans (one per request, plus the engine's) and write \
+                a Chrome trace-event JSON file at shutdown.")
+  in
+  let metrics_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry in Prometheus text exposition \
+                format at shutdown (scrape the $(b,metrics) verb for live \
+                values).")
+  in
+  let span_sample_rate_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "span-sample-rate" ] ~docv:"R"
+          ~doc:"Fraction of per-task spans to record, in [0,1].")
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:"Run the resident detection daemon: load the PoC repository \
+             once, keep its prepared DTW summaries warm, and answer \
+             newline-framed JSON requests (detect/screen/stats/metrics/\
+             reload/ping/shutdown) over stdio, a Unix socket or TCP.  \
+             Verdicts are bit-identical to `detect-batch`.  The wire \
+             protocol is specified in docs/SERVER.md.")
+    Term.(
+      const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
+      $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ config_file_t
+      $ queue_capacity_t $ max_line_t $ deadline_ms_t $ socket_t $ tcp_t
+      $ stdio_flag_t $ metrics_flag_t $ trace_out_t $ metrics_out_t
+      $ span_sample_rate_t)
+
+(* ---- client --------------------------------------------------------------------- *)
+
+(* Exit codes for protocol errors: the Err-taxonomy codes keep their CLI
+   meaning (1 usage, 2 runtime) and the server-lifecycle codes (busy,
+   deadline, unavailable) get 3 — "retry later", distinguishable in scripts. *)
+let exit_of_error_code = function
+  | "invalid_config" | "empty_repository" | "bad_request" -> 1
+  | "busy" | "deadline" | "unavailable" -> 3
+  | _ -> 2 (* parse, io, internal *)
+
+let client_cmd =
+  let module J = Scaguard.Server.Json in
+  let connect ~socket ~tcp =
+    let sys_io path f =
+      match f () with
+      | fd -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Scaguard.Err.Io { path; msg = Unix.error_message e })
+    in
+    match (socket, tcp) with
+    | Some path, None ->
+      sys_io path (fun () ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          try
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            fd
+          with e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
+    | None, Some hp ->
+      let* host, port = parse_hostport hp in
+      sys_io hp (fun () ->
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.connect fd (Unix.ADDR_INET (addr, port));
+            fd
+          with e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
+    | _ ->
+      Error
+        (Scaguard.Err.Invalid_config
+           {
+             field = "--socket/--tcp";
+             value = "(both or neither)";
+             expected = "exactly one endpoint";
+           })
+  in
+  let build_request ~op ~targets ~seed ~deadline_ms ~no_stream ~path =
+    let need_targets body =
+      if targets = [] then
+        Error
+          (Scaguard.Err.Invalid_config
+             {
+               field = "TARGET";
+               value = "(none)";
+               expected = "at least one program name (see `scaguard list`)";
+             })
+      else Ok body
+    in
+    let* body =
+      match op with
+      | "detect" ->
+        need_targets
+          ([
+             ("targets", J.List (List.map (fun t -> J.Str t) targets));
+             ("seed", J.Num (float_of_int seed));
+           ]
+          @ if no_stream then [ ("stream", J.Bool false) ] else [])
+      | "screen" ->
+        need_targets
+          [
+            ("targets", J.List (List.map (fun t -> J.Str t) targets));
+            ("seed", J.Num (float_of_int seed));
+          ]
+      | "stats" | "metrics" | "ping" | "shutdown" -> Ok []
+      | "reload" -> (
+        match path with
+        | Some p -> Ok [ ("path", J.Str p) ]
+        | None -> Ok [])
+      | other ->
+        Error
+          (Scaguard.Err.Invalid_config
+             {
+               field = "VERB";
+               value = other;
+               expected =
+                 "detect, screen, stats, metrics, reload, ping or shutdown";
+             })
+    in
+    let deadline =
+      match deadline_ms with
+      | Some d -> [ ("deadline_ms", J.Num (float_of_int d)) ]
+      | None -> []
+    in
+    Ok (J.Obj ((("id", J.Num 1.0) :: ("op", J.Str op) :: body) @ deadline))
+  in
+  (* One reply frame -> terminal output.  Verdict events print in
+     detect-batch's exact format so CI can diff the two outputs. *)
+  let render frame =
+    match J.member "event" frame with
+    | Some (J.Str "verdict") -> begin
+      let str k = match J.member k frame with Some (J.Str s) -> s | _ -> "" in
+      let num k = match J.member k frame with Some (J.Num f) -> f | _ -> 0.0 in
+      let target = str "target" and score = num "score" in
+      (match J.member "attack" frame with
+      | Some (J.Bool true) ->
+        Printf.printf "%-24s ATTACK %-6s (%6.2f%%)\n" target (str "family")
+          (100.0 *. score)
+      | _ ->
+        Printf.printf "%-24s benign        (best %6.2f%%)\n" target
+          (100.0 *. score));
+      `Continue
+    end
+    | Some _ -> `Continue
+    | None -> (
+      match J.member "ok" frame with
+      | Some (J.Bool true) -> begin
+        (match J.member "op" frame with
+        | Some (J.Str "metrics") -> begin
+          match J.member "body" frame with
+          | Some (J.Str body) -> print_string body
+          | _ -> ()
+        end
+        | Some (J.Str ("detect" | "ping")) -> ()
+        | _ -> print_endline (J.to_string frame));
+        `Done 0
+      end
+      | _ -> begin
+        let code, message =
+          match J.member "error" frame with
+          | Some err ->
+            ( (match J.member "code" err with Some (J.Str c) -> c | _ -> "internal"),
+              match J.member "message" err with Some (J.Str m) -> m | _ -> "?" )
+          | None -> ("internal", "malformed reply frame")
+        in
+        Printf.eprintf "scaguard client: %s (%s)\n" message code;
+        `Done (exit_of_error_code code)
+      end)
+  in
+  let run socket tcp seed deadline_ms no_stream reload_path op targets =
+    let result =
+      let* request =
+        build_request ~op ~targets ~seed ~deadline_ms ~no_stream
+          ~path:reload_path
+      in
+      let* fd = connect ~socket ~tcp in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let line = J.to_string request ^ "\n" in
+      match
+        output_string oc line;
+        flush oc;
+        let rec read_replies () =
+          match input_line ic with
+          | exception End_of_file ->
+            Printf.eprintf "scaguard client: server closed the connection\n";
+            2
+          | reply -> (
+            match J.parse reply with
+            | Error msg ->
+              Printf.eprintf "scaguard client: unparseable reply: %s\n" msg;
+              2
+            | Ok frame -> (
+              match render frame with
+              | `Continue -> read_replies ()
+              | `Done code -> code))
+        in
+        read_replies ()
+      with
+      | code ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Ok code
+      | exception Sys_error msg ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Scaguard.Err.Io { path = "<connection>"; msg })
+    in
+    match result with
+    | Ok code -> code
+    | Error e ->
+      Printf.eprintf "scaguard: %s\n" (Scaguard.Err.to_string e);
+      Scaguard.Err.exit_code e
+  in
+  let deadline_ms_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Ask the server to abandon the request after MS milliseconds.")
+  in
+  let no_stream_t =
+    Arg.(
+      value & flag
+      & info [ "no-stream" ]
+          ~doc:"For $(b,detect): run the whole batch on the parallel engine \
+                and receive all verdicts at the end (identical frames).")
+  in
+  let reload_path_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "path" ] ~docv:"FILE"
+          ~doc:"For $(b,reload): the repository file to swap in (default: \
+                the file the server was started from).")
+  in
+  let verb_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:"Protocol request: $(b,detect), $(b,screen), $(b,stats), \
+                $(b,metrics), $(b,reload), $(b,ping) or $(b,shutdown).")
+  in
+  let targets_t =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"TARGET"
+          ~doc:"Programs to classify (for detect/screen; see `list`).")
+  in
+  Cmd.v
+    (cmd_info "client"
+       ~doc:"Send one request to a running `scaguard serve` and render the \
+             reply: detect prints verdicts in `detect-batch`'s format, \
+             metrics prints the Prometheus exposition, other verbs print \
+             the reply frame.  Exit 3 means \"retry later\" (busy, \
+             deadline, or a draining server).")
+    Term.(
+      const run $ socket_t $ tcp_t $ seed_t $ deadline_ms_t $ no_stream_t
+      $ reload_path_t $ verb_t $ targets_t)
+
 (* ---- main ----------------------------------------------------------------------- *)
 
 let () =
@@ -1029,5 +1467,5 @@ let () =
             list_cmd; leak_cmd; model_cmd; compare_cmd; detect_cmd;
             detect_batch_cmd; build_repo_cmd; migrate_repo_cmd; detect_file_cmd;
             dot_cmd; compile_cmd; assemble_cmd; disasm_cmd; detect_binary_cmd;
-            heatmap_cmd; export_dataset_cmd; scadet_cmd;
+            heatmap_cmd; export_dataset_cmd; scadet_cmd; serve_cmd; client_cmd;
           ]))

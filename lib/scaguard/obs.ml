@@ -479,6 +479,39 @@ module Metrics = struct
       ~help:"Wall-clock latency of one pipeline stage."
       ~labels:[ ("stage", stage) ] ~buckets:latency_buckets
       "scaguard_stage_seconds"
+
+  (* -- the serve daemon (Scaguard.Server) -------------------------------- *)
+
+  let server_requests_total ~op =
+    Registry.counter default
+      ~help:"Requests the serve daemon completed, by protocol verb."
+      ~labels:[ ("op", op) ] "scaguard_server_requests_total"
+
+  let server_rejected_total ~reason =
+    Registry.counter default
+      ~help:
+        "Requests the serve daemon rejected without executing them: \
+         queue-full backpressure (busy), expired deadlines (deadline), \
+         drain-phase refusals (unavailable), unparseable frames (parse)."
+      ~labels:[ ("reason", reason) ] "scaguard_server_rejected_total"
+
+  let server_queue_depth =
+    Registry.gauge default
+      ~help:"Requests currently waiting in the serve daemon's bounded queue."
+      "scaguard_server_queue_depth"
+
+  let server_streamed_verdicts_total =
+    Registry.counter default
+      ~help:"Verdict frames the serve daemon streamed back to clients."
+      "scaguard_server_streamed_verdicts_total"
+
+  let server_request_seconds ~op =
+    Registry.histogram default
+      ~help:
+        "End-to-end request latency in the serve daemon (arrival at the \
+         framer to final reply frame), by protocol verb."
+      ~labels:[ ("op", op) ] ~buckets:latency_buckets
+      "scaguard_server_request_seconds"
 end
 
 let snapshot () = Registry.snapshot default

@@ -214,6 +214,33 @@ module Metrics : sig
 
   val stage_seconds : stage:string -> Registry.histogram
   (** Create-or-get the [scaguard_stage_seconds{stage="..."}] histogram. *)
+
+  (** {2 Serve-daemon metrics}
+
+      Bumped by {!Server} when [metrics ()] is on; exported to clients by
+      the protocol's [metrics] verb (see [docs/SERVER.md]). *)
+
+  val server_requests_total : op:string -> Registry.counter
+  (** Create-or-get [scaguard_server_requests_total{op="..."}] — requests
+      completed (successfully or with an execution error), by verb. *)
+
+  val server_rejected_total : reason:string -> Registry.counter
+  (** Create-or-get [scaguard_server_rejected_total{reason="..."}] —
+      requests refused without execution: [busy] (queue full), [deadline]
+      (expired while queued), [unavailable] (arrived during drain), [parse]
+      (unparseable frame). *)
+
+  val server_queue_depth : Registry.gauge
+  (** [scaguard_server_queue_depth] — requests waiting in the bounded
+      queue right now. *)
+
+  val server_streamed_verdicts_total : Registry.counter
+  (** [scaguard_server_streamed_verdicts_total] — verdict frames streamed
+      back to clients. *)
+
+  val server_request_seconds : op:string -> Registry.histogram
+  (** Create-or-get [scaguard_server_request_seconds{op="..."}] — request
+      latency from arrival at the framer to the final reply frame. *)
 end
 
 (** {1 Export} *)

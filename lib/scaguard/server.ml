@@ -1,0 +1,1225 @@
+(* The resident streaming detection daemon behind `scaguard serve`.
+
+   Layering (bottom up): Json (strict parse + compact print), Framer
+   (newline framing with a hard line ceiling), the protocol types
+   (parse_request / frame builders), then the server core — a bounded
+   request queue drained by a single thread, so requests execute strictly
+   in arrival order and `reload` can never race an in-flight detection.
+   The transports (stdio / Unix socket / TCP) are thin pump loops over
+   connect/feed/step.  docs/SERVER.md is the normative wire spec; keep the
+   two in lockstep. *)
+
+(* ---- JSON ------------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Fail of int * string
+
+  let max_depth = 64
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+        | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail "invalid literal"
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = ref 0 in
+      for _ = 1 to 4 do
+        let d =
+          match s.[!pos] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+          | _ -> fail "bad hex digit in \\u escape"
+        in
+        v := (!v lsl 4) lor d;
+        advance ()
+      done;
+      !v
+    in
+    let add_utf8 b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        if c = '"' then begin
+          advance ();
+          Buffer.contents b
+        end
+        else if c = '\\' then begin
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+            let cp = hex4 () in
+            if cp >= 0xD800 && cp <= 0xDBFF then
+              (* high surrogate: the low half must follow *)
+              if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                pos := !pos + 2;
+                let lo = hex4 () in
+                if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired surrogate";
+                add_utf8 b (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+              end
+              else fail "unpaired surrogate"
+            else if cp >= 0xDC00 && cp <= 0xDFFF then fail "unpaired surrogate"
+            else add_utf8 b cp
+          | _ -> fail "invalid escape");
+          go ()
+        end
+        else if Char.code c < 0x20 then fail "raw control character in string"
+        else begin
+          Buffer.add_char b c;
+          advance ();
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      let digits () =
+        let d0 = !pos in
+        while
+          !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+        do
+          advance ()
+        done;
+        if !pos = d0 then fail "malformed number"
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        advance ();
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ());
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f when Float.is_finite f -> f
+      | _ -> fail "malformed number"
+    in
+    let rec parse_value depth =
+      if depth >= max_depth then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elems [])
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> Num (parse_number ())
+      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+    in
+    match
+      let v = parse_value 0 in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Fail (p, msg) -> Error (Printf.sprintf "%s at byte %d" msg p)
+
+  (* Integral numbers (ids, counts) print as integers; everything else as
+     %.17g, which round-trips float64 exactly — verdict scores survive the
+     wire bit for bit. *)
+  let num_to_string f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f <= 9007199254740992.0 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec to_buf b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num f -> Buffer.add_string b (num_to_string f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (Obs.Json.escape s);
+      Buffer.add_char b '"'
+    | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buf b v)
+        l;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (Obs.Json.escape k);
+          Buffer.add_string b "\":";
+          to_buf b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    to_buf b v;
+    Buffer.contents b
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* ---- framing ---------------------------------------------------------------- *)
+
+module Framer = struct
+  type frame = Line of string | Overflow of { dropped : int }
+
+  type t = {
+    max_line : int;
+    buf : Buffer.t;
+    mutable skipping : bool;  (* discarding an oversized line until '\n' *)
+    mutable skipped : int;
+  }
+
+  let create ?(max_line = 1 lsl 20) () =
+    if max_line < 1 then
+      invalid_arg (Printf.sprintf "Framer.create: max_line %d < 1" max_line);
+    { max_line; buf = Buffer.create 256; skipping = false; skipped = 0 }
+
+  let buffered t = Buffer.length t.buf
+
+  let strip_cr s =
+    let l = String.length s in
+    if l > 0 && s.[l - 1] = '\r' then String.sub s 0 (l - 1) else s
+
+  let feed t chunk =
+    let frames = ref [] in
+    String.iter
+      (fun c ->
+        if t.skipping then
+          if c = '\n' then begin
+            frames := Overflow { dropped = t.skipped } :: !frames;
+            t.skipping <- false;
+            t.skipped <- 0
+          end
+          else t.skipped <- t.skipped + 1
+        else if c = '\n' then begin
+          frames := Line (strip_cr (Buffer.contents t.buf)) :: !frames;
+          Buffer.clear t.buf
+        end
+        else begin
+          Buffer.add_char t.buf c;
+          if Buffer.length t.buf > t.max_line then begin
+            t.skipped <- Buffer.length t.buf;
+            Buffer.clear t.buf;
+            t.skipping <- true
+          end
+        end)
+      chunk;
+    List.rev !frames
+
+  let eof t =
+    if t.skipping then begin
+      let dropped = t.skipped in
+      t.skipping <- false;
+      t.skipped <- 0;
+      Some (Overflow { dropped })
+    end
+    else if Buffer.length t.buf > 0 then begin
+      let line = strip_cr (Buffer.contents t.buf) in
+      Buffer.clear t.buf;
+      Some (Line line)
+    end
+    else None
+end
+
+(* ---- protocol --------------------------------------------------------------- *)
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Invalid_config
+  | Io
+  | Empty_repository
+  | Busy
+  | Deadline
+  | Unavailable
+  | Internal
+
+let error_code_to_string = function
+  | Parse_error -> "parse"
+  | Bad_request -> "bad_request"
+  | Invalid_config -> "invalid_config"
+  | Io -> "io"
+  | Empty_repository -> "empty_repository"
+  | Busy -> "busy"
+  | Deadline -> "deadline"
+  | Unavailable -> "unavailable"
+  | Internal -> "internal"
+
+let error_code_of_err = function
+  | Err.Parse _ -> Parse_error
+  | Err.Io _ -> Io
+  | Err.Invalid_config _ -> Invalid_config
+  | Err.Empty_repository -> Empty_repository
+
+type request_body =
+  | Detect of { targets : string list; seed : int; stream : bool }
+  | Screen of { targets : string list; seed : int }
+  | Stats
+  | Metrics
+  | Reload of { path : string option }
+  | Ping
+  | Shutdown
+
+type request = { id : Json.t; body : request_body; deadline_ms : int option }
+
+let verb = function
+  | Detect _ -> "detect"
+  | Screen _ -> "screen"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Reload _ -> "reload"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+type reject = { reject_id : Json.t; code : error_code; message : string }
+
+let default_seed = 2026
+
+(* ids must survive the echo exactly, so only integral numbers (within the
+   float53 exact range) and strings qualify *)
+let integral f = Float.is_integer f && Float.abs f <= 9007199254740992.0
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg ->
+    Error
+      { reject_id = Json.Null; code = Parse_error; message = "invalid JSON: " ^ msg }
+  | Ok (Json.Obj _ as j) -> begin
+    let id_res =
+      match Json.member "id" j with
+      | Some (Json.Num f) when integral f -> Ok (Json.Num f)
+      | Some (Json.Str s) -> Ok (Json.Str s)
+      | Some _ -> Error "\"id\" must be an integer or a string"
+      | None -> Error "missing \"id\""
+    in
+    match id_res with
+    | Error message -> Error { reject_id = Json.Null; code = Bad_request; message }
+    | Ok id -> begin
+      let ( let* ) r f =
+        match r with
+        | Ok v -> f v
+        | Error message -> Error { reject_id = id; code = Bad_request; message }
+      in
+      let ( let& ) = Result.bind in
+      let int_field key =
+        match Json.member key j with
+        | None -> Ok None
+        | Some (Json.Num f) when integral f -> Ok (Some (int_of_float f))
+        | Some _ -> Error (Printf.sprintf "%S must be an integer" key)
+      in
+      let* op =
+        match Json.member "op" j with
+        | Some (Json.Str s) -> Ok s
+        | Some _ -> Error "\"op\" must be a string"
+        | None -> Error "missing \"op\""
+      in
+      let* deadline_ms =
+        match int_field "deadline_ms" with
+        | Ok (Some d) when d < 0 ->
+          Error "\"deadline_ms\" must be a non-negative integer"
+        | r -> r
+      in
+      let* seed =
+        Result.map (Option.value ~default:default_seed) (int_field "seed")
+      in
+      let targets () =
+        match Json.member "targets" j with
+        | Some (Json.List (_ :: _ as l)) ->
+          let rec strings acc = function
+            | [] -> Ok (List.rev acc)
+            | Json.Str s :: rest -> strings (s :: acc) rest
+            | _ -> Error "\"targets\" must be a non-empty array of strings"
+          in
+          strings [] l
+        | Some _ | None -> Error "\"targets\" must be a non-empty array of strings"
+      in
+      let* body =
+        match op with
+        | "detect" ->
+          let& targets = targets () in
+          let& stream =
+            match Json.member "stream" j with
+            | None -> Ok true
+            | Some (Json.Bool v) -> Ok v
+            | Some _ -> Error "\"stream\" must be a boolean"
+          in
+          Ok (Detect { targets; seed; stream })
+        | "screen" ->
+          let& targets = targets () in
+          Ok (Screen { targets; seed })
+        | "stats" -> Ok Stats
+        | "metrics" -> Ok Metrics
+        | "reload" ->
+          let& path =
+            match Json.member "path" j with
+            | None -> Ok None
+            | Some (Json.Str s) -> Ok (Some s)
+            | Some _ -> Error "\"path\" must be a string"
+          in
+          Ok (Reload { path })
+        | "ping" -> Ok Ping
+        | "shutdown" -> Ok Shutdown
+        | other ->
+          Error
+            (Printf.sprintf
+               "unknown op %S: expected detect, screen, stats, metrics, \
+                reload, ping or shutdown"
+               other)
+      in
+      Ok { id; body; deadline_ms }
+    end
+  end
+  | Ok _ ->
+    Error
+      {
+        reject_id = Json.Null;
+        code = Bad_request;
+        message = "request must be a JSON object";
+      }
+
+(* ---- server core ------------------------------------------------------------- *)
+
+type resolve = seed:int -> string -> (Pipeline.job, Err.t) result
+
+type conn = {
+  cid : int;
+  framer : Framer.t;
+  mutable emit : (string -> unit) option;
+}
+
+type item = {
+  iconn : conn;
+  req : request;
+  arrival_ns : int64;
+  deadline : Sutil.Deadline.t;
+}
+
+(* Per-request latencies for the stats verb's exact quantiles: a ring of the
+   last [lat_window] request durations (seconds). *)
+let lat_window = 4096
+
+type t = {
+  config : Config.t;
+  resolve : resolve;
+  mutable prepared : Detector.prepared;
+  mutable repo_path : string option;
+  queue : item Sutil.Bqueue.t;
+  max_line : int;
+  default_deadline_ms : int;
+  start_ns : int64;
+  mutable served_ : int;
+  mutable built : int;
+  mutable reloads : int;
+  by_op : (string, int ref) Hashtbl.t;
+  rejected : (string, int ref) Hashtbl.t;
+  mutable eng_targets : int;
+  mutable eng_pairs : int;
+  mutable eng_cells : int;
+  mutable eng_pruned_lb : int;
+  mutable eng_abandoned : int;
+  mutable eng_cells_saved : int;
+  lat : float array;
+  mutable lat_n : int;
+  mutable draining_ : bool;
+  mutable acks : (conn * Json.t) list;  (* shutdown acks owed at drain end *)
+  mutable next_cid : int;
+}
+
+let ( let* ) = Result.bind
+
+let create ~config ~resolve ~prepared ?repo_path ?(queue_capacity = 64)
+    ?(max_line = 1 lsl 20) ?(default_deadline_ms = 0) () =
+  let* config = Config.validate config in
+  let knob field value expected =
+    Error (Err.Invalid_config { field; value = string_of_int value; expected })
+  in
+  if Detector.prepared_size prepared = 0 then Error Err.Empty_repository
+  else if queue_capacity < 1 then
+    knob "queue_capacity" queue_capacity "a positive request count"
+  else if max_line < 1 then knob "max_line" max_line "a positive byte count"
+  else if default_deadline_ms < 0 then
+    knob "default_deadline_ms" default_deadline_ms
+      "a non-negative millisecond count (0 = no deadline)"
+  else
+    Ok
+      {
+        config;
+        resolve;
+        prepared;
+        repo_path;
+        queue = Sutil.Bqueue.create ~capacity:queue_capacity;
+        max_line;
+        default_deadline_ms;
+        start_ns = Obs.Clock.now_ns ();
+        served_ = 0;
+        built = 0;
+        reloads = 0;
+        by_op = Hashtbl.create 8;
+        rejected = Hashtbl.create 8;
+        eng_targets = 0;
+        eng_pairs = 0;
+        eng_cells = 0;
+        eng_pruned_lb = 0;
+        eng_abandoned = 0;
+        eng_cells_saved = 0;
+        lat = Array.make lat_window 0.0;
+        lat_n = 0;
+        draining_ = false;
+        acks = [];
+        next_cid = 0;
+      }
+
+let pending t = Sutil.Bqueue.length t.queue
+let draining t = t.draining_
+let served t = t.served_
+let uptime_s t = Obs.Clock.elapsed_s ~since:t.start_ns
+
+let connect t ~emit =
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  { cid; framer = Framer.create ~max_line:t.max_line (); emit = Some emit }
+
+let disconnect _t conn = conn.emit <- None
+
+(* ---- frame builders ----- *)
+
+let jint i = Json.Num (float_of_int i)
+
+let emit_frame conn json =
+  match conn.emit with None -> () | Some f -> f (Json.to_string json)
+
+let frame_error ?(extras = []) ~id code message =
+  Json.Obj
+    ([
+       ("id", id);
+       ("ok", Json.Bool false);
+       ( "error",
+         Json.Obj
+           [
+             ("code", Json.Str (error_code_to_string code));
+             ("message", Json.Str message);
+           ] );
+     ]
+    @ extras)
+
+let verdict_frame ~id ~target (v : Detector.verdict) =
+  Json.Obj
+    [
+      ("id", id);
+      ("event", Json.Str "verdict");
+      ("target", Json.Str target);
+      ("attack", Json.Bool (v.Detector.best_family <> None));
+      ( "family",
+        match v.Detector.best_family with
+        | Some f -> Json.Str f
+        | None -> Json.Null );
+      ("score", Json.Num v.Detector.best_score);
+      ( "matches",
+        Json.List
+          (List.map
+             (fun (poc, family, score) ->
+               Json.Obj
+                 [
+                   ("poc", Json.Str poc);
+                   ("family", Json.Str family);
+                   ("score", Json.Num score);
+                 ])
+             v.Detector.best_matches) );
+    ]
+
+(* ---- counters ----- *)
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let set_queue_gauge t =
+  if Obs.metrics () then
+    Obs.Registry.set_gauge Obs.Metrics.server_queue_depth
+      (float_of_int (Sutil.Bqueue.length t.queue))
+
+let note_rejected t reason =
+  bump t.rejected reason;
+  if Obs.metrics () then
+    Obs.Registry.incr (Obs.Metrics.server_rejected_total ~reason)
+
+let accumulate t (report : Service.report) =
+  t.built <- t.built + report.Service.built;
+  match report.Service.engine with
+  | None -> ()
+  | Some (s : Engine.stats) ->
+    t.eng_targets <- t.eng_targets + s.Engine.targets;
+    t.eng_pairs <- t.eng_pairs + s.Engine.pairs;
+    t.eng_cells <- t.eng_cells + s.Engine.cells;
+    t.eng_pruned_lb <- t.eng_pruned_lb + s.Engine.pairs_pruned_lb;
+    t.eng_abandoned <- t.eng_abandoned + s.Engine.pairs_abandoned;
+    t.eng_cells_saved <- t.eng_cells_saved + s.Engine.cells_saved
+
+(* ---- request execution ----- *)
+
+(* The CLI's salt policy, replicated so serve verdicts reproduce
+   detect-batch's bit for bit: a CLI-derived salt never clobbers one the
+   operator set in the config. *)
+let salted t seed =
+  if t.config.Config.salt = "" then
+    { t.config with Config.salt = string_of_int seed }
+  else t.config
+
+let err_frame ?extras ~id e = frame_error ?extras ~id (error_code_of_err e) (Err.to_string e)
+
+let wall_ms ~arrival_ns =
+  Int64.to_float (Obs.Clock.elapsed_ns ~since:arrival_ns) /. 1e6
+
+let resolve_all t ~seed targets =
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | name :: rest -> (
+      match t.resolve ~seed name with
+      | Ok job -> go (job :: acc) rest
+      | Error e -> Error (name, e))
+  in
+  go [] targets
+
+let do_detect t conn ~id ~arrival_ns ~deadline ~targets ~seed ~stream =
+  let config = salted t seed in
+  let total = List.length targets in
+  let attacks = ref 0 in
+  let emit_verdict target v =
+    if v.Detector.best_family <> None then incr attacks;
+    emit_frame conn (verdict_frame ~id ~target v);
+    if Obs.metrics () then
+      Obs.Registry.incr Obs.Metrics.server_streamed_verdicts_total
+  in
+  let progress completed =
+    [ ("completed", jint completed); ("targets", jint total) ]
+  in
+  let finish completed =
+    emit_frame conn
+      (Json.Obj
+         [
+           ("id", id);
+           ("ok", Json.Bool true);
+           ("op", Json.Str "detect");
+           ("targets", jint total);
+           ("completed", jint completed);
+           ("attacks", jint !attacks);
+           ("wall_ms", Json.Num (wall_ms ~arrival_ns));
+         ])
+  in
+  if stream then begin
+    (* One engine run per target so each verdict streams out the moment it
+       is ready, with a cancellation point between targets.  Per-target
+       batches are bit-identical to one big batch (the engine's standing
+       sequential-identity invariant), so streaming costs no fidelity. *)
+    let rec go completed = function
+      | [] -> finish completed
+      | name :: rest ->
+        if Sutil.Deadline.expired ~now_ns:(Obs.Clock.now_ns ()) deadline then
+          emit_frame conn
+            (frame_error ~extras:(progress completed) ~id Deadline
+               (Printf.sprintf
+                  "deadline expired after %d of %d targets: remaining targets \
+                   cancelled"
+                  completed total))
+        else begin
+          match t.resolve ~seed name with
+          | Error e ->
+            emit_frame conn (err_frame ~extras:(progress completed) ~id e)
+          | Ok job -> (
+            match Service.screen_prepared config t.prepared [| job |] with
+            | Error e ->
+              emit_frame conn (err_frame ~extras:(progress completed) ~id e)
+            | Ok (_models, verdicts, report) ->
+              accumulate t report;
+              emit_verdict name verdicts.(0);
+              go (completed + 1) rest)
+        end
+    in
+    go 0 targets
+  end
+  else begin
+    (* Unstreamed: the whole batch fans over the parallel engine; one
+       deadline check up front (the batch is not interruptible). *)
+    match resolve_all t ~seed targets with
+    | Error (name, e) ->
+      emit_frame conn
+        (err_frame ~extras:(("target", Json.Str name) :: progress 0) ~id e)
+    | Ok jobs -> (
+      match Service.screen_prepared config t.prepared jobs with
+      | Error e -> emit_frame conn (err_frame ~extras:(progress 0) ~id e)
+      | Ok (_models, verdicts, report) ->
+        accumulate t report;
+        List.iteri (fun i name -> emit_verdict name verdicts.(i)) targets;
+        finish total)
+  end
+
+let do_screen t conn ~id ~arrival_ns ~targets ~seed =
+  let config = salted t seed in
+  match resolve_all t ~seed targets with
+  | Error (name, e) ->
+    emit_frame conn (err_frame ~extras:[ ("target", Json.Str name) ] ~id e)
+  | Ok jobs -> (
+    match Service.screen_prepared config t.prepared jobs with
+    | Error e -> emit_frame conn (err_frame ~id e)
+    | Ok (_models, verdicts, report) ->
+      accumulate t report;
+      let attack_targets =
+        List.filteri
+          (fun i _ -> verdicts.(i).Detector.best_family <> None)
+          targets
+      in
+      emit_frame conn
+        (Json.Obj
+           [
+             ("id", id);
+             ("ok", Json.Bool true);
+             ("op", Json.Str "screen");
+             ("targets", jint (List.length targets));
+             ("attacks", jint (List.length attack_targets));
+             ( "attack_targets",
+               Json.List (List.map (fun n -> Json.Str n) attack_targets) );
+             ("wall_ms", Json.Num (wall_ms ~arrival_ns));
+           ]))
+
+let stats_frame t ~id =
+  let sorted tbl =
+    List.sort compare (Hashtbl.fold (fun k r acc -> (k, jint !r) :: acc) tbl [])
+  in
+  let lats =
+    Array.to_list (Array.sub t.lat 0 (min t.lat_n lat_window))
+  in
+  let pct p = Json.Num (1e3 *. Sutil.Stats.percentile p lats) in
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("op", Json.Str "stats");
+      ("uptime_s", Json.Num (uptime_s t));
+      ( "repository",
+        Json.Obj
+          [
+            ("models", jint (Detector.prepared_size t.prepared));
+            ( "path",
+              match t.repo_path with Some p -> Json.Str p | None -> Json.Null );
+            ("reloads", jint t.reloads);
+          ] );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", jint (Sutil.Bqueue.length t.queue));
+            ("capacity", jint (Sutil.Bqueue.capacity t.queue));
+          ] );
+      ( "requests",
+        Json.Obj
+          [
+            ("completed", jint t.served_);
+            ("by_op", Json.Obj (sorted t.by_op));
+            ("rejected", Json.Obj (sorted t.rejected));
+          ] );
+      ( "engine",
+        Json.Obj
+          [
+            ("models_built", jint t.built);
+            ("targets", jint t.eng_targets);
+            ("pairs", jint t.eng_pairs);
+            ("cells", jint t.eng_cells);
+            ("pairs_pruned_lb", jint t.eng_pruned_lb);
+            ("pairs_abandoned", jint t.eng_abandoned);
+            ("cells_saved", jint t.eng_cells_saved);
+          ] );
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("count", jint t.lat_n);
+            ("window", jint (min t.lat_n lat_window));
+            ("p50", pct 0.50);
+            ("p90", pct 0.90);
+            ("p99", pct 0.99);
+            ("max", Json.Num (1e3 *. Sutil.Stats.maximum lats));
+          ] );
+    ]
+
+let metrics_frame t ~id =
+  set_queue_gauge t;
+  let body = Obs.Registry.to_prometheus (Obs.snapshot ()) in
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("op", Json.Str "metrics");
+      ("content_type", Json.Str "text/plain; version=0.0.4");
+      ("body", Json.Str body);
+    ]
+
+let do_reload t conn ~id ~arrival_ns ~path =
+  let path =
+    match (path, t.repo_path) with
+    | Some p, _ | None, Some p -> Ok p
+    | None, None ->
+      Error
+        (Err.Invalid_config
+           {
+             field = "path";
+             value = "(absent)";
+             expected =
+               "a repository file path (the server was not started from one)";
+           })
+  in
+  match path with
+  | Error e -> emit_frame conn (err_frame ~id e)
+  | Ok path -> (
+    match Service.load_repository ~path with
+    | Error e -> emit_frame conn (err_frame ~id e)
+    | Ok (_repo, prep, _report) ->
+      if Detector.prepared_size prep = 0 then
+        emit_frame conn
+          (frame_error ~id Empty_repository
+             (Printf.sprintf
+                "%s holds no models: keeping the current repository" path))
+      else begin
+        (* the swap is the only mutation, and it happens between requests —
+           everything queued before this reload already ran on the old
+           repository, everything after runs on the new one *)
+        t.prepared <- prep;
+        t.repo_path <- Some path;
+        t.reloads <- t.reloads + 1;
+        emit_frame conn
+          (Json.Obj
+             [
+               ("id", id);
+               ("ok", Json.Bool true);
+               ("op", Json.Str "reload");
+               ("path", Json.Str path);
+               ("models", jint (Detector.prepared_size prep));
+               ("wall_ms", Json.Num (wall_ms ~arrival_ns));
+             ])
+      end)
+
+let shutdown_ack t ~id =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("op", Json.Str "shutdown");
+      ("served", jint t.served_);
+      ("uptime_s", Json.Num (uptime_s t));
+    ]
+
+let execute t { iconn; req; arrival_ns; deadline } =
+  let now = Obs.Clock.now_ns () in
+  if Sutil.Deadline.expired ~now_ns:now deadline then begin
+    emit_frame iconn
+      (frame_error ~id:req.id Deadline
+         "deadline expired while the request was queued");
+    note_rejected t "deadline"
+  end
+  else begin
+    let op = verb req.body in
+    let id = req.id in
+    (try
+       match req.body with
+       | Ping ->
+         emit_frame iconn
+           (Json.Obj
+              [ ("id", id); ("ok", Json.Bool true); ("op", Json.Str "ping") ])
+       | Stats -> emit_frame iconn (stats_frame t ~id)
+       | Metrics -> emit_frame iconn (metrics_frame t ~id)
+       | Reload { path } -> do_reload t iconn ~id ~arrival_ns ~path
+       | Shutdown ->
+         t.draining_ <- true;
+         t.acks <- (iconn, id) :: t.acks
+       | Detect { targets; seed; stream } ->
+         do_detect t iconn ~id ~arrival_ns ~deadline ~targets ~seed ~stream
+       | Screen { targets; seed } ->
+         do_screen t iconn ~id ~arrival_ns ~targets ~seed
+     with exn ->
+       (* a hostile or buggy request must never take the daemon down *)
+       emit_frame iconn
+         (frame_error ~id Internal
+            ("unexpected exception: " ^ Printexc.to_string exn)));
+    t.served_ <- t.served_ + 1;
+    bump t.by_op op;
+    let dur_ns = Obs.Clock.elapsed_ns ~since:arrival_ns in
+    let dur_s = Obs.Clock.ns_to_s dur_ns in
+    t.lat.(t.lat_n mod lat_window) <- dur_s;
+    t.lat_n <- t.lat_n + 1;
+    if Obs.metrics () then begin
+      Obs.Registry.incr (Obs.Metrics.server_requests_total ~op);
+      Obs.Registry.observe (Obs.Metrics.server_request_seconds ~op) dur_s
+    end;
+    if Obs.tracing () then
+      Obs.emit_span ~cat:"server" ~name:("request:" ^ op) ~ts_ns:arrival_ns
+        ~dur_ns
+        ~args:[ ("op", op); ("id", Json.to_string req.id) ]
+        ()
+  end
+
+(* ---- feed / step ----- *)
+
+let handle_frame t conn = function
+  | Framer.Overflow { dropped } ->
+    note_rejected t "parse";
+    emit_frame conn
+      (frame_error ~id:Json.Null Parse_error
+         (Printf.sprintf "frame exceeds %d bytes (%d bytes dropped)" t.max_line
+            dropped))
+  | Framer.Line "" -> ()  (* blank lines are keepalive noise *)
+  | Framer.Line line ->
+    if t.draining_ then begin
+      (* still parse, purely to echo the id back *)
+      let id =
+        match parse_request line with
+        | Ok req -> req.id
+        | Error r -> r.reject_id
+      in
+      note_rejected t "unavailable";
+      emit_frame conn
+        (frame_error ~id Unavailable
+           "server is draining after shutdown: request refused")
+    end
+    else begin
+      match parse_request line with
+      | Error r ->
+        note_rejected t (error_code_to_string r.code);
+        emit_frame conn (frame_error ~id:r.reject_id r.code r.message)
+      | Ok req ->
+        let arrival_ns = Obs.Clock.now_ns () in
+        let budget_ms = Option.value req.deadline_ms ~default:t.default_deadline_ms in
+        let deadline = Sutil.Deadline.after ~now_ns:arrival_ns ~budget_ms in
+        let item = { iconn = conn; req; arrival_ns; deadline } in
+        if Sutil.Bqueue.push t.queue item then set_queue_gauge t
+        else begin
+          (* explicit backpressure: the reply goes out now, ahead of all
+             queued work, so clients learn to back off immediately *)
+          note_rejected t "busy";
+          emit_frame conn
+            (frame_error ~id:req.id Busy
+               (Printf.sprintf
+                  "request queue full (%d queued, capacity %d): retry later"
+                  (Sutil.Bqueue.length t.queue)
+                  (Sutil.Bqueue.capacity t.queue)))
+        end
+    end
+
+let feed t conn chunk =
+  List.iter (handle_frame t conn) (Framer.feed conn.framer chunk)
+
+let feed_eof t conn =
+  match Framer.eof conn.framer with
+  | Some frame -> handle_frame t conn frame
+  | None -> ()
+
+let finish_drain t =
+  List.iter (fun (conn, id) -> emit_frame conn (shutdown_ack t ~id)) (List.rev t.acks);
+  t.acks <- [];
+  `Stop
+
+let step t =
+  match Sutil.Bqueue.pop t.queue with
+  | None -> if t.draining_ then finish_drain t else `Idle
+  | Some item ->
+    set_queue_gauge t;
+    execute t item;
+    `Worked
+
+let rec drain t =
+  match step t with
+  | `Worked -> drain t
+  | `Idle -> `Idle
+  | `Stop -> `Stop
+
+(* ---- transports -------------------------------------------------------------- *)
+
+type endpoint =
+  | Stdio
+  | Unix_socket of string
+  | Tcp of { host : string; port : int }
+
+let endpoint_to_string = function
+  | Stdio -> "stdio"
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let serve_channels t ~ic ~oc =
+  let conn_ref = ref None in
+  let emit line =
+    try
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ -> Option.iter (fun c -> disconnect t c) !conn_ref
+  in
+  let conn = connect t ~emit in
+  conn_ref := Some conn;
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    match drain t with
+    | `Stop -> Ok ()
+    | `Idle -> (
+      match input ic buf 0 (Bytes.length buf) with
+      | 0 ->
+        (* EOF: a trailing unterminated line still gets served, then the
+           queue drains and the loop exits *)
+        feed_eof t conn;
+        (match drain t with `Stop | `Idle -> ());
+        Ok ()
+      | n ->
+        feed t conn (Bytes.sub_string buf 0 n);
+        loop ()
+      | exception End_of_file ->
+        feed_eof t conn;
+        (match drain t with `Stop | `Idle -> ());
+        Ok ()
+      | exception Sys_error msg -> Error (Err.Io { path = "<stdio>"; msg }))
+  in
+  loop ()
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let serve_listener t listener ~cleanup =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let clients : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let close_client fd =
+    (match Hashtbl.find_opt clients fd with
+    | Some c -> disconnect t c
+    | None -> ());
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let accept_client () =
+    match Unix.accept listener with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      let conn_ref = ref None in
+      let emit line =
+        let s = line ^ "\n" in
+        try write_all fd s 0 (String.length s)
+        with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          (* dead peer: stop emitting, reap the fd *)
+          Option.iter (fun c -> disconnect t c) !conn_ref;
+          close_client fd
+      in
+      let conn = connect t ~emit in
+      conn_ref := Some conn;
+      Hashtbl.replace clients fd conn
+  in
+  let buf = Bytes.create 65536 in
+  let stop = ref false in
+  while not !stop do
+    let fds = listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    (* with work queued (or a drain to finish), poll instead of blocking so
+       queued requests keep executing between I/O bursts *)
+    let timeout = if pending t > 0 || draining t then 0.0 else 0.5 in
+    (match Unix.select fds [] [] timeout with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd == listener then accept_client ()
+          else
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> close_client fd
+            | n -> (
+              match Hashtbl.find_opt clients fd with
+              | Some conn -> feed t conn (Bytes.sub_string buf 0 n)
+              | None -> ())
+            | exception Unix.Unix_error ((ECONNRESET | EBADF | EPIPE), _, _) ->
+              close_client fd)
+        ready);
+    match step t with `Stop -> stop := true | `Worked | `Idle -> ()
+  done;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  cleanup ();
+  Ok ()
+
+let io_error path e = Error (Err.Io { path; msg = Unix.error_message e })
+
+let serve_unix t path =
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let bound =
+    match Unix.bind listener (Unix.ADDR_UNIX path) with
+    | () -> Ok ()
+    | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> begin
+      (* a socket file exists — live server, or debris from a crash?
+         probe it: connection refused means nobody is listening *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then
+        Error
+          (Err.Io { path; msg = "socket is in use by a live scaguard serve" })
+      else begin
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        match Unix.bind listener (Unix.ADDR_UNIX path) with
+        | () -> Ok ()
+        | exception Unix.Unix_error (e, _, _) -> io_error path e
+      end
+    end
+    | exception Unix.Unix_error (e, _, _) -> io_error path e
+  in
+  match bound with
+  | Error e ->
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    Error e
+  | Ok () ->
+    Unix.listen listener 64;
+    serve_listener t listener ~cleanup:(fun () ->
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let serve_tcp t host port =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> Ok a
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error
+          (Err.Io { path = host; msg = "cannot resolve host" })
+      | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0))
+  in
+  match addr with
+  | Error e -> Error e
+  | Ok addr -> (
+    let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listener Unix.SO_REUSEADDR true;
+    match Unix.bind listener (Unix.ADDR_INET (addr, port)) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      io_error (Printf.sprintf "%s:%d" host port) e
+    | () ->
+      Unix.listen listener 64;
+      serve_listener t listener ~cleanup:(fun () -> ()))
+
+let serve t endpoint =
+  match endpoint with
+  | Stdio -> serve_channels t ~ic:stdin ~oc:stdout
+  | Unix_socket path -> serve_unix t path
+  | Tcp { host; port } -> serve_tcp t host port

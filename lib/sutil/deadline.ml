@@ -1,0 +1,26 @@
+type t = int64 option  (* absolute instant in clock ns; None = never *)
+
+let none = None
+
+let after ~now_ns ~budget_ms =
+  if budget_ms <= 0 then None
+  else
+    let budget_ns = Int64.mul (Int64.of_int budget_ms) 1_000_000L in
+    (* saturate: a huge budget must mean "far future", not a wrapped past *)
+    let t = Int64.add now_ns budget_ns in
+    Some (if Int64.compare t now_ns < 0 then Int64.max_int else t)
+
+let is_none t = t = None
+
+let expired ~now_ns = function
+  | None -> false
+  | Some t -> Int64.compare now_ns t >= 0
+
+let remaining_ns ~now_ns = function
+  | None -> None
+  | Some t ->
+    let r = Int64.sub t now_ns in
+    Some (if Int64.compare r 0L < 0 then 0L else r)
+
+let remaining_ms ~now_ns t =
+  Option.map (fun ns -> Int64.to_float ns /. 1e6) (remaining_ns ~now_ns t)

@@ -1,0 +1,631 @@
+(* The serve daemon: strict JSON round-trips (including hostile input), the
+   newline framer's chunking/overflow/resync behavior, request parsing,
+   and the server core driven in-process — streamed verdicts bit-identical
+   to Service.screen_prepared, queue-full backpressure, deadline expiry,
+   reload not dropping queued requests, drain semantics, and the stdio
+   transport end to end. *)
+
+module SG = Scaguard
+module Server = Scaguard.Server
+module J = Scaguard.Server.Json
+module C = Scaguard.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* -- JSON ------------------------------------------------------------------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | J.Null, J.Null -> true
+  | J.Bool x, J.Bool y -> x = y
+  | J.Num x, J.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | J.Str x, J.Str y -> x = y
+  | J.List x, J.List y ->
+    List.length x = List.length y && List.for_all2 json_equal x y
+  | J.Obj x, J.Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (ka, va) (kb, vb) -> ka = kb && json_equal va vb)
+         x y
+  | _ -> false
+
+let json_gen =
+  let open QCheck.Gen in
+  (* printable-ish strings plus hostile characters the escaper must handle *)
+  let str_g =
+    string_size ~gen:(oneof [ printable; return '"'; return '\\'; return '\n'; return '\x01' ]) (0 -- 12)
+  in
+  let base =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun f -> J.Num f) (float_bound_inclusive 1000.0);
+        map (fun i -> J.Num (float_of_int i)) (-1000 -- 1000);
+        map (fun s -> J.Str s) str_g;
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then base
+      else
+        frequency
+          [
+            (3, base);
+            (1, map (fun l -> J.List l) (list_size (0 -- 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> J.Obj kvs)
+                (list_size (0 -- 4)
+                   (pair str_g (self (depth - 1)))) );
+          ])
+    3
+
+let test_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Json.to_string |> parse round-trips"
+    (QCheck.make json_gen) (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' -> json_equal v v'
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+let test_json_hostile () =
+  let rejects s = check_bool s true (Result.is_error (J.parse s)) in
+  rejects "";
+  rejects "{";
+  rejects "[1,2";
+  rejects "{\"a\":1,}";
+  rejects "nul";
+  rejects "truefalse";
+  rejects "1 2";
+  (* trailing garbage *)
+  rejects "\"ab\nc\"";
+  (* raw control character *)
+  rejects "\"\\ud800\"";
+  (* lone high surrogate *)
+  rejects "\"\\udc00 \"";
+  (* lone low surrogate *)
+  rejects "\"\\ud800\\u0041\"";
+  (* high surrogate without low half *)
+  rejects "1e999";
+  (* overflows to infinity: non-finite rejected *)
+  rejects "\"unterminated";
+  rejects "{\"a\" 1}";
+  (* 65 nested arrays exceed the depth limit *)
+  rejects (String.make 65 '[' ^ String.make 65 ']');
+  (* 64 levels are fine *)
+  check_bool "depth 64 accepted" true
+    (Result.is_ok (J.parse (String.make 64 '[' ^ String.make 64 ']')));
+  (* surrogate pairs decode to 4-byte UTF-8 *)
+  (match J.parse "\"\\ud83d\\ude00\"" with
+  | Ok (J.Str s) -> check_int "astral code point is 4 UTF-8 bytes" 4 (String.length s)
+  | _ -> Alcotest.fail "surrogate pair should parse");
+  (match J.parse "\" \\n\\t\\\\ \\u0041\"" with
+  | Ok (J.Str s) -> check_string "escapes decode" " \n\t\\ A" s
+  | _ -> Alcotest.fail "escapes should parse")
+
+let test_json_numbers () =
+  check_string "integral without point" "42" (J.to_string (J.Num 42.0));
+  check_string "negative integral" "-7" (J.to_string (J.Num (-7.0)));
+  check_bool "non-finite prints null" true
+    (J.to_string (J.Num Float.nan) = "null");
+  (* a non-integral float survives the wire bit for bit *)
+  let f = 0.5239381520119224 in
+  match J.parse (J.to_string (J.Num f)) with
+  | Ok (J.Num f') ->
+    check_bool "float round-trips exactly" true
+      (Int64.bits_of_float f = Int64.bits_of_float f')
+  | _ -> Alcotest.fail "number should parse"
+
+(* -- framer ----------------------------------------------------------------- *)
+
+let test_framer_chunks () =
+  let fr = Server.Framer.create () in
+  check_bool "partial line buffers" true (Server.Framer.feed fr "ab" = []);
+  check_int "buffered bytes" 2 (Server.Framer.buffered fr);
+  (match Server.Framer.feed fr "c\nde\r\nf" with
+  | [ Server.Framer.Line "abc"; Server.Framer.Line "de" ] -> ()
+  | _ -> Alcotest.fail "expected two lines, CR stripped");
+  (match Server.Framer.eof fr with
+  | Some (Server.Framer.Line "f") -> ()
+  | _ -> Alcotest.fail "eof flushes the last unterminated line");
+  check_bool "eof is then empty" true (Server.Framer.eof fr = None)
+
+let test_framer_overflow_resync () =
+  let fr = Server.Framer.create ~max_line:8 () in
+  match Server.Framer.feed fr "0123456789abc\nshort\n" with
+  | [ Server.Framer.Overflow { dropped }; Server.Framer.Line "short" ] ->
+    check_int "dropped counts the discarded bytes" 13 dropped
+  | _ -> Alcotest.fail "expected overflow then a clean resync"
+
+(* -- request parsing -------------------------------------------------------- *)
+
+let test_parse_request_ok () =
+  match Server.parse_request {|{"id":7,"op":"detect","targets":["a","b"]}|} with
+  | Ok { id = J.Num 7.0; body = Server.Detect { targets; seed; stream }; deadline_ms = None } ->
+    check_bool "targets" true (targets = [ "a"; "b" ]);
+    check_int "seed defaults" 2026 seed;
+    check_bool "stream defaults on" true stream
+  | _ -> Alcotest.fail "detect request should parse with defaults"
+
+let test_parse_request_fields () =
+  (match
+     Server.parse_request
+       {|{"id":"x","op":"detect","targets":["a"],"seed":9,"stream":false,"deadline_ms":50,"future":1}|}
+   with
+  | Ok { id = J.Str "x"; body = Server.Detect { seed = 9; stream = false; _ }; deadline_ms = Some 50 } ->
+    ()
+  | _ -> Alcotest.fail "explicit fields should parse (unknown ones ignored)");
+  match Server.parse_request {|{"id":1,"op":"reload"}|} with
+  | Ok { body = Server.Reload { path = None }; _ } -> ()
+  | _ -> Alcotest.fail "reload without path should parse"
+
+let test_parse_request_rejects () =
+  let code line =
+    match Server.parse_request line with
+    | Error r -> Server.error_code_to_string r.Server.code
+    | Ok _ -> "(accepted)"
+  in
+  check_string "bad JSON" "parse" (code "{nope}");
+  check_string "non-object" "bad_request" (code "[1]");
+  check_string "missing id" "bad_request" (code {|{"op":"ping"}|});
+  check_string "bad id type" "bad_request" (code {|{"id":true,"op":"ping"}|});
+  check_string "non-integral id" "bad_request" (code {|{"id":1.5,"op":"ping"}|});
+  check_string "missing op" "bad_request" (code {|{"id":1}|});
+  check_string "unknown op" "bad_request" (code {|{"id":1,"op":"launch"}|});
+  check_string "empty targets" "bad_request"
+    (code {|{"id":1,"op":"detect","targets":[]}|});
+  check_string "ill-typed targets" "bad_request"
+    (code {|{"id":1,"op":"detect","targets":[1]}|});
+  check_string "negative deadline" "bad_request"
+    (code {|{"id":1,"op":"ping","deadline_ms":-1}|});
+  (* the id is still echoed when it parsed *)
+  match Server.parse_request {|{"id":3,"op":"launch"}|} with
+  | Error { Server.reject_id = J.Num 3.0; _ } -> ()
+  | _ -> Alcotest.fail "reject should carry the parsed id"
+
+(* -- server core ------------------------------------------------------------ *)
+
+(* A miniature of the CLI's program registry: two attack PoCs and the
+   benign generators, resolved exactly like `scaguard serve` does. *)
+let resolve ~seed name =
+  let sample =
+    match name with
+    | "fr-iaik" ->
+      Some (Workloads.Dataset.of_spec (Workloads.Attacks.flush_reload ~style:Workloads.Attacks.Iaik ()))
+    | "pp-iaik" ->
+      Some (Workloads.Dataset.of_spec (Workloads.Attacks.prime_probe ~style:Workloads.Attacks.Iaik ()))
+    | _ ->
+      if List.mem_assoc name Workloads.Benign.families then begin
+        let g = Workloads.Benign.build name (Sutil.Rng.create seed) in
+        Some
+          {
+            Workloads.Dataset.name = g.Workloads.Benign.name;
+            label = Workloads.Label.Benign;
+            program = g.Workloads.Benign.program;
+            init = g.Workloads.Benign.init;
+            victim = None;
+            settings = None;
+          }
+      end
+      else None
+  in
+  match sample with
+  | None ->
+    Error
+      (SG.Err.Invalid_config
+         { field = "target"; value = name; expected = "a known program" })
+  | Some s ->
+    Ok
+      (SG.Pipeline.job ?settings:s.Workloads.Dataset.settings
+         ~init:s.Workloads.Dataset.init ?victim:s.Workloads.Dataset.victim
+         ~name:s.Workloads.Dataset.name s.Workloads.Dataset.program)
+
+let prepared_repo =
+  lazy
+    (let rng = Sutil.Rng.create 42 in
+     let repo =
+       Experiments.Common.repository ~rng
+         [ Workloads.Label.Fr_family; Workloads.Label.Pp_family ]
+     in
+     (repo, SG.Detector.prepare repo))
+
+let make_server ?queue_capacity ?max_line ?default_deadline_ms () =
+  let _, prepared = Lazy.force prepared_repo in
+  match
+    Server.create ~config:C.default ~resolve ~prepared ?queue_capacity
+      ?max_line ?default_deadline_ms ()
+  with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "Server.create: %s" (SG.Err.to_string e)
+
+(* Collect emitted frames (already parsed) in order. *)
+let recording_conn t =
+  let frames = ref [] in
+  let conn =
+    Server.connect t ~emit:(fun line ->
+        match J.parse line with
+        | Ok v -> frames := v :: !frames
+        | Error e -> Alcotest.failf "server emitted invalid JSON: %s" e)
+  in
+  (conn, fun () -> List.rev !frames)
+
+let member_exn k v =
+  match J.member k v with
+  | Some x -> x
+  | None -> Alcotest.failf "frame lacks %S: %s" k (J.to_string v)
+
+let error_code_of_frame v =
+  match J.member "code" (member_exn "error" v) with
+  | Some (J.Str c) -> c
+  | _ -> Alcotest.failf "malformed error frame: %s" (J.to_string v)
+
+let test_ping_and_unknown_target () =
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn "{\"id\":1,\"op\":\"ping\"}\n{\"id\":2,\"op\":\"detect\",\"targets\":[\"no-such\"]}\n";
+  check_int "two requests queued" 2 (Server.pending t);
+  check_bool "drain runs both" true (Server.drain t = `Idle);
+  match frames () with
+  | [ ping; err ] ->
+    check_bool "ping ok" true (J.member "ok" ping = Some (J.Bool true));
+    check_string "unknown target is invalid_config" "invalid_config"
+      (error_code_of_frame err)
+  | fs -> Alcotest.failf "expected 2 frames, got %d" (List.length fs)
+
+(* The tentpole invariant: streamed per-target verdicts carry exactly the
+   scores Service.screen_prepared computes for the same batch — same salt
+   policy, compared bit for bit after a wire round-trip. *)
+let test_detect_bit_identical () =
+  let seed = 7 in
+  let targets = [ "fr-iaik"; "quicksort"; "pp-iaik" ] in
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  let req =
+    Printf.sprintf
+      "{\"id\":1,\"op\":\"detect\",\"targets\":[%s],\"seed\":%d}\n"
+      (String.concat "," (List.map (Printf.sprintf "%S") targets))
+      seed
+  in
+  Server.feed t conn req;
+  ignore (Server.drain t);
+  let _, prepared = Lazy.force prepared_repo in
+  let config = { C.default with C.salt = string_of_int seed } in
+  let jobs =
+    Array.of_list
+      (List.map (fun n -> Result.get_ok (resolve ~seed n)) targets)
+  in
+  let _, verdicts, _ =
+    Result.get_ok (SG.Service.screen_prepared config prepared jobs)
+  in
+  match frames () with
+  | [ v0; v1; v2; done_frame ] ->
+    List.iteri
+      (fun i frame ->
+        let score =
+          match member_exn "score" frame with
+          | J.Num f -> f
+          | _ -> Alcotest.fail "score must be a number"
+        in
+        check_bool
+          (Printf.sprintf "target %d score bit-identical" i)
+          true
+          (Int64.bits_of_float score
+          = Int64.bits_of_float verdicts.(i).SG.Detector.best_score);
+        let attack =
+          match member_exn "attack" frame with J.Bool b -> b | _ -> false
+        in
+        check_bool
+          (Printf.sprintf "target %d attack flag" i)
+          (verdicts.(i).SG.Detector.best_family <> None)
+          attack)
+      [ v0; v1; v2 ];
+    check_bool "done frame ok" true
+      (J.member "ok" done_frame = Some (J.Bool true));
+    check_bool "done counts targets" true
+      (member_exn "targets" done_frame = J.Num 3.0)
+  | fs -> Alcotest.failf "expected 4 frames, got %d" (List.length fs)
+
+(* Unstreamed detect must emit the very same verdict frames. *)
+let test_detect_stream_parity () =
+  let run extra =
+    let t = make_server () in
+    let conn, frames = recording_conn t in
+    Server.feed t conn
+      (Printf.sprintf
+         "{\"id\":1,\"op\":\"detect\",\"targets\":[\"fr-iaik\",\"binary-search\"],\"seed\":3%s}\n"
+         extra);
+    ignore (Server.drain t);
+    List.filter (fun f -> J.member "event" f <> None) (frames ())
+  in
+  let streamed = run "" in
+  let batched = run ",\"stream\":false" in
+  check_int "same verdict count" (List.length streamed) (List.length batched);
+  List.iter2
+    (fun a b ->
+      check_bool "verdict frames identical" true
+        (J.to_string a = J.to_string b))
+    streamed batched
+
+let test_queue_full_busy () =
+  let t = make_server ~queue_capacity:2 () in
+  let conn, frames = recording_conn t in
+  let reqs =
+    String.concat ""
+      (List.map (Printf.sprintf "{\"id\":%d,\"op\":\"ping\"}\n") [ 1; 2; 3; 4 ])
+  in
+  Server.feed t conn reqs;
+  (* the two rejections are emitted from feed, before any queued work ran *)
+  check_int "queue holds its capacity" 2 (Server.pending t);
+  let busy_now =
+    List.filter
+      (fun f -> J.member "ok" f = Some (J.Bool false))
+      (frames ())
+  in
+  check_int "overflow rejected immediately" 2 (List.length busy_now);
+  List.iter
+    (fun f -> check_string "busy code" "busy" (error_code_of_frame f))
+    busy_now;
+  ignore (Server.drain t);
+  let ok_frames =
+    List.filter (fun f -> J.member "ok" f = Some (J.Bool true)) (frames ())
+  in
+  check_int "queued requests still served" 2 (List.length ok_frames)
+
+let test_deadline_expiry () =
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn "{\"id\":1,\"op\":\"ping\",\"deadline_ms\":1}\n";
+  Unix.sleepf 0.01;
+  check_bool "one step" true (Server.step t = `Worked);
+  match frames () with
+  | [ f ] ->
+    check_bool "expired request fails" true
+      (J.member "ok" f = Some (J.Bool false));
+    check_string "deadline code" "deadline" (error_code_of_frame f)
+  | fs -> Alcotest.failf "expected 1 frame, got %d" (List.length fs)
+
+let test_default_deadline () =
+  let t = make_server ~default_deadline_ms:1 () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn "{\"id\":1,\"op\":\"ping\"}\n";
+  Unix.sleepf 0.01;
+  ignore (Server.step t);
+  match frames () with
+  | [ f ] -> check_string "server default applies" "deadline" (error_code_of_frame f)
+  | _ -> Alcotest.fail "expected one frame"
+
+(* reload swaps the repository between queued requests without dropping
+   any: a detect queued before and one after the reload both complete, in
+   order. *)
+let test_reload_keeps_queue () =
+  let dir = Filename.temp_file "scag_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "repo.scag" in
+  let repo, _ = Lazy.force prepared_repo in
+  let config = { C.default with C.repo_format = C.Binary } in
+  (match SG.Service.save_repository config ~path repo with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "save_repository: %s" (SG.Err.to_string e));
+  let _, prepared = Lazy.force prepared_repo in
+  let t =
+    Result.get_ok
+      (Server.create ~config:C.default ~resolve ~prepared ~repo_path:path ())
+  in
+  let conn, frames = recording_conn t in
+  Server.feed t conn
+    "{\"id\":1,\"op\":\"detect\",\"targets\":[\"fr-iaik\"]}\n{\"id\":2,\"op\":\"reload\"}\n{\"id\":3,\"op\":\"detect\",\"targets\":[\"fr-iaik\"]}\n";
+  ignore (Server.drain t);
+  Sys.remove path;
+  Unix.rmdir dir;
+  let finals =
+    List.filter (fun f -> J.member "event" f = None) (frames ())
+  in
+  (match finals with
+  | [ d1; rl; d3 ] ->
+    List.iter
+      (fun f ->
+        check_bool
+          ("frame ok: " ^ J.to_string f)
+          true
+          (J.member "ok" f = Some (J.Bool true)))
+      [ d1; rl; d3 ];
+    check_bool "reload reports models" true (member_exn "models" rl = J.Num 2.0);
+    check_bool "order: detect, reload, detect" true
+      (member_exn "id" d1 = J.Num 1.0
+      && member_exn "id" rl = J.Num 2.0
+      && member_exn "id" d3 = J.Num 3.0)
+  | fs -> Alcotest.failf "expected 3 final frames, got %d" (List.length fs));
+  (* both detects emitted a verdict — nothing was dropped *)
+  check_int "verdicts around the reload" 2
+    (List.length (List.filter (fun f -> J.member "event" f <> None) (frames ())))
+
+let test_reload_without_path () =
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn "{\"id\":1,\"op\":\"reload\"}\n";
+  ignore (Server.drain t);
+  match frames () with
+  | [ f ] -> check_string "no path to reload" "invalid_config" (error_code_of_frame f)
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_shutdown_drain () =
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  (* ping queued before shutdown still runs; the ack comes last *)
+  Server.feed t conn "{\"id\":1,\"op\":\"ping\"}\n{\"id\":2,\"op\":\"shutdown\"}\n";
+  check_bool "not yet draining" false (Server.draining t);
+  check_bool "ping step" true (Server.step t = `Worked);
+  check_bool "shutdown step" true (Server.step t = `Worked);
+  check_bool "now draining" true (Server.draining t);
+  (* a request arriving during the drain is refused *)
+  Server.feed t conn "{\"id\":3,\"op\":\"ping\"}\n";
+  check_bool "final step stops" true (Server.step t = `Stop);
+  match frames () with
+  | [ ping; unavailable; ack ] ->
+    check_bool "ping ok" true (J.member "ok" ping = Some (J.Bool true));
+    check_string "drain refusal" "unavailable" (error_code_of_frame unavailable);
+    check_bool "ack is the shutdown reply" true
+      (J.member "op" ack = Some (J.Str "shutdown"))
+  | fs -> Alcotest.failf "expected 3 frames, got %d" (List.length fs)
+
+let test_oversized_frame () =
+  let t = make_server ~max_line:64 () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn (String.make 100 'x' ^ "\n{\"id\":1,\"op\":\"ping\"}\n");
+  ignore (Server.drain t);
+  match frames () with
+  | [ err; ping ] ->
+    check_string "oversized is a parse error" "parse" (error_code_of_frame err);
+    check_bool "id is null (nothing recovered)" true
+      (J.member "id" err = Some J.Null);
+    check_bool "stream resyncs: next request served" true
+      (J.member "ok" ping = Some (J.Bool true))
+  | fs -> Alcotest.failf "expected 2 frames, got %d" (List.length fs)
+
+let test_stats_and_metrics_verbs () =
+  SG.Obs.reset ();
+  SG.Obs.set_metrics true;
+  Fun.protect
+    ~finally:(fun () ->
+      SG.Obs.set_metrics false;
+      SG.Obs.reset ())
+    (fun () ->
+      let t = make_server () in
+      let conn, frames = recording_conn t in
+      Server.feed t conn
+        "{\"id\":1,\"op\":\"detect\",\"targets\":[\"fr-iaik\"]}\n{\"id\":2,\"op\":\"stats\"}\n{\"id\":3,\"op\":\"metrics\"}\n";
+      ignore (Server.drain t);
+      match frames () with
+      | [ _verdict; _done; stats; metrics ] ->
+        let requests = member_exn "requests" stats in
+        check_bool "stats counts the detect" true
+          (member_exn "completed" requests = J.Num 1.0);
+        check_bool "stats reports engine pairs" true
+          (match member_exn "pairs" (member_exn "engine" stats) with
+          | J.Num f -> f > 0.0
+          | _ -> false);
+        check_bool "latency quantiles present" true
+          (match member_exn "p99" (member_exn "latency_ms" stats) with
+          | J.Num f -> f >= 0.0
+          | _ -> false);
+        let body =
+          match member_exn "body" metrics with
+          | J.Str s -> s
+          | _ -> Alcotest.fail "metrics body must be a string"
+        in
+        let contains sub =
+          let n = String.length body and m = String.length sub in
+          let rec at i = i + m <= n && (String.sub body i m = sub || at (i + 1)) in
+          at 0
+        in
+        check_bool "exposition has the request counter" true
+          (contains "scaguard_server_requests_total{op=\"detect\"} 1");
+        check_bool "exposition has the queue gauge" true
+          (contains "scaguard_server_queue_depth")
+      | fs -> Alcotest.failf "expected 4 frames, got %d" (List.length fs))
+
+(* -- stdio transport --------------------------------------------------------- *)
+
+(* Drive serve_channels over OS pipes, exactly like `scaguard serve --stdio`:
+   requests written up front, EOF, then the reply stream is read back and
+   the detect verdict compared bit for bit with Service.screen_prepared. *)
+let test_stdio_end_to_end () =
+  let t = make_server () in
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  let requests =
+    "{\"id\":1,\"op\":\"detect\",\"targets\":[\"fr-iaik\"],\"seed\":5}\n{\"id\":2,\"op\":\"shutdown\"}\n"
+  in
+  let oc_req = Unix.out_channel_of_descr req_w in
+  output_string oc_req requests;
+  close_out oc_req;
+  let ic = Unix.in_channel_of_descr req_r in
+  let oc = Unix.out_channel_of_descr resp_w in
+  (match Server.serve_channels t ~ic ~oc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "serve_channels: %s" (SG.Err.to_string e));
+  close_out oc;
+  close_in ic;
+  let ic_resp = Unix.in_channel_of_descr resp_r in
+  let rec read_all acc =
+    match input_line ic_resp with
+    | line -> read_all (Result.get_ok (J.parse line) :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let frames = read_all [] in
+  close_in ic_resp;
+  match frames with
+  | [ verdict; done_frame; ack ] ->
+    let _, prepared = Lazy.force prepared_repo in
+    let config = { C.default with C.salt = "5" } in
+    let _, verdicts, _ =
+      Result.get_ok
+        (SG.Service.screen_prepared config prepared
+           [| Result.get_ok (resolve ~seed:5 "fr-iaik") |])
+    in
+    let score =
+      match member_exn "score" verdict with J.Num f -> f | _ -> 0.0
+    in
+    check_bool "stdio verdict matches Service.detect bits" true
+      (Int64.bits_of_float score
+      = Int64.bits_of_float verdicts.(0).SG.Detector.best_score);
+    check_bool "done ok" true (J.member "ok" done_frame = Some (J.Bool true));
+    check_bool "shutdown acked" true
+      (J.member "op" ack = Some (J.Str "shutdown"))
+  | fs -> Alcotest.failf "expected 3 frames, got %d" (List.length fs)
+
+(* -- suite ------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          QCheck_alcotest.to_alcotest test_json_roundtrip;
+          Alcotest.test_case "hostile input" `Quick test_json_hostile;
+          Alcotest.test_case "number printing" `Quick test_json_numbers;
+        ] );
+      ( "framer",
+        [
+          Alcotest.test_case "chunk reassembly" `Quick test_framer_chunks;
+          Alcotest.test_case "overflow + resync" `Quick
+            test_framer_overflow_resync;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "defaults" `Quick test_parse_request_ok;
+          Alcotest.test_case "explicit fields" `Quick test_parse_request_fields;
+          Alcotest.test_case "rejections" `Quick test_parse_request_rejects;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "ping + unknown target" `Quick
+            test_ping_and_unknown_target;
+          Alcotest.test_case "detect bit-identical to batch" `Slow
+            test_detect_bit_identical;
+          Alcotest.test_case "streamed = unstreamed frames" `Slow
+            test_detect_stream_parity;
+          Alcotest.test_case "queue-full backpressure" `Quick
+            test_queue_full_busy;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "server default deadline" `Quick
+            test_default_deadline;
+          Alcotest.test_case "reload keeps queued requests" `Slow
+            test_reload_keeps_queue;
+          Alcotest.test_case "reload without a path" `Quick
+            test_reload_without_path;
+          Alcotest.test_case "shutdown drains then refuses" `Quick
+            test_shutdown_drain;
+          Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
+          Alcotest.test_case "stats + metrics verbs" `Slow
+            test_stats_and_metrics_verbs;
+        ] );
+      ( "stdio",
+        [
+          Alcotest.test_case "end to end over pipes" `Slow
+            test_stdio_end_to_end;
+        ] );
+    ]

@@ -308,6 +308,57 @@ let test_table_pct () =
   Alcotest.(check string) "pct" "96.64%" (Sutil.Table.pct 0.9664);
   Alcotest.(check string) "fpct" "12.30%" (Sutil.Table.fpct 12.3)
 
+(* -- bqueue ------------------------------------------------------------------- *)
+
+let test_bqueue_fifo () =
+  let q = Sutil.Bqueue.create ~capacity:3 in
+  Alcotest.(check bool) "empty" true (Sutil.Bqueue.is_empty q);
+  List.iter (fun i -> assert (Sutil.Bqueue.push q i)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "full rejects" false (Sutil.Bqueue.push q 4);
+  Alcotest.(check (option int)) "peek is the head" (Some 1) (Sutil.Bqueue.peek q);
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Sutil.Bqueue.pop q);
+  Alcotest.(check bool) "slot freed" true (Sutil.Bqueue.push q 4);
+  Alcotest.(check (list int)) "to_list keeps order" [ 2; 3; 4 ]
+    (Sutil.Bqueue.to_list q);
+  let drained = ref [] in
+  Sutil.Bqueue.drain q (fun v -> drained := v :: !drained);
+  Alcotest.(check (list int)) "drain is fifo" [ 2; 3; 4 ] (List.rev !drained);
+  Alcotest.(check (option int)) "empty pop" None (Sutil.Bqueue.pop q)
+
+let test_bqueue_wraparound () =
+  let q = Sutil.Bqueue.create ~capacity:2 in
+  for i = 1 to 100 do
+    assert (Sutil.Bqueue.push q i);
+    Alcotest.(check (option int)) "ring wraps" (Some i) (Sutil.Bqueue.pop q)
+  done
+
+let test_bqueue_invalid () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Bqueue.create: capacity 0 < 1") (fun () ->
+      ignore (Sutil.Bqueue.create ~capacity:0))
+
+(* -- deadline ----------------------------------------------------------------- *)
+
+let test_deadline () =
+  let now = 1_000_000_000L in
+  Alcotest.(check bool) "none never expires" false
+    (Sutil.Deadline.expired ~now_ns:Int64.max_int Sutil.Deadline.none);
+  Alcotest.(check bool) "zero budget means none" true
+    (Sutil.Deadline.is_none (Sutil.Deadline.after ~now_ns:now ~budget_ms:0));
+  let d = Sutil.Deadline.after ~now_ns:now ~budget_ms:5 in
+  Alcotest.(check bool) "not yet" false (Sutil.Deadline.expired ~now_ns:now d);
+  Alcotest.(check bool) "within budget" false
+    (Sutil.Deadline.expired ~now_ns:(Int64.add now 4_999_999L) d);
+  Alcotest.(check bool) "at the instant" true
+    (Sutil.Deadline.expired ~now_ns:(Int64.add now 5_000_000L) d);
+  (match Sutil.Deadline.remaining_ns ~now_ns:(Int64.add now 6_000_000L) d with
+  | Some r -> Alcotest.(check bool) "remaining clamps at 0" true (r = 0L)
+  | None -> Alcotest.fail "deadline has a remaining");
+  (* a huge budget saturates instead of wrapping into the past *)
+  let far = Sutil.Deadline.after ~now_ns:Int64.max_int ~budget_ms:max_int in
+  Alcotest.(check bool) "saturating add" false
+    (Sutil.Deadline.expired ~now_ns:1L far)
+
 let () =
   Alcotest.run "sutil"
     [
@@ -357,4 +408,12 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "pct" `Quick test_table_pct;
         ] );
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo + bound" `Quick test_bqueue_fifo;
+          Alcotest.test_case "ring wraparound" `Quick test_bqueue_wraparound;
+          Alcotest.test_case "invalid capacity" `Quick test_bqueue_invalid;
+        ] );
+      ( "deadline",
+        [ Alcotest.test_case "budget arithmetic" `Quick test_deadline ] );
     ]
