@@ -19,9 +19,10 @@ let out_dir = ref None
 let jobs = ref None
 let trace_out = ref None
 let metrics_out = ref None
+let index_scales = ref [ 1_000; 10_000; 100_000 ]
 let artifacts = ref []
 
-let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|serve|timecost|all]"
+let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--index-scales N,N,..] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|serve|index|timecost|all]"
 
 let () =
   let rec parse = function
@@ -43,6 +44,10 @@ let () =
       parse rest
     | "--metrics-out" :: path :: rest ->
       metrics_out := Some path;
+      parse rest
+    | "--index-scales" :: ns :: rest ->
+      index_scales :=
+        List.map int_of_string (String.split_on_char ',' ns);
       parse rest
     | x :: rest ->
       artifacts := x :: !artifacts;
@@ -726,6 +731,238 @@ let persist () =
     text_load_dt bin_load_dt (text_load_dt /. bin_load_dt) img_one_dt
     (Array.length targets) n
 
+(* ---- Index: sublinear repository search ------------------------------------------- *)
+
+(* The vantage-point index only pays off on repositories far larger than the
+   per-family PoC set, so this stage grows a synthetic population in model
+   space: a seed set of pipeline-built models (base PoCs plus Mutate
+   variants) is expanded by deterministic entry-level edits — dropped or
+   duplicated entries, token-sequence splices and CST swaps, all drawn from
+   the seed set's own entry pool so every synthetic entry carries a real
+   measured cache transition.  That keeps 100k-model repositories cheap to
+   build while preserving the family-cluster structure the index exploits. *)
+let index_bench () =
+  section "Index: vantage-point repository search vs the linear cascade";
+  let module L = Workloads.Label in
+  let module D = Workloads.Dataset in
+  let module M = Scaguard.Model in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  let time f =
+    let t0 = Scaguard.Obs.Clock.now_ns () in
+    let r = f () in
+    (r, Scaguard.Obs.Clock.elapsed_s ~since:t0)
+  in
+  let rng0 = rng () in
+  let base_repo = Experiments.Common.repository ~rng:rng0 L.attack_labels in
+  let mutant_samples =
+    List.concat_map
+      (fun l ->
+        List.map
+          (fun s -> (L.to_string l, s))
+          (D.mutated_attacks ~rng:rng0 ~count:(max 2 (min !per_family 8)) l))
+      L.attack_labels
+  in
+  let mutant_jobs =
+    Array.of_list
+      (List.map
+         (fun (_, (s : D.sample)) ->
+           Scaguard.Pipeline.job ?settings:s.D.settings ~init:s.D.init
+             ?victim:s.D.victim ~name:s.D.name s.D.program)
+         mutant_samples)
+  in
+  let build_config =
+    { Scaguard.Config.default with
+      Scaguard.Config.domains = Some (worker_domains ()) }
+  in
+  let mutant_models =
+    match Scaguard.Service.build build_config mutant_jobs with
+    | Ok (models, _) -> models
+    | Error e -> fail "index: build failed: %s" (Scaguard.Err.to_string e)
+  in
+  let base =
+    Array.of_list
+      (List.map
+         (fun (p : Scaguard.Detector.poc) ->
+           (p.Scaguard.Detector.family, p.Scaguard.Detector.model))
+         base_repo
+      @ List.mapi
+          (fun i (family, _) -> (family, mutant_models.(i)))
+          mutant_samples)
+  in
+  (* the entry pool every synthetic edit draws from *)
+  let pool =
+    Array.concat
+      (Array.to_list (Array.map (fun (_, m) -> M.entries_array m) base))
+  in
+  if Array.length pool = 0 then fail "index: empty entry pool";
+  let synth ~rng ~count =
+    Array.init count (fun i ->
+        let family, base_m = base.(i mod Array.length base) in
+        let entries = Array.to_list (M.entries_array base_m) in
+        let n = List.length entries in
+        (* drop the head entry on some models (keeps >= 2 entries) *)
+        let entries =
+          match entries with
+          | _ :: tl when n > 2 && Sutil.Rng.int rng 4 = 0 -> tl
+          | es -> es
+        in
+        (* duplicate the head entry on some others *)
+        let entries =
+          if Sutil.Rng.int rng 4 = 0 then List.hd entries :: entries
+          else entries
+        in
+        (* splice roughly one entry per model: a token-sequence cut + a
+           tail borrowed from a random pool entry, and that entry's CST —
+           every edit stays inside observed token/magnitude space *)
+        let k = List.length entries in
+        let victim = Sutil.Rng.int rng k in
+        let entries =
+          List.mapi
+            (fun j (e : M.entry) ->
+              if j <> victim then e
+              else begin
+                let p = pool.(Sutil.Rng.int rng (Array.length pool)) in
+                let en = e.M.normalized and pn = p.M.normalized in
+                let cut = Sutil.Rng.int rng (Array.length en + 1) in
+                let add =
+                  if Array.length pn = 0 then [||]
+                  else Array.sub pn 0 (Sutil.Rng.int rng (Array.length pn + 1))
+                in
+                let normalized = Array.append (Array.sub en 0 cut) add in
+                let normalized =
+                  if Array.length normalized = 0 then en else normalized
+                in
+                M.make_entry ~block:e.M.block ~instrs:e.M.instrs ~normalized
+                  ~cst:p.M.cst ~first_time:e.M.first_time
+              end)
+            entries
+        in
+        (family, M.make ~name:(Printf.sprintf "synth-%07d" i) entries))
+  in
+  let t =
+    Sutil.Table.create
+      ~title:"Repository index: visited fraction and speedup"
+      [
+        "models"; "targets"; "build (s)"; "linear (s)"; "indexed (s)";
+        "speedup"; "visited"; "pruned by index"; "nodes";
+      ]
+  in
+  let json_rows = Buffer.create 256 in
+  List.iter
+    (fun scale ->
+      if scale < 1 then fail "index: scale must be >= 1";
+      let rng = Sutil.Rng.create (!seed lxor (scale * 2654435761)) in
+      let popul = synth ~rng ~count:scale in
+      let repo =
+        Array.to_list
+          (Array.map
+             (fun (family, model) -> { Scaguard.Detector.family; model })
+             popul)
+      in
+      let tcount = min scale (if scale >= 100_000 then 16 else 32) in
+      (* targets: fresh synthetic variants, not repository members — the
+         realistic "close to one family, far from the rest" query *)
+      let targets =
+        Array.map snd (synth ~rng ~count:tcount)
+      in
+      Printf.printf "scale %d: %d models, %d targets...\n%!" scale scale
+        tcount;
+      let prep_lin = Scaguard.Detector.prepare repo in
+      let spec =
+        { Scaguard.Vpindex.default_spec with
+          Scaguard.Vpindex.mode = Scaguard.Vpindex.Force;
+          seed = Scaguard.Vpindex.seed_of_salt (string_of_int !seed) }
+      in
+      let ix, build_dt =
+        time (fun () ->
+            Scaguard.Vpindex.build spec
+              (Scaguard.Detector.prepared_summaries prep_lin))
+      in
+      if ix = None then fail "index: Force build returned no index";
+      let prep_ix = Scaguard.Detector.attach_index prep_lin ix in
+      let ws_lin = Scaguard.Dtw.workspace () in
+      let v_lin, lin_dt =
+        time (fun () ->
+            Array.map
+              (Scaguard.Detector.classify_prepared ~ws:ws_lin prep_lin)
+              targets)
+      in
+      let ws_ix = Scaguard.Dtw.workspace () in
+      let ixc = Scaguard.Vpindex.counters () in
+      let v_ix, ix_dt =
+        time (fun () ->
+            Array.map
+              (Scaguard.Detector.classify_prepared ~ws:ws_ix ~ixc prep_ix)
+              targets)
+      in
+      Array.iteri
+        (fun i (v : Scaguard.Detector.verdict) ->
+          let p : Scaguard.Detector.verdict = v_ix.(i) in
+          if
+            v.Scaguard.Detector.best_matches <> p.Scaguard.Detector.best_matches
+            || v.Scaguard.Detector.best_family <> p.Scaguard.Detector.best_family
+            || Int64.bits_of_float v.Scaguard.Detector.best_score
+               <> Int64.bits_of_float p.Scaguard.Detector.best_score
+          then fail "index: verdict mismatch at target %d (scale %d)" i scale)
+        v_lin;
+      let lin_evals = Scaguard.Dtw.lb_evals ws_lin in
+      let ix_evals = Scaguard.Dtw.lb_evals ws_ix in
+      let visited =
+        if lin_evals = 0 then 1.0
+        else float_of_int ix_evals /. float_of_int lin_evals
+      in
+      (* the headline acceptance bar: at the 10k scale the index must
+         evaluate under 35% of the linear cascade's lower bounds *)
+      if scale = 10_000 && visited >= 0.35 then
+        fail "index: visited fraction %.1f%% at 10k (must be < 35%%)"
+          (100.0 *. visited);
+      Sutil.Table.add_row t
+        [
+          string_of_int scale;
+          string_of_int tcount;
+          Printf.sprintf "%.4f" build_dt;
+          Printf.sprintf "%.4f" lin_dt;
+          Printf.sprintf "%.4f" ix_dt;
+          Printf.sprintf "%.2fx" (lin_dt /. ix_dt);
+          Printf.sprintf "%.1f%%" (100.0 *. visited);
+          string_of_int ixc.Scaguard.Vpindex.pairs_pruned_index;
+          string_of_int ixc.Scaguard.Vpindex.nodes_visited;
+        ];
+      if Buffer.length json_rows > 0 then Buffer.add_string json_rows ",";
+      Buffer.add_string json_rows
+        (Printf.sprintf
+           "{\"models\":%d,\"targets\":%d,\"pairs\":%d,\"build_s\":%.6f,\
+            \"linear_s\":%.6f,\"indexed_s\":%.6f,\"speedup\":%.4f,\
+            \"lb_evals_linear\":%d,\"lb_evals_indexed\":%d,\
+            \"visited_fraction\":%.6f,\"pairs_pruned_index\":%d,\
+            \"nodes_visited\":%d,\"identical\":true}"
+           scale tcount (scale * tcount) build_dt lin_dt ix_dt
+           (lin_dt /. ix_dt) lin_evals ix_evals visited
+           ixc.Scaguard.Vpindex.pairs_pruned_index
+           ixc.Scaguard.Vpindex.nodes_visited))
+    !index_scales;
+  emit_table ~artifact:"index" t;
+  let json =
+    Printf.sprintf "{\"seed\":%d,\"scales\":[%s]}\n" !seed
+      (Buffer.contents json_rows)
+  in
+  let json_path =
+    match !out_dir with
+    | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Filename.concat dir "BENCH_index.json"
+    | None -> "BENCH_index.json"
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Printf.printf
+    "(json written to %s)\n\
+     verdicts: indexed classification bit-identical to the linear cascade \
+     at every scale\n"
+    json_path
+
 (* ---- Serve: the resident daemon vs detect-batch ----------------------------------- *)
 
 (* Drive the serve core in-process (connect/feed/step — the same code path
@@ -938,7 +1175,8 @@ let timecost () =
 let all () =
   table1 (); table2 (); table3 (); table4 (); table5 (); table6 ();
   fig5 (); ablation (); extended (); clusters (); robustness (); scaling ();
-  engine (); modeling (); persist (); serve_bench (); timecost ()
+  engine (); modeling (); persist (); index_bench (); serve_bench ();
+  timecost ()
 
 let () =
   Printf.printf
@@ -960,6 +1198,7 @@ let () =
     | "engine" -> engine ()
     | "modeling" -> modeling ()
     | "persist" -> persist ()
+    | "index" -> index_bench ()
     | "serve" -> serve_bench ()
     | "timecost" -> timecost ()
     | "all" -> all ()

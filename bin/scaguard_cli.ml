@@ -170,11 +170,42 @@ let format_t =
 let with_format format (c : C.t) =
   match format with None -> c | Some f -> { c with C.repo_format = f }
 
+let index_mode_conv =
+  Arg.enum [ ("off", C.Index_off); ("auto", C.Index_auto); ("vp", C.Index_vp) ]
+
+let index_t =
+  Arg.(
+    value
+    & opt (some index_mode_conv) None
+    & info [ "index" ] ~docv:"MODE"
+        ~doc:"Repository search index: $(b,off) scores targets with the \
+              linear lower-bound cascade, $(b,auto) (the default) builds the \
+              vantage-point index once the repository is large enough to \
+              repay it, $(b,vp) always builds it.  Verdicts and scores are \
+              bit-identical in every mode; only the work counters move.")
+
+let index_leaf_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "index-leaf" ] ~docv:"N"
+        ~doc:"Index leaf size: stop splitting index nodes below N models \
+              (min 2, default 16).")
+
+let index_pivots_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "index-pivots" ] ~docv:"N"
+        ~doc:"Vantage-point candidates scored per index split (min 1, \
+              default 5).  More candidates give tighter splits at a higher \
+              one-off build cost.")
+
 (* Gather the base config (--config file or defaults), then apply explicit
    flags through the Config checkers so a bad value reports the offending
    flag and its accepted range. *)
 let assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
-    ~cache_dir ~no_prune =
+    ~cache_dir ~no_prune ~index ~index_leaf ~index_pivots =
   let* base =
     match config_file with None -> Ok C.default | Some path -> C.load ~path
   in
@@ -205,7 +236,30 @@ let assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
     match cache_dir with Some _ -> cache_dir | None -> base.C.cache_dir
   in
   let prune = base.C.prune && not no_prune in
-  C.validate { base with C.threshold; alpha; band; domains; cache_dir; prune }
+  let index = match index with None -> base.C.index | Some m -> m in
+  let* index_leaf =
+    match index_leaf with
+    | None -> Ok base.C.index_leaf
+    | Some l -> C.check_index_leaf ~field:"--index-leaf" l
+  in
+  let* index_pivots =
+    match index_pivots with
+    | None -> Ok base.C.index_pivots
+    | Some p -> C.check_index_pivots ~field:"--index-pivots" p
+  in
+  C.validate
+    {
+      base with
+      C.threshold;
+      alpha;
+      band;
+      domains;
+      cache_dir;
+      prune;
+      index;
+      index_leaf;
+      index_pivots;
+    }
 
 (* The repository's harness kernels are drawn from the shared rng stream in
    family-list order, so the same family can get different harness state
@@ -346,7 +400,8 @@ let detect_cmd =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
-           ~domains:None ~cache_dir:None ~no_prune:false
+           ~domains:None ~cache_dir:None ~no_prune:false ~index:None
+           ~index_leaf:None ~index_pivots:None
        in
        let* families = Experiments.Common.families_of_strings repo_names in
        let rng = Sutil.Rng.create seed in
@@ -408,12 +463,12 @@ let write_observability ~trace_out ~metrics_out =
 
 let detect_batch_cmd =
   let run seed repo_names repo_file threshold alpha band jobs cache_dir domains
-      no_prune config_file stats trace_out metrics_out span_sample_rate
-      report_format names =
+      no_prune index index_leaf index_pivots config_file stats trace_out
+      metrics_out span_sample_rate report_format names =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
-           ~cache_dir ~no_prune
+           ~cache_dir ~no_prune ~index ~index_leaf ~index_pivots
        in
        let* () = setup_observability ~trace_out ~metrics_out ~span_sample_rate in
        (* With --repo-file the repository arrives prepared (binary images
@@ -422,7 +477,9 @@ let detect_batch_cmd =
        let* repo_src, repo_report =
          match repo_file with
          | Some path ->
-           let* _repo, prep, load_report = Scaguard.Service.load_repository ~path in
+           let* _repo, prep, load_report =
+             Scaguard.Service.load_repository ~config ~path ()
+           in
            Ok (`Prepared prep, Some ("repository load", "repository_load", load_report))
          | None ->
            let* families = Experiments.Common.families_of_strings repo_names in
@@ -562,18 +619,20 @@ let detect_batch_cmd =
              batch (identical verdicts to `detect`, one per line).")
     Term.(
       const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
-      $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ config_file_t
-      $ stats_t $ trace_out_t $ metrics_out_t $ span_sample_rate_t
-      $ report_format_t $ progs_t)
+      $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ index_t
+      $ index_leaf_t $ index_pivots_t $ config_file_t $ stats_t $ trace_out_t
+      $ metrics_out_t $ span_sample_rate_t $ report_format_t $ progs_t)
 
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
 let build_repo_cmd =
-  let run seed repo_names jobs cache_dir config_file format save_config path =
+  let run seed repo_names jobs cache_dir config_file format index index_leaf
+      index_pivots save_config path =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold:None ~alpha:None ~band:None
-           ~jobs ~domains:None ~cache_dir ~no_prune:false
+           ~jobs ~domains:None ~cache_dir ~no_prune:false ~index ~index_leaf
+           ~index_pivots
        in
        let config =
          with_format format (with_salt (repo_salt ~seed repo_names) config)
@@ -620,7 +679,8 @@ let build_repo_cmd =
        ~doc:"Build a PoC-model repository and save it to a file.")
     Term.(
       const run $ seed_t $ repo_t $ jobs_t $ cache_dir_t $ config_file_t
-      $ format_t $ save_config_t $ path_t)
+      $ format_t $ index_t $ index_leaf_t $ index_pivots_t $ save_config_t
+      $ path_t)
 
 (* ---- migrate-repo ------------------------------------------------------------------ *)
 
@@ -698,7 +758,8 @@ let detect_file_cmd =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
-           ~domains:None ~cache_dir:None ~no_prune:false
+           ~domains:None ~cache_dir:None ~no_prune:false ~index:None
+           ~index_leaf:None ~index_pivots:None
        in
        let* repo = Scaguard.Persist.load_repository_result ~path in
        let* s = sample_res ~seed name in
@@ -766,7 +827,8 @@ let detect_binary_cmd =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
-           ~domains:None ~cache_dir:None ~no_prune:false
+           ~domains:None ~cache_dir:None ~no_prune:false ~index:None
+           ~index_leaf:None ~index_pivots:None
        in
        let* prog = io ~path (fun () -> Isa.Binary.read_file ~path) in
        let* families = Experiments.Common.families_of_strings repo_names in
@@ -1054,8 +1116,9 @@ let tcp_t =
 
 let serve_cmd =
   let run seed repo_names repo_file threshold alpha band jobs cache_dir domains
-      no_prune config_file queue_capacity max_line deadline_ms socket tcp stdio
-      metrics_on trace_out metrics_out span_sample_rate =
+      no_prune index index_leaf index_pivots config_file queue_capacity max_line
+      deadline_ms socket tcp stdio metrics_on trace_out metrics_out
+      span_sample_rate =
     handle
     @@ let* endpoint =
          match (socket, tcp, stdio) with
@@ -1075,7 +1138,7 @@ let serve_cmd =
        in
        let* config =
          assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
-           ~cache_dir ~no_prune
+           ~cache_dir ~no_prune ~index ~index_leaf ~index_pivots
        in
        let* () = setup_observability ~trace_out ~metrics_out ~span_sample_rate in
        (* the protocol's `metrics` verb reads the live registry, so --metrics
@@ -1084,7 +1147,9 @@ let serve_cmd =
        let* prepared, repo_path =
          match repo_file with
          | Some path ->
-           let* _repo, prep, _ = Scaguard.Service.load_repository ~path in
+           let* _repo, prep, _ =
+             Scaguard.Service.load_repository ~config ~path ()
+           in
            Ok (prep, Some path)
          | None ->
            let* families = Experiments.Common.families_of_strings repo_names in
@@ -1094,7 +1159,11 @@ let serve_cmd =
                ~config:(with_salt (repo_salt ~seed repo_names) config)
                ~rng families
            in
-           Ok (Scaguard.Detector.prepare repo, None)
+           Ok
+             ( Scaguard.Detector.prepare
+                 ?index:(Scaguard.Service.spec_of_config config)
+                 repo,
+               None )
        in
        let resolve ~seed name =
          Result.map job_of_sample (sample_res ~seed name)
@@ -1216,10 +1285,10 @@ let serve_cmd =
              protocol is specified in docs/SERVER.md.")
     Term.(
       const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
-      $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ config_file_t
-      $ queue_capacity_t $ max_line_t $ deadline_ms_t $ socket_t $ tcp_t
-      $ stdio_flag_t $ metrics_flag_t $ trace_out_t $ metrics_out_t
-      $ span_sample_rate_t)
+      $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ index_t
+      $ index_leaf_t $ index_pivots_t $ config_file_t $ queue_capacity_t
+      $ max_line_t $ deadline_ms_t $ socket_t $ tcp_t $ stdio_flag_t
+      $ metrics_flag_t $ trace_out_t $ metrics_out_t $ span_sample_rate_t)
 
 (* ---- client --------------------------------------------------------------------- *)
 

@@ -7,6 +7,19 @@ let repo_format_of_string = function
   | "binary" -> Some Binary
   | _ -> None
 
+type index_mode = Index_off | Index_auto | Index_vp
+
+let index_mode_to_string = function
+  | Index_off -> "off"
+  | Index_auto -> "auto"
+  | Index_vp -> "vp"
+
+let index_mode_of_string = function
+  | "off" -> Some Index_off
+  | "auto" -> Some Index_auto
+  | "vp" -> Some Index_vp
+  | _ -> None
+
 type t = {
   threshold : float;
   alpha : float option;
@@ -20,6 +33,9 @@ type t = {
   cache_dir : string option;
   salt : string;
   repo_format : repo_format;
+  index : index_mode;
+  index_leaf : int;
+  index_pivots : int;
 }
 
 let default =
@@ -36,6 +52,9 @@ let default =
     cache_dir = None;
     salt = "";
     repo_format = Text;
+    index = Index_auto;
+    index_leaf = Vpindex.default_spec.Vpindex.leaf;
+    index_pivots = Vpindex.default_spec.Vpindex.pivots;
   }
 
 (* -- field validation -------------------------------------------------------- *)
@@ -69,6 +88,14 @@ let check_max_paths ?field n =
 
 let check_max_len ?field n =
   check_min ~default_field:"max_len" ~min:1 ~expected:"an integer >= 1" ?field n
+
+let check_index_leaf ?field n =
+  check_min ~default_field:"index_leaf" ~min:2 ~expected:"a leaf size >= 2"
+    ?field n
+
+let check_index_pivots ?field n =
+  check_min ~default_field:"index_pivots" ~min:1
+    ~expected:"a pivot count >= 1" ?field n
 
 let ( let* ) = Result.bind
 
@@ -135,6 +162,8 @@ let validate c =
     | Some d -> Result.map Option.some (check_line ~field:"cache_dir" d)
   in
   let* _ = check_line ~field:"salt" c.salt in
+  let* _ = check_index_leaf c.index_leaf in
+  let* _ = check_index_pivots c.index_pivots in
   Ok c
 
 (* -- persistence ------------------------------------------------------------- *)
@@ -166,6 +195,9 @@ let to_string c =
   (match c.cache_dir with Some d -> add "cache_dir=%s\n" d | None -> ());
   add "salt=%s\n" c.salt;
   add "repo_format=%s\n" (repo_format_to_string c.repo_format);
+  add "index=%s\n" (index_mode_to_string c.index);
+  add "index_leaf=%d\n" c.index_leaf;
+  add "index_pivots=%d\n" c.index_pivots;
   Buffer.contents b
 
 let of_string s =
@@ -260,6 +292,12 @@ let of_string s =
                   | Some f -> { cur with repo_format = f }
                   | None ->
                     stopf ln "bad repo_format %S (use text or binary)" v)
+                | "index" -> (
+                  match index_mode_of_string v with
+                  | Some m -> { cur with index = m }
+                  | None -> stopf ln "bad index %S (use off, auto or vp)" v)
+                | "index_leaf" -> { cur with index_leaf = int_v ln v }
+                | "index_pivots" -> { cur with index_pivots = int_v ln v }
                 | _ -> stopf ln "unknown key %S" key))
         rest;
       validate !c

@@ -24,6 +24,20 @@ val repo_format_to_string : repo_format -> string
 
 val repo_format_of_string : string -> repo_format option
 
+type index_mode = Index_off | Index_auto | Index_vp
+(** Repository index policy for detection ({!Vpindex}): [Index_off] always
+    scans linearly; [Index_auto] (the default) builds the index only when
+    the repository has at least {!Vpindex.auto_min} models, so small-repo
+    behaviour — and its counters — are unchanged; [Index_vp] always builds
+    one (with the tiny-repository flat fallback below {!Vpindex.flat_max}).
+    Verdicts are bit-identical under every mode; only the work differs. *)
+
+val index_mode_to_string : index_mode -> string
+(** ["off"] / ["auto"] / ["vp"] — the spelling used by the config file and
+    the CLI's [--index] flag. *)
+
+val index_mode_of_string : string -> index_mode option
+
 type t = {
   (* detection *)
   threshold : float;  (** similarity threshold θ in [0, 1]; default 0.60 *)
@@ -52,6 +66,13 @@ type t = {
   repo_format : repo_format;
       (** format {!Service.save_repository} (and [build-repo]) writes;
           default [Text] *)
+  index : index_mode;  (** repository index policy; default [Index_auto] *)
+  index_leaf : int;
+      (** max models per index tree leaf (≥ 2); default
+          [Vpindex.default_spec.leaf] (16) *)
+  index_pivots : int;
+      (** pivot candidates sampled per index split (≥ 1); default
+          [Vpindex.default_spec.pivots] (5) *)
 }
 
 val default : t
@@ -83,6 +104,12 @@ val check_max_paths : ?field:string -> int -> (int, Err.t) result
 (** At least 1. *)
 
 val check_max_len : ?field:string -> int -> (int, Err.t) result
+(** At least 1. *)
+
+val check_index_leaf : ?field:string -> int -> (int, Err.t) result
+(** At least 2. *)
+
+val check_index_pivots : ?field:string -> int -> (int, Err.t) result
 (** At least 1. *)
 
 val validate : t -> (t, Err.t) result

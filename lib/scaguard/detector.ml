@@ -30,20 +30,47 @@ let score_all ?alpha ?ws ?band repository target =
     repository
   |> List.sort compare_scored
 
-type prepared = { pocs : (poc * Dtw.summary) array }
+type prepared = {
+  pocs : (poc * Dtw.summary) array;
+  index : Vpindex.t option;
+}
 
-let prepare repository =
-  { pocs = Array.of_list (List.map (fun p -> (p, Dtw.summarize p.model)) repository) }
+let build_index index pocs =
+  match index with
+  | None -> None
+  | Some spec -> Vpindex.build spec (Array.map snd pocs)
+
+let prepare ?index repository =
+  let pocs =
+    Array.of_list (List.map (fun p -> (p, Dtw.summarize p.model)) repository)
+  in
+  { pocs; index = build_index index pocs }
 
 (* The binary repository image loads each PoC together with its summary
    (magnitudes are stored inline), so Persist can hand back a prepared
    repository without a summarization pass. *)
-let prepare_summarized pocs = { pocs = Array.copy pocs }
+let prepare_summarized ?index pocs =
+  let pocs = Array.copy pocs in
+  { pocs; index = build_index index pocs }
 
 let prepared_size prep = Array.length prep.pocs
 
+let prepared_index prep = prep.index
+
+let prepared_summaries prep = Array.map snd prep.pocs
+
+let attach_index prep index =
+  (match index with
+  | Some ix when Vpindex.size ix <> Array.length prep.pocs ->
+    invalid_arg
+      (Printf.sprintf
+         "Detector.attach_index: index covers %d models, repository has %d"
+         (Vpindex.size ix) (Array.length prep.pocs))
+  | _ -> ());
+  { prep with index }
+
 let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
-    ?(prune = true) prep target =
+    ?(prune = true) ?ixc prep target =
   let k = Array.length prep.pocs in
   if k = 0 then empty_verdict
   else begin
@@ -53,42 +80,54 @@ let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
       prune && (match alpha with None -> true | Some a -> a >= 0.0 && a <= 1.0)
     in
     let st = Dtw.summarize target in
-    (* best-so-far ordering: visiting PoCs by ascending lower bound tends to
-       establish a tight cutoff on the very first DP, maximizing what the
-       cascade can prune afterwards.  The index tie-break keeps the visit
-       order deterministic; the final verdict ordering is compare_scored
-       and does not depend on the visit order. *)
-    let order =
-      if not prune then Array.init k (fun i -> (i, None))
-      else begin
-        let lbs =
-          Array.init k (fun i ->
-              (i, Some (Dtw.lower_bound ?ws ?alpha (snd prep.pocs.(i)) st)))
-        in
-        Array.sort
-          (fun (i, la) (j, lb) ->
-            match Float.compare (Option.get la) (Option.get lb) with
-            | 0 -> Int.compare i j
-            | c -> c)
-          lbs;
-        lbs
-      end
-    in
     let best = ref neg_infinity in
     let kept = ref [] in
-    Array.iter
-      (fun (i, lb) ->
-        let p, sp = prep.pocs.(i) in
-        (* the cutoff is the best score seen so far: a pair provably below
-           it can never appear among the best-score ties.  The first pair
-           is always scored exactly. *)
-        let cutoff = if prune && !best > neg_infinity then Some !best else None in
-        match Dtw.compare_summaries ?ws ?band ?alpha ?cutoff ?lb sp st with
-        | Some s ->
-          kept := (p.model.Model.name, p.family, s) :: !kept;
-          if s > !best then best := s
-        | None -> ())
-      order;
+    (* the cutoff is the best score seen so far: a pair provably below it
+       can never appear among the best-score ties.  The first pair visited
+       is always scored exactly.  Every score that comes back is exact, so
+       neither the visit order nor which strictly-losing pairs get pruned
+       can change the verdict — the final ordering is compare_scored. *)
+    let score ?lb i =
+      let p, sp = prep.pocs.(i) in
+      let cutoff = if prune && !best > neg_infinity then Some !best else None in
+      match Dtw.compare_summaries ?ws ?band ?alpha ?cutoff ?lb sp st with
+      | Some s ->
+        kept := (p.model.Model.name, p.family, s) :: !kept;
+        if s > !best then best := s
+      | None -> ()
+    in
+    (match prep.index with
+    | Some ix when prune ->
+      (* best-first over the index: subtrees whose aggregate bound cannot
+         beat the running best are skipped wholesale.  The radius mirrors
+         compare_summaries' cutoff conversion exactly, margin included. *)
+      let dmax () =
+        if !best > neg_infinity then 1.0 -. !best +. Dtw.prune_margin
+        else infinity
+      in
+      Vpindex.search ?alpha ?ixc ix st ~dmax ~visit:(fun i -> score i)
+    | _ ->
+      (* linear cascade: visiting PoCs by ascending lower bound tends to
+         establish a tight cutoff on the very first DP, maximizing what
+         the cascade can prune afterwards.  The index tie-break keeps the
+         visit order deterministic. *)
+      let order =
+        if not prune then Array.init k (fun i -> (i, None))
+        else begin
+          let lbs =
+            Array.init k (fun i ->
+                (i, Some (Dtw.lower_bound ?ws ?alpha (snd prep.pocs.(i)) st)))
+          in
+          Array.sort
+            (fun (i, la) (j, lb) ->
+              match Float.compare (Option.get la) (Option.get lb) with
+              | 0 -> Int.compare i j
+              | c -> c)
+            lbs;
+          lbs
+        end
+      in
+      Array.iter (fun (i, lb) -> score ?lb i) order);
     let b = !best in
     let best_matches =
       List.filter (fun (_, _, s) -> s = b) !kept |> List.sort compare_scored
@@ -105,18 +144,31 @@ let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
     }
   end
 
+let score_all_prepared ?alpha ?ws ?band prep target =
+  (* every score is reported, so there is nothing sound to skip: the index
+     (when present) is deliberately not consulted, and the result is
+     bit-identical to score_all on the underlying repository *)
+  let st = Dtw.summarize target in
+  Array.to_list prep.pocs
+  |> List.map (fun (p, sp) ->
+         ( p.model.Model.name,
+           p.family,
+           Option.get (Dtw.compare_summaries ?ws ?band ?alpha sp st) ))
+  |> List.sort compare_scored
+
 let classify ?threshold ?alpha ?ws ?band ?prune repository target =
   classify_prepared ?threshold ?alpha ?ws ?band ?prune (prepare repository)
     target
 
 let is_attack v = Option.is_some v.best_family
 
-let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
+let classify_batch ?threshold ?alpha ?band ?domains ?prune ?index repository
+    targets =
   let tasks = Array.length targets in
   let out = Array.make tasks empty_verdict in
   let d = Sutil.Pool.domains_for ?domains tasks in
   let wss = Array.init d (fun _ -> Dtw.workspace ()) in
-  let prep = prepare repository in
+  let prep = prepare ?index repository in
   ignore
     (Sutil.Pool.run ~domains:d ~tasks (fun ~worker i ->
          out.(i) <-

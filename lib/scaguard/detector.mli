@@ -60,30 +60,64 @@ type prepared
     targets.  Immutable — one [prepared] value is safely shared by all
     domains of a batch. *)
 
-val prepare : repository -> prepared
-(** Summarize every PoC once.  Repository order is preserved. *)
+val prepare : ?index:Vpindex.spec -> repository -> prepared
+(** Summarize every PoC once.  Repository order is preserved.  With [index],
+    additionally build the repository index over the summaries
+    ({!Vpindex.build} — which may still decline under [Auto] on a small
+    repository). *)
 
-val prepare_summarized : (poc * Dtw.summary) array -> prepared
+val prepare_summarized :
+  ?index:Vpindex.spec -> (poc * Dtw.summary) array -> prepared
 (** Assemble a prepared repository from PoCs whose summaries already exist —
     the instant-start path of the binary repository image, where
     {!Persist.load_repository_prepared_result} reads the summaries inline
     and {!prepare} would only recompute what the file carries.  Each summary
     must be {!Dtw.summarize} (or {!Dtw.summarize_with} with that model's
     stored magnitudes) of its paired PoC's model; array order is the
-    repository order.  The array is copied. *)
+    repository order.  The array is copied.  [index] as in {!prepare}. *)
 
 val prepared_size : prepared -> int
 (** Number of PoCs in the prepared repository. *)
 
+val prepared_index : prepared -> Vpindex.t option
+(** The repository index, when one was built or attached. *)
+
+val prepared_summaries : prepared -> Dtw.summary array
+(** The PoC summaries in repository order (a fresh array of shared
+    summaries) — what {!Vpindex.build} consumes and {!Persist} serializes. *)
+
+val attach_index : prepared -> Vpindex.t option -> prepared
+(** Replace the prepared repository's index — the no-rebuild path of the
+    binary image, where the index is deserialized rather than rebuilt.  The
+    caller vouches that the index was built over this exact repository (the
+    image's integrity assumption); only the sizes are checked.
+    @raise Invalid_argument on a size mismatch. *)
+
 val classify_prepared :
   ?threshold:float -> ?alpha:float -> ?ws:Dtw.workspace -> ?band:int ->
-  ?prune:bool -> prepared -> Model.t -> verdict
+  ?prune:bool -> ?ixc:Vpindex.counters -> prepared -> Model.t -> verdict
 (** {!classify} against a pre-summarized repository — bit-identical results,
-    minus the per-call summarization cost. *)
+    minus the per-call summarization cost.
+
+    When the prepared repository carries an index and pruning is enabled
+    (and sound — [alpha] in [\[0,1\]]), candidates come from
+    {!Vpindex.search} instead of the linear ascending-lower-bound sweep:
+    subtrees provably below the running best are skipped without evaluating
+    per-pair lower bounds.  Verdicts remain bit-identical either way (a
+    tested invariant).  [ixc] accumulates the index counters reported by
+    {!Engine}. *)
+
+val score_all_prepared :
+  ?alpha:float -> ?ws:Dtw.workspace -> ?band:int ->
+  prepared -> Model.t -> (string * string * float) list
+(** {!score_all} against a pre-summarized repository — bit-identical.  Every
+    score is reported, so the index is deliberately not consulted: there is
+    nothing sound to skip. *)
 
 val classify_batch :
   ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->
-  ?prune:bool -> repository -> Model.t array -> verdict array
+  ?prune:bool -> ?index:Vpindex.spec -> repository -> Model.t array ->
+  verdict array
 (** Classify every target, in parallel across [domains] OCaml domains
     (default {!Sutil.Pool.default_domains}); the repository is prepared once
     and each worker reuses one {!Dtw.workspace}.  Verdicts are identical —

@@ -28,6 +28,7 @@ type workspace = {
   mutable lb_pruned : int;
   mutable abandoned : int;
   mutable cells_saved : int;
+  mutable lb_evals : int;
 }
 
 let workspace () =
@@ -42,6 +43,7 @@ let workspace () =
     lb_pruned = 0;
     abandoned = 0;
     cells_saved = 0;
+    lb_evals = 0;
   }
 
 let pairs_scored ws = ws.pairs
@@ -49,6 +51,7 @@ let cells_computed ws = ws.cells
 let pairs_pruned_lb ws = ws.lb_pruned
 let pairs_abandoned ws = ws.abandoned
 let cells_saved ws = ws.cells_saved
+let lb_evals ws = ws.lb_evals
 
 let ensure ws len =
   if Array.length ws.prev_c < len then begin
@@ -232,6 +235,9 @@ let summarize_with ~mags m =
   of_mags m (Array.copy mags)
 
 let summary_model s = s.s_model
+let summary_size s = Array.length s.s_entries
+let summary_lens s = s.s_lens
+let summary_mags s = s.s_mags
 
 (* All bounds below bound the *normalized* distance D/L.  Since every step
    cost is in [0,1] (for alpha in [0,1]) the normalized distance is in
@@ -239,6 +245,7 @@ let summary_model s = s.s_model
    L <= n + m - 1; dividing an accumulated-cost bound by Lmax = n + m - 1
    therefore under-approximates D/L. *)
 let lower_bound ?ws ?(alpha = Distance.default_alpha) sa sb =
+  (match ws with Some w -> w.lb_evals <- w.lb_evals + 1 | None -> ());
   let n = Array.length sa.s_entries and m = Array.length sb.s_entries in
   if n = 0 || m = 0 then 0.0
   else begin

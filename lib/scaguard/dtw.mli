@@ -62,6 +62,12 @@ val cells_saved : workspace -> int
     for lower-bound-pruned pairs plus the unvisited rows of abandoned
     pairs. *)
 
+val lb_evals : workspace -> int
+(** {!lower_bound} evaluations performed through this workspace.  The linear
+    cascade evaluates one bound per (target, PoC) pair; the repository index
+    ({!Vpindex}) exists to shrink this count, so the engine reports it next
+    to the pruning counters. *)
+
 val distance :
   ?ws:workspace -> ?band:int -> ?cutoff:float ->
   cost:('a -> 'b -> float) -> 'a array -> 'b array -> float
@@ -125,6 +131,24 @@ val summarize_with : mags:float array -> Model.t -> summary
     model's entry list. *)
 
 val summary_model : summary -> Model.t
+
+val summary_size : summary -> int
+(** Number of entries of the summarized model. *)
+
+val summary_lens : summary -> int array
+(** Per-entry normalized-token counts, in entry order.  The array is the one
+    stored in the summary and is {e shared} — callers must not mutate it
+    ({!Vpindex} reads it to build its per-model screens). *)
+
+val summary_mags : summary -> float array
+(** Per-entry cache-change magnitudes, in entry order; shared like
+    {!summary_lens}. *)
+
+val prune_margin : float
+(** The score-space safety margin ([1e-9]) added to every pruning cutoff so
+    float rounding inside a bound can never skip a pair whose exact score
+    would have reached the cutoff.  {!Detector} and {!Vpindex} use the same
+    margin when converting a best-so-far score into a pruning radius. *)
 
 val lower_bound : ?ws:workspace -> ?alpha:float -> summary -> summary -> float
 (** A provable lower bound on the {e normalized} DTW distance between the

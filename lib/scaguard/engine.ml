@@ -12,6 +12,9 @@ type stats = {
   pairs_pruned_lb : int;
   pairs_abandoned : int;
   cells_saved : int;
+  lb_evals : int;
+  nodes_visited : int;
+  pairs_pruned_index : int;
   wall_s : float;
   cpu_s : float;
   per_worker : int array;
@@ -54,43 +57,57 @@ let publish_stats s =
   Obs.Registry.add cells_total s.cells;
   Obs.Registry.add pairs_pruned_lb_total s.pairs_pruned_lb;
   Obs.Registry.add pairs_abandoned_total s.pairs_abandoned;
-  Obs.Registry.add cells_saved_total s.cells_saved
+  Obs.Registry.add cells_saved_total s.cells_saved;
+  Obs.Registry.add lb_evals_total s.lb_evals;
+  Obs.Registry.add pairs_pruned_index_total s.pairs_pruned_index;
+  Obs.Registry.add index_nodes_visited_total s.nodes_visited
 
 let classify_batch_prepared ?threshold ?alpha ?band ?domains ?prune prep
     targets =
   let tasks = Array.length targets in
   let d = Sutil.Pool.domains_for ?domains tasks in
   let wss = Array.init d (fun _ -> Dtw.workspace ()) in
+  let ixcs = Array.init d (fun _ -> Vpindex.counters ()) in
   let out = Array.make tasks Detector.empty_verdict in
   let observing = Obs.enabled () in
   let probe = if observing then Obs.pool_probe ~stage:"engine" else None in
   let wall0 = Obs.Clock.now_ns () and cpu0 = Sys.time () in
   let per_worker =
     Sutil.Pool.run ~domains:d ?probe ~tasks (fun ~worker i ->
-        let ws = wss.(worker) in
+        let ws = wss.(worker) and ixc = ixcs.(worker) in
         if observing then
           classify_observed
             ~classify:(fun () ->
               Detector.classify_prepared ?threshold ?alpha ?band ?prune ~ws
-                prep targets.(i))
+                ~ixc prep targets.(i))
             ~ws ~worker ~target:targets.(i) i out
         else
           out.(i) <-
-            Detector.classify_prepared ?threshold ?alpha ?band ?prune ~ws prep
-              targets.(i))
+            Detector.classify_prepared ?threshold ?alpha ?band ?prune ~ws ~ixc
+              prep targets.(i))
   in
   let wall_s = Obs.Clock.elapsed_s ~since:wall0
   and cpu_s = Sys.time () -. cpu0 in
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 wss in
+  let sumix f = Array.fold_left (fun acc c -> acc + f c) 0 ixcs in
+  let pairs_pruned_index =
+    sumix (fun c -> c.Vpindex.pairs_pruned_index)
+  in
   let stats =
     {
       domains = d;
       targets = tasks;
-      pairs = sum Dtw.pairs_scored;
+      (* index-pruned pairs were never handed to the scorer, so they are
+         added back here: [pairs] stays targets x repository however the
+         candidates were enumerated *)
+      pairs = sum Dtw.pairs_scored + pairs_pruned_index;
       cells = sum Dtw.cells_computed;
       pairs_pruned_lb = sum Dtw.pairs_pruned_lb;
       pairs_abandoned = sum Dtw.pairs_abandoned;
       cells_saved = sum Dtw.cells_saved;
+      lb_evals = sum Dtw.lb_evals;
+      nodes_visited = sumix (fun c -> c.Vpindex.nodes_visited);
+      pairs_pruned_index;
       wall_s;
       cpu_s;
       per_worker;
@@ -99,17 +116,20 @@ let classify_batch_prepared ?threshold ?alpha ?band ?domains ?prune prep
   if Obs.metrics () then publish_stats stats;
   (out, stats)
 
-let classify_batch ?threshold ?alpha ?band ?domains ?prune repository targets =
+let classify_batch ?threshold ?alpha ?band ?domains ?prune ?index repository
+    targets =
   classify_batch_prepared ?threshold ?alpha ?band ?domains ?prune
-    (Detector.prepare repository) targets
+    (Detector.prepare ?index repository) targets
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>engine: %d targets, %d pairs, %d DP cells@,\
      pruning: %d pairs by lower bound, %d abandoned mid-DP, %d cells saved@,\
+     index: %d pairs pruned, %d nodes visited, %d lower bounds evaluated@,\
      domains %d, wall %.4fs, cpu %.4fs, utilization %.0f%%, %.0f pairs/s@,\
      per-worker targets: [%s]@]"
     s.targets s.pairs s.cells s.pairs_pruned_lb s.pairs_abandoned s.cells_saved
+    s.pairs_pruned_index s.nodes_visited s.lb_evals
     s.domains s.wall_s s.cpu_s
     (100.0 *. utilization s)
     (throughput s)

@@ -30,6 +30,17 @@ type stats = {
   cells_saved : int;
     (** DP cells pruning avoided (whole matrices of lower-bound-pruned
         pairs + unvisited rows of abandoned pairs) *)
+  lb_evals : int;
+    (** {!Dtw.lower_bound} evaluations.  The linear cascade performs one per
+        pair; the repository index exists to shrink this — the
+        visited-fraction [lb_evals / pairs] is the headline [bench: index]
+        metric. *)
+  nodes_visited : int;
+    (** repository-index tree nodes expanded ({!Vpindex.counters}); 0 when
+        no index is in play *)
+  pairs_pruned_index : int;
+    (** pairs skipped by the index before any per-pair lower bound ran;
+        still counted in [pairs] *)
   wall_s : float;     (** wall-clock seconds for the batch *)
   cpu_s : float;      (** process CPU seconds for the batch (all domains) *)
   per_worker : int array;  (** targets classified by each worker *)
@@ -37,12 +48,14 @@ type stats = {
 
 val classify_batch :
   ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->
-  ?prune:bool ->
+  ?prune:bool -> ?index:Vpindex.spec ->
   Detector.repository -> Model.t array -> Detector.verdict array * stats
 (** Classify every target against the repository.  [domains] defaults to
     {!Sutil.Pool.default_domains} (clamped to the batch size); [prune]
     (default [true]) toggles the exact lower-bound cascade — verdicts are
-    bit-identical either way, only the counters move. *)
+    bit-identical either way, only the counters move.  [index] builds the
+    repository index during preparation ({!Detector.prepare}); verdicts are
+    again bit-identical with or without it. *)
 
 val classify_batch_prepared :
   ?threshold:float -> ?alpha:float -> ?band:int -> ?domains:int ->

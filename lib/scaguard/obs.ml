@@ -445,6 +445,15 @@ module Metrics = struct
       "Pairs whose DP was cut short by the cutoff."
   let cells_saved_total =
     c "scaguard_engine_dp_cells_saved_total" "DP cells pruning avoided."
+  let lb_evals_total =
+    c "scaguard_engine_lb_evals_total"
+      "Lower-bound evaluations (the work the repository index shrinks)."
+  let pairs_pruned_index_total =
+    c "scaguard_engine_pairs_pruned_index_total"
+      "Pairs skipped by the repository index before any lower bound ran."
+  let index_nodes_visited_total =
+    c "scaguard_engine_index_nodes_visited_total"
+      "Repository-index tree nodes expanded during search."
   let models_built_total =
     c "scaguard_models_built_total"
       "CST-BBS models built (cache hits not included)."

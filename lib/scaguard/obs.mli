@@ -199,6 +199,9 @@ module Metrics : sig
   val pairs_pruned_lb_total : Registry.counter
   val pairs_abandoned_total : Registry.counter
   val cells_saved_total : Registry.counter
+  val lb_evals_total : Registry.counter
+  val pairs_pruned_index_total : Registry.counter
+  val index_nodes_visited_total : Registry.counter
   val models_built_total : Registry.counter
   val cache_hits_total : Registry.counter
   val cache_misses_total : Registry.counter

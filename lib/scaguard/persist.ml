@@ -252,7 +252,14 @@ let repository_of_string s = ok_or_failwith (repository_of_string_result s)
 (* -- binary format ------------------------------------------------------------ *)
 
 let bin_magic = "SCAGBIN"
-let bin_version = 1
+
+(* v1: header, string table, model index, blobs.
+   v2: an optional repository-index section (u8 presence byte + the
+   length-prefixed Vpindex encoding) between the model index and the blobs.
+   Readers accept both; writers emit v2 (a v2 file without the section is
+   byte-wise v1 plus one zero byte). *)
+let bin_version = 2
+let bin_version_min = 1
 let kind_repository = Char.code 'R'
 let kind_model = Char.code 'M'
 
@@ -314,7 +321,7 @@ let add_header buf ~kind =
   Binfmt.add_u8 buf bin_version;
   Binfmt.add_u8 buf kind
 
-let repository_to_bytes (repo : Detector.repository) =
+let repository_to_bytes ?index (repo : Detector.repository) =
   let table = new_table () in
   (* a pre-pass interns names and families before any token, purely so the
      index can be written before the blobs; ids are arbitrary anyway *)
@@ -342,6 +349,11 @@ let repository_to_bytes (repo : Detector.repository) =
       Binfmt.add_uint buf family_id;
       Binfmt.add_uint buf (String.length blob))
     blobs;
+  (match index with
+  | None -> Binfmt.add_u8 buf 0
+  | Some ix ->
+    Binfmt.add_u8 buf 1;
+    Binfmt.add_string buf (Vpindex.to_bytes ix));
   List.iter (fun (_, _, blob) -> buf_add buf blob) blobs;
   Buffer.contents buf
 
@@ -361,15 +373,16 @@ let model_to_bytes (m : Model.t) =
 let parse_header r ~kind =
   Binfmt.expect r bin_magic;
   let v = Binfmt.u8 r in
-  if v <> bin_version then
+  if v < bin_version_min || v > bin_version then
     Binfmt.fail r
-      "unsupported binary format version %d (this build reads version %d)" v
-      bin_version;
+      "unsupported binary format version %d (this build reads versions %d-%d)"
+      v bin_version_min bin_version;
   let k = Binfmt.u8 r in
   if k <> kind then
     Binfmt.fail r "expected a %s file (kind '%c'), got kind '%c'"
       (if kind = kind_repository then "repository" else "model")
-      (Char.chr kind) (Char.chr k)
+      (Char.chr kind) (Char.chr k);
+  v
 
 let parse_table r =
   let n = Binfmt.count r ~what:"string table" in
@@ -415,40 +428,68 @@ type index_entry = { ix_name : string; ix_family : string; ix_len : int }
 
 let parse_index r strings =
   let n = Binfmt.count r ~what:"model index" in
-  let index =
-    Array.init n (fun _ ->
-        let ix_name = parse_sid r strings in
-        let ix_family = parse_sid r strings in
-        let ix_len = Binfmt.uint r in
-        { ix_name; ix_family; ix_len })
-  in
+  Array.init n (fun _ ->
+      let ix_name = parse_sid r strings in
+      let ix_family = parse_sid r strings in
+      let ix_len = Binfmt.uint r in
+      { ix_name; ix_family; ix_len })
+
+(* Runs after every section preceding the blobs has been consumed; the
+   remaining bytes must be exactly what the model index declared. *)
+let check_blob_bytes r index =
   let total = Array.fold_left (fun acc e -> acc + e.ix_len) 0 index in
   if total <> Binfmt.remaining r then
     Binfmt.fail r
       "corrupt model index: blobs cover %d bytes but %d remain" total
-      (Binfmt.remaining r);
-  index
+      (Binfmt.remaining r)
+
+(* The v2 repository-index section.  v1 images simply lack it — the absence
+   of an index is never an error, only its corruption is. *)
+let parse_vpindex_section r ~version ~size =
+  if version < 2 then None
+  else
+    match Binfmt.u8 r with
+    | 0 -> None
+    | 1 -> (
+      let bytes = Binfmt.string r in
+      match Vpindex.of_bytes_result bytes with
+      | Error e -> Binfmt.fail r "corrupt repository index: %s" (Err.to_string e)
+      | Ok ix ->
+        if Vpindex.size ix <> size then
+          Binfmt.fail r
+            "repository index covers %d models but the image has %d"
+            (Vpindex.size ix) size;
+        Some ix)
+    | b -> Binfmt.fail r "bad repository-index presence byte %d" b
 
 (* Parse the whole image eagerly; every blob must consume exactly the length
    the index declared for it. *)
 let parse_repository_bin r =
-  parse_header r ~kind:kind_repository;
+  let version = parse_header r ~kind:kind_repository in
   let strings = parse_table r in
   let index = parse_index r strings in
-  Array.to_list
-    (Array.map
-       (fun e ->
-         let start = Binfmt.pos r in
-         let model, summary = parse_model_blob r strings ~name:e.ix_name in
-         if Binfmt.pos r - start <> e.ix_len then
-           Binfmt.fail r "model %S blob length mismatch (index said %d, read %d)"
-             e.ix_name e.ix_len
-             (Binfmt.pos r - start);
-         ({ Detector.family = e.ix_family; model }, summary))
-       index)
+  let vpindex =
+    parse_vpindex_section r ~version ~size:(Array.length index)
+  in
+  check_blob_bytes r index;
+  let pairs =
+    Array.to_list
+      (Array.map
+         (fun e ->
+           let start = Binfmt.pos r in
+           let model, summary = parse_model_blob r strings ~name:e.ix_name in
+           if Binfmt.pos r - start <> e.ix_len then
+             Binfmt.fail r
+               "model %S blob length mismatch (index said %d, read %d)"
+               e.ix_name e.ix_len
+               (Binfmt.pos r - start);
+           ({ Detector.family = e.ix_family; model }, summary))
+         index)
+  in
+  (pairs, vpindex)
 
 let parse_model_bin r =
-  parse_header r ~kind:kind_model;
+  let _version = parse_header r ~kind:kind_model in
   let strings = parse_table r in
   let name = parse_sid r strings in
   let model, _summary = parse_model_blob r strings ~name in
@@ -456,8 +497,11 @@ let parse_model_bin r =
     Binfmt.fail r "trailing garbage after model (%d bytes)" (Binfmt.remaining r);
   model
 
-let repository_of_bytes_prepared_result ?file s =
+let repository_of_bytes_indexed_result ?file s =
   Binfmt.run ?file parse_repository_bin s
+
+let repository_of_bytes_prepared_result ?file s =
+  Result.map fst (repository_of_bytes_indexed_result ?file s)
 
 let repository_of_bytes_result ?file s =
   Result.map (List.map fst) (repository_of_bytes_prepared_result ?file s)
@@ -471,12 +515,17 @@ type image = {
   img_data : string;
   img_strings : string array;
   img_index : (index_entry * int) array;  (* entry, absolute blob offset *)
+  img_vpindex : Vpindex.t option;
 }
 
 let parse_image ~path data r =
-  parse_header r ~kind:kind_repository;
+  let version = parse_header r ~kind:kind_repository in
   let strings = parse_table r in
   let index = parse_index r strings in
+  let vpindex =
+    parse_vpindex_section r ~version ~size:(Array.length index)
+  in
+  check_blob_bytes r index;
   let off = ref (Binfmt.pos r) in
   let img_index =
     Array.map
@@ -486,10 +535,17 @@ let parse_image ~path data r =
         (e, o))
       index
   in
-  { img_path = path; img_data = data; img_strings = strings; img_index }
+  {
+    img_path = path;
+    img_data = data;
+    img_strings = strings;
+    img_index;
+    img_vpindex = vpindex;
+  }
 
 let image_path img = img.img_path
 let image_size img = Array.length img.img_index
+let image_vpindex img = img.img_vpindex
 
 let image_pocs img =
   Array.map (fun (e, _) -> (e.ix_name, e.ix_family)) img.img_index
@@ -596,10 +652,9 @@ let load_repository_result ~path =
 let load_repository_prepared_result ~path =
   let* s = io_result ~path (fun () -> read_file ~path) in
   if is_binary s then
-    let* pairs = repository_of_bytes_prepared_result ~file:path s in
-    Ok
-      ( List.map fst pairs,
-        Detector.prepare_summarized (Array.of_list pairs) )
+    let* pairs, vpindex = repository_of_bytes_indexed_result ~file:path s in
+    let prep = Detector.prepare_summarized (Array.of_list pairs) in
+    Ok (List.map fst pairs, Detector.attach_index prep vpindex)
   else
     let* repo = run_parser ~file:path parse_repository s in
     Ok (repo, Detector.prepare repo)
@@ -616,8 +671,9 @@ let open_image_result ~path =
 let save_repository_result ~path repo =
   io_result ~path (fun () -> write_atomic ~path (repository_to_string repo))
 
-let save_repository_bin_result ~path repo =
-  io_result ~path (fun () -> write_atomic ~path (repository_to_bytes repo))
+let save_repository_bin_result ?index ~path repo =
+  io_result ~path (fun () ->
+      write_atomic ~path (repository_to_bytes ?index repo))
 
 let save_model_result ~path m =
   io_result ~path (fun () -> write_atomic ~path (model_to_string m))

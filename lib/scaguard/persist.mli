@@ -58,9 +58,12 @@ val is_binary : string -> bool
 (** Whether the bytes start with the binary magic — the same sniff the
     [load_*] functions apply. *)
 
-val repository_to_bytes : Detector.repository -> string
+val repository_to_bytes : ?index:Vpindex.t -> Detector.repository -> string
 (** The binary repository image.  Deterministic: a given repository value
-    always produces the same bytes. *)
+    (and index) always produces the same bytes.  [index] embeds the
+    serialized repository index ({!Vpindex.to_bytes}) in the image's
+    optional index section so loads skip the rebuild; it must have been
+    built over exactly this repository. *)
 
 val repository_of_bytes_result :
   ?file:string -> string -> (Detector.repository, Err.t) result
@@ -75,6 +78,14 @@ val repository_of_bytes_prepared_result :
 (** Like {!repository_of_bytes_result}, but each PoC comes with its
     {!Dtw.summary} rebuilt from the magnitudes stored inline in the image —
     identical to [Dtw.summarize] of the model, with no summarization work. *)
+
+val repository_of_bytes_indexed_result :
+  ?file:string ->
+  string ->
+  ((Detector.poc * Dtw.summary) list * Vpindex.t option, Err.t) result
+(** {!repository_of_bytes_prepared_result} plus the repository index when
+    the image carries one ([None] for v1 images and v2 images saved without
+    an index — absence is never an error, only corruption is). *)
 
 val model_to_bytes : Model.t -> string
 (** Single-model binary encoding (the {!Model_cache} entry format). *)
@@ -91,8 +102,10 @@ val save_repository_result :
     corrupt file at [path]. *)
 
 val save_repository_bin_result :
-  path:string -> Detector.repository -> (unit, Err.t) result
-(** {!save_repository_result}, binary image format. *)
+  ?index:Vpindex.t -> path:string -> Detector.repository ->
+  (unit, Err.t) result
+(** {!save_repository_result}, binary image format.  [index] as in
+    {!repository_to_bytes}. *)
 
 val save_repository : path:string -> Detector.repository -> unit
 (** Like {!save_repository_result}.
@@ -111,7 +124,8 @@ val load_repository_prepared_result :
   (Detector.repository * Detector.prepared, Err.t) result
 (** {!load_repository_result} plus a ready-to-classify {!Detector.prepared}.
     For binary images the summaries come straight off the file (no
-    {!Detector.prepare} work — the instant-start path); for text files this
+    {!Detector.prepare} work — the instant-start path), and an embedded
+    repository index is attached without a rebuild; for text files this
     simply runs {!Detector.prepare} after parsing.  Either way the prepared
     repository classifies bit-identically to [Detector.prepare repo]. *)
 
@@ -158,6 +172,11 @@ val image_size : image -> int
 val image_pocs : image -> (string * string) array
 (** [(model name, family)] pairs in file (= repository) order, straight from
     the index — no blob decoding. *)
+
+val image_vpindex : image -> Vpindex.t option
+(** The repository index embedded in the image, when present — decoded at
+    {!open_image_result} time (it lives before the blobs), so an opened
+    image cold-starts straight into indexed classification. *)
 
 val image_load_result :
   image -> name:string -> (Detector.poc, Err.t) result

@@ -535,6 +535,9 @@ type t = {
   mutable eng_pruned_lb : int;
   mutable eng_abandoned : int;
   mutable eng_cells_saved : int;
+  mutable eng_lb_evals : int;
+  mutable eng_pruned_index : int;
+  mutable eng_nodes_visited : int;
   lat : float array;
   mutable lat_n : int;
   mutable draining_ : bool;
@@ -579,6 +582,9 @@ let create ~config ~resolve ~prepared ?repo_path ?(queue_capacity = 64)
         eng_pruned_lb = 0;
         eng_abandoned = 0;
         eng_cells_saved = 0;
+        eng_lb_evals = 0;
+        eng_pruned_index = 0;
+        eng_nodes_visited = 0;
         lat = Array.make lat_window 0.0;
         lat_n = 0;
         draining_ = false;
@@ -671,7 +677,10 @@ let accumulate t (report : Service.report) =
     t.eng_cells <- t.eng_cells + s.Engine.cells;
     t.eng_pruned_lb <- t.eng_pruned_lb + s.Engine.pairs_pruned_lb;
     t.eng_abandoned <- t.eng_abandoned + s.Engine.pairs_abandoned;
-    t.eng_cells_saved <- t.eng_cells_saved + s.Engine.cells_saved
+    t.eng_cells_saved <- t.eng_cells_saved + s.Engine.cells_saved;
+    t.eng_lb_evals <- t.eng_lb_evals + s.Engine.lb_evals;
+    t.eng_pruned_index <- t.eng_pruned_index + s.Engine.pairs_pruned_index;
+    t.eng_nodes_visited <- t.eng_nodes_visited + s.Engine.nodes_visited
 
 (* ---- request execution ----- *)
 
@@ -844,6 +853,9 @@ let stats_frame t ~id =
             ("pairs_pruned_lb", jint t.eng_pruned_lb);
             ("pairs_abandoned", jint t.eng_abandoned);
             ("cells_saved", jint t.eng_cells_saved);
+            ("lb_evals", jint t.eng_lb_evals);
+            ("pairs_pruned_index", jint t.eng_pruned_index);
+            ("index_nodes_visited", jint t.eng_nodes_visited);
           ] );
       ( "latency_ms",
         Json.Obj
@@ -886,7 +898,10 @@ let do_reload t conn ~id ~arrival_ns ~path =
   match path with
   | Error e -> emit_frame conn (err_frame ~id e)
   | Ok path -> (
-    match Service.load_repository ~path with
+    (* loading under the server's config rebuilds the prepared index when
+       the file does not carry one, so a reloaded daemon classifies exactly
+       like a freshly started one — same candidates, same counters *)
+    match Service.load_repository ~config:t.config ~path () with
     | Error e -> emit_frame conn (err_frame ~id e)
     | Ok (_repo, prep, _report) ->
       if Detector.prepared_size prep = 0 then

@@ -55,6 +55,9 @@ let counters_table r =
     int_row "pairs pruned (lower bound)" s.Engine.pairs_pruned_lb;
     int_row "pairs abandoned (cutoff)" s.Engine.pairs_abandoned;
     int_row "DP cells saved" s.Engine.cells_saved;
+    int_row "lower bounds evaluated" s.Engine.lb_evals;
+    int_row "pairs pruned (index)" s.Engine.pairs_pruned_index;
+    int_row "index nodes visited" s.Engine.nodes_visited;
     row "engine utilization" (Sutil.Table.pct (Engine.utilization s));
     row "engine throughput (pairs/s)"
       (Printf.sprintf "%.0f" (Engine.throughput s)));
@@ -151,9 +154,11 @@ let report_to_json r =
     add
       ",\"engine\":{\"domains\":%d,\"targets\":%d,\"pairs\":%d,\"cells\":%d,\
        \"pairs_pruned_lb\":%d,\"pairs_abandoned\":%d,\"cells_saved\":%d,\
+       \"lb_evals\":%d,\"pairs_pruned_index\":%d,\"nodes_visited\":%d,\
        \"wall_s\":%s,\"cpu_s\":%s,\"per_worker\":[%s]}"
       s.Engine.domains s.Engine.targets s.Engine.pairs s.Engine.cells
       s.Engine.pairs_pruned_lb s.Engine.pairs_abandoned s.Engine.cells_saved
+      s.Engine.lb_evals s.Engine.pairs_pruned_index s.Engine.nodes_visited
       (Obs.Json.float s.Engine.wall_s)
       (Obs.Json.float s.Engine.cpu_s)
       (String.concat ","
@@ -236,6 +241,23 @@ let cache_stats_of cache =
 
 let metrics_snapshot () = if Obs.metrics () then Some (Obs.snapshot ()) else None
 
+(* The config's index policy as a Vpindex build spec; [None] means linear.
+   The construction seed comes from the salt, so two operators with the same
+   config and repository get byte-identical indexes. *)
+let spec_of_config (config : Config.t) =
+  let spec mode =
+    {
+      Vpindex.mode;
+      leaf = config.Config.index_leaf;
+      pivots = config.Config.index_pivots;
+      seed = Vpindex.seed_of_salt config.Config.salt;
+    }
+  in
+  match config.Config.index with
+  | Config.Index_off -> None
+  | Config.Index_auto -> Some (spec Vpindex.Auto)
+  | Config.Index_vp -> Some (spec Vpindex.Force)
+
 (* Jobs inherit the config's execution settings and salt unless they carry
    their own.  Filling in the explicit defaults is key-neutral: both
    [Cst.measure] and [Model_cache.key] normalize an omitted settings/config
@@ -275,7 +297,8 @@ let detect_stage (config : Config.t) repo targets =
   timed "detect" (fun () ->
       Engine.classify_batch ~threshold:config.Config.threshold
         ?alpha:config.Config.alpha ?band:config.Config.band
-        ?domains:config.Config.domains ~prune:config.Config.prune repo targets)
+        ?domains:config.Config.domains ~prune:config.Config.prune
+        ?index:(spec_of_config config) repo targets)
 
 let detect_report ?(timings = []) targets stats =
   {
@@ -325,16 +348,43 @@ let save_repository config ~path repo =
     timed "save" (fun () ->
         match config.Config.repo_format with
         | Config.Text -> Persist.save_repository_result ~path repo
-        | Config.Binary -> Persist.save_repository_bin_result ~path repo)
+        | Config.Binary ->
+          (* binary images embed the repository index so loads skip the
+             rebuild; the text format has no index section *)
+          let index =
+            match spec_of_config config with
+            | None -> None
+            | Some spec -> Detector.prepared_index (Detector.prepare ~index:spec repo)
+          in
+          Persist.save_repository_bin_result ?index ~path repo)
   in
   let* () = result in
   Ok (io_report timing)
 
-let load_repository ~path =
+(* With [config], the loaded repository honours the config's index policy:
+   an index embedded in the image is kept (Auto/Vp) or dropped (Off), and a
+   missing one is built here.  Without [config] the file decides — exactly
+   the pre-index behaviour for text files and index-free images. *)
+let load_repository ?config ~path () =
   let timing, result =
     timed "load" (fun () -> Persist.load_repository_prepared_result ~path)
   in
   let* repo, prep = result in
+  let* prep =
+    match config with
+    | None -> Ok prep
+    | Some config ->
+      let* config = Config.validate config in
+      Ok
+        (match spec_of_config config with
+        | None -> Detector.attach_index prep None
+        | Some spec -> (
+          match Detector.prepared_index prep with
+          | Some _ -> prep
+          | None ->
+            Detector.attach_index prep
+              (Vpindex.build spec (Detector.prepared_summaries prep))))
+  in
   Ok (repo, prep, io_report ~built:(List.length repo) timing)
 
 let screen_report ~cache ~build_timing ~detect_timing models stats =

@@ -73,19 +73,34 @@ val detect_prepared :
     to {!detect} on the repository the [prepared] was built from.  Errors:
     [Invalid_config], [Empty_repository]. *)
 
+val spec_of_config : Config.t -> Vpindex.spec option
+(** The config's repository-index policy as a {!Vpindex} build spec —
+    [None] for [Index_off], [Auto]/[Force] for [Index_auto]/[Index_vp], leaf
+    and pivot counts from the config, and the construction seed derived from
+    the salt ({!Vpindex.seed_of_salt}), so identical configs build
+    byte-identical indexes. *)
+
 val save_repository :
   Config.t -> path:string -> Detector.repository -> (report, Err.t) result
 (** Persist the repository at [path] in [config.repo_format] (atomic,
-    durable — see {!Persist.write_atomic}).  The report carries a ["save"]
-    timing.  Errors: [Invalid_config], [Io]. *)
+    durable — see {!Persist.write_atomic}).  Binary images additionally
+    embed the repository index that {!spec_of_config} prescribes (when it
+    builds one), so later loads skip the index rebuild.  The report carries
+    a ["save"] timing.  Errors: [Invalid_config], [Io]. *)
 
 val load_repository :
+  ?config:Config.t ->
   path:string ->
+  unit ->
   (Detector.repository * Detector.prepared * report, Err.t) result
 (** Load a repository (either format, sniffed) together with its
     {!Detector.prepared} — free for binary images, a [prepare] pass for text
     files — and a report carrying a ["load"] timing with [built] set to the
-    repository size.  Errors: [Io], [Parse]. *)
+    repository size.  With [config], the prepared repository honours the
+    config's index policy: an index embedded in the image is kept
+    ([Index_auto]/[Index_vp]) or dropped ([Index_off]), and a missing one is
+    built here.  Without [config] the file decides (an embedded index is
+    used, none is built).  Errors: [Io], [Parse], [Invalid_config]. *)
 
 val screen :
   Config.t ->

@@ -1,0 +1,919 @@
+(* The repository index: a vantage-point tree over Dtw.summarize summaries,
+   with a flat single-linkage cluster table for tiny repositories.
+
+   DTW's normalized distance is not a metric (no triangle inequality), so the
+   tree is only a *clustering heuristic*: construction groups models by
+   Dtw.lower_bound distance to seeded pivots, but query-time pruning never
+   relies on pivot distances.  Instead every node carries aggregate scoring
+   ingredients pooled over its whole subtree — entry-count ranges,
+   cache-change magnitude ranges, first/last-entry pools, and small interval
+   sketches of the pooled magnitudes and token counts — from which
+   [node_bound] computes a provable lower bound on the normalized DTW
+   distance between the target and EVERY member of the subtree, by the same
+   three arguments as {!Dtw.lower_bound} (range gap, LB_Kim, row bound)
+   relaxed over the pools.  A subtree is skipped only when that bound
+   exceeds the caller's best-so-far radius, so verdicts stay bit-identical
+   to the linear cascade.
+
+   Per-member screens reuse the same formulas with the member's exact
+   first/last entries and its own sketches: O(target entries) cheap scalar
+   work per member, an order of magnitude cheaper than the full
+   Dtw.lower_bound (which runs two Levenshtein DPs and an O(n*m) scan), and
+   sound for the same reasons.  The screens are what shrink the number of
+   full lower-bound evaluations per query — the metric `bench: index`
+   tracks.
+
+   Construction is sequential and seeded (Sutil.Rng on [spec.seed]), so
+   building the same repository twice — in any process, under any domain
+   count — yields byte-identical indexes ([to_bytes]). *)
+
+type mode = Auto | Force
+
+type spec = { mode : mode; leaf : int; pivots : int; seed : int }
+
+let default_leaf = 16
+let default_pivots = 5
+let default_spec = { mode = Auto; leaf = default_leaf; pivots = default_pivots; seed = 0 }
+
+(* Auto: repositories below this size classify in microseconds anyway; the
+   index only pays for itself past a few hundred models. *)
+let auto_min = 256
+
+(* Force mode on a tiny repository: a deep tree over a handful of models is
+   all overhead, so fall back to a one-level cluster table. *)
+let flat_max = 64
+
+(* Members whose lower-bound distance is below this are considered
+   neighbours by the flat fallback's single-linkage pass. *)
+let flat_link = 0.4
+
+(* Interval-sketch width: each member (and each node) compresses its pooled
+   magnitudes / token counts into at most this many covering intervals. *)
+let sketch_k = 4
+
+(* FNV-1a over the salt, folded into OCaml's 63-bit int range: the
+   deterministic bridge from Config.salt to the construction seed. *)
+let seed_of_salt salt =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    salt;
+  Int64.to_int (Int64.logand !h Int64.max_int)
+
+type member = {
+  idx : int;  (* position in the prepared repository *)
+  m_n : int;  (* entry count; members are always non-empty *)
+  m_first_len : int;
+  m_first_mag : float;
+  m_last_len : int;
+  m_last_mag : float;
+  m_mag_lo : float;
+  m_mag_hi : float;
+  m_mag_sk : (float * float) array;  (* ascending disjoint covering intervals *)
+  m_len_sk : (int * int) array;
+}
+
+type node = {
+  g_count : int;  (* members in the subtree *)
+  g_n_min : int;
+  g_n_max : int;
+  g_mag_lo : float;
+  g_mag_hi : float;
+  (* first/last-entry pools: every member's first (resp. last) entry falls
+     inside these ranges *)
+  g_f_len_lo : int;
+  g_f_len_hi : int;
+  g_f_mag_lo : float;
+  g_f_mag_hi : float;
+  g_l_len_lo : int;
+  g_l_len_hi : int;
+  g_l_mag_lo : float;
+  g_l_mag_hi : float;
+  g_mag_sk : (float * float) array;
+  g_len_sk : (int * int) array;
+  kind : kind;
+}
+
+and kind = Leaf of member array | Branch of node array
+
+type t = {
+  spec : spec;
+  size : int;          (* repository size, empties included *)
+  empties : int array; (* indices of empty models: always scored, never pruned *)
+  root : node option;
+  node_count : int;
+}
+
+type counters = {
+  mutable nodes_visited : int;
+  mutable pairs_pruned_index : int;
+}
+
+let counters () = { nodes_visited = 0; pairs_pruned_index = 0 }
+let size t = t.size
+let spec t = t.spec
+
+let rec count_nodes n =
+  match n.kind with
+  | Leaf _ -> 1
+  | Branch cs -> Array.fold_left (fun acc c -> acc + count_nodes c) 1 cs
+
+let node_count t = t.node_count
+
+let depth t =
+  let rec go n =
+    match n.kind with
+    | Leaf _ -> 1
+    | Branch cs -> 1 + Array.fold_left (fun acc c -> max acc (go c)) 0 cs
+  in
+  match t.root with None -> 0 | Some r -> go r
+
+(* ---- interval sketches ------------------------------------------------------- *)
+
+(* Compress an unsorted value multiset into at most [k] disjoint ascending
+   intervals that COVER every value: sort, deduplicate, then keep the k-1
+   largest gaps as cuts.  Covering is what makes the sketch sound: the
+   distance from a point to the sketch never exceeds its distance to any
+   actual value. *)
+let sketch_of_floats k values =
+  let v = Array.copy values in
+  Array.sort Float.compare v;
+  let n = Array.length v in
+  if n = 0 then [||]
+  else begin
+    (* distinct values *)
+    let dis = ref [ v.(0) ] and last = ref v.(0) in
+    for i = 1 to n - 1 do
+      if v.(i) <> !last then begin
+        dis := v.(i) :: !dis;
+        last := v.(i)
+      end
+    done;
+    let d = Array.of_list (List.rev !dis) in
+    let p = Array.length d in
+    if p <= k then Array.map (fun x -> (x, x)) d
+    else begin
+      (* cut at the k-1 largest gaps (ties broken towards earlier gaps so
+         the construction is deterministic) *)
+      let gaps = Array.init (p - 1) (fun i -> (d.(i + 1) -. d.(i), i)) in
+      Array.sort
+        (fun (ga, ia) (gb, ib) ->
+          match Float.compare gb ga with 0 -> Int.compare ia ib | c -> c)
+        gaps;
+      let cuts = Array.sub gaps 0 (k - 1) in
+      let cut_idx = Array.map snd cuts in
+      Array.sort Int.compare cut_idx;
+      let out = Array.make k (0.0, 0.0) in
+      let lo = ref 0 in
+      Array.iteri
+        (fun j c ->
+          out.(j) <- (d.(!lo), d.(c));
+          lo := c + 1)
+        cut_idx;
+      out.(k - 1) <- (d.(!lo), d.(p - 1));
+      out
+    end
+  end
+
+let sketch_of_ints k values =
+  sketch_of_floats k (Array.map float_of_int values)
+  |> Array.map (fun (lo, hi) -> (int_of_float lo, int_of_float hi))
+
+(* Merge child sketches into one covering sketch of at most [k] intervals:
+   union the (already disjoint-per-child) intervals, then re-cut at the
+   largest inter-interval gaps. *)
+let merge_float_sketches k sketches =
+  let all = Array.concat (Array.to_list sketches) in
+  if Array.length all = 0 then [||]
+  else begin
+    Array.sort
+      (fun (la, ha) (lb, hb) ->
+        match Float.compare la lb with 0 -> Float.compare ha hb | c -> c)
+      all;
+    (* coalesce overlapping/touching intervals *)
+    let merged = ref [] in
+    let clo = ref (fst all.(0)) and chi = ref (snd all.(0)) in
+    for i = 1 to Array.length all - 1 do
+      let lo, hi = all.(i) in
+      if lo <= !chi then chi := Float.max !chi hi
+      else begin
+        merged := (!clo, !chi) :: !merged;
+        clo := lo;
+        chi := hi
+      end
+    done;
+    merged := (!clo, !chi) :: !merged;
+    let iv = Array.of_list (List.rev !merged) in
+    let p = Array.length iv in
+    if p <= k then iv
+    else begin
+      let gaps = Array.init (p - 1) (fun i -> (fst iv.(i + 1) -. snd iv.(i), i)) in
+      Array.sort
+        (fun (ga, ia) (gb, ib) ->
+          match Float.compare gb ga with 0 -> Int.compare ia ib | c -> c)
+        gaps;
+      let cut_idx = Array.map snd (Array.sub gaps 0 (k - 1)) in
+      Array.sort Int.compare cut_idx;
+      let out = Array.make k (0.0, 0.0) in
+      let lo = ref 0 in
+      Array.iteri
+        (fun j c ->
+          out.(j) <- (fst iv.(!lo), snd iv.(c));
+          lo := c + 1)
+        cut_idx;
+      out.(k - 1) <- (fst iv.(!lo), snd iv.(p - 1));
+      out
+    end
+  end
+
+let merge_int_sketches k sketches =
+  merge_float_sketches k
+    (Array.map
+       (Array.map (fun (lo, hi) -> (float_of_int lo, float_of_int hi)))
+       sketches)
+  |> Array.map (fun (lo, hi) -> (int_of_float lo, int_of_float hi))
+
+(* Distance from a point to the nearest sketch interval — a lower bound on
+   its distance to any value the sketch covers. *)
+let dist_float_sketch x sk =
+  let best = ref infinity in
+  Array.iter
+    (fun (lo, hi) ->
+      let d = if x < lo then lo -. x else if x > hi then x -. hi else 0.0 in
+      if d < !best then best := d)
+    sk;
+  if !best = infinity then 0.0 else !best
+
+(* min over l in [lo, hi] of |l1 - l| / max(l1, l) — the Levenshtein length
+   term of Distance.entry_lower_bound relaxed over a length range.  The term
+   is monotone on either side of the range, so the minimum sits at the
+   nearest endpoint. *)
+let len_term_range l1 lo hi =
+  if l1 >= lo && l1 <= hi then 0.0
+  else if l1 < lo then
+    (* lo > l1 >= 0, so lo >= 1 *)
+    float_of_int (lo - l1) /. float_of_int lo
+  else float_of_int (l1 - hi) /. float_of_int l1
+
+let dist_int_sketch l1 sk =
+  let best = ref infinity in
+  Array.iter
+    (fun (lo, hi) ->
+      let d = len_term_range l1 lo hi in
+      if d < !best then best := d)
+    sk;
+  if !best = infinity then 0.0 else !best
+
+(* ---- members ----------------------------------------------------------------- *)
+
+let member_of idx summary =
+  let lens = Dtw.summary_lens summary and mags = Dtw.summary_mags summary in
+  let n = Array.length lens in
+  {
+    idx;
+    m_n = n;
+    m_first_len = lens.(0);
+    m_first_mag = mags.(0);
+    m_last_len = lens.(n - 1);
+    m_last_mag = mags.(n - 1);
+    m_mag_lo = Array.fold_left Float.min mags.(0) mags;
+    m_mag_hi = Array.fold_left Float.max mags.(0) mags;
+    m_mag_sk = sketch_of_floats sketch_k mags;
+    m_len_sk = sketch_of_ints sketch_k lens;
+  }
+
+(* Node aggregates are computed directly over the subtree's member set (not
+   merged from children) except for the sketches, which merge to bound the
+   build cost. *)
+let aggregate members child_mag_sks child_len_sks kind =
+  let m0 = members.(0) in
+  let fold f init proj = Array.fold_left (fun acc m -> f acc (proj m)) init members in
+  {
+    g_count = Array.length members;
+    g_n_min = fold min m0.m_n (fun m -> m.m_n);
+    g_n_max = fold max m0.m_n (fun m -> m.m_n);
+    g_mag_lo = fold Float.min m0.m_mag_lo (fun m -> m.m_mag_lo);
+    g_mag_hi = fold Float.max m0.m_mag_hi (fun m -> m.m_mag_hi);
+    g_f_len_lo = fold min m0.m_first_len (fun m -> m.m_first_len);
+    g_f_len_hi = fold max m0.m_first_len (fun m -> m.m_first_len);
+    g_f_mag_lo = fold Float.min m0.m_first_mag (fun m -> m.m_first_mag);
+    g_f_mag_hi = fold Float.max m0.m_first_mag (fun m -> m.m_first_mag);
+    g_l_len_lo = fold min m0.m_last_len (fun m -> m.m_last_len);
+    g_l_len_hi = fold max m0.m_last_len (fun m -> m.m_last_len);
+    g_l_mag_lo = fold Float.min m0.m_last_mag (fun m -> m.m_last_mag);
+    g_l_mag_hi = fold Float.max m0.m_last_mag (fun m -> m.m_last_mag);
+    g_mag_sk = merge_float_sketches sketch_k child_mag_sks;
+    g_len_sk = merge_int_sketches sketch_k child_len_sks;
+    kind;
+  }
+
+let leaf_node members =
+  aggregate members
+    (Array.map (fun m -> m.m_mag_sk) members)
+    (Array.map (fun m -> m.m_len_sk) members)
+    (Leaf members)
+
+let rec node_members n =
+  match n.kind with
+  | Leaf ms -> Array.to_list ms
+  | Branch cs -> List.concat_map node_members (Array.to_list cs)
+
+let branch_node children =
+  let members = Array.of_list (List.concat_map node_members (Array.to_list children)) in
+  aggregate members
+    (Array.map (fun c -> c.g_mag_sk) children)
+    (Array.map (fun c -> c.g_len_sk) children)
+    (Branch children)
+
+(* ---- construction ------------------------------------------------------------ *)
+
+(* Pivot quality: spread of the lower-bound distances from the candidate to
+   a sample of members — a high-spread pivot splits the set into genuinely
+   near and far halves. *)
+let spread dists =
+  let n = Array.length dists in
+  if n = 0 then 0.0
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 dists /. float_of_int n in
+    Array.fold_left (fun acc d -> acc +. ((d -. mean) *. (d -. mean))) 0.0 dists
+    /. float_of_int n
+  end
+
+let build_vp ~rng ~leaf ~pivots pairs =
+  (* pairs : (member * Dtw.summary) array, construction-only *)
+  let rec go pairs =
+    let n = Array.length pairs in
+    if n <= leaf then leaf_node (Array.map fst pairs)
+    else begin
+      (* sample pivot candidates; score each on a bounded member sample *)
+      let cand_count = min pivots n in
+      let cands = Array.init cand_count (fun _ -> Sutil.Rng.int rng n) in
+      let sample_count = min 32 n in
+      let sample = Array.init sample_count (fun _ -> Sutil.Rng.int rng n) in
+      let best_c = ref cands.(0) and best_s = ref neg_infinity in
+      Array.iter
+        (fun c ->
+          let sc = snd pairs.(c) in
+          let ds =
+            Array.map (fun s -> Dtw.lower_bound sc (snd pairs.(s))) sample
+          in
+          let sp = spread ds in
+          if sp > !best_s then begin
+            best_s := sp;
+            best_c := c
+          end)
+        cands;
+      let pivot = snd pairs.(!best_c) in
+      let dist =
+        Array.map (fun (m, s) -> (Dtw.lower_bound pivot s, m, s)) pairs
+      in
+      (* position split at the median: deterministic (distance, then
+         repository index) and always balanced, even when every distance
+         ties *)
+      Array.sort
+        (fun (da, ma, _) (db, mb, _) ->
+          match Float.compare da db with
+          | 0 -> Int.compare ma.idx mb.idx
+          | c -> c)
+        dist;
+      let half = (n + 1) / 2 in
+      let near = Array.sub dist 0 half
+      and far = Array.sub dist half (n - half) in
+      let strip = Array.map (fun (_, m, s) -> (m, s)) in
+      branch_node [| go (strip near); go (strip far) |]
+    end
+  in
+  go pairs
+
+(* The tiny-repository fallback, in the spirit of Scaguard.Cluster: a
+   single-linkage pass over the pairwise lower bounds groups mutual
+   neighbours, and each cluster becomes one leaf under a flat root. *)
+let build_flat pairs =
+  let n = Array.length pairs in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then
+      (* smaller root wins, so cluster identity is order-independent *)
+      if ri < rj then parent.(rj) <- ri else parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Dtw.lower_bound (snd pairs.(i)) (snd pairs.(j)) <= flat_link then
+        union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (m, _) ->
+      let r = find i in
+      Hashtbl.replace groups r
+        (m :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    pairs;
+  let clusters =
+    Hashtbl.fold (fun r ms acc -> (r, Array.of_list (List.rev ms)) :: acc) groups []
+    |> List.sort (fun (ra, _) (rb, _) -> Int.compare ra rb)
+    |> List.map (fun (_, ms) -> leaf_node ms)
+  in
+  match clusters with
+  | [ single ] -> single
+  | cs -> branch_node (Array.of_list cs)
+
+let check_spec spec =
+  if spec.leaf < 2 then
+    invalid_arg (Printf.sprintf "Vpindex.build: leaf %d < 2" spec.leaf);
+  if spec.pivots < 1 then
+    invalid_arg (Printf.sprintf "Vpindex.build: pivots %d < 1" spec.pivots)
+
+let build spec summaries =
+  check_spec spec;
+  let size = Array.length summaries in
+  if spec.mode = Auto && size < auto_min then None
+  else begin
+    let empties = ref [] and filled = ref [] in
+    Array.iteri
+      (fun i s ->
+        if Dtw.summary_size s = 0 then empties := i :: !empties
+        else filled := (member_of i s, s) :: !filled)
+      summaries;
+    let pairs = Array.of_list (List.rev !filled) in
+    let root =
+      if Array.length pairs = 0 then None
+      else if Array.length pairs <= flat_max then Some (build_flat pairs)
+      else
+        let rng = Sutil.Rng.create spec.seed in
+        Some (build_vp ~rng ~leaf:spec.leaf ~pivots:spec.pivots pairs)
+    in
+    let node_count = match root with None -> 0 | Some r -> count_nodes r in
+    Some
+      {
+        spec;
+        size;
+        empties = Array.of_list (List.rev !empties);
+        root;
+        node_count;
+      }
+  end
+
+(* ---- query-time bounds ------------------------------------------------------- *)
+
+(* Target-side ingredients, computed once per query. *)
+type probe = {
+  t_n : int;
+  t_lens : int array;
+  t_mags : float array;
+  t_mag_lo : float;
+  t_mag_hi : float;
+  alpha : float;
+  beta : float;
+}
+
+let probe ~alpha st =
+  let lens = Dtw.summary_lens st and mags = Dtw.summary_mags st in
+  let n = Array.length lens in
+  {
+    t_n = n;
+    t_lens = lens;
+    t_mags = mags;
+    t_mag_lo = (if n = 0 then 0.0 else Array.fold_left Float.min mags.(0) mags);
+    t_mag_hi = (if n = 0 then 0.0 else Array.fold_left Float.max mags.(0) mags);
+    alpha;
+    beta = 1.0 -. alpha;
+  }
+
+(* Lower bound on |mag1 - mag2| over mag2 in [lo, hi]. *)
+let mag_gap_range x lo hi =
+  if x < lo then lo -. x else if x > hi then x -. hi else 0.0
+
+(* The per-entry bound of Distance.entry_lower_bound relaxed over an entry
+   pool given by a length range and a magnitude range. *)
+let entry_bound_pool p l1 m1 ~len_lo ~len_hi ~mag_lo ~mag_hi =
+  (p.alpha *. len_term_range l1 len_lo len_hi)
+  +. (p.beta *. mag_gap_range m1 mag_lo mag_hi)
+
+(* Shared shape of the node bound and the member screen.  All three stages
+   bound the normalized DTW distance between the target and every member of
+   the pool, by the Dtw.lower_bound arguments relaxed over the pooled
+   ranges/sketches; the result is capped at 1.0 so a member whose effective
+   distance is the out-of-band/empty conventional 1.0 can never be pruned
+   while the best score is still 0. *)
+let pool_bound p ~n_min ~n_max ~mag_lo ~mag_hi ~f_len_lo ~f_len_hi ~f_mag_lo
+    ~f_mag_hi ~l_len_lo ~l_len_hi ~l_mag_lo ~l_mag_hi ~mag_sk ~len_sk =
+  let lmax = float_of_int (p.t_n + n_max - 1) in
+  (* stage A: disjoint magnitude ranges force a per-step cost *)
+  let gap =
+    Float.max 0.0
+      (Float.max (p.t_mag_lo -. mag_hi) (mag_lo -. p.t_mag_hi))
+  in
+  let lb = ref (p.beta *. gap) in
+  (* LB_Kim over the first/last pools *)
+  let flb =
+    entry_bound_pool p p.t_lens.(0) p.t_mags.(0) ~len_lo:f_len_lo
+      ~len_hi:f_len_hi ~mag_lo:f_mag_lo ~mag_hi:f_mag_hi
+  in
+  let llb =
+    entry_bound_pool p
+      p.t_lens.(p.t_n - 1)
+      p.t_mags.(p.t_n - 1)
+      ~len_lo:l_len_lo ~len_hi:l_len_hi ~mag_lo:l_mag_lo ~mag_hi:l_mag_hi
+  in
+  let kim =
+    let summed = (flb +. llb) /. lmax in
+    if p.t_n = 1 && n_min = 1 then
+      (* a single-entry member's first and last entries coincide, so only
+         one of the two costs is unavoidable (but it is not divided) *)
+      Float.min (Float.max flb llb) summed
+    else summed
+  in
+  if kim > !lb then lb := kim;
+  (* row bound: every warping path visits every target row; each visit costs
+     at least the sketch-relaxed per-entry bound *)
+  let rows = ref 0.0 in
+  for i = 0 to p.t_n - 1 do
+    rows :=
+      !rows
+      +. (p.alpha *. dist_int_sketch p.t_lens.(i) len_sk)
+      +. (p.beta *. dist_float_sketch p.t_mags.(i) mag_sk)
+  done;
+  let row_bound = !rows /. lmax in
+  if row_bound > !lb then lb := row_bound;
+  Float.min 1.0 !lb
+
+let node_bound p n =
+  pool_bound p ~n_min:n.g_n_min ~n_max:n.g_n_max ~mag_lo:n.g_mag_lo
+    ~mag_hi:n.g_mag_hi ~f_len_lo:n.g_f_len_lo ~f_len_hi:n.g_f_len_hi
+    ~f_mag_lo:n.g_f_mag_lo ~f_mag_hi:n.g_f_mag_hi ~l_len_lo:n.g_l_len_lo
+    ~l_len_hi:n.g_l_len_hi ~l_mag_lo:n.g_l_mag_lo ~l_mag_hi:n.g_l_mag_hi
+    ~mag_sk:n.g_mag_sk ~len_sk:n.g_len_sk
+
+let member_screen p m =
+  pool_bound p ~n_min:m.m_n ~n_max:m.m_n ~mag_lo:m.m_mag_lo ~mag_hi:m.m_mag_hi
+    ~f_len_lo:m.m_first_len ~f_len_hi:m.m_first_len ~f_mag_lo:m.m_first_mag
+    ~f_mag_hi:m.m_first_mag ~l_len_lo:m.m_last_len ~l_len_hi:m.m_last_len
+    ~l_mag_lo:m.m_last_mag ~l_mag_hi:m.m_last_mag ~mag_sk:m.m_mag_sk
+    ~len_sk:m.m_len_sk
+
+(* ---- best-first search ------------------------------------------------------- *)
+
+(* Minimal binary min-heap over (bound, sequence number, node); the sequence
+   number makes pop order deterministic under bound ties. *)
+module Heap = struct
+  type 'a t = {
+    mutable a : (float * int * 'a) array;
+    mutable n : int;
+  }
+
+  let create () = { a = [||]; n = 0 }
+
+  let lt (ba, sa, _) (bb, sb, _) =
+    match Float.compare ba bb with 0 -> sa < sb | c -> c < 0
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let cap = max 16 (2 * h.n) in
+      let a = Array.make cap x in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      if lt h.a.(!i) h.a.(parent) then begin
+        let tmp = h.a.(parent) in
+        h.a.(parent) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := parent;
+        true
+      end
+      else false
+    do
+      ()
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.a.(0) <- h.a.(h.n);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.n && lt h.a.(l) h.a.(!smallest) then smallest := l;
+          if r < h.n && lt h.a.(r) h.a.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let tmp = h.a.(!smallest) in
+            h.a.(!smallest) <- h.a.(!i);
+            h.a.(!i) <- tmp;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+
+  let fold f acc h =
+    let acc = ref acc in
+    for i = 0 to h.n - 1 do
+      acc := f !acc h.a.(i)
+    done;
+    !acc
+end
+
+let search ?(alpha = Distance.default_alpha) ?ixc t st ~dmax ~visit =
+  let pruned k =
+    match ixc with
+    | Some c -> c.pairs_pruned_index <- c.pairs_pruned_index + k
+    | None -> ()
+  in
+  let visited () =
+    match ixc with
+    | Some c -> c.nodes_visited <- c.nodes_visited + 1
+    | None -> ()
+  in
+  (* Empty models score 0.0 against everything by convention and their
+     conventional distance is 1.0, which no sound bound can exceed — they
+     are kept out of the tree and always scored (cheaply). *)
+  Array.iter visit t.empties;
+  match t.root with
+  | None -> ()
+  | Some root ->
+    if Dtw.summary_size st = 0 then
+      (* an empty target scores 0.0 against every member; bounds would all
+         be vacuous, so skip straight to scoring *)
+      let rec all n =
+        match n.kind with
+        | Leaf ms -> Array.iter (fun m -> visit m.idx) ms
+        | Branch cs -> Array.iter all cs
+      in
+      all root
+    else begin
+      let p = probe ~alpha st in
+      let heap = Heap.create () in
+      let seq = ref 0 in
+      let push n =
+        Heap.push heap (node_bound p n, !seq, n);
+        incr seq
+      in
+      push root;
+      let stopped = ref false in
+      while not !stopped do
+        match Heap.pop heap with
+        | None -> stopped := true
+        | Some (b, _, n) ->
+          if b > dmax () then begin
+            (* the heap is ordered by bound, so everything still queued is
+               provably out too: prune it all and stop *)
+            let rest =
+              Heap.fold (fun acc (_, _, n') -> acc + n'.g_count) n.g_count heap
+            in
+            pruned rest;
+            stopped := true
+          end
+          else begin
+            visited ();
+            match n.kind with
+            | Branch cs -> Array.iter push cs
+            | Leaf ms ->
+              Array.iter
+                (fun m ->
+                  if member_screen p m > dmax () then pruned 1
+                  else visit m.idx)
+                ms
+          end
+      done
+    end
+
+(* ---- serialization ----------------------------------------------------------- *)
+
+(* Encoded with the Binfmt primitives; embedded verbatim (length-prefixed)
+   in the SCAGBIN v2 repository image's optional index section.  The
+   encoding starts with its own version byte so the section can evolve
+   independently of the container. *)
+let index_codec_version = 1
+
+let add_float_sk buf sk =
+  Binfmt.add_uint buf (Array.length sk);
+  Array.iter
+    (fun (lo, hi) ->
+      Binfmt.add_float buf lo;
+      Binfmt.add_float buf hi)
+    sk
+
+let add_int_sk buf sk =
+  Binfmt.add_uint buf (Array.length sk);
+  Array.iter
+    (fun (lo, hi) ->
+      Binfmt.add_uint buf lo;
+      Binfmt.add_uint buf hi)
+    sk
+
+let add_member buf m =
+  Binfmt.add_uint buf m.idx;
+  Binfmt.add_uint buf m.m_n;
+  Binfmt.add_uint buf m.m_first_len;
+  Binfmt.add_float buf m.m_first_mag;
+  Binfmt.add_uint buf m.m_last_len;
+  Binfmt.add_float buf m.m_last_mag;
+  Binfmt.add_float buf m.m_mag_lo;
+  Binfmt.add_float buf m.m_mag_hi;
+  add_float_sk buf m.m_mag_sk;
+  add_int_sk buf m.m_len_sk
+
+let rec add_node buf n =
+  Binfmt.add_uint buf n.g_count;
+  Binfmt.add_uint buf n.g_n_min;
+  Binfmt.add_uint buf n.g_n_max;
+  Binfmt.add_float buf n.g_mag_lo;
+  Binfmt.add_float buf n.g_mag_hi;
+  Binfmt.add_uint buf n.g_f_len_lo;
+  Binfmt.add_uint buf n.g_f_len_hi;
+  Binfmt.add_float buf n.g_f_mag_lo;
+  Binfmt.add_float buf n.g_f_mag_hi;
+  Binfmt.add_uint buf n.g_l_len_lo;
+  Binfmt.add_uint buf n.g_l_len_hi;
+  Binfmt.add_float buf n.g_l_mag_lo;
+  Binfmt.add_float buf n.g_l_mag_hi;
+  add_float_sk buf n.g_mag_sk;
+  add_int_sk buf n.g_len_sk;
+  match n.kind with
+  | Leaf ms ->
+    Binfmt.add_u8 buf 0;
+    Binfmt.add_uint buf (Array.length ms);
+    Array.iter (add_member buf) ms
+  | Branch cs ->
+    Binfmt.add_u8 buf 1;
+    Binfmt.add_uint buf (Array.length cs);
+    Array.iter (add_node buf) cs
+
+let to_bytes t =
+  let buf = Buffer.create 4096 in
+  Binfmt.add_u8 buf index_codec_version;
+  Binfmt.add_u8 buf (match t.spec.mode with Auto -> 0 | Force -> 1);
+  Binfmt.add_uint buf t.spec.leaf;
+  Binfmt.add_uint buf t.spec.pivots;
+  Binfmt.add_int buf t.spec.seed;
+  Binfmt.add_uint buf t.size;
+  Binfmt.add_uint buf (Array.length t.empties);
+  Array.iter (Binfmt.add_uint buf) t.empties;
+  (match t.root with
+  | None -> Binfmt.add_u8 buf 0
+  | Some root ->
+    Binfmt.add_u8 buf 1;
+    add_node buf root);
+  Buffer.contents buf
+
+let parse_float_sk r =
+  let n = Binfmt.count r ~what:"sketch interval" in
+  Array.init n (fun _ ->
+      let lo = Binfmt.float r in
+      let hi = Binfmt.float r in
+      (lo, hi))
+
+let parse_int_sk r =
+  let n = Binfmt.count r ~what:"sketch interval" in
+  Array.init n (fun _ ->
+      let lo = Binfmt.uint r in
+      let hi = Binfmt.uint r in
+      (lo, hi))
+
+let parse_member r ~size =
+  let idx = Binfmt.uint r in
+  if idx >= size then
+    Binfmt.fail r "index member %d out of range (repository has %d)" idx size;
+  let m_n = Binfmt.uint r in
+  let m_first_len = Binfmt.uint r in
+  let m_first_mag = Binfmt.float r in
+  let m_last_len = Binfmt.uint r in
+  let m_last_mag = Binfmt.float r in
+  let m_mag_lo = Binfmt.float r in
+  let m_mag_hi = Binfmt.float r in
+  let m_mag_sk = parse_float_sk r in
+  let m_len_sk = parse_int_sk r in
+  {
+    idx;
+    m_n;
+    m_first_len;
+    m_first_mag;
+    m_last_len;
+    m_last_mag;
+    m_mag_lo;
+    m_mag_hi;
+    m_mag_sk;
+    m_len_sk;
+  }
+
+let rec parse_node r ~size =
+  let g_count = Binfmt.uint r in
+  let g_n_min = Binfmt.uint r in
+  let g_n_max = Binfmt.uint r in
+  let g_mag_lo = Binfmt.float r in
+  let g_mag_hi = Binfmt.float r in
+  let g_f_len_lo = Binfmt.uint r in
+  let g_f_len_hi = Binfmt.uint r in
+  let g_f_mag_lo = Binfmt.float r in
+  let g_f_mag_hi = Binfmt.float r in
+  let g_l_len_lo = Binfmt.uint r in
+  let g_l_len_hi = Binfmt.uint r in
+  let g_l_mag_lo = Binfmt.float r in
+  let g_l_mag_hi = Binfmt.float r in
+  let g_mag_sk = parse_float_sk r in
+  let g_len_sk = parse_int_sk r in
+  let kind =
+    match Binfmt.u8 r with
+    | 0 ->
+      let n = Binfmt.count r ~what:"index leaf member" in
+      Leaf (Array.init n (fun _ -> parse_member r ~size))
+    | 1 ->
+      let n = Binfmt.count r ~what:"index child" in
+      Branch (Array.init n (fun _ -> parse_node r ~size))
+    | k -> Binfmt.fail r "bad index node kind %d" k
+  in
+  let node =
+    {
+      g_count;
+      g_n_min;
+      g_n_max;
+      g_mag_lo;
+      g_mag_hi;
+      g_f_len_lo;
+      g_f_len_hi;
+      g_f_mag_lo;
+      g_f_mag_hi;
+      g_l_len_lo;
+      g_l_len_hi;
+      g_l_mag_lo;
+      g_l_mag_hi;
+      g_mag_sk;
+      g_len_sk;
+      kind;
+    }
+  in
+  let members =
+    match kind with
+    | Leaf ms -> Array.length ms
+    | Branch cs -> Array.fold_left (fun acc c -> acc + c.g_count) 0 cs
+  in
+  if members <> g_count then
+    Binfmt.fail r "index node claims %d members but holds %d" g_count members;
+  node
+
+let parse_t r =
+  let v = Binfmt.u8 r in
+  if v <> index_codec_version then
+    Binfmt.fail r "unsupported index encoding version %d (this build reads %d)"
+      v index_codec_version;
+  let mode =
+    match Binfmt.u8 r with
+    | 0 -> Auto
+    | 1 -> Force
+    | m -> Binfmt.fail r "bad index mode %d" m
+  in
+  let leaf = Binfmt.uint r in
+  let pivots = Binfmt.uint r in
+  let seed = Binfmt.int r in
+  let size = Binfmt.uint r in
+  let n_empties = Binfmt.count r ~what:"empty-model index" in
+  let empties =
+    Array.init n_empties (fun _ ->
+        let i = Binfmt.uint r in
+        if i >= size then
+          Binfmt.fail r "empty-model index %d out of range (repository has %d)"
+            i size;
+        i)
+  in
+  let root =
+    match Binfmt.u8 r with
+    | 0 -> None
+    | 1 -> Some (parse_node r ~size)
+    | k -> Binfmt.fail r "bad index root marker %d" k
+  in
+  let covered =
+    Array.length empties + match root with None -> 0 | Some n -> n.g_count
+  in
+  if covered <> size then
+    Binfmt.fail r "index covers %d models but the repository has %d" covered
+      size;
+  if Binfmt.remaining r <> 0 then
+    Binfmt.fail r "trailing garbage after index (%d bytes)" (Binfmt.remaining r);
+  let node_count = match root with None -> 0 | Some n -> count_nodes n in
+  { spec = { mode; leaf; pivots; seed }; size; empties; root; node_count }
+
+let of_bytes_result ?file s = Binfmt.run ?file parse_t s

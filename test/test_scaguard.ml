@@ -726,6 +726,211 @@ let test_classify_prepared_reuse () =
         = SG.Detector.classify repository target))
     [ A.flush_reload ~style:A.Mastik (); A.evict_reload () ]
 
+(* ---- Repository index (Vpindex) -------------------------------------------------------- *)
+
+let index_spec_gen =
+  QCheck.Gen.(
+    let* leaf = int_range 2 6 in
+    let* pivots = int_range 1 4 in
+    let* seed = int_range 0 10_000 in
+    return { SG.Vpindex.mode = SG.Vpindex.Force; leaf; pivots; seed })
+
+let index_spec_arb =
+  QCheck.make
+    ~print:(fun (s : SG.Vpindex.spec) ->
+      Printf.sprintf "leaf=%d pivots=%d seed=%d" s.SG.Vpindex.leaf
+        s.SG.Vpindex.pivots s.SG.Vpindex.seed)
+    index_spec_gen
+
+(* small repositories exercise the flat cluster table; the >64-model ones
+   exercise the seeded vantage-point tree *)
+let indexed_repo_arb ~lo ~hi =
+  QCheck.(
+    list_of_size
+      (Gen.int_range lo hi)
+      (pair (oneofl [ "FR-F"; "PP-F"; "S-FR"; "EV-F" ]) model_arb))
+
+let prop_indexed_classify_identical ~name ~count ~lo ~hi =
+  QCheck.Test.make ~name ~count
+    QCheck.(
+      pair
+        (pair (indexed_repo_arb ~lo ~hi) (list_of_size (Gen.int_range 1 3) model_arb))
+        (pair index_spec_arb (pair alpha_arb band_arb)))
+    (fun ((pocs, targets), (spec, (alpha, band))) ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      let linear = SG.Detector.prepare repository in
+      let indexed = SG.Detector.prepare ~index:spec repository in
+      List.for_all
+        (fun target ->
+          SG.Detector.classify_prepared ~alpha ?band indexed target
+          = SG.Detector.classify_prepared ~alpha ?band linear target
+          && SG.Detector.score_all_prepared ~alpha ?band indexed target
+             = SG.Detector.score_all_prepared ~alpha ?band linear target)
+        targets)
+
+let prop_index_flat_identical =
+  prop_indexed_classify_identical
+    ~name:"indexed classify/score_all equal linear (flat cluster table)"
+    ~count:60 ~lo:0 ~hi:5
+
+let prop_index_tree_identical =
+  prop_indexed_classify_identical
+    ~name:"indexed classify/score_all equal linear (vp tree)" ~count:10 ~lo:66
+    ~hi:80
+
+let prop_index_search_sound =
+  QCheck.Test.make
+    ~name:"index search skips a member only when its distance exceeds dmax"
+    ~count:40
+    QCheck.(
+      pair
+        (pair (list_of_size (Gen.int_range 0 70) model_arb) model_arb)
+        (pair index_spec_arb (float_range 0.0 1.1)))
+    (fun ((models, target), (spec, dmax)) ->
+      let summaries =
+        Array.of_list (List.map SG.Dtw.summarize models)
+      in
+      match SG.Vpindex.build spec summaries with
+      | None -> QCheck.Test.fail_report "Force build returned no index"
+      | Some ix ->
+        let st = SG.Dtw.summarize target in
+        let visited = Hashtbl.create 64 in
+        let ixc = SG.Vpindex.counters () in
+        SG.Vpindex.search ~ixc ix st ~dmax:(fun () -> dmax)
+          ~visit:(fun i -> Hashtbl.replace visited i ());
+        (* accounting: every member is either visited or counted as pruned *)
+        Hashtbl.length visited + ixc.SG.Vpindex.pairs_pruned_index
+        = Array.length summaries
+        && Array.for_all
+             (fun i ->
+               Hashtbl.mem visited i
+               ||
+               (* skipped: the exact score proves the skip was sound *)
+               match SG.Dtw.compare_summaries st summaries.(i) with
+               | None -> false
+               | Some score -> 1.0 -. score > dmax -. 1e-6)
+             (Array.init (Array.length summaries) Fun.id))
+
+let prop_index_build_deterministic =
+  QCheck.Test.make
+    ~name:"index construction is deterministic, byte for byte" ~count:15
+    QCheck.(pair (list_of_size (Gen.int_range 0 80) model_arb) index_spec_arb)
+    (fun (models, spec) ->
+      let summaries =
+        Array.of_list (List.map SG.Dtw.summarize models)
+      in
+      match (SG.Vpindex.build spec summaries, SG.Vpindex.build spec summaries)
+      with
+      | Some a, Some b -> SG.Vpindex.to_bytes a = SG.Vpindex.to_bytes b
+      | _ -> false)
+
+let prop_index_bytes_roundtrip =
+  QCheck.Test.make ~name:"index serialization round-trips byte-identically"
+    ~count:20
+    QCheck.(pair (list_of_size (Gen.int_range 0 80) model_arb) index_spec_arb)
+    (fun (models, spec) ->
+      let summaries =
+        Array.of_list (List.map SG.Dtw.summarize models)
+      in
+      match SG.Vpindex.build spec summaries with
+      | None -> false
+      | Some ix -> (
+        let bytes = SG.Vpindex.to_bytes ix in
+        match SG.Vpindex.of_bytes_result bytes with
+        | Error e -> QCheck.Test.fail_report (SG.Err.to_string e)
+        | Ok ix' -> SG.Vpindex.to_bytes ix' = bytes))
+
+let prop_persist_index_section =
+  QCheck.Test.make
+    ~name:"scagbin index section round-trips; absent section loads as None"
+    ~count:30
+    QCheck.(pair repo_arb index_spec_arb)
+    (fun (pocs, spec) ->
+      let repository =
+        List.map (fun (family, model) -> { SG.Detector.family; model }) pocs
+      in
+      let prep = SG.Detector.prepare ~index:spec repository in
+      let ix = SG.Detector.prepared_index prep in
+      (match
+         SG.Persist.repository_of_bytes_indexed_result
+           (SG.Persist.repository_to_bytes repository)
+       with
+      | Ok (_, None) -> true
+      | _ -> QCheck.Test.fail_report "index appeared out of nowhere")
+      &&
+      match
+        SG.Persist.repository_of_bytes_indexed_result
+          (SG.Persist.repository_to_bytes ?index:ix repository)
+      with
+      | Error e -> QCheck.Test.fail_report (SG.Err.to_string e)
+      | Ok (pairs, loaded) -> (
+        List.length pairs = List.length repository
+        &&
+        match (ix, loaded) with
+        | Some ix, Some loaded ->
+          SG.Vpindex.to_bytes loaded = SG.Vpindex.to_bytes ix
+        | None, None -> true
+        | _ -> false))
+
+let test_index_auto_thresholds () =
+  let repository = Lazy.force repo in
+  let prep =
+    SG.Detector.prepare ~index:SG.Vpindex.default_spec repository
+  in
+  (* Auto skips small repositories entirely *)
+  check_bool "auto skips small repos" true
+    (SG.Detector.prepared_index prep = None);
+  let spec = { SG.Vpindex.default_spec with SG.Vpindex.mode = SG.Vpindex.Force } in
+  match SG.Detector.prepared_index (SG.Detector.prepare ~index:spec repository) with
+  | None -> Alcotest.fail "Force built no index"
+  | Some ix ->
+    check_int "index covers the repository" (List.length repository)
+      (SG.Vpindex.size ix)
+
+(* A genuine version-1 image: the v2 encodings with and without an index
+   agree byte for byte up to the presence byte (the header, string table and
+   model index precede it and do not depend on the index), so the presence
+   byte sits exactly at their first divergence.  Dropping it and stamping
+   version 1 reconstructs the pre-index wire format, which the reader must
+   still accept — old images keep loading. *)
+let test_persist_v1_image_loads () =
+  let repository = Lazy.force repo in
+  let spec =
+    { SG.Vpindex.default_spec with SG.Vpindex.mode = SG.Vpindex.Force }
+  in
+  let ix =
+    SG.Detector.prepared_index (SG.Detector.prepare ~index:spec repository)
+  in
+  check_bool "index built" true (ix <> None);
+  let plain = SG.Persist.repository_to_bytes repository in
+  let indexed = SG.Persist.repository_to_bytes ?index:ix repository in
+  let diverge = ref 0 in
+  while
+    !diverge < String.length plain
+    && !diverge < String.length indexed
+    && plain.[!diverge] = indexed.[!diverge]
+  do
+    incr diverge
+  done;
+  let off = !diverge in
+  Alcotest.(check char) "presence byte off" '\x00' plain.[off];
+  Alcotest.(check char) "presence byte on" '\x01' indexed.[off];
+  let v1 =
+    Bytes.of_string
+      (String.sub plain 0 off
+      ^ String.sub plain (off + 1) (String.length plain - off - 1))
+  in
+  Bytes.set v1 7 '\x01';
+  match SG.Persist.repository_of_bytes_indexed_result (Bytes.to_string v1) with
+  | Error e -> Alcotest.fail ("v1 image rejected: " ^ SG.Err.to_string e)
+  | Ok (pairs, loaded) ->
+    check_bool "v1 image has no index" true (loaded = None);
+    Alcotest.(check string) "v1 image round-trips"
+      (SG.Persist.repository_to_string repository)
+      (SG.Persist.repository_to_string (List.map fst pairs))
+
 (* ---- Engine stats conventions (bug: nan/infinity on zero-duration batches) ------------- *)
 
 let test_engine_zero_wall_stats () =
@@ -738,6 +943,9 @@ let test_engine_zero_wall_stats () =
       pairs_pruned_lb = 0;
       pairs_abandoned = 0;
       cells_saved = 0;
+      lb_evals = 0;
+      nodes_visited = 0;
+      pairs_pruned_index = 0;
       wall_s = 0.0;
       cpu_s = 0.0;
       per_worker = [| 0; 0; 0; 0 |];
@@ -938,7 +1146,10 @@ let test_persist_newline_tokens () =
           Alcotest.(check string) "file roundtrip"
             (SG.Persist.repository_to_string repository)
             (SG.Persist.repository_to_string loaded)))
-    [ SG.Persist.save_repository_result; SG.Persist.save_repository_bin_result ]
+    [
+      SG.Persist.save_repository_result;
+      (fun ~path repo -> SG.Persist.save_repository_bin_result ~path repo);
+    ]
 
 let err_msg_contains e sub =
   let s = SG.Err.to_string e in
@@ -1067,7 +1278,10 @@ let test_persist_save_io_error () =
         Alcotest.(check string) "error names the path" path p
       | Error e -> Alcotest.fail ("unexpected error kind: " ^ SG.Err.to_string e)
       | Ok () -> Alcotest.fail "save into missing directory succeeded")
-    [ SG.Persist.save_repository_result; SG.Persist.save_repository_bin_result ]
+    [
+      SG.Persist.save_repository_result;
+      (fun ~path repo -> SG.Persist.save_repository_bin_result ~path repo);
+    ]
 
 (* ---- Batch model building + model cache ---------------------------------------------- *)
 
@@ -1363,6 +1577,18 @@ let () =
           QCheck_alcotest.to_alcotest prop_engine_prune_identical;
           Alcotest.test_case "prepared repository reuse" `Quick
             test_classify_prepared_reuse;
+        ] );
+      ( "index",
+        [
+          QCheck_alcotest.to_alcotest prop_index_flat_identical;
+          QCheck_alcotest.to_alcotest prop_index_tree_identical;
+          QCheck_alcotest.to_alcotest prop_index_search_sound;
+          QCheck_alcotest.to_alcotest prop_index_build_deterministic;
+          QCheck_alcotest.to_alcotest prop_index_bytes_roundtrip;
+          QCheck_alcotest.to_alcotest prop_persist_index_section;
+          Alcotest.test_case "auto thresholds" `Quick test_index_auto_thresholds;
+          Alcotest.test_case "version-1 images still load" `Quick
+            test_persist_v1_image_loads;
         ] );
       ( "model",
         [

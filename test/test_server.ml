@@ -442,6 +442,68 @@ let test_reload_keeps_queue () =
   check_int "verdicts around the reload" 2
     (List.length (List.filter (fun f -> J.member "event" f <> None) (frames ())))
 
+(* after a reload the daemon must classify exactly like a freshly started
+   one — same repository file, same config (repository index included):
+   every detect frame, verdict events and finals alike, is byte-identical.
+   This pins the reload path to Service.load_repository's config-aware
+   index handling rather than a bare file load. *)
+let test_reload_matches_fresh () =
+  let dir = Filename.temp_file "scag_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "repo.scag" in
+  let repo, _ = Lazy.force prepared_repo in
+  let config =
+    { C.default with C.repo_format = C.Binary; index = C.Index_vp }
+  in
+  (match SG.Service.save_repository config ~path repo with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "save_repository: %s" (SG.Err.to_string e));
+  let fresh_server () =
+    match SG.Service.load_repository ~config ~path () with
+    | Error e -> Alcotest.failf "load_repository: %s" (SG.Err.to_string e)
+    | Ok (_, prepared, _) ->
+      Result.get_ok
+        (Server.create ~config ~resolve ~prepared ~repo_path:path ())
+  in
+  let detect =
+    "{\"id\":7,\"op\":\"detect\",\"targets\":[\"fr-iaik\",\"pp-iaik\",\
+     \"quicksort\"],\"seed\":11}\n"
+  in
+  let a = fresh_server () in
+  let conn_a, frames_a = recording_conn a in
+  Server.feed a conn_a "{\"id\":1,\"op\":\"reload\"}\n";
+  ignore (Server.drain a);
+  Server.feed a conn_a detect;
+  ignore (Server.drain a);
+  let b = fresh_server () in
+  let conn_b, frames_b = recording_conn b in
+  Server.feed b conn_b detect;
+  ignore (Server.drain b);
+  Sys.remove path;
+  Unix.rmdir dir;
+  let detect_frames fs =
+    List.filter (fun f -> member_exn "id" f = J.Num 7.0) fs
+  in
+  let after_reload = detect_frames (frames_a ()) in
+  let fresh = detect_frames (frames_b ()) in
+  check_int "same frame count" (List.length fresh) (List.length after_reload);
+  List.iter2
+    (fun want got ->
+      match J.member "event" want with
+      | Some _ ->
+        (* verdict events carry the scores: byte-identical, bits included *)
+        check_string "verdict frame byte-identical" (J.to_string want)
+          (J.to_string got)
+      | None ->
+        (* the final summary differs only in wall_ms (a timing) *)
+        List.iter
+          (fun k ->
+            check_bool ("final frame field " ^ k) true
+              (member_exn k want = member_exn k got))
+          [ "ok"; "op"; "targets"; "completed"; "attacks" ])
+    fresh after_reload
+
 let test_reload_without_path () =
   let t = make_server () in
   let conn, frames = recording_conn t in
@@ -615,6 +677,8 @@ let () =
             test_default_deadline;
           Alcotest.test_case "reload keeps queued requests" `Slow
             test_reload_keeps_queue;
+          Alcotest.test_case "reload matches a fresh daemon" `Slow
+            test_reload_matches_fresh;
           Alcotest.test_case "reload without a path" `Quick
             test_reload_without_path;
           Alcotest.test_case "shutdown drains then refuses" `Quick

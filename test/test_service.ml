@@ -56,6 +56,11 @@ let config_gen : SG.Config.t QCheck.Gen.t =
   let* cache_dir = opt line_string in
   let* salt = line_string in
   let* repo_format = oneofl [ SG.Config.Text; SG.Config.Binary ] in
+  let* index =
+    oneofl [ SG.Config.Index_off; SG.Config.Index_auto; SG.Config.Index_vp ]
+  in
+  let* index_leaf = int_range 2 64 in
+  let* index_pivots = int_range 1 16 in
   return
     {
       SG.Config.threshold;
@@ -71,6 +76,9 @@ let config_gen : SG.Config.t QCheck.Gen.t =
       cache_dir;
       salt;
       repo_format;
+      index;
+      index_leaf;
+      index_pivots;
     }
 
 let config_arb =
@@ -346,7 +354,7 @@ let test_save_load_formats () =
             (SG.Persist.is_binary (SG.Persist.read_file ~path)
             = (fmt = SG.Config.Binary));
           let loaded, prep, load_report =
-            ok_exn (SG.Service.load_repository ~path)
+            ok_exn (SG.Service.load_repository ~path ())
           in
           check_int "load report counts the models" (List.length repo)
             load_report.SG.Service.built;
