@@ -22,7 +22,7 @@ let metrics_out = ref None
 let index_scales = ref [ 1_000; 10_000; 100_000 ]
 let artifacts = ref []
 
-let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--index-scales N,N,..] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|serve|index|timecost|all]"
+let usage = "main.exe [--per-family N] [--seed S] [--jobs N] [--index-scales N,N,..] [--trace-out FILE] [--metrics-out FILE] [table1..table6|fig5|ablation|extended|clusters|robustness|scaling|engine|modeling|persist|serve|index|compare|timecost|all]"
 
 let () =
   let rec parse = function
@@ -1103,6 +1103,64 @@ let serve_bench () =
      Service.screen_prepared batch (same salt) after the wire round-trip\n"
     n
 
+(* ---- Compare: every registered detector on one dataset ---------------------------- *)
+
+(* The showdown table from `scaguard compare`, as a bench artifact: one
+   dataset, every detector, accuracy + latency + throughput side by side.
+   The stage also enforces the ensemble's contract — its detection F1 and
+   throughput must not fall below pure-DTW SCAGuard's, otherwise the cheap
+   screen is mis-tuned and the two-tier split is a net loss. *)
+let compare_bench () =
+  section "Compare: every detector over one generated dataset";
+  let module S = Experiments.Showdown in
+  let rng = rng () in
+  let t = S.evaluate ~rng ~per_family:(max 4 !per_family) () in
+  emit_table ~artifact:"compare" (S.to_table t);
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  let row key =
+    match List.find_opt (fun (r : S.row) -> r.S.key = key) t.S.rows with
+    | Some r -> r
+    | None -> fail "compare: detector %S missing from the showdown" key
+  in
+  let sg = row "scaguard" in
+  let en = row "ensemble" in
+  if en.S.detection.Ml.Metrics.f1 < sg.S.detection.Ml.Metrics.f1 then
+    fail
+      "compare: ensemble detection F1 %.4f fell below pure SCAGuard's %.4f \
+       — the screen is fast-rejecting attacks"
+      en.S.detection.Ml.Metrics.f1 sg.S.detection.Ml.Metrics.f1;
+  if en.S.throughput < sg.S.throughput then
+    fail
+      "compare: ensemble throughput %.1f runs/s below pure SCAGuard's %.1f \
+       — the screen costs more than the DTW it skips"
+      en.S.throughput sg.S.throughput;
+  let json =
+    Printf.sprintf "{\"seed\":%d,\"showdown\":%s}\n" !seed (S.to_json t)
+  in
+  let json_path =
+    match !out_dir with
+    | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Filename.concat dir "BENCH_compare.json"
+    | None -> "BENCH_compare.json"
+  in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  let stats =
+    match en.S.ensemble with
+    | Some s -> s
+    | None -> fail "compare: ensemble row carries no screening stats"
+  in
+  Printf.printf
+    "(json written to %s)\n\
+     verdicts: ensemble >= SCAGuard on detection F1 (%.4f vs %.4f) and \
+     throughput (%.1f vs %.1f runs/s), slow path %d/%d\n"
+    json_path en.S.detection.Ml.Metrics.f1 sg.S.detection.Ml.Metrics.f1
+    en.S.throughput sg.S.throughput stats.Detect.Ensemble.slow_path
+    stats.Detect.Ensemble.screened
+
 (* ---- Time cost (Section V), via Bechamel ------------------------------------------ *)
 
 let timecost () =
@@ -1176,7 +1234,7 @@ let all () =
   table1 (); table2 (); table3 (); table4 (); table5 (); table6 ();
   fig5 (); ablation (); extended (); clusters (); robustness (); scaling ();
   engine (); modeling (); persist (); index_bench (); serve_bench ();
-  timecost ()
+  compare_bench (); timecost ()
 
 let () =
   Printf.printf
@@ -1200,6 +1258,7 @@ let () =
     | "persist" -> persist ()
     | "index" -> index_bench ()
     | "serve" -> serve_bench ()
+    | "compare" -> compare_bench ()
     | "timecost" -> timecost ()
     | "all" -> all ()
     | other ->

@@ -3,9 +3,10 @@
      scaguard list                          # available programs
      scaguard leak fr-iaik                  # run a PoC, show the leakage
      scaguard model fr-iaik                 # print its CST-BBS model
-     scaguard compare fr-iaik pp-iaik       # similarity of two programs
+     scaguard similarity fr-iaik pp-iaik    # similarity of two programs
      scaguard detect spectre-fr-classic --repo FR-F,PP-F
      scaguard scadet pp-iaik                # run the rule-based baseline
+     scaguard compare                       # every detector on one dataset
 
    Every subcommand is a thin parser over Scaguard.Service/Scaguard.Config:
    flags are validated through the Config smart constructors, all pipeline
@@ -368,9 +369,9 @@ let model_cmd =
   Cmd.v (cmd_info "model" ~doc:"Build and print a program's CST-BBS model.")
     Term.(const run $ seed_t $ name_arg 0 "Program name (see `list`).")
 
-(* ---- compare -------------------------------------------------------------------- *)
+(* ---- similarity ----------------------------------------------------------------- *)
 
-let compare_cmd =
+let similarity_cmd =
   let run seed a b =
     handle
     @@ let* sa = sample_res ~seed a in
@@ -381,10 +382,89 @@ let compare_cmd =
          (100.0 *. Scaguard.Dtw.compare_models ma mb);
        Ok ()
   in
-  Cmd.v (cmd_info "compare" ~doc:"Similarity score of two programs' models.")
+  Cmd.v (cmd_info "similarity" ~doc:"Similarity score of two programs' models.")
     Term.(
       const run $ seed_t $ name_arg 0 "First program."
       $ name_arg 1 "Second program.")
+
+(* ---- compare (the detector showdown) --------------------------------------------- *)
+
+let compare_cmd =
+  let run seed per_family screen_tau json detector_keys =
+    handle
+    @@ let* tau =
+         match screen_tau with
+         | None -> Ok None
+         | Some t ->
+           Result.map Option.some (C.check_ensemble_tau ~field:"--screen-tau" t)
+       in
+       let* detectors =
+         match detector_keys with
+         | [] -> Ok None
+         | ks -> (
+           match List.filter (fun k -> Option.is_none (Detect.find k)) ks with
+           | [] -> Ok (Some ks)
+           | unknown ->
+             Error
+               (Scaguard.Err.Invalid_config
+                  {
+                    field = "--detectors";
+                    value = String.concat "," unknown;
+                    expected =
+                      "detector keys among "
+                      ^ String.concat ", " (Detect.keys ());
+                  }))
+       in
+       let rng = Sutil.Rng.create seed in
+       let t =
+         Experiments.Showdown.evaluate ?detectors ?tau ~rng ~per_family ()
+       in
+       if json then print_endline (Experiments.Showdown.to_json t)
+       else begin
+         Sutil.Table.print (Experiments.Showdown.to_table t);
+         Printf.printf
+           "dataset preparation (execution + test models): %.3f s\n"
+           t.Experiments.Showdown.prep_s
+       end;
+       Ok ()
+  in
+  let per_family_t =
+    Arg.(
+      value & opt int 8
+      & info [ "per-family" ] ~docv:"N"
+          ~doc:"Mutated samples per attack family (benign gets 2N plus the \
+                MinC kernels).")
+  in
+  let screen_tau_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "screen-tau" ] ~docv:"Z"
+          ~doc:"Ensemble screening threshold: runs whose largest \
+                benign-profile |z| stays below it skip the DTW slow path.  \
+                0 escalates everything (verdicts identical to pure \
+                SCAGuard); default 2.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full result as JSON instead of text.")
+  in
+  let detectors_t =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "detectors" ] ~docv:"KEYS"
+          ~doc:"Comma-separated detector keys to run (default: every \
+                registered detector; see docs/DETECTORS.md).")
+  in
+  Cmd.v
+    (cmd_info "compare"
+       ~doc:"Run every registered detector (and the two-tier ensemble) over \
+             one generated dataset and print the accuracy/F1/latency/\
+             throughput table.")
+    Term.(
+      const run $ seed_t $ per_family_t $ screen_tau_t $ json_t $ detectors_t)
 
 (* ---- detect --------------------------------------------------------------------- *)
 
@@ -1533,7 +1613,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            list_cmd; leak_cmd; model_cmd; compare_cmd; detect_cmd;
+            list_cmd; leak_cmd; model_cmd; similarity_cmd; compare_cmd;
+            detect_cmd;
             detect_batch_cmd; build_repo_cmd; migrate_repo_cmd; detect_file_cmd;
             dot_cmd; compile_cmd; assemble_cmd; disasm_cmd; detect_binary_cmd;
             heatmap_cmd; export_dataset_cmd; scadet_cmd; serve_cmd; client_cmd;

@@ -1,12 +1,16 @@
-type t = { mean : float array; std : float array }
+type t = {
+  features : Cpu.Exec.result -> Ml.Vector.t;
+  mean : float array;
+  std : float array;
+}
 
 let default_threshold = 3.0
 
-let train = function
+let train ?(features = Features.whole_run) = function
   | [] -> invalid_arg "Baselines.Anomaly.train: no benign samples"
   | results ->
-    let xs = List.map Features.whole_run results in
-    let d = Features.dim_whole_run in
+    let xs = List.map features results in
+    let d = Array.length (List.hd xs) in
     let n = float_of_int (List.length xs) in
     let mean = Array.make d 0.0 in
     List.iter (fun x -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) x) xs;
@@ -21,10 +25,10 @@ let train = function
           x)
       xs;
     let std = Array.map (fun v -> sqrt (v /. n)) var in
-    { mean; std }
+    { features; mean; std }
 
 let score t res =
-  let x = Features.whole_run res in
+  let x = t.features res in
   let worst = ref 0.0 in
   Array.iteri
     (fun i v ->

@@ -8,8 +8,12 @@
 
 type t
 
-val train : Cpu.Exec.result list -> t
-(** Fit per-feature mean/stddev on benign executions only.
+val train :
+  ?features:(Cpu.Exec.result -> Ml.Vector.t) -> Cpu.Exec.result list -> t
+(** Fit per-feature mean/stddev on benign executions only.  [features]
+    (default {!Features.whole_run}) selects the profile; the model applies
+    the same featureization when scoring — the ensemble's fast path passes
+    the cheaper {!Features.screen_profile}.
     @raise Invalid_argument on []. *)
 
 val score : t -> Cpu.Exec.result -> float

@@ -51,6 +51,29 @@ let whole_run (res : Cpu.Exec.result) =
     accesses;
   Array.concat [ rates; aggregate; windows ]
 
+let dim_screen = List.length Hpc.Event.all + 2
+
+(* The screening profile reads only the collector's counter totals (a
+   per-PC table merge, no walk over the access log) plus two O(1) scalars,
+   so it stays cheap enough for a fast path that runs before every DTW
+   classification.  Unlike the learned baselines it keeps the Timestamp
+   channel: the screen gates a detector that consumes full traces anyway,
+   so it is not bound by the hardware-countable restriction — and the
+   rdtsc rate is what separates Flush+Reload from benign traffic when
+   mutation has diluted the per-instruction miss rates. *)
+let screen_profile (res : Cpu.Exec.result) =
+  let col = res.Cpu.Exec.collector in
+  let c = Hpc.Collector.total_counters col in
+  let n = float_of_int (max 1 res.Cpu.Exec.instructions) in
+  let feat = Array.make dim_screen 0.0 in
+  List.iteri
+    (fun i e -> feat.(i) <- float_of_int (Hpc.Counters.get c e) /. n)
+    Hpc.Event.all;
+  feat.(dim_screen - 2) <-
+    float_of_int (Hpc.Collector.access_count col) /. n;
+  feat.(dim_screen - 1) <- float_of_int res.Cpu.Exec.cycles /. n;
+  feat
+
 let top_k = 4
 let slot_width = List.length countable + 1
 let dim_loop_profile = top_k * slot_width

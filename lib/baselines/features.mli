@@ -10,6 +10,15 @@ val whole_run : Cpu.Exec.result -> Ml.Vector.t
     rate and flush rate — the whole-process profile SVM-NW / LR-NW train
     on. *)
 
+val dim_screen : int
+val screen_profile : Cpu.Exec.result -> Ml.Vector.t
+(** Whole-run rates of every collector event (Timestamp included) plus the
+    access rate and cycles-per-instruction, computed from counter totals
+    and O(1) scalars alone — no pass over the access log, so it is cheap
+    enough for the ensemble's screening fast path.  The screen is not
+    bound by the hardware-countable restriction of {!whole_run}: it gates
+    a detector that consumes full traces anyway. *)
+
 val dim_loop_profile : int
 val loop_profile : Cpu.Exec.result -> Ml.Vector.t
 (** Event rates concentrated on the hottest instruction addresses (the

@@ -1,0 +1,235 @@
+(* One adapter per existing detector.  Every adapter is a thin shim: the
+   detection logic stays in [lib/scaguard], [lib/baselines] and [lib/ml];
+   the adapter only maps [Run.t] / [Workloads.Label.t] onto the underlying
+   entry point.  Predictions are identical to calling that entry point
+   directly (asserted by the test suite), so the drivers built on the
+   registry render byte-identical tables. *)
+
+module L = Workloads.Label
+open Iface
+
+let to_label = function
+  | Some f -> Option.value ~default:L.Benign (L.of_string f)
+  | None -> L.Benign
+
+let int_pairs labelled =
+  List.map (fun (r, l) -> (Run.result r, label_to_int l)) labelled
+
+let benign_results labelled =
+  List.filter_map
+    (fun (r, l) -> if L.equal l L.Benign then Some (Run.result r) else None)
+    labelled
+
+(* SCAGuard proper: the PoC repository is the model; "training" just closes
+   over the context's repository and threshold knobs. *)
+module Scaguard_dtw = struct
+  let name = "SCAGUARD"
+
+  type model = {
+    repo : Scaguard.Detector.repository;
+    threshold : float option;
+    alpha : float option;
+  }
+
+  let train ctx _ =
+    { repo = ctx.repository; threshold = ctx.threshold; alpha = ctx.alpha }
+
+  let classify m run =
+    Scaguard.Detector.classify ?threshold:m.threshold ?alpha:m.alpha m.repo
+      (Run.model run)
+
+  let predict m run = to_label (classify m run).Scaguard.Detector.best_family
+  let binary_detect m run = Scaguard.Detector.is_attack (classify m run)
+
+  (* Graded view for threshold sweeps: the best match regardless of the
+     model's threshold, as (family label, similarity). *)
+  let score m run =
+    let v =
+      Scaguard.Detector.classify ~threshold:0.0 ?alpha:m.alpha m.repo
+        (Run.model run)
+    in
+    match v.Scaguard.Detector.best_matches with
+    | (_, family, _) :: _ ->
+      Some (to_label (Some family), v.Scaguard.Detector.best_score)
+    | [] -> None
+end
+
+(* SCADET's rules encode Prime+Probe signatures the defender designed from
+   known attacks; when the Prime+Probe family is not among the known
+   families, the defender has no applicable rules and everything passes as
+   benign. *)
+module Scadet = struct
+  let name = "SCADET"
+
+  type model = { rules_apply : bool }
+
+  let train ctx _ = { rules_apply = List.mem L.Pp_family ctx.known_families }
+
+  let predict m run =
+    if not m.rules_apply then L.Benign
+    else to_label (Baselines.Scadet.classify (Run.program run) (Run.result run))
+
+  let binary_detect m run = not (L.equal (predict m run) L.Benign)
+  let score _ _ = None
+end
+
+module Nights_watch_gen (V : sig
+  val name : string
+  val variant : Baselines.Nights_watch.variant
+end) =
+struct
+  let name = V.name
+
+  type model = Baselines.Nights_watch.t
+
+  let train ctx labelled =
+    Baselines.Nights_watch.train ~variant:V.variant ~rng:ctx.rng
+      (int_pairs labelled)
+
+  let predict m run =
+    label_of_int (Baselines.Nights_watch.predict m (Run.result run))
+
+  let binary_detect m run = not (L.equal (predict m run) L.Benign)
+  let score _ _ = None
+end
+
+module Svm_nw = Nights_watch_gen (struct
+  let name = "SVM-NW"
+  let variant = Baselines.Nights_watch.Svm_nw
+end)
+
+module Lr_nw = Nights_watch_gen (struct
+  let name = "LR-NW"
+  let variant = Baselines.Nights_watch.Lr_nw
+end)
+
+module Knn_mlfm = struct
+  let name = "KNN-MLFM"
+
+  type model = Baselines.Mlfm.t
+
+  let train _ labelled = Baselines.Mlfm.train (int_pairs labelled)
+  let predict m run = label_of_int (Baselines.Mlfm.predict m (Run.result run))
+  let binary_detect m run = not (L.equal (predict m run) L.Benign)
+  let score _ _ = None
+end
+
+(* Victim-oriented anomaly detection is attack-vs-benign only: a positive
+   verdict maps to the context's first attack class. *)
+module Anomaly = struct
+  let name = "ANOMALY"
+
+  type model = { anomaly : Baselines.Anomaly.t; attack_class : L.t }
+
+  let attack_class_of ctx =
+    match List.filter (fun c -> not (L.equal c L.Benign)) ctx.classes with
+    | c :: _ -> c
+    | [] -> L.Fr_family
+
+  let train ctx labelled =
+    {
+      anomaly = Baselines.Anomaly.train (benign_results labelled);
+      attack_class = attack_class_of ctx;
+    }
+
+  let binary_detect m run =
+    Baselines.Anomaly.is_attack m.anomaly (Run.result run)
+
+  let predict m run =
+    if binary_detect m run then m.attack_class else L.Benign
+
+  let score m run =
+    Some (m.attack_class, Baselines.Anomaly.score m.anomaly (Run.result run))
+end
+
+module Phased_guard = struct
+  let name = "PHASED-GUARD"
+
+  type model = Baselines.Phased_guard.t
+
+  let train ctx labelled =
+    let benign = benign_results labelled in
+    let attacks =
+      List.filter_map
+        (fun (r, l) ->
+          if L.equal l L.Benign then None
+          else Some (Run.result r, label_to_int l))
+        labelled
+    in
+    Baselines.Phased_guard.train ~rng:ctx.rng ~benign ~attacks
+      ~benign_label:(label_to_int L.Benign)
+
+  let predict m run =
+    label_of_int (Baselines.Phased_guard.predict m (Run.result run))
+
+  let binary_detect m run = not (L.equal (predict m run) L.Benign)
+  let score _ _ = None
+end
+
+(* Raw lib/ml classifiers over the whole-run HPC profile, standardized on
+   the training split — the "generic ML on HPCs" reference points the
+   showdown table reports next to the purpose-built baselines. *)
+module type RAW_CLASSIFIER = sig
+  val name : string
+
+  type m
+
+  val train : ctx -> (Ml.Vector.t * int) list -> m
+  val predict : m -> Ml.Vector.t -> int
+end
+
+module Raw_gen (C : RAW_CLASSIFIER) = struct
+  let name = C.name
+
+  type model = { scale : Ml.Scale.t; m : C.m }
+
+  let train ctx labelled =
+    let features =
+      List.map (fun (r, _) -> Baselines.Features.whole_run (Run.result r))
+        labelled
+    in
+    let scale = Ml.Scale.fit features in
+    let data =
+      List.map2
+        (fun x (_, l) -> (Ml.Scale.transform scale x, label_to_int l))
+        features labelled
+    in
+    { scale; m = C.train ctx data }
+
+  let predict model run =
+    let x =
+      Ml.Scale.transform model.scale
+        (Baselines.Features.whole_run (Run.result run))
+    in
+    label_of_int (C.predict model.m x)
+
+  let binary_detect m run = not (L.equal (predict m run) L.Benign)
+  let score _ _ = None
+end
+
+module Svm_hpc = Raw_gen (struct
+  let name = "SVM-HPC"
+
+  type m = Ml.Svm.multi
+
+  let train ctx data = Ml.Svm.train_multi ~rng:ctx.rng data
+  let predict = Ml.Svm.predict_multi
+end)
+
+module Lr_hpc = Raw_gen (struct
+  let name = "LR-HPC"
+
+  type m = Ml.Logreg.multi
+
+  let train _ data = Ml.Logreg.train_multi data
+  let predict = Ml.Logreg.predict_multi
+end)
+
+module Knn_hpc = Raw_gen (struct
+  let name = "KNN-HPC"
+
+  type m = Ml.Knn.t
+
+  let train _ data = Ml.Knn.fit ~k:5 data
+  let predict = Ml.Knn.predict
+end)

@@ -1,0 +1,74 @@
+module Run = Run
+include Iface
+module Ensemble = Ensemble
+module Scaguard_dtw = Adapters.Scaguard_dtw
+module Scadet = Adapters.Scadet
+module Svm_nw = Adapters.Svm_nw
+module Lr_nw = Adapters.Lr_nw
+module Knn_mlfm = Adapters.Knn_mlfm
+module Anomaly = Adapters.Anomaly
+module Phased_guard = Adapters.Phased_guard
+module Svm_hpc = Adapters.Svm_hpc
+module Lr_hpc = Adapters.Lr_hpc
+module Knn_hpc = Adapters.Knn_hpc
+
+type entry = { key : string; label : string; detector : (module Iface.S) }
+
+(* Order matters twice: drivers evaluate in registry order, and detectors
+   that consume the shared rng (the NIGHTs-WATCH variants, Phased-Guard,
+   SVM-HPC) must keep their relative training order for results to stay
+   reproducible run over run. *)
+let registry =
+  [
+    { key = "svm-nw"; label = "SVM-NW"; detector = (module Adapters.Svm_nw) };
+    { key = "lr-nw"; label = "LR-NW"; detector = (module Adapters.Lr_nw) };
+    {
+      key = "knn-mlfm";
+      label = "KNN-MLFM";
+      detector = (module Adapters.Knn_mlfm);
+    };
+    { key = "scadet"; label = "SCADET"; detector = (module Adapters.Scadet) };
+    {
+      key = "scaguard";
+      label = "SCAGUARD";
+      detector = (module Adapters.Scaguard_dtw);
+    };
+    {
+      key = "anomaly";
+      label = "Anomaly (victim-oriented)";
+      detector = (module Adapters.Anomaly);
+    };
+    {
+      key = "phased-guard";
+      label = "Phased-Guard";
+      detector = (module Adapters.Phased_guard);
+    };
+    {
+      key = "svm-hpc";
+      label = "SVM-HPC";
+      detector = (module Adapters.Svm_hpc);
+    };
+    { key = "lr-hpc"; label = "LR-HPC"; detector = (module Adapters.Lr_hpc) };
+    {
+      key = "knn-hpc";
+      label = "KNN-HPC";
+      detector = (module Adapters.Knn_hpc);
+    };
+    { key = "ensemble"; label = "Ensemble"; detector = (module Ensemble) };
+  ]
+
+let keys () = List.map (fun e -> e.key) registry
+let find key = List.find_opt (fun e -> e.key = key) registry
+
+let find_exn key =
+  match find key with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Detect.find_exn: unknown detector %S (known: %s)" key
+         (String.concat ", " (keys ())))
+
+let timed f =
+  let t0 = Scaguard.Obs.Clock.now_ns () in
+  let v = f () in
+  (v, Scaguard.Obs.Clock.elapsed_s ~since:t0)

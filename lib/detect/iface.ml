@@ -1,0 +1,44 @@
+module L = Workloads.Label
+
+type ctx = {
+  rng : Sutil.Rng.t;
+  repository : Scaguard.Detector.repository;
+  known_families : L.t list;
+  classes : L.t list;
+  threshold : float option;
+  alpha : float option;
+  ensemble_tau : float;
+}
+
+let make_ctx ?threshold ?alpha
+    ?(ensemble_tau = Scaguard.Config.default.Scaguard.Config.ensemble_tau)
+    ?(repository = []) ?(known_families = []) ?(classes = L.all) ~rng () =
+  { rng; repository; known_families; classes; threshold; alpha; ensemble_tau }
+
+(* The int encoding the learning baselines train on; fixed (not positional
+   in [ctx.classes]) so a model's labels mean the same thing on every
+   task. *)
+let label_to_int = function
+  | L.Fr_family -> 0
+  | L.Pp_family -> 1
+  | L.Spectre_fr -> 2
+  | L.Spectre_pp -> 3
+  | L.Benign -> 4
+
+let label_of_int = function
+  | 0 -> L.Fr_family
+  | 1 -> L.Pp_family
+  | 2 -> L.Spectre_fr
+  | 3 -> L.Spectre_pp
+  | _ -> L.Benign
+
+module type S = sig
+  val name : string
+
+  type model
+
+  val train : ctx -> (Run.t * L.t) list -> model
+  val predict : model -> Run.t -> L.t
+  val binary_detect : model -> Run.t -> bool
+  val score : model -> Run.t -> (L.t * float) option
+end

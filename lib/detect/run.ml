@@ -1,0 +1,25 @@
+module D = Workloads.Dataset
+
+type t = {
+  sample : D.sample;
+  result : Cpu.Exec.result;
+  analysis : Scaguard.Pipeline.analysis Lazy.t;
+}
+
+let of_result ~(sample : D.sample) result =
+  {
+    sample;
+    result;
+    analysis =
+      lazy
+        (Scaguard.Pipeline.analyze ~name:sample.D.name
+           ~program:sample.D.program result);
+  }
+
+let execute sample = of_result ~sample (D.run sample)
+let execute_all samples = List.map execute samples
+
+let model run = (Lazy.force run.analysis).Scaguard.Pipeline.model
+let label run = run.sample.D.label
+let program run = run.sample.D.program
+let result run = run.result

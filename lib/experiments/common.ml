@@ -1,39 +1,21 @@
 module D = Workloads.Dataset
 module L = Workloads.Label
 
-type run = {
+(* The executed-sample type now lives in [Detect.Run] (the detector
+   abstraction is defined over it); the alias keeps the record's fields and
+   every existing [Common.run] consumer unchanged. *)
+type run = Detect.Run.t = {
   sample : D.sample;
   result : Cpu.Exec.result;
   analysis : Scaguard.Pipeline.analysis Lazy.t;
 }
 
-let execute sample =
-  let result = D.run sample in
-  let analysis =
-    lazy
-      (Scaguard.Pipeline.analyze ~name:sample.D.name ~program:sample.D.program
-         result)
-  in
-  { sample; result; analysis }
-
-let execute_all samples = List.map execute samples
-
-let model run = (Lazy.force run.analysis).Scaguard.Pipeline.model
-let label run = run.sample.D.label
-
-let label_to_int = function
-  | L.Fr_family -> 0
-  | L.Pp_family -> 1
-  | L.Spectre_fr -> 2
-  | L.Spectre_pp -> 3
-  | L.Benign -> 4
-
-let label_of_int = function
-  | 0 -> L.Fr_family
-  | 1 -> L.Pp_family
-  | 2 -> L.Spectre_fr
-  | 3 -> L.Spectre_pp
-  | _ -> L.Benign
+let execute = Detect.Run.execute
+let execute_all = Detect.Run.execute_all
+let model = Detect.Run.model
+let label = Detect.Run.label
+let label_to_int = Detect.label_to_int
+let label_of_int = Detect.label_of_int
 
 (* One representative PoC per family, harnessed like every dataset sample. *)
 let poc_of_family label =
@@ -45,9 +27,22 @@ let poc_of_family label =
   | L.Benign -> invalid_arg "Experiments.Common: benign has no PoC"
 
 let families_of_strings names =
-  match List.filter_map L.of_string names with
-  | [] -> Error Scaguard.Err.Empty_repository
-  | families -> Ok families
+  match List.filter (fun n -> L.of_string n = None) names with
+  | [] -> (
+    match List.filter_map L.of_string names with
+    | [] -> Error Scaguard.Err.Empty_repository
+    | families -> Ok families)
+  | unknown ->
+    (* A typo'd family must not silently shrink the repository. *)
+    Error
+      (Scaguard.Err.Invalid_config
+         {
+           field = "families";
+           value = String.concat "," unknown;
+           expected =
+             "family names among "
+             ^ String.concat ", " (List.map L.to_string L.all);
+         })
 
 let repository_service ~config ~rng families =
   if families = [] then Error Scaguard.Err.Empty_repository

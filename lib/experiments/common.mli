@@ -2,12 +2,14 @@
     repository, and label plumbing between the typed workload labels and the
     detector's string families / the baselines' int labels. *)
 
-type run = {
+type run = Detect.Run.t = {
   sample : Workloads.Dataset.sample;
   result : Cpu.Exec.result;
   analysis : Scaguard.Pipeline.analysis Lazy.t;
     (** modeling is lazy: the baselines only need [result] *)
 }
+(** Alias of {!Detect.Run.t} — the experiments and the detector abstraction
+    share one executed-sample type. *)
 
 val execute : Workloads.Dataset.sample -> run
 val execute_all : Workloads.Dataset.sample list -> run list
@@ -20,8 +22,10 @@ val label_of_int : int -> Workloads.Label.t
 
 val families_of_strings :
   string list -> (Workloads.Label.t list, Scaguard.Err.t) result
-(** Map family names ({!Workloads.Label.of_string}) to labels, dropping
-    unknown names; [Error Empty_repository] when nothing is left. *)
+(** Map family names ({!Workloads.Label.of_string}) to labels.
+    [Error (Invalid_config {field = "families"; _})] naming every unknown
+    name (a typo must not silently shrink the repository);
+    [Error Empty_repository] on an empty list. *)
 
 val repository_service :
   config:Scaguard.Config.t ->

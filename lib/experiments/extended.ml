@@ -9,48 +9,28 @@ let approach_name = function
 
 let evaluate ~rng ~per_family task =
   let td = Table6.prepare ~rng ~per_family task in
+  let ctx = Table6.context ~rng td in
   let train = Table6.train_runs td in
-  let benign_train =
-    List.filter_map
-      (fun (run, l) -> if L.equal l L.Benign then Some run.Common.result else None)
-      train
-  in
-  let attack_train =
-    List.filter_map
-      (fun (run, l) ->
-        if L.equal l L.Benign then None
-        else Some (run.Common.result, Common.label_to_int l))
-      train
-  in
   let attack_class =
     match Table6.classes_of td with c :: _ -> c | [] -> L.Fr_family
   in
   (* Anomaly detection cannot classify: its scoring is attack-vs-benign. *)
-  let anomaly = Baselines.Anomaly.train benign_train in
+  let module An = (val (Detect.find_exn "anomaly").Detect.detector) in
+  let anomaly = An.train ctx train in
   let anomaly_pairs =
     List.map
-      (fun (run, truth) ->
-        let p =
-          if Baselines.Anomaly.is_attack anomaly run.Common.result then
-            attack_class
-          else L.Benign
-        in
-        (p, Common.binarize truth))
+      (fun (run, truth) -> (An.predict anomaly run, Common.binarize truth))
       (Table6.test_runs td)
   in
   let anomaly_scores =
     Common.metrics ~classes:[ attack_class; L.Benign ] anomaly_pairs
   in
   (* Phased-Guard: anomaly gate, then a multi-class phase two. *)
-  let pg =
-    Baselines.Phased_guard.train ~rng ~benign:benign_train
-      ~attacks:attack_train ~benign_label:(Common.label_to_int L.Benign)
-  in
+  let module Pg = (val (Detect.find_exn "phased-guard").Detect.detector) in
+  let pg = Pg.train ctx train in
   let pg_pairs =
     List.map
-      (fun (run, truth) ->
-        let p = Common.label_of_int (Baselines.Phased_guard.predict pg run.Common.result) in
-        (Table6.canonize td p, truth))
+      (fun (run, truth) -> (Table6.canonize td (Pg.predict pg run), truth))
       (Table6.test_runs td)
   in
   let pg_scores = Common.metrics ~classes:(Table6.classes_of td) pg_pairs in

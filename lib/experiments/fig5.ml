@@ -6,18 +6,14 @@ let default_thresholds = List.init 19 (fun i -> 0.05 *. float_of_int (i + 1))
 
 let evaluate ~rng ~per_family ?(thresholds = default_thresholds) () =
   let td = Table6.prepare ~rng ~per_family Table6.E1 in
-  let repo = Table6.repository_of td in
-  (* Score each test run once; re-threshold per sweep point. *)
+  let entry = Detect.find_exn "scaguard" in
+  let module Dm = (val entry.Detect.detector) in
+  let m = Dm.train (Table6.context ~rng td) [] in
+  (* Score each test run once ([Detect.S.score] is the best match at
+     threshold 0); re-threshold per sweep point. *)
   let scored =
     List.map
-      (fun (run, truth) ->
-        let v = Scaguard.Detector.classify ~threshold:0.0 repo (Common.model run) in
-        let best =
-          match v.Scaguard.Detector.best_matches with
-          | (_, family, _) :: _ -> Some (family, v.Scaguard.Detector.best_score)
-          | [] -> None
-        in
-        (best, truth))
+      (fun (run, truth) -> (Dm.score m run, truth))
       (Table6.test_runs td)
   in
   List.map
@@ -27,8 +23,7 @@ let evaluate ~rng ~per_family ?(thresholds = default_thresholds) () =
           (fun (best, truth) ->
             let prediction =
               match best with
-              | Some (family, score) when score >= threshold ->
-                Option.value ~default:L.Benign (L.of_string family)
+              | Some (family, score) when score >= threshold -> family
               | Some _ | None -> L.Benign
             in
             (prediction, truth))

@@ -1,5 +1,23 @@
 module A = Workloads.Attacks
+module D = Workloads.Dataset
 module L = Workloads.Label
+
+(* Every sweep below is a thin driver over the SCAGuard registry entry: a
+   trained model (the family repository) plus [binary_detect] per run.
+   Custom executions (hierarchy variants, swapped victims) are wrapped with
+   {!Detect.Run.of_result}, which rebuilds the same lazy analysis the old
+   hand-rolled [Pipeline.analyze] calls produced. *)
+let scaguard_detector ~rng =
+  let repo = Common.repository ~rng L.attack_labels in
+  let entry = Detect.find_exn "scaguard" in
+  let module Dm = (val entry.Detect.detector) in
+  let m =
+    Dm.train
+      (Detect.make_ctx ~rng ~repository:repo ~known_families:L.attack_labels ())
+      []
+  in
+  fun (spec : A.spec) res ->
+    Dm.binary_detect m (Detect.Run.of_result ~sample:(D.of_spec spec) res)
 
 type leak_row = {
   poc : string;
@@ -39,25 +57,18 @@ let leaked_of (spec : A.spec) res =
   | L.Benign -> false
 
 let policy_matrix ~rng =
-  let repo = Common.repository ~rng L.attack_labels in
+  let detect = scaguard_detector ~rng in
   List.concat_map
     (fun (variant, make_hierarchy) ->
       List.map
         (fun (spec : A.spec) ->
           let hierarchy, victim_hierarchy = make_hierarchy () in
           let res = A.run_spec ~hierarchy ?victim_hierarchy spec in
-          let analysis =
-            Scaguard.Pipeline.analyze ~name:spec.A.name
-              ~program:spec.A.program res
-          in
-          let verdict =
-            Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model
-          in
           {
             poc = spec.A.name;
             variant;
             leaked = leaked_of spec res;
-            detected = Scaguard.Detector.is_attack verdict;
+            detected = detect spec res;
           })
         (A.base_pocs ()))
     hierarchy_variants
@@ -81,7 +92,7 @@ let to_policy_table rows =
   t
 
 let detection_with_noise ~rng =
-  let repo = Common.repository ~rng L.attack_labels in
+  let detect = scaguard_detector ~rng in
   List.filter_map
     (fun (spec : A.spec) ->
       match spec.A.victim with
@@ -92,18 +103,11 @@ let detection_with_noise ~rng =
           (noise.Workloads.Benign.program, noise.Workloads.Benign.init)
         in
         let res = A.run_spec { spec with A.victim = Some noisy_victim } in
-        let analysis =
-          Scaguard.Pipeline.analyze ~name:spec.A.name ~program:spec.A.program
-            res
-        in
-        let verdict =
-          Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model
-        in
-        Some (spec.A.name, Scaguard.Detector.is_attack verdict))
+        Some (spec.A.name, detect spec res))
     (A.base_pocs ())
 
 let detection_without_victim ~rng =
-  let repo = Common.repository ~rng L.attack_labels in
+  let detect = scaguard_detector ~rng in
   List.filter_map
     (fun (spec : A.spec) ->
       match spec.A.victim with
@@ -111,12 +115,5 @@ let detection_without_victim ~rng =
       | Some _ ->
         (* strip the victim: the leak fails, the behavior remains *)
         let res = A.run_spec { spec with A.victim = None } in
-        let analysis =
-          Scaguard.Pipeline.analyze ~name:spec.A.name ~program:spec.A.program
-            res
-        in
-        let verdict =
-          Scaguard.Detector.classify repo analysis.Scaguard.Pipeline.model
-        in
-        Some (spec.A.name, Scaguard.Detector.is_attack verdict))
+        Some (spec.A.name, detect spec res))
     (A.base_pocs ())

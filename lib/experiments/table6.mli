@@ -40,8 +40,17 @@ val canonize : task_data -> Workloads.Label.t -> Workloads.Label.t
 
 val repository_of : task_data -> Scaguard.Detector.repository
 
+val registry_key : approach -> string
+(** The approach's key in {!Detect.registry} (["svm-nw"] … ["scaguard"]). *)
+
+val context : rng:Sutil.Rng.t -> task_data -> Detect.ctx
+(** The task as a detector-training context: its repository, known
+    families and class list. *)
+
 val evaluate_approach :
   rng:Sutil.Rng.t -> task_data -> approach -> Ml.Metrics.scores
+(** Train-and-score one approach through its {!Detect} registry entry;
+    predictions are canonized ({!canonize}) before scoring. *)
 
 val evaluate_all :
   rng:Sutil.Rng.t -> per_family:int ->

@@ -1,3 +1,14 @@
+type class_scores = {
+  cls : int;
+  support : int;
+  tp : int;
+  fp : int;
+  fn : int;
+  c_precision : float;
+  c_recall : float;
+  c_f1 : float;
+}
+
 type scores = {
   precision : float;
   recall : float;
@@ -5,25 +16,45 @@ type scores = {
   accuracy : float;
 }
 
+let per_class ~classes pairs =
+  if pairs = [] then invalid_arg "Ml.Metrics.per_class: no samples";
+  let count pred actual =
+    List.length (List.filter (fun (p, a) -> pred p && actual a) pairs)
+  in
+  List.map
+    (fun c ->
+      let tp = count (( = ) c) (( = ) c) in
+      let fp = count (( = ) c) (( <> ) c) in
+      let fn = count (( <> ) c) (( = ) c) in
+      let p =
+        if tp + fp = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fp)
+      in
+      let r =
+        if tp + fn = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fn)
+      in
+      let f = if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r) in
+      {
+        cls = c;
+        support = tp + fn;
+        tp;
+        fp;
+        fn;
+        c_precision = p;
+        c_recall = r;
+        c_f1 = f;
+      })
+    classes
+
+(* Macro averages fold over [per_class] in class order — the same additions
+   in the same order as summing the per-class tuples directly, so scores
+   are bit-identical to the pre-breakdown implementation. *)
 let evaluate ~classes pairs =
   if pairs = [] then invalid_arg "Ml.Metrics.evaluate: no samples";
-  let count pred actual =
-    List.length
-      (List.filter (fun (p, a) -> pred p && actual a) pairs)
-  in
-  let per_class c =
-    let tp = count (( = ) c) (( = ) c) in
-    let fp = count (( = ) c) (( <> ) c) in
-    let fn = count (( <> ) c) (( = ) c) in
-    let p = if tp + fp = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fp) in
-    let r = if tp + fn = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fn) in
-    let f = if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r) in
-    (p, r, f)
-  in
   let n = float_of_int (List.length classes) in
-  let sum3 (a, b, c) (a', b', c') = (a +. a', b +. b', c +. c') in
   let p, r, f =
-    List.fold_left (fun acc c -> sum3 acc (per_class c)) (0.0, 0.0, 0.0) classes
+    List.fold_left
+      (fun (p, r, f) c -> (p +. c.c_precision, r +. c.c_recall, f +. c.c_f1))
+      (0.0, 0.0, 0.0) (per_class ~classes pairs)
   in
   let correct = List.length (List.filter (fun (p', a) -> p' = a) pairs) in
   {
@@ -50,6 +81,24 @@ let confusion ~classes pairs =
       | _, _ -> ())
     pairs;
   m
+
+(* %.17g round-trips every float exactly (the config files use the same
+   format). *)
+let to_json s =
+  Printf.sprintf
+    {|{"precision":%.17g,"recall":%.17g,"f1":%.17g,"accuracy":%.17g}|}
+    s.precision s.recall s.f1 s.accuracy
+
+let default_class_name = string_of_int
+
+let class_scores_to_json ?(name = default_class_name) per_class =
+  let one c =
+    Printf.sprintf
+      {|{"class":%s,"support":%d,"tp":%d,"fp":%d,"fn":%d,"precision":%.17g,"recall":%.17g,"f1":%.17g}|}
+      (Printf.sprintf "%S" (name c.cls))
+      c.support c.tp c.fp c.fn c.c_precision c.c_recall c.c_f1
+  in
+  "[" ^ String.concat "," (List.map one per_class) ^ "]"
 
 let pp fmt s =
   Format.fprintf fmt "P=%.2f%% R=%.2f%% F1=%.2f%% acc=%.2f%%"

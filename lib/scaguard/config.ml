@@ -36,6 +36,7 @@ type t = {
   index : index_mode;
   index_leaf : int;
   index_pivots : int;
+  ensemble_tau : float;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     index = Index_auto;
     index_leaf = Vpindex.default_spec.Vpindex.leaf;
     index_pivots = Vpindex.default_spec.Vpindex.pivots;
+    ensemble_tau = 2.0;
   }
 
 (* -- field validation -------------------------------------------------------- *)
@@ -96,6 +98,11 @@ let check_index_leaf ?field n =
 let check_index_pivots ?field n =
   check_min ~default_field:"index_pivots" ~min:1
     ~expected:"a pivot count >= 1" ?field n
+
+(* [x >= 0. && x <= max_float] is false for NaN and infinity. *)
+let check_ensemble_tau ?(field = "ensemble_tau") x =
+  if x >= 0. && x <= max_float then Ok x
+  else invalid field (Printf.sprintf "%g" x) "a finite screening threshold >= 0"
 
 let ( let* ) = Result.bind
 
@@ -164,6 +171,7 @@ let validate c =
   let* _ = check_line ~field:"salt" c.salt in
   let* _ = check_index_leaf c.index_leaf in
   let* _ = check_index_pivots c.index_pivots in
+  let* _ = check_ensemble_tau c.ensemble_tau in
   Ok c
 
 (* -- persistence ------------------------------------------------------------- *)
@@ -198,6 +206,7 @@ let to_string c =
   add "index=%s\n" (index_mode_to_string c.index);
   add "index_leaf=%d\n" c.index_leaf;
   add "index_pivots=%d\n" c.index_pivots;
+  add "ensemble_tau=%.17g\n" c.ensemble_tau;
   Buffer.contents b
 
 let of_string s =
@@ -298,6 +307,7 @@ let of_string s =
                   | None -> stopf ln "bad index %S (use off, auto or vp)" v)
                 | "index_leaf" -> { cur with index_leaf = int_v ln v }
                 | "index_pivots" -> { cur with index_pivots = int_v ln v }
+                | "ensemble_tau" -> { cur with ensemble_tau = float_v ln v }
                 | _ -> stopf ln "unknown key %S" key))
         rest;
       validate !c

@@ -73,6 +73,13 @@ type t = {
   index_pivots : int;
       (** pivot candidates sampled per index split (≥ 1); default
           [Vpindex.default_spec.pivots] (5) *)
+  ensemble_tau : float;
+      (** screening threshold of the two-tier ensemble detector
+          ([Detect.Ensemble]): runs whose largest benign-profile z-score
+          stays below it are rejected by the cheap HPC fast path without
+          paying the DTW slow path.  [0.0] disables screening (every run
+          reaches DTW, verdicts bit-identical to pure SCAGuard); default
+          2.0 *)
 }
 
 val default : t
@@ -111,6 +118,10 @@ val check_index_leaf : ?field:string -> int -> (int, Err.t) result
 
 val check_index_pivots : ?field:string -> int -> (int, Err.t) result
 (** At least 1. *)
+
+val check_ensemble_tau : ?field:string -> float -> (float, Err.t) result
+(** Finite and non-negative (a z-score bound, so it is not confined to
+    [0, 1]). *)
 
 val validate : t -> (t, Err.t) result
 (** Re-check every field of a record built by hand (the type is public on

@@ -462,6 +462,21 @@ module Metrics = struct
   let cache_stale_total =
     c "scaguard_cache_stale_total" "Model cache entries dropped as corrupt."
 
+  (* -- the two-tier ensemble detector (Detect.Ensemble) ------------------- *)
+
+  let ensemble_screened_total =
+    c "scaguard_ensemble_screened_total"
+      "Runs screened by the ensemble's HPC-feature fast path."
+  let ensemble_fast_rejects_total =
+    c "scaguard_ensemble_fast_rejects_total"
+      "Runs the fast path rejected as benign (no DTW paid)."
+  let ensemble_slow_path_total =
+    c "scaguard_ensemble_slow_path_total"
+      "Runs escalated to the DTW slow path."
+  let ensemble_slow_confirms_total =
+    c "scaguard_ensemble_slow_confirms_total"
+      "Slow-path classifications that confirmed an attack."
+
   (* One exponential 1us..10s ladder serves every latency histogram: DTW
      pairs sit at the bottom, end-to-end stages at the top. *)
   let latency_buckets =

@@ -207,6 +207,22 @@ module Metrics : sig
   val cache_misses_total : Registry.counter
   val cache_stale_total : Registry.counter
 
+  val ensemble_screened_total : Registry.counter
+  (** [scaguard_ensemble_screened_total] — runs screened by the two-tier
+      ensemble's HPC fast path ([Detect.Ensemble]). *)
+
+  val ensemble_fast_rejects_total : Registry.counter
+  (** [scaguard_ensemble_fast_rejects_total] — runs the fast path rejected
+      as benign, skipping DTW entirely. *)
+
+  val ensemble_slow_path_total : Registry.counter
+  (** [scaguard_ensemble_slow_path_total] — runs escalated to the DTW slow
+      path. *)
+
+  val ensemble_slow_confirms_total : Registry.counter
+  (** [scaguard_ensemble_slow_confirms_total] — slow-path classifications
+      that confirmed an attack. *)
+
   val latency_buckets : float array
   (** The shared exponential 1µs..10s ladder used by every latency
       histogram. *)

@@ -28,6 +28,29 @@ let test_binarize () =
     (L.equal (E.Common.binarize L.Spectre_pp) L.Fr_family);
   check_bool "benign stays" true (L.equal (E.Common.binarize L.Benign) L.Benign)
 
+(* Regression: unknown family names used to be dropped silently, so a typo
+   shrank the repository instead of failing the command. *)
+let test_families_of_strings () =
+  (match E.Common.families_of_strings [ "FR-F"; "S-PP" ] with
+  | Ok fams ->
+    Alcotest.(check (list string))
+      "valid names map" [ "FR-F"; "S-PP" ] (List.map L.to_string fams)
+  | Error e -> Alcotest.failf "valid names rejected: %s" (Scaguard.Err.to_string e));
+  (match E.Common.families_of_strings [ "FR-F"; "BOGUS" ] with
+  | Error (Scaguard.Err.Invalid_config { field = "families"; value; _ }) ->
+    check_bool "unknown name reported" true
+      (let len = String.length value in
+       len >= 5
+       && List.exists
+            (fun i -> String.sub value i 5 = "BOGUS")
+            (List.init (len - 4) Fun.id))
+  | Error e -> Alcotest.failf "wrong error: %s" (Scaguard.Err.to_string e)
+  | Ok _ -> Alcotest.fail "typo silently accepted");
+  match E.Common.families_of_strings [] with
+  | Error Scaguard.Err.Empty_repository -> ()
+  | Error e -> Alcotest.failf "wrong error on []: %s" (Scaguard.Err.to_string e)
+  | Ok _ -> Alcotest.fail "empty list accepted"
+
 (* ---- Table IV ---------------------------------------------------------------- *)
 
 let test_table4_shape () =
@@ -164,6 +187,8 @@ let () =
           Alcotest.test_case "label roundtrip" `Quick test_label_int_roundtrip;
           Alcotest.test_case "repository" `Quick test_repository_families;
           Alcotest.test_case "binarize" `Quick test_binarize;
+          Alcotest.test_case "families of strings" `Quick
+            test_families_of_strings;
         ] );
       ("table4", [ Alcotest.test_case "shape" `Slow test_table4_shape ]);
       ("table5", [ Alcotest.test_case "shape" `Slow test_table5_shape ]);

@@ -60,6 +60,70 @@ let test_confusion_matrix () =
   check_int "actual 1 pred 1" 1 m.(1).(1);
   check_int "actual 1 pred 0" 0 m.(1).(0)
 
+let test_per_class_breakdown () =
+  (* class 0: tp=2 fp=1 fn=1 -> P=2/3, R=2/3; class 1: tp=1 fp=1 fn=1 ->
+     P=R=0.5; class 2 absent -> all zeros, support 0 *)
+  let pairs = [ (0, 0); (0, 0); (0, 1); (1, 0); (1, 1) ] in
+  let rows = Ml.Metrics.per_class ~classes:[ 0; 1; 2 ] pairs in
+  check_int "three rows" 3 (List.length rows);
+  let row c = List.find (fun r -> r.Ml.Metrics.cls = c) rows in
+  let r0 = row 0 in
+  check_int "c0 support" 3 r0.Ml.Metrics.support;
+  check_int "c0 tp" 2 r0.Ml.Metrics.tp;
+  check_int "c0 fp" 1 r0.Ml.Metrics.fp;
+  check_int "c0 fn" 1 r0.Ml.Metrics.fn;
+  check_float "c0 precision" (2.0 /. 3.0) r0.Ml.Metrics.c_precision;
+  check_float "c0 recall" (2.0 /. 3.0) r0.Ml.Metrics.c_recall;
+  check_float "c0 f1" (2.0 /. 3.0) r0.Ml.Metrics.c_f1;
+  let r1 = row 1 in
+  check_int "c1 support" 2 r1.Ml.Metrics.support;
+  check_float "c1 precision" 0.5 r1.Ml.Metrics.c_precision;
+  check_float "c1 recall" 0.5 r1.Ml.Metrics.c_recall;
+  check_float "c1 f1" 0.5 r1.Ml.Metrics.c_f1;
+  let r2 = row 2 in
+  check_int "c2 support" 0 r2.Ml.Metrics.support;
+  check_float "c2 precision" 0.0 r2.Ml.Metrics.c_precision;
+  check_float "c2 f1" 0.0 r2.Ml.Metrics.c_f1;
+  (* evaluate is the macro average of the breakdown, bit for bit *)
+  let s = Ml.Metrics.evaluate ~classes:[ 0; 1; 2 ] pairs in
+  let avg f = (f r0 +. f r1 +. f r2) /. 3.0 in
+  check_float "macro precision matches breakdown"
+    (avg (fun r -> r.Ml.Metrics.c_precision))
+    s.Ml.Metrics.precision;
+  check_float "macro recall matches breakdown"
+    (avg (fun r -> r.Ml.Metrics.c_recall))
+    s.Ml.Metrics.recall;
+  check_float "macro f1 matches breakdown"
+    (avg (fun r -> r.Ml.Metrics.c_f1))
+    s.Ml.Metrics.f1
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  n = 0
+  || (h >= n
+     && List.exists
+          (fun i -> String.sub haystack i n = needle)
+          (List.init (h - n + 1) Fun.id))
+
+let test_metrics_to_json () =
+  let s = Ml.Metrics.evaluate ~classes:[ 0; 1 ] [ (0, 0); (1, 1); (1, 0) ] in
+  let json = Ml.Metrics.to_json s in
+  List.iter
+    (fun k ->
+      check_bool ("json carries " ^ k) true (contains json ("\"" ^ k ^ "\":")))
+    [ "precision"; "recall"; "f1"; "accuracy" ];
+  (* accuracy 2/3 rendered at full precision, readable back exactly *)
+  check_bool "full-precision accuracy" true
+    (contains json (Printf.sprintf "\"accuracy\":%.17g" (2.0 /. 3.0)));
+  let rows = Ml.Metrics.per_class ~classes:[ 0; 1 ] [ (0, 0); (1, 1) ] in
+  let arr =
+    Ml.Metrics.class_scores_to_json ~name:(Printf.sprintf "c%d") rows
+  in
+  check_bool "per-class json names classes" true
+    (contains arr "\"class\":\"c1\"");
+  check_bool "per-class json carries support" true
+    (contains arr "\"support\":1")
+
 (* ---- synthetic data ----------------------------------------------------------- *)
 
 (* Two Gaussian-ish blobs separated along the first dimension. *)
@@ -203,6 +267,9 @@ let () =
           Alcotest.test_case "known confusion" `Quick test_metrics_known_confusion;
           Alcotest.test_case "absent class" `Quick test_metrics_absent_class;
           Alcotest.test_case "confusion matrix" `Quick test_confusion_matrix;
+          Alcotest.test_case "per-class breakdown" `Quick
+            test_per_class_breakdown;
+          Alcotest.test_case "json export" `Quick test_metrics_to_json;
         ] );
       ( "svm",
         [

@@ -61,6 +61,7 @@ let config_gen : SG.Config.t QCheck.Gen.t =
   in
   let* index_leaf = int_range 2 64 in
   let* index_pivots = int_range 1 16 in
+  let* ensemble_tau = float_range 0.0 8.0 in
   return
     {
       SG.Config.threshold;
@@ -79,6 +80,7 @@ let config_gen : SG.Config.t QCheck.Gen.t =
       index;
       index_leaf;
       index_pivots;
+      ensemble_tau;
     }
 
 let config_arb =
@@ -140,6 +142,11 @@ let test_config_validate_rejects () =
           }));
   check_string "newline in salt" "salt"
     (field_of (SG.Config.validate { d with SG.Config.salt = "a\nb" }));
+  check_string "negative ensemble tau" "ensemble_tau"
+    (field_of (SG.Config.validate { d with SG.Config.ensemble_tau = -0.5 }));
+  check_string "nan ensemble tau" "ensemble_tau"
+    (field_of
+       (SG.Config.validate { d with SG.Config.ensemble_tau = Float.nan }));
   (* the checkers report the caller-chosen field name (CLI flags) *)
   check_string "flag name override" "--threshold"
     (field_of (SG.Config.check_threshold ~field:"--threshold" 2.0));
