@@ -19,6 +19,19 @@ module C = Scaguard.Config
 
 let ( let* ) = Result.bind
 
+let version = "1.0.0"
+
+(* Process identity for the metrics expositions: scaguard_build_info is a
+   constant-1 gauge carrying the identity in its labels (node_exporter
+   convention) and scaguard_uptime_seconds is stamped right before each
+   exposition so scrapes see fresh seconds. *)
+let process_start_ns = Scaguard.Obs.Clock.now_ns ()
+
+let stamp_build_info () =
+  Scaguard.Obs.export_build_info ~version
+    ~format_version:(string_of_int Scaguard.Persist.bin_version)
+    ~start_ns:process_start_ns ()
+
 (* ---- program registry ------------------------------------------------------ *)
 
 let poc_registry : (string * (unit -> Workloads.Attacks.spec)) list =
@@ -99,7 +112,9 @@ let analyze (s : Workloads.Dataset.sample) =
 let handle = function
   | Ok () -> 0
   | Error e ->
-    Printf.eprintf "scaguard: %s\n" (Scaguard.Err.to_string e);
+    (* the Log mirror prints the exact "scaguard: <msg>" stderr line this
+       always printed; with --log-out the typed event lands in the JSONL too *)
+    Scaguard.Log.err "cli.error" e;
     Scaguard.Err.exit_code e
 
 (* Filesystem + decode guard for binary/source files. *)
@@ -522,8 +537,48 @@ let setup_observability ~trace_out ~metrics_out ~span_sample_rate =
     Scaguard.Obs.set_tracing (trace_out <> None);
     Scaguard.Obs.set_metrics (metrics_out <> None);
     Scaguard.Obs.set_span_sample_rate span_sample_rate;
+    (* registered once here so every exposition — the shutdown files and the
+       serve protocol's live metrics verb — carries the process identity *)
+    stamp_build_info ();
     Ok ()
   end
+
+(* Structured-event and provenance capture for detect-batch: both are pure
+   observation (verdicts are bit-identical with them on or off), so like the
+   Obs switches they need no plumbing through Config.t beyond the capture
+   level. *)
+let setup_event_capture ~log_out ~provenance_out ~trace_id
+    ~log_level:(lvl : Scaguard.Log.level) =
+  Scaguard.Log.set_capture (log_out <> None);
+  Scaguard.Log.set_level lvl;
+  Scaguard.Log.clear ();
+  Scaguard.Provenance.set_capture (provenance_out <> None);
+  Scaguard.Provenance.clear ();
+  Scaguard.Obs.set_trace_id trace_id
+
+let write_event_capture ~log_out ~provenance_out =
+  let* () =
+    match log_out with
+    | None -> Ok ()
+    | Some path ->
+      let* () = Scaguard.Log.write ~path in
+      Printf.printf "wrote %d log events to %s (JSON lines)\n"
+        (List.length (Scaguard.Log.events ()))
+        path;
+      Ok ()
+  in
+  match provenance_out with
+  | None -> Ok ()
+  | Some path ->
+    let records = Scaguard.Provenance.records () in
+    let* () =
+      io ~path (fun () ->
+          Scaguard.Persist.write_atomic ~path
+            (Scaguard.Provenance.to_jsonl records))
+    in
+    Printf.printf "wrote %d provenance records to %s (JSON lines)\n"
+      (List.length records) path;
+    Ok ()
 
 let write_observability ~trace_out ~metrics_out =
   let* () =
@@ -537,6 +592,7 @@ let write_observability ~trace_out ~metrics_out =
   match metrics_out with
   | None -> Ok ()
   | Some path ->
+    stamp_build_info ();
     let* () = Scaguard.Obs.write_metrics ~path in
     Printf.printf "wrote metrics to %s (Prometheus text format)\n" path;
     Ok ()
@@ -544,13 +600,30 @@ let write_observability ~trace_out ~metrics_out =
 let detect_batch_cmd =
   let run seed repo_names repo_file threshold alpha band jobs cache_dir domains
       no_prune index index_leaf index_pivots config_file stats trace_out
-      metrics_out span_sample_rate report_format names =
+      metrics_out span_sample_rate log_out log_level provenance_out trace_id
+      report_format names =
     handle
     @@ let* config =
          assemble_config ~config_file ~threshold ~alpha ~band ~jobs ~domains
            ~cache_dir ~no_prune ~index ~index_leaf ~index_pivots
        in
+       let config =
+         match log_level with
+         | None -> config
+         | Some l -> { config with C.log_level = l }
+       in
        let* () = setup_observability ~trace_out ~metrics_out ~span_sample_rate in
+       setup_event_capture ~log_out ~provenance_out ~trace_id
+         ~log_level:config.C.log_level;
+       if log_out <> None then
+         Scaguard.Log.info "batch.start"
+           ~fields:
+             [
+               ("targets", Scaguard.Json.Num (float_of_int (List.length names)));
+               ("seed", Scaguard.Json.Num (float_of_int seed));
+             ]
+           "scaguard: detect-batch: classifying %d targets"
+           (List.length names);
        (* With --repo-file the repository arrives prepared (binary images
           carry their summaries inline), so the engine skips the summarize
           pass; the load timing shows up in --stats as its own report. *)
@@ -616,7 +689,26 @@ let detect_batch_cmd =
             Buffer.add_string buf (Scaguard.Service.report_to_json report);
             Buffer.add_string buf "}";
             print_endline (Buffer.contents buf));
-       write_observability ~trace_out ~metrics_out
+       if log_out <> None then begin
+         let attacks =
+           Array.fold_left
+             (fun n (v : Scaguard.Detector.verdict) ->
+               if Option.is_some v.Scaguard.Detector.best_family then n + 1
+               else n)
+             0 verdicts
+         in
+         Scaguard.Log.info "batch.done"
+           ~fields:
+             [
+               ( "targets",
+                 Scaguard.Json.Num (float_of_int (Array.length verdicts)) );
+               ("attacks", Scaguard.Json.Num (float_of_int attacks));
+             ]
+           "scaguard: detect-batch: %d of %d targets classified as attacks"
+           attacks (Array.length verdicts)
+       end;
+       let* () = write_observability ~trace_out ~metrics_out in
+       write_event_capture ~log_out ~provenance_out
   in
   let domains_t =
     Arg.(
@@ -680,6 +772,50 @@ let detect_batch_cmd =
                 1 records every task, 0.1 every tenth, 0 only the coarse \
                 stage spans.  Sampling is deterministic by task index.")
   in
+  let log_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-out" ] ~docv:"FILE"
+          ~doc:"Capture structured log events (severity, monotonic \
+                timestamp, trace id, typed fields) and write them as JSON \
+                lines — the machine-readable twin of the stderr lines.")
+  in
+  let log_level_t =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("debug", Scaguard.Log.Debug);
+                  ("info", Scaguard.Log.Info);
+                  ("warn", Scaguard.Log.Warn);
+                  ("error", Scaguard.Log.Error);
+                ]))
+          None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Minimum severity captured into $(b,--log-out) (default: the \
+                config file's $(b,log_level), or $(b,info)).")
+  in
+  let provenance_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "provenance-out" ] ~docv:"FILE"
+          ~doc:"Capture one decision-provenance record per target (ensemble \
+                path, index pruning, candidate outcomes, final score bits) \
+                and write them as JSON lines.  Pure observation: verdicts \
+                are bit-identical with this on or off.")
+  in
+  let trace_id_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:"Opaque correlation token stamped on every span, log event \
+                and provenance record this run emits.")
+  in
   let report_format_t =
     Arg.(
       value
@@ -701,7 +837,170 @@ let detect_batch_cmd =
       const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
       $ band_t $ jobs_t $ cache_dir_t $ domains_t $ no_prune_t $ index_t
       $ index_leaf_t $ index_pivots_t $ config_file_t $ stats_t $ trace_out_t
-      $ metrics_out_t $ span_sample_rate_t $ report_format_t $ progs_t)
+      $ metrics_out_t $ span_sample_rate_t $ log_out_t $ log_level_t
+      $ provenance_out_t $ trace_id_t $ report_format_t $ progs_t)
+
+(* ---- explain (verdict provenance) -------------------------------------------------- *)
+
+let render_provenance (r : Scaguard.Provenance.t) =
+  let open Scaguard.Provenance in
+  let verdict =
+    match (r.best_family, r.path) with
+    | Some f, _ -> Printf.sprintf "ATTACK %s" f
+    | None, Fast_rejected -> "benign (fast-rejected)"
+    | None, _ -> "benign"
+  in
+  let path =
+    match r.path with
+    | Linear -> "linear scan"
+    | Indexed -> "indexed"
+    | Fast_rejected -> "fast-reject"
+  in
+  Printf.printf "%s: %s  (best %.2f%% vs threshold %.0f%%) [%s, %.3f ms%s]\n"
+    r.target verdict (100.0 *. r.best_score) (100.0 *. r.threshold) path
+    (Int64.to_float r.duration_ns /. 1e6)
+    (match r.trace_id with Some t -> ", trace " ^ t | None -> "");
+  (match r.ensemble with
+  | None -> ()
+  | Some e ->
+    Printf.printf "  screen: |z| %.2f %s tau %.2f -> %s\n" e.screen_z
+      (if e.escalated then ">=" else "<")
+      e.tau
+      (if e.escalated then "escalated to DTW" else "fast-rejected"));
+  (match r.index_events with
+  | [] -> ()
+  | evs ->
+    let visited = ref 0
+    and vmembers = ref 0
+    and cut = ref 0
+    and cmembers = ref 0
+    and screened = ref 0 in
+    List.iter
+      (function
+        | Node_visited { members; _ } ->
+          incr visited;
+          vmembers := !vmembers + members
+        | Subtree_pruned { members; _ } ->
+          incr cut;
+          cmembers := !cmembers + members
+        | Member_pruned _ -> incr screened)
+      evs;
+    Printf.printf
+      "  index: visited %d nodes (%d models), cut %d subtrees (%d models), \
+       screened out %d members\n"
+      !visited !vmembers !cut !cmembers !screened);
+  if r.candidates <> [] then begin
+    Printf.printf "  candidates (evaluation order):\n";
+    List.iter
+      (fun c ->
+        let lb =
+          match c.lb with
+          | Some b -> Printf.sprintf "  (lb %.2f%%)" (100.0 *. b)
+          | None -> ""
+        in
+        match c.outcome with
+        | Scored s ->
+          Printf.printf "    %-22s (%s): %6.2f%%%s\n" c.poc c.family
+            (100.0 *. s) lb
+        | Pruned_lb ->
+          Printf.printf "    %-22s (%s): pruned by lower bound%s\n" c.poc
+            c.family lb
+        | Abandoned ->
+          Printf.printf "    %-22s (%s): abandoned mid-DP (cutoff)%s\n" c.poc
+            c.family lb
+        | Pruned ->
+          Printf.printf "    %-22s (%s): pruned%s\n" c.poc c.family lb)
+      r.candidates
+  end;
+  match r.best_matches with
+  | [] -> ()
+  | ms ->
+    Printf.printf "  best matches:%s\n"
+      (String.concat ""
+         (List.map
+            (fun (poc, family, s) ->
+              Printf.sprintf " %s/%s %.2f%%" poc family (100.0 *. s))
+            ms))
+
+let explain_cmd =
+  let run seed repo_names repo_file threshold alpha config_file trace_id json
+      names =
+    handle
+    @@ let* config =
+         assemble_config ~config_file ~threshold ~alpha ~band:None ~jobs:None
+           ~domains:None ~cache_dir:None ~no_prune:false ~index:None
+           ~index_leaf:None ~index_pivots:None
+       in
+       Scaguard.Obs.set_trace_id trace_id;
+       let* prepared =
+         match repo_file with
+         | Some path ->
+           let* _repo, prep, _ =
+             Scaguard.Service.load_repository ~config ~path ()
+           in
+           Ok prep
+         | None ->
+           let* families = Experiments.Common.families_of_strings repo_names in
+           let rng = Sutil.Rng.create seed in
+           let* repo, _ =
+             Experiments.Common.repository_service
+               ~config:(with_salt (repo_salt ~seed repo_names) config)
+               ~rng families
+           in
+           Ok
+             (Scaguard.Detector.prepare
+                ?index:(Scaguard.Service.spec_of_config config)
+                repo)
+       in
+       let* samples = samples_res ~seed names in
+       let jobs = Array.of_list (List.map job_of_sample samples) in
+       let config' = with_salt (string_of_int seed) config in
+       let* _models, _verdicts, _report, records =
+         Scaguard.Service.explain config' prepared jobs
+       in
+       if json then print_string (Scaguard.Provenance.to_jsonl records)
+       else List.iter render_provenance records;
+       Ok ()
+  in
+  let repo_file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repo-file" ] ~docv:"FILE"
+          ~doc:"Load the PoC repository from a file written by `build-repo` \
+                instead of rebuilding it from $(b,--repo).")
+  in
+  let trace_id_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:"Opaque correlation token stamped on every record.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the raw provenance records as JSON lines instead of the \
+                human rendering (the same codec the serve protocol's \
+                $(b,explain) verb uses).")
+  in
+  let progs_t =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PROGRAM" ~doc:"Programs to explain (see `list`).")
+  in
+  Cmd.v
+    (cmd_info "explain"
+       ~doc:"Classify programs like `detect-batch` and print each verdict's \
+             decision provenance: the path taken (linear, indexed or \
+             ensemble fast-reject), the index nodes visited and subtrees \
+             pruned with their bounds, every candidate PoC's lower bound \
+             and outcome, and the final score.  Verdicts are bit-identical \
+             to `detect-batch` — provenance capture is pure observation.")
+    Term.(
+      const run $ seed_t $ repo_t $ repo_file_t $ threshold_t $ alpha_t
+      $ config_file_t $ trace_id_t $ json_t $ progs_t)
 
 (* ---- build-repo / repo-backed detect ---------------------------------------------- *)
 
@@ -1252,12 +1551,30 @@ let serve_cmd =
          Scaguard.Server.create ~config ~resolve ~prepared ?repo_path
            ~queue_capacity ~max_line ~default_deadline_ms:deadline_ms ()
        in
-       (* the banner goes to stderr so --stdio keeps stdout protocol-clean *)
-       Printf.eprintf "scaguard serve: %d models resident, listening on %s\n%!"
+       (* the banner mirrors to stderr so --stdio keeps stdout protocol-clean *)
+       Scaguard.Log.info "serve.start"
+         ~fields:
+           [
+             ( "models",
+               Scaguard.Json.Num
+                 (float_of_int (Scaguard.Detector.prepared_size prepared)) );
+             ( "endpoint",
+               Scaguard.Json.Str
+                 (Scaguard.Server.endpoint_to_string endpoint) );
+           ]
+         "scaguard serve: %d models resident, listening on %s"
          (Scaguard.Detector.prepared_size prepared)
          (Scaguard.Server.endpoint_to_string endpoint);
        let* () = Scaguard.Server.serve server endpoint in
-       Printf.eprintf "scaguard serve: drained after %d requests (up %.1f s)\n%!"
+       Scaguard.Log.info "serve.drained"
+         ~fields:
+           [
+             ( "requests",
+               Scaguard.Json.Num (float_of_int (Scaguard.Server.served server))
+             );
+             ("uptime_s", Scaguard.Json.Num (Scaguard.Server.uptime_s server));
+           ]
+         "scaguard serve: drained after %d requests (up %.1f s)"
          (Scaguard.Server.served server)
          (Scaguard.Server.uptime_s server);
        write_observability ~trace_out ~metrics_out
@@ -1359,8 +1676,9 @@ let serve_cmd =
     (cmd_info "serve"
        ~doc:"Run the resident detection daemon: load the PoC repository \
              once, keep its prepared DTW summaries warm, and answer \
-             newline-framed JSON requests (detect/screen/stats/metrics/\
-             reload/ping/shutdown) over stdio, a Unix socket or TCP.  \
+             newline-framed JSON requests (detect/screen/explain/stats/\
+             metrics/reload/ping/shutdown) over stdio, a Unix socket or \
+             TCP.  \
              Verdicts are bit-identical to `detect-batch`.  The wire \
              protocol is specified in docs/SERVER.md.")
     Term.(
@@ -1422,7 +1740,8 @@ let client_cmd =
              expected = "exactly one endpoint";
            })
   in
-  let build_request ~op ~targets ~seed ~deadline_ms ~no_stream ~path =
+  let build_request ~op ~targets ~seed ~deadline_ms ~no_stream ~path ~trace_id
+      =
     let need_targets body =
       if targets = [] then
         Error
@@ -1443,7 +1762,7 @@ let client_cmd =
              ("seed", J.Num (float_of_int seed));
            ]
           @ if no_stream then [ ("stream", J.Bool false) ] else [])
-      | "screen" ->
+      | "screen" | "explain" ->
         need_targets
           [
             ("targets", J.List (List.map (fun t -> J.Str t) targets));
@@ -1461,7 +1780,8 @@ let client_cmd =
                field = "VERB";
                value = other;
                expected =
-                 "detect, screen, stats, metrics, reload, ping or shutdown";
+                 "detect, screen, explain, stats, metrics, reload, ping or \
+                  shutdown";
              })
     in
     let deadline =
@@ -1469,7 +1789,13 @@ let client_cmd =
       | Some d -> [ ("deadline_ms", J.Num (float_of_int d)) ]
       | None -> []
     in
-    Ok (J.Obj ((("id", J.Num 1.0) :: ("op", J.Str op) :: body) @ deadline))
+    let trace =
+      match trace_id with
+      | Some t -> [ ("trace_id", J.Str t) ]
+      | None -> []
+    in
+    Ok
+      (J.Obj ((("id", J.Num 1.0) :: ("op", J.Str op) :: body) @ deadline @ trace))
   in
   (* One reply frame -> terminal output.  Verdict events print in
      detect-batch's exact format so CI can diff the two outputs. *)
@@ -1510,15 +1836,18 @@ let client_cmd =
               match J.member "message" err with Some (J.Str m) -> m | _ -> "?" )
           | None -> ("internal", "malformed reply frame")
         in
-        Printf.eprintf "scaguard client: %s (%s)\n" message code;
+        Scaguard.Log.error "client.reply"
+          ~fields:[ ("code", J.Str code) ]
+          "scaguard client: %s (%s)" message code;
         `Done (exit_of_error_code code)
       end)
   in
-  let run socket tcp seed deadline_ms no_stream reload_path op targets =
+  let run socket tcp seed deadline_ms no_stream reload_path trace_id op targets
+      =
     let result =
       let* request =
         build_request ~op ~targets ~seed ~deadline_ms ~no_stream
-          ~path:reload_path
+          ~path:reload_path ~trace_id
       in
       let* fd = connect ~socket ~tcp in
       let ic = Unix.in_channel_of_descr fd in
@@ -1530,12 +1859,14 @@ let client_cmd =
         let rec read_replies () =
           match input_line ic with
           | exception End_of_file ->
-            Printf.eprintf "scaguard client: server closed the connection\n";
+            Scaguard.Log.error "client.eof"
+              "scaguard client: server closed the connection";
             2
           | reply -> (
             match J.parse reply with
             | Error msg ->
-              Printf.eprintf "scaguard client: unparseable reply: %s\n" msg;
+              Scaguard.Log.error "client.parse"
+                "scaguard client: unparseable reply: %s" msg;
               2
             | Ok frame -> (
               match render frame with
@@ -1554,7 +1885,7 @@ let client_cmd =
     match result with
     | Ok code -> code
     | Error e ->
-      Printf.eprintf "scaguard: %s\n" (Scaguard.Err.to_string e);
+      Scaguard.Log.err "client.error" e;
       Scaguard.Err.exit_code e
   in
   let deadline_ms_t =
@@ -1579,13 +1910,24 @@ let client_cmd =
           ~doc:"For $(b,reload): the repository file to swap in (default: \
                 the file the server was started from).")
   in
+  let trace_id_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:"Opaque correlation token sent in the request envelope; the \
+                server echoes it in every reply frame and stamps it on the \
+                spans, log events and provenance records the request \
+                produces.")
+  in
   let verb_t =
     Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"VERB"
-          ~doc:"Protocol request: $(b,detect), $(b,screen), $(b,stats), \
-                $(b,metrics), $(b,reload), $(b,ping) or $(b,shutdown).")
+          ~doc:"Protocol request: $(b,detect), $(b,screen), $(b,explain), \
+                $(b,stats), $(b,metrics), $(b,reload), $(b,ping) or \
+                $(b,shutdown).")
   in
   let targets_t =
     Arg.(
@@ -1602,19 +1944,19 @@ let client_cmd =
              deadline, or a draining server).")
     Term.(
       const run $ socket_t $ tcp_t $ seed_t $ deadline_ms_t $ no_stream_t
-      $ reload_path_t $ verb_t $ targets_t)
+      $ reload_path_t $ trace_id_t $ verb_t $ targets_t)
 
 (* ---- main ----------------------------------------------------------------------- *)
 
 let () =
   let doc = "SCAGuard: cache side-channel attack detection (DAC'23 reproduction)" in
-  let info = Cmd.info "scaguard" ~version:"1.0.0" ~doc ~exits in
+  let info = Cmd.info "scaguard" ~version ~doc ~exits in
   exit
     (Cmd.eval'
        (Cmd.group info
           [
             list_cmd; leak_cmd; model_cmd; similarity_cmd; compare_cmd;
-            detect_cmd;
+            detect_cmd; explain_cmd;
             detect_batch_cmd; build_repo_cmd; migrate_repo_cmd; detect_file_cmd;
             dot_cmd; compile_cmd; assemble_cmd; disasm_cmd; detect_binary_cmd;
             heatmap_cmd; export_dataset_cmd; scadet_cmd; serve_cmd; client_cmd;

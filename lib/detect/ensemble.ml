@@ -72,16 +72,17 @@ let train ctx labelled =
 let bump counter n =
   if Scaguard.Obs.metrics () then Scaguard.Obs.Registry.add counter n
 
+let screen_z m run =
+  match m.screen with
+  | None -> infinity
+  | Some a -> Baselines.Anomaly.score a (Run.result run)
+
 (* The screening decision: anomaly scores are >= 0, so [tau = 0] never
    rejects. *)
 let suspicious m run =
   incr screened;
   bump Scaguard.Obs.Metrics.ensemble_screened_total 1;
-  let z =
-    match m.screen with
-    | None -> infinity
-    | Some a -> Baselines.Anomaly.score a (Run.result run)
-  in
+  let z = screen_z m run in
   if z < m.tau then begin
     incr fast_rejects;
     bump Scaguard.Obs.Metrics.ensemble_fast_rejects_total 1;
@@ -126,10 +127,33 @@ let rejected_verdict =
     best_score = 0.0;
   }
 
+(* Classification is the provenanced path: the screen outcome is noted in
+   domain-local state just before the decision, so an escalated run's DTW
+   record (finished on this same domain) carries it; a fast-rejected run
+   never reaches the detector, so the record is emitted here.  Pure
+   observation — the decision itself is computed exactly as [suspicious]
+   computes it, and nothing is read back. *)
 let classify m run =
-  if suspicious m run then begin
+  incr screened;
+  bump Scaguard.Obs.Metrics.ensemble_screened_total 1;
+  let z = screen_z m run in
+  let escalated = not (z < m.tau) in
+  if Scaguard.Provenance.enabled () then
+    Scaguard.Provenance.note_ensemble ~screen_z:z ~tau:m.tau ~escalated;
+  if escalated then begin
+    incr slow_path;
+    bump Scaguard.Obs.Metrics.ensemble_slow_path_total 1;
     let v = Adapters.Scaguard_dtw.classify m.scaguard run in
     if Scaguard.Detector.is_attack v then confirm ();
     v
   end
-  else rejected_verdict
+  else begin
+    incr fast_rejects;
+    bump Scaguard.Obs.Metrics.ensemble_fast_rejects_total 1;
+    if Scaguard.Provenance.enabled () then
+      Scaguard.Provenance.emit_fast_reject ~target:(Run.name run)
+        ~threshold:
+          (Option.value m.scaguard.Adapters.Scaguard_dtw.threshold
+             ~default:Scaguard.Detector.default_threshold);
+    rejected_verdict
+  end

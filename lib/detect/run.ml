@@ -19,6 +19,7 @@ let of_result ~(sample : D.sample) result =
 let execute sample = of_result ~sample (D.run sample)
 let execute_all samples = List.map execute samples
 
+let name run = run.sample.D.name
 let model run = (Lazy.force run.analysis).Scaguard.Pipeline.model
 let label run = run.sample.D.label
 let program run = run.sample.D.program

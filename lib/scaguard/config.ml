@@ -37,6 +37,7 @@ type t = {
   index_leaf : int;
   index_pivots : int;
   ensemble_tau : float;
+  log_level : Log.level;
 }
 
 let default =
@@ -57,6 +58,7 @@ let default =
     index_leaf = Vpindex.default_spec.Vpindex.leaf;
     index_pivots = Vpindex.default_spec.Vpindex.pivots;
     ensemble_tau = 2.0;
+    log_level = Log.Info;
   }
 
 (* -- field validation -------------------------------------------------------- *)
@@ -207,6 +209,7 @@ let to_string c =
   add "index_leaf=%d\n" c.index_leaf;
   add "index_pivots=%d\n" c.index_pivots;
   add "ensemble_tau=%.17g\n" c.ensemble_tau;
+  add "log_level=%s\n" (Log.level_to_string c.log_level);
   Buffer.contents b
 
 let of_string s =
@@ -308,6 +311,12 @@ let of_string s =
                 | "index_leaf" -> { cur with index_leaf = int_v ln v }
                 | "index_pivots" -> { cur with index_pivots = int_v ln v }
                 | "ensemble_tau" -> { cur with ensemble_tau = float_v ln v }
+                | "log_level" -> (
+                  match Log.level_of_string v with
+                  | Some l -> { cur with log_level = l }
+                  | None ->
+                    stopf ln
+                      "bad log_level %S (use debug, info, warn or error)" v)
                 | _ -> stopf ln "unknown key %S" key))
         rest;
       validate !c

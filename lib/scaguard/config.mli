@@ -80,6 +80,11 @@ type t = {
           paying the DTW slow path.  [0.0] disables screening (every run
           reaches DTW, verdicts bit-identical to pure SCAGuard); default
           2.0 *)
+  log_level : Log.level;
+      (** minimum severity captured into the structured event log when a
+          front-end turns capture on ([detect-batch --log-out], the serve
+          daemon); pure observation — never affects verdicts; default
+          [Info] *)
 }
 
 val default : t

@@ -72,7 +72,23 @@ let attach_index prep index =
 let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
     ?(prune = true) ?ixc prep target =
   let k = Array.length prep.pocs in
-  if k = 0 then empty_verdict
+  (* provenance is pure observation: the builder (created only when the
+     switch is on — one ref load, zero allocation otherwise) is written to
+     but never read on this path, so the verdict is bit-identical with
+     capture on or off.  The k = 0 case still records (and consumes any
+     pending ensemble note), so every classification has a record. *)
+  let prov =
+    if Provenance.enabled () then
+      Some (Provenance.start ~target:target.Model.name ~threshold)
+    else None
+  in
+  if k = 0 then begin
+    (match prov with
+    | None -> ()
+    | Some b ->
+      Provenance.finish b ~best_matches:[] ~best_family:None ~best_score:0.0);
+    empty_verdict
+  end
   else begin
     (* the bounds are only sound for a convex blend of the two cost terms;
        exotic ablation alphas fall back to full scoring *)
@@ -90,7 +106,27 @@ let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
     let score ?lb i =
       let p, sp = prep.pocs.(i) in
       let cutoff = if prune && !best > neg_infinity then Some !best else None in
-      match Dtw.compare_summaries ?ws ?band ?alpha ?cutoff ?lb sp st with
+      (* the abandoned-counter delta distinguishes "lower bound proved it"
+         from "the DP started and hit the cutoff" without touching the
+         scoring path *)
+      let ab0 =
+        match (prov, ws) with
+        | Some _, Some w -> Dtw.pairs_abandoned w
+        | _ -> 0
+      in
+      let r = Dtw.compare_summaries ?ws ?band ?alpha ?cutoff ?lb sp st in
+      (match prov with
+      | None -> ()
+      | Some b ->
+        Provenance.candidate b ~poc:p.model.Model.name ~family:p.family ?lb
+          (match r with
+          | Some s -> Provenance.Scored s
+          | None -> (
+            match ws with
+            | Some w when Dtw.pairs_abandoned w > ab0 -> Provenance.Abandoned
+            | Some _ -> Provenance.Pruned_lb
+            | None -> Provenance.Pruned)));
+      match r with
       | Some s ->
         kept := (p.model.Model.name, p.family, s) :: !kept;
         if s > !best then best := s
@@ -105,7 +141,14 @@ let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
         if !best > neg_infinity then 1.0 -. !best +. Dtw.prune_margin
         else infinity
       in
-      Vpindex.search ?alpha ?ixc ix st ~dmax ~visit:(fun i -> score i)
+      let trace =
+        match prov with
+        | None -> None
+        | Some b ->
+          Provenance.set_path b Provenance.Indexed;
+          Some (fun ev -> Provenance.index_event b ev)
+      in
+      Vpindex.search ?alpha ?ixc ?trace ix st ~dmax ~visit:(fun i -> score i)
     | _ ->
       (* linear cascade: visiting PoCs by ascending lower bound tends to
          establish a tight cutoff on the very first DP, maximizing what
@@ -132,16 +175,17 @@ let classify_prepared ?(threshold = default_threshold) ?alpha ?ws ?band
     let best_matches =
       List.filter (fun (_, _, s) -> s = b) !kept |> List.sort compare_scored
     in
-    {
-      best_matches;
-      best_family =
-        (if b >= threshold then
-           match best_matches with
-           | (_, family, _) :: _ -> Some family
-           | [] -> None
-         else None);
-      best_score = b;
-    }
+    let best_family =
+      if b >= threshold then
+        match best_matches with
+        | (_, family, _) :: _ -> Some family
+        | [] -> None
+      else None
+    in
+    (match prov with
+    | None -> ()
+    | Some pb -> Provenance.finish pb ~best_matches ~best_family ~best_score:b);
+    { best_matches; best_family; best_score = b }
   end
 
 let score_all_prepared ?alpha ?ws ?band prep target =

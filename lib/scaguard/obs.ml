@@ -256,6 +256,14 @@ module Registry = struct
            | '\\' -> "\\\\" | '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
          (List.init (String.length s) (String.get s)))
 
+  (* HELP text has a smaller escape set than label values: only the
+     backslash and the line feed — a double quote is literal there. *)
+  let prom_help_escape s =
+    String.concat ""
+      (List.map
+         (function '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+
   let prom_labels = function
     | [] -> ""
     | labels ->
@@ -278,7 +286,7 @@ module Registry = struct
     let header name kind help =
       if not (Hashtbl.mem seen_header name) then begin
         Hashtbl.add seen_header name ();
-        if help <> "" then add "# HELP %s %s\n" name (prom_escape help);
+        if help <> "" then add "# HELP %s %s\n" name (prom_help_escape help);
         add "# TYPE %s %s\n" name kind
       end
     in
@@ -339,6 +347,17 @@ let span_sample_rate () =
 let sampled i =
   !tracing_on && !sample_every > 0 && i mod !sample_every = 0
 
+(* ---- trace-id propagation --------------------------------------------------- *)
+
+(* The ambient trace id: one opaque client-chosen string correlating a wire
+   request (or a CLI batch) with every span, log event and provenance record
+   it produces.  The cell itself lives in [Traceid], at the bottom of the
+   module order, so [Provenance] (which sits below us) can stamp it too;
+   these re-exports are the public API (the serve drainer sets it around
+   each request; the CLI sets it once per batch). *)
+let set_trace_id = Traceid.set
+let trace_id = Traceid.get
+
 (* ---- spans ------------------------------------------------------------------ *)
 
 type span = {
@@ -361,6 +380,13 @@ let rec push_span s =
 let emit_span ?(cat = "scaguard") ?tid ?(args = []) ~name ~ts_ns ~dur_ns () =
   if !tracing_on then
     let tid = match tid with Some t -> t | None -> (Domain.self () :> int) in
+    (* stamp the ambient trace id so one grep of the trace finds every span
+       of a given request — the span side of end-to-end correlation *)
+    let args =
+      match Traceid.get () with
+      | Some t -> ("trace_id", t) :: args
+      | None -> args
+    in
     push_span { name; cat; tid; ts_ns; dur_ns; args }
 
 let with_span ?cat ?tid ?args name f =
@@ -536,7 +562,33 @@ module Metrics = struct
          framer to final reply frame), by protocol verb."
       ~labels:[ ("op", op) ] ~buckets:latency_buckets
       "scaguard_server_request_seconds"
+
+  (* -- process identity --------------------------------------------------- *)
+
+  let build_info ~version ~format_version =
+    Registry.gauge default
+      ~help:
+        "Build identity of this process (CLI version and binary repository \
+         format version as labels); the value is always 1."
+      ~labels:
+        [ ("version", version); ("format_version", format_version) ]
+      "scaguard_build_info"
+
+  let uptime_seconds =
+    Registry.gauge default
+      ~help:"Seconds this process has been up, on the monotonic clock."
+      "scaguard_uptime_seconds"
 end
+
+(* Stamp the process-identity gauges before an exposition is rendered: the
+   constant-1 [scaguard_build_info] (version/format_version as labels, the
+   node_exporter convention) and the uptime gauge measured from [start_ns]
+   on the monotonic clock.  Both [serve] and [detect-batch] call this so
+   every exposition carries the same identity, regardless of transport. *)
+let export_build_info ~version ~format_version ~start_ns () =
+  Registry.set_gauge (Metrics.build_info ~version ~format_version) 1.0;
+  Registry.set_gauge Metrics.uptime_seconds
+    (Clock.ns_to_s (Clock.elapsed_ns ~since:start_ns))
 
 let snapshot () = Registry.snapshot default
 

@@ -55,6 +55,20 @@ val sampled : int -> bool
 (** [sampled i] — should the per-task span for task index [i] be recorded?
     False whenever tracing is off. *)
 
+(** {1 Trace-id propagation} *)
+
+val set_trace_id : string option -> unit
+(** Set (or clear) the ambient trace id.  While set, every emitted span
+    carries a [trace_id] arg, {!Log} stamps it on events by default, and
+    {!Provenance} stamps it on records — one opaque string correlating a
+    wire request or CLI batch across all three artifact kinds.  The serve
+    drainer sets it around each request (from the request envelope's
+    [trace_id] field); [detect-batch --trace-id] sets it for the batch. *)
+
+val trace_id : unit -> string option
+(** The current ambient trace id.  Safe from any domain (engine workers
+    read it; only the driving thread writes). *)
+
 (** {1 Spans} *)
 
 type span = {
@@ -260,7 +274,25 @@ module Metrics : sig
   val server_request_seconds : op:string -> Registry.histogram
   (** Create-or-get [scaguard_server_request_seconds{op="..."}] — request
       latency from arrival at the framer to the final reply frame. *)
+
+  val build_info :
+    version:string -> format_version:string -> Registry.gauge
+  (** Create-or-get [scaguard_build_info{version="...",format_version="..."}]
+      — the process-identity gauge (constant 1, identity in the labels, the
+      node_exporter convention). *)
+
+  val uptime_seconds : Registry.gauge
+  (** [scaguard_uptime_seconds] — process uptime on the monotonic clock,
+      stamped by {!export_build_info} before each exposition. *)
 end
+
+val export_build_info :
+  version:string -> format_version:string -> start_ns:int64 -> unit -> unit
+(** Stamp the process-identity gauges: set
+    [scaguard_build_info{version,format_version}] to 1 and
+    [scaguard_uptime_seconds] to the monotonic seconds since [start_ns].
+    Both [serve] and [detect-batch] call this right before rendering an
+    exposition, so every scrape carries the same identity. *)
 
 (** {1 Export} *)
 

@@ -192,6 +192,12 @@ val image_load_prepared_result :
     Used by {!Config} (and available to other callers) so every artefact the
     system persists goes through the same atomic writer. *)
 
+val bin_version : int
+(** The SCAGBIN container version this build writes (readers accept older
+    versions too).  Exported as the [format_version] label of the
+    [scaguard_build_info] gauge, so a scrape identifies what a process
+    would emit. *)
+
 val write_atomic : path:string -> string -> unit
 (** Write [contents] to a sibling temp file, fsync it, rename it over
     [path], and fsync the directory — atomic {e and} durable (the data hits

@@ -11,268 +11,10 @@
 
 (* ---- JSON ------------------------------------------------------------------- *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  exception Fail of int * string
-
-  let max_depth = 64
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Fail (!pos, msg)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      if !pos < n then
-        match s.[!pos] with
-        | ' ' | '\t' | '\n' | '\r' ->
-          advance ();
-          skip_ws ()
-        | _ -> ()
-    in
-    let expect c =
-      if !pos < n && s.[!pos] = c then advance ()
-      else fail (Printf.sprintf "expected %C" c)
-    in
-    let literal lit v =
-      let l = String.length lit in
-      if !pos + l <= n && String.sub s !pos l = lit then begin
-        pos := !pos + l;
-        v
-      end
-      else fail "invalid literal"
-    in
-    let hex4 () =
-      if !pos + 4 > n then fail "truncated \\u escape";
-      let v = ref 0 in
-      for _ = 1 to 4 do
-        let d =
-          match s.[!pos] with
-          | '0' .. '9' as c -> Char.code c - Char.code '0'
-          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
-          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
-          | _ -> fail "bad hex digit in \\u escape"
-        in
-        v := (!v lsl 4) lor d;
-        advance ()
-      done;
-      !v
-    in
-    let add_utf8 b cp =
-      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
-      else if cp < 0x800 then begin
-        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
-        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
-      end
-      else if cp < 0x10000 then begin
-        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
-        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
-      end
-      else begin
-        Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
-        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
-        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
-      end
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string";
-        let c = s.[!pos] in
-        if c = '"' then begin
-          advance ();
-          Buffer.contents b
-        end
-        else if c = '\\' then begin
-          advance ();
-          if !pos >= n then fail "unterminated escape";
-          let e = s.[!pos] in
-          advance ();
-          (match e with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'n' -> Buffer.add_char b '\n'
-          | 'r' -> Buffer.add_char b '\r'
-          | 't' -> Buffer.add_char b '\t'
-          | 'u' ->
-            let cp = hex4 () in
-            if cp >= 0xD800 && cp <= 0xDBFF then
-              (* high surrogate: the low half must follow *)
-              if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
-                pos := !pos + 2;
-                let lo = hex4 () in
-                if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired surrogate";
-                add_utf8 b (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
-              end
-              else fail "unpaired surrogate"
-            else if cp >= 0xDC00 && cp <= 0xDFFF then fail "unpaired surrogate"
-            else add_utf8 b cp
-          | _ -> fail "invalid escape");
-          go ()
-        end
-        else if Char.code c < 0x20 then fail "raw control character in string"
-        else begin
-          Buffer.add_char b c;
-          advance ();
-          go ()
-        end
-      in
-      go ()
-    in
-    let parse_number () =
-      let start = !pos in
-      if peek () = Some '-' then advance ();
-      let digits () =
-        let d0 = !pos in
-        while
-          !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
-        do
-          advance ()
-        done;
-        if !pos = d0 then fail "malformed number"
-      in
-      digits ();
-      if peek () = Some '.' then begin
-        advance ();
-        digits ()
-      end;
-      (match peek () with
-      | Some ('e' | 'E') ->
-        advance ();
-        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-        digits ()
-      | _ -> ());
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f when Float.is_finite f -> f
-      | _ -> fail "malformed number"
-    in
-    let rec parse_value depth =
-      if depth >= max_depth then fail "nesting too deep";
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value (depth + 1) in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              members ((k, v) :: acc)
-            | Some '}' ->
-              advance ();
-              List.rev ((k, v) :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          Obj (members [])
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec elems acc =
-            let v = parse_value (depth + 1) in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              elems (v :: acc)
-            | Some ']' ->
-              advance ();
-              List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          List (elems [])
-        end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some ('-' | '0' .. '9') -> Num (parse_number ())
-      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
-    in
-    match
-      let v = parse_value 0 in
-      skip_ws ();
-      if !pos <> n then fail "trailing garbage";
-      v
-    with
-    | v -> Ok v
-    | exception Fail (p, msg) -> Error (Printf.sprintf "%s at byte %d" msg p)
-
-  (* Integral numbers (ids, counts) print as integers; everything else as
-     %.17g, which round-trips float64 exactly — verdict scores survive the
-     wire bit for bit. *)
-  let num_to_string f =
-    if not (Float.is_finite f) then "null"
-    else if Float.is_integer f && Float.abs f <= 9007199254740992.0 then
-      Printf.sprintf "%.0f" f
-    else Printf.sprintf "%.17g" f
-
-  let rec to_buf b = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (if v then "true" else "false")
-    | Num f -> Buffer.add_string b (num_to_string f)
-    | Str s ->
-      Buffer.add_char b '"';
-      Buffer.add_string b (Obs.Json.escape s);
-      Buffer.add_char b '"'
-    | List l ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i v ->
-          if i > 0 then Buffer.add_char b ',';
-          to_buf b v)
-        l;
-      Buffer.add_char b ']'
-    | Obj kvs ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          Buffer.add_char b '"';
-          Buffer.add_string b (Obs.Json.escape k);
-          Buffer.add_string b "\":";
-          to_buf b v)
-        kvs;
-      Buffer.add_char b '}'
-
-  let to_string v =
-    let b = Buffer.create 256 in
-    to_buf b v;
-    Buffer.contents b
-
-  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
-end
+(* The strict JSON layer lives in its own module now (Log and Provenance
+   share it); the alias keeps [Server.Json] working for every existing
+   protocol consumer. *)
+module Json = Json
 
 (* ---- framing ---------------------------------------------------------------- *)
 
@@ -371,24 +113,40 @@ let error_code_of_err = function
 type request_body =
   | Detect of { targets : string list; seed : int; stream : bool }
   | Screen of { targets : string list; seed : int }
+  | Explain of { targets : string list; seed : int }
   | Stats
   | Metrics
   | Reload of { path : string option }
   | Ping
   | Shutdown
 
-type request = { id : Json.t; body : request_body; deadline_ms : int option }
+type request = {
+  id : Json.t;
+  body : request_body;
+  deadline_ms : int option;
+  trace_id : string option;
+      (* client-chosen correlation token: echoed in every frame this
+         request produces and stamped on spans, log events and provenance
+         records while it executes *)
+}
 
 let verb = function
   | Detect _ -> "detect"
   | Screen _ -> "screen"
+  | Explain _ -> "explain"
   | Stats -> "stats"
   | Metrics -> "metrics"
   | Reload _ -> "reload"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
 
-type reject = { reject_id : Json.t; code : error_code; message : string }
+type reject = {
+  reject_id : Json.t;
+  code : error_code;
+  message : string;
+  reject_trace : string option;
+      (* echoed when the envelope got far enough to carry one *)
+}
 
 let default_seed = 2026
 
@@ -400,8 +158,20 @@ let parse_request line =
   match Json.parse line with
   | Error msg ->
     Error
-      { reject_id = Json.Null; code = Parse_error; message = "invalid JSON: " ^ msg }
+      {
+        reject_id = Json.Null;
+        code = Parse_error;
+        message = "invalid JSON: " ^ msg;
+        reject_trace = None;
+      }
   | Ok (Json.Obj _ as j) -> begin
+    (* the trace id is best-effort on rejects: a well-typed one is echoed
+       even when a later field is bad, so clients can correlate failures *)
+    let trace_id =
+      match Json.member "trace_id" j with
+      | Some (Json.Str s) -> Some s
+      | _ -> None
+    in
     let id_res =
       match Json.member "id" j with
       | Some (Json.Num f) when integral f -> Ok (Json.Num f)
@@ -410,12 +180,21 @@ let parse_request line =
       | None -> Error "missing \"id\""
     in
     match id_res with
-    | Error message -> Error { reject_id = Json.Null; code = Bad_request; message }
+    | Error message ->
+      Error
+        {
+          reject_id = Json.Null;
+          code = Bad_request;
+          message;
+          reject_trace = trace_id;
+        }
     | Ok id -> begin
       let ( let* ) r f =
         match r with
         | Ok v -> f v
-        | Error message -> Error { reject_id = id; code = Bad_request; message }
+        | Error message ->
+          Error
+            { reject_id = id; code = Bad_request; message; reject_trace = trace_id }
       in
       let ( let& ) = Result.bind in
       let int_field key =
@@ -450,6 +229,12 @@ let parse_request line =
           strings [] l
         | Some _ | None -> Error "\"targets\" must be a non-empty array of strings"
       in
+      let* trace_id =
+        match Json.member "trace_id" j with
+        | None -> Ok None
+        | Some (Json.Str s) -> Ok (Some s)
+        | Some _ -> Error "\"trace_id\" must be a string"
+      in
       let* body =
         match op with
         | "detect" ->
@@ -464,6 +249,9 @@ let parse_request line =
         | "screen" ->
           let& targets = targets () in
           Ok (Screen { targets; seed })
+        | "explain" ->
+          let& targets = targets () in
+          Ok (Explain { targets; seed })
         | "stats" -> Ok Stats
         | "metrics" -> Ok Metrics
         | "reload" ->
@@ -479,11 +267,11 @@ let parse_request line =
         | other ->
           Error
             (Printf.sprintf
-               "unknown op %S: expected detect, screen, stats, metrics, \
-                reload, ping or shutdown"
+               "unknown op %S: expected detect, screen, explain, stats, \
+                metrics, reload, ping or shutdown"
                other)
       in
-      Ok { id; body; deadline_ms }
+      Ok { id; body; deadline_ms; trace_id }
     end
   end
   | Ok _ ->
@@ -492,6 +280,7 @@ let parse_request line =
         reject_id = Json.Null;
         code = Bad_request;
         message = "request must be a JSON object";
+        reject_trace = None;
       }
 
 (* ---- server core ------------------------------------------------------------- *)
@@ -608,8 +397,17 @@ let disconnect _t conn = conn.emit <- None
 
 let jint i = Json.Num (float_of_int i)
 
-let emit_frame conn json =
-  match conn.emit with None -> () | Some f -> f (Json.to_string json)
+(* The trace echo rides on every frame's tail, appended at emission time so
+   the frame builders stay trace-agnostic. *)
+let stamp_trace trace json =
+  match (trace, json) with
+  | Some tr, Json.Obj kvs -> Json.Obj (kvs @ [ ("trace_id", Json.Str tr) ])
+  | _ -> json
+
+let emit_frame ?trace conn json =
+  match conn.emit with
+  | None -> ()
+  | Some f -> f (Json.to_string (stamp_trace trace json))
 
 let frame_error ?(extras = []) ~id code message =
   Json.Obj
@@ -707,13 +505,14 @@ let resolve_all t ~seed targets =
   in
   go [] targets
 
-let do_detect t conn ~id ~arrival_ns ~deadline ~targets ~seed ~stream =
+let do_detect t conn ?trace ~id ~arrival_ns ~deadline ~targets ~seed ~stream ()
+    =
   let config = salted t seed in
   let total = List.length targets in
   let attacks = ref 0 in
   let emit_verdict target v =
     if v.Detector.best_family <> None then incr attacks;
-    emit_frame conn (verdict_frame ~id ~target v);
+    emit_frame ?trace conn (verdict_frame ~id ~target v);
     if Obs.metrics () then
       Obs.Registry.incr Obs.Metrics.server_streamed_verdicts_total
   in
@@ -721,7 +520,7 @@ let do_detect t conn ~id ~arrival_ns ~deadline ~targets ~seed ~stream =
     [ ("completed", jint completed); ("targets", jint total) ]
   in
   let finish completed =
-    emit_frame conn
+    emit_frame ?trace conn
       (Json.Obj
          [
            ("id", id);
@@ -742,7 +541,7 @@ let do_detect t conn ~id ~arrival_ns ~deadline ~targets ~seed ~stream =
       | [] -> finish completed
       | name :: rest ->
         if Sutil.Deadline.expired ~now_ns:(Obs.Clock.now_ns ()) deadline then
-          emit_frame conn
+          emit_frame ?trace conn
             (frame_error ~extras:(progress completed) ~id Deadline
                (Printf.sprintf
                   "deadline expired after %d of %d targets: remaining targets \
@@ -751,11 +550,12 @@ let do_detect t conn ~id ~arrival_ns ~deadline ~targets ~seed ~stream =
         else begin
           match t.resolve ~seed name with
           | Error e ->
-            emit_frame conn (err_frame ~extras:(progress completed) ~id e)
+            emit_frame ?trace conn (err_frame ~extras:(progress completed) ~id e)
           | Ok job -> (
             match Service.screen_prepared config t.prepared [| job |] with
             | Error e ->
-              emit_frame conn (err_frame ~extras:(progress completed) ~id e)
+              emit_frame ?trace conn
+                (err_frame ~extras:(progress completed) ~id e)
             | Ok (_models, verdicts, report) ->
               accumulate t report;
               emit_verdict name verdicts.(0);
@@ -769,25 +569,25 @@ let do_detect t conn ~id ~arrival_ns ~deadline ~targets ~seed ~stream =
        deadline check up front (the batch is not interruptible). *)
     match resolve_all t ~seed targets with
     | Error (name, e) ->
-      emit_frame conn
+      emit_frame ?trace conn
         (err_frame ~extras:(("target", Json.Str name) :: progress 0) ~id e)
     | Ok jobs -> (
       match Service.screen_prepared config t.prepared jobs with
-      | Error e -> emit_frame conn (err_frame ~extras:(progress 0) ~id e)
+      | Error e -> emit_frame ?trace conn (err_frame ~extras:(progress 0) ~id e)
       | Ok (_models, verdicts, report) ->
         accumulate t report;
         List.iteri (fun i name -> emit_verdict name verdicts.(i)) targets;
         finish total)
   end
 
-let do_screen t conn ~id ~arrival_ns ~targets ~seed =
+let do_screen t conn ?trace ~id ~arrival_ns ~targets ~seed () =
   let config = salted t seed in
   match resolve_all t ~seed targets with
   | Error (name, e) ->
-    emit_frame conn (err_frame ~extras:[ ("target", Json.Str name) ] ~id e)
+    emit_frame ?trace conn (err_frame ~extras:[ ("target", Json.Str name) ] ~id e)
   | Ok jobs -> (
     match Service.screen_prepared config t.prepared jobs with
-    | Error e -> emit_frame conn (err_frame ~id e)
+    | Error e -> emit_frame ?trace conn (err_frame ~id e)
     | Ok (_models, verdicts, report) ->
       accumulate t report;
       let attack_targets =
@@ -795,7 +595,7 @@ let do_screen t conn ~id ~arrival_ns ~targets ~seed =
           (fun i _ -> verdicts.(i).Detector.best_family <> None)
           targets
       in
-      emit_frame conn
+      emit_frame ?trace conn
         (Json.Obj
            [
              ("id", id);
@@ -805,6 +605,35 @@ let do_screen t conn ~id ~arrival_ns ~targets ~seed =
              ("attacks", jint (List.length attack_targets));
              ( "attack_targets",
                Json.List (List.map (fun n -> Json.Str n) attack_targets) );
+             ("wall_ms", Json.Num (wall_ms ~arrival_ns));
+           ]))
+
+let do_explain t conn ?trace ~id ~arrival_ns ~targets ~seed () =
+  let config = salted t seed in
+  match resolve_all t ~seed targets with
+  | Error (name, e) ->
+    emit_frame ?trace conn (err_frame ~extras:[ ("target", Json.Str name) ] ~id e)
+  | Ok jobs -> (
+    (* same screen_prepared run (bit-identical verdicts — capture is pure
+       observation), plus one provenance record per target *)
+    match Service.explain config t.prepared jobs with
+    | Error e -> emit_frame ?trace conn (err_frame ~id e)
+    | Ok (_models, verdicts, report, records) ->
+      accumulate t report;
+      let attacks =
+        Array.fold_left
+          (fun n v -> if v.Detector.best_family <> None then n + 1 else n)
+          0 verdicts
+      in
+      emit_frame ?trace conn
+        (Json.Obj
+           [
+             ("id", id);
+             ("ok", Json.Bool true);
+             ("op", Json.Str "explain");
+             ("targets", jint (List.length targets));
+             ("attacks", jint attacks);
+             ("records", Json.List (List.map Provenance.to_json records));
              ("wall_ms", Json.Num (wall_ms ~arrival_ns));
            ]))
 
@@ -871,6 +700,9 @@ let stats_frame t ~id =
 
 let metrics_frame t ~id =
   set_queue_gauge t;
+  (* fresh uptime for live scrapes; the build_info identity gauge is a
+     constant the front-end stamps at start-up *)
+  Obs.Registry.set_gauge Obs.Metrics.uptime_seconds (uptime_s t);
   let body = Obs.Registry.to_prometheus (Obs.snapshot ()) in
   Json.Obj
     [
@@ -881,7 +713,7 @@ let metrics_frame t ~id =
       ("body", Json.Str body);
     ]
 
-let do_reload t conn ~id ~arrival_ns ~path =
+let do_reload t conn ?trace ~id ~arrival_ns ~path () =
   let path =
     match (path, t.repo_path) with
     | Some p, _ | None, Some p -> Ok p
@@ -896,19 +728,27 @@ let do_reload t conn ~id ~arrival_ns ~path =
            })
   in
   match path with
-  | Error e -> emit_frame conn (err_frame ~id e)
+  | Error e ->
+    Log.err "server.reload" e;
+    emit_frame ?trace conn (err_frame ~id e)
   | Ok path -> (
     (* loading under the server's config rebuilds the prepared index when
        the file does not carry one, so a reloaded daemon classifies exactly
        like a freshly started one — same candidates, same counters *)
     match Service.load_repository ~config:t.config ~path () with
-    | Error e -> emit_frame conn (err_frame ~id e)
+    | Error e ->
+      Log.err "server.reload" e;
+      emit_frame ?trace conn (err_frame ~id e)
     | Ok (_repo, prep, _report) ->
-      if Detector.prepared_size prep = 0 then
-        emit_frame conn
+      if Detector.prepared_size prep = 0 then begin
+        Log.warn "server.reload"
+          ~fields:[ ("path", Json.Str path) ]
+          "scaguard: %s holds no models: keeping the current repository" path;
+        emit_frame ?trace conn
           (frame_error ~id Empty_repository
              (Printf.sprintf
                 "%s holds no models: keeping the current repository" path))
+      end
       else begin
         (* the swap is the only mutation, and it happens between requests —
            everything queued before this reload already ran on the old
@@ -916,7 +756,15 @@ let do_reload t conn ~id ~arrival_ns ~path =
         t.prepared <- prep;
         t.repo_path <- Some path;
         t.reloads <- t.reloads + 1;
-        emit_frame conn
+        Log.info "server.reload"
+          ~fields:
+            [
+              ("path", Json.Str path);
+              ("models", jint (Detector.prepared_size prep));
+            ]
+          "scaguard: reloaded %d models from %s"
+          (Detector.prepared_size prep) path;
+        emit_frame ?trace conn
           (Json.Obj
              [
                ("id", id);
@@ -939,9 +787,10 @@ let shutdown_ack t ~id =
     ]
 
 let execute t { iconn; req; arrival_ns; deadline } =
+  let trace = req.trace_id in
   let now = Obs.Clock.now_ns () in
   if Sutil.Deadline.expired ~now_ns:now deadline then begin
-    emit_frame iconn
+    emit_frame ?trace iconn
       (frame_error ~id:req.id Deadline
          "deadline expired while the request was queued");
     note_rejected t "deadline"
@@ -949,42 +798,57 @@ let execute t { iconn; req; arrival_ns; deadline } =
   else begin
     let op = verb req.body in
     let id = req.id in
-    (try
-       match req.body with
-       | Ping ->
-         emit_frame iconn
-           (Json.Obj
-              [ ("id", id); ("ok", Json.Bool true); ("op", Json.Str "ping") ])
-       | Stats -> emit_frame iconn (stats_frame t ~id)
-       | Metrics -> emit_frame iconn (metrics_frame t ~id)
-       | Reload { path } -> do_reload t iconn ~id ~arrival_ns ~path
-       | Shutdown ->
-         t.draining_ <- true;
-         t.acks <- (iconn, id) :: t.acks
-       | Detect { targets; seed; stream } ->
-         do_detect t iconn ~id ~arrival_ns ~deadline ~targets ~seed ~stream
-       | Screen { targets; seed } ->
-         do_screen t iconn ~id ~arrival_ns ~targets ~seed
-     with exn ->
-       (* a hostile or buggy request must never take the daemon down *)
-       emit_frame iconn
-         (frame_error ~id Internal
-            ("unexpected exception: " ^ Printexc.to_string exn)));
-    t.served_ <- t.served_ + 1;
-    bump t.by_op op;
-    let dur_ns = Obs.Clock.elapsed_ns ~since:arrival_ns in
-    let dur_s = Obs.Clock.ns_to_s dur_ns in
-    t.lat.(t.lat_n mod lat_window) <- dur_s;
-    t.lat_n <- t.lat_n + 1;
-    if Obs.metrics () then begin
-      Obs.Registry.incr (Obs.Metrics.server_requests_total ~op);
-      Obs.Registry.observe (Obs.Metrics.server_request_seconds ~op) dur_s
-    end;
-    if Obs.tracing () then
-      Obs.emit_span ~cat:"server" ~name:("request:" ^ op) ~ts_ns:arrival_ns
-        ~dur_ns
-        ~args:[ ("op", op); ("id", Json.to_string req.id) ]
-        ()
+    (* the single-drainer discipline makes the ambient trace id race-free:
+       nothing else executes while this request does, so every span, log
+       event and provenance record emitted in here — the request:<op> span
+       included — carries this request's trace *)
+    Obs.set_trace_id trace;
+    Fun.protect
+      ~finally:(fun () -> Obs.set_trace_id None)
+      (fun () ->
+        (try
+           match req.body with
+           | Ping ->
+             emit_frame ?trace iconn
+               (Json.Obj
+                  [ ("id", id); ("ok", Json.Bool true); ("op", Json.Str "ping") ])
+           | Stats -> emit_frame ?trace iconn (stats_frame t ~id)
+           | Metrics -> emit_frame ?trace iconn (metrics_frame t ~id)
+           | Reload { path } -> do_reload t iconn ?trace ~id ~arrival_ns ~path ()
+           | Shutdown ->
+             t.draining_ <- true;
+             t.acks <- (iconn, id) :: t.acks
+           | Detect { targets; seed; stream } ->
+             do_detect t iconn ?trace ~id ~arrival_ns ~deadline ~targets ~seed
+               ~stream ()
+           | Screen { targets; seed } ->
+             do_screen t iconn ?trace ~id ~arrival_ns ~targets ~seed ()
+           | Explain { targets; seed } ->
+             do_explain t iconn ?trace ~id ~arrival_ns ~targets ~seed ()
+         with exn ->
+           (* a hostile or buggy request must never take the daemon down *)
+           Log.error "server.internal"
+             ~fields:[ ("op", Json.Str op); ("id", req.id) ]
+             "scaguard: unexpected exception serving %s: %s" op
+             (Printexc.to_string exn);
+           emit_frame ?trace iconn
+             (frame_error ~id Internal
+                ("unexpected exception: " ^ Printexc.to_string exn)));
+        t.served_ <- t.served_ + 1;
+        bump t.by_op op;
+        let dur_ns = Obs.Clock.elapsed_ns ~since:arrival_ns in
+        let dur_s = Obs.Clock.ns_to_s dur_ns in
+        t.lat.(t.lat_n mod lat_window) <- dur_s;
+        t.lat_n <- t.lat_n + 1;
+        if Obs.metrics () then begin
+          Obs.Registry.incr (Obs.Metrics.server_requests_total ~op);
+          Obs.Registry.observe (Obs.Metrics.server_request_seconds ~op) dur_s
+        end;
+        if Obs.tracing () then
+          Obs.emit_span ~cat:"server" ~name:("request:" ^ op) ~ts_ns:arrival_ns
+            ~dur_ns
+            ~args:[ ("op", op); ("id", Json.to_string req.id) ]
+            ())
   end
 
 (* ---- feed / step ----- *)
@@ -999,14 +863,14 @@ let handle_frame t conn = function
   | Framer.Line "" -> ()  (* blank lines are keepalive noise *)
   | Framer.Line line ->
     if t.draining_ then begin
-      (* still parse, purely to echo the id back *)
-      let id =
+      (* still parse, purely to echo the id (and trace) back *)
+      let id, trace =
         match parse_request line with
-        | Ok req -> req.id
-        | Error r -> r.reject_id
+        | Ok req -> (req.id, req.trace_id)
+        | Error r -> (r.reject_id, r.reject_trace)
       in
       note_rejected t "unavailable";
-      emit_frame conn
+      emit_frame ?trace conn
         (frame_error ~id Unavailable
            "server is draining after shutdown: request refused")
     end
@@ -1014,7 +878,8 @@ let handle_frame t conn = function
       match parse_request line with
       | Error r ->
         note_rejected t (error_code_to_string r.code);
-        emit_frame conn (frame_error ~id:r.reject_id r.code r.message)
+        emit_frame ?trace:r.reject_trace conn
+          (frame_error ~id:r.reject_id r.code r.message)
       | Ok req ->
         let arrival_ns = Obs.Clock.now_ns () in
         let budget_ms = Option.value req.deadline_ms ~default:t.default_deadline_ms in
@@ -1025,7 +890,7 @@ let handle_frame t conn = function
           (* explicit backpressure: the reply goes out now, ahead of all
              queued work, so clients learn to back off immediately *)
           note_rejected t "busy";
-          emit_frame conn
+          emit_frame ?trace:req.trace_id conn
             (frame_error ~id:req.id Busy
                (Printf.sprintf
                   "request queue full (%d queued, capacity %d): retry later"

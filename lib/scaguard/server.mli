@@ -6,10 +6,13 @@
     repository (the binary image's inline summaries make loading it
     near-free — see {!Service.load_repository}) and a name→job resolver, and
     speaks a newline-framed JSON protocol over stdio, a Unix socket or TCP:
-    [detect] / [screen] / [stats] / [metrics] / [reload] / [ping] /
-    [shutdown] requests with ids, a bounded request queue with explicit
-    backpressure replies, per-request deadlines that cancel cleanly between
-    targets, and verdicts streamed back as each target completes.
+    [detect] / [screen] / [explain] / [stats] / [metrics] / [reload] /
+    [ping] / [shutdown] requests with ids, a bounded request queue with
+    explicit backpressure replies, per-request deadlines that cancel
+    cleanly between targets, and verdicts streamed back as each target
+    completes.  Requests may carry an opaque [trace_id], echoed in every
+    frame they produce and stamped on the spans, log events and provenance
+    records their execution emits ({!Obs.set_trace_id}).
 
     The wire protocol — every frame shape, error code, and the
     backpressure / deadline / drain semantics — is specified in
@@ -26,32 +29,9 @@
 
 (** {1 JSON} *)
 
-(** A minimal strict JSON reader/writer for the wire protocol (the
-    repository's only external frame format; no external JSON dependency).
-    The parser rejects trailing garbage, raw control characters, lone
-    surrogates, non-finite numbers and nesting deeper than 64 levels — a
-    hostile frame can fail a request but never confuse the framing. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val parse : string -> (t, string) result
-  (** Parse one complete JSON value; the error carries a byte offset. *)
-
-  val to_string : t -> string
-  (** Compact single-line rendering (no newlines — safe to frame).
-      Integral [Num]s print without an exponent or decimal point; other
-      finite floats print as [%.17g] (shortest exact round-trip for the
-      protocol's similarity scores); non-finite floats print as [null]. *)
-
-  val member : string -> t -> t option
-  (** First binding of a key in an [Obj]; [None] otherwise. *)
-end
+module Json = Json
+(** The strict JSON reader/writer the protocol frames use, re-exported
+    from {!Scaguard.Json} (where {!Log} and {!Provenance} share it). *)
 
 (** {1 Framing} *)
 
@@ -118,6 +98,12 @@ type request_body =
       (** Batch triage: classify all targets in one parallel engine run,
           reply with one summary frame (counts + attack names) and no
           per-target verdict frames. *)
+  | Explain of { targets : string list; seed : int }
+      (** {!Screen} with provenance capture forced on
+          ({!Service.explain}): the same engine run and bit-identical
+          verdicts, replied as one frame whose [records] array holds one
+          {!Provenance.t} JSON object per target — ensemble path, index
+          pruning, candidate outcomes and final score bits. *)
   | Stats  (** server self-description: queue, counters, latency quantiles *)
   | Metrics  (** the {!Obs} registry as Prometheus text exposition *)
   | Reload of { path : string option }
@@ -133,6 +119,12 @@ type request = {
       (** [Some ms]: the request is abandoned (with a ["deadline"] error)
           once [ms] milliseconds from arrival have passed; [None]: the
           server's default applies. *)
+  trace_id : string option;
+      (** opaque client-chosen correlation token: echoed as a [trace_id]
+          field in every frame this request produces (success, error and
+          verdict frames alike) and set as the ambient {!Obs.trace_id}
+          while the request executes, so spans, log events and provenance
+          records all carry it *)
 }
 
 val verb : request_body -> string
@@ -142,6 +134,10 @@ type reject = {
   reject_id : Json.t;  (** the request's id when one was recovered, else [Null] *)
   code : error_code;
   message : string;
+  reject_trace : string option;
+      (** the request's [trace_id] when the envelope got far enough to
+          carry a well-typed one — echoed on the error frame so clients
+          can correlate failures too *)
 }
 (** Why a frame could not become a {!request}. *)
 

@@ -416,3 +416,13 @@ let screen_prepared config prep jobs =
       detect_prepared_stage config prep models
     in
     Ok (models, verdicts, screen_report ~cache ~build_timing ~detect_timing models stats)
+
+let explain config prep jobs =
+  (* capture is forced on only for this run, and restored after — the
+     verdicts themselves are bit-identical either way (observation purity),
+     so explain can safely serve interleaved with ordinary detection *)
+  let result, records =
+    Provenance.with_capture (fun () -> screen_prepared config prep jobs)
+  in
+  let* models, verdicts, report = result in
+  Ok (models, verdicts, report, records)

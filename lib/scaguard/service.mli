@@ -120,3 +120,19 @@ val screen_prepared :
     {!load_repository}) — identical models, verdicts and counters; no
     re-summarization.  Errors: [Invalid_config], [Empty_repository],
     [Io]. *)
+
+val explain :
+  Config.t ->
+  Detector.prepared ->
+  Pipeline.job array ->
+  ( Model.t array
+    * Detector.verdict array
+    * report
+    * Provenance.t list,
+    Err.t )
+  result
+(** {!screen_prepared} with provenance capture forced on for the duration
+    of the call (and restored afterwards): the same models, verdicts and
+    report — bit-identical, capture is pure observation — plus one
+    {!Provenance.t} record per target explaining the verdict.  Backs
+    [scaguard explain] and the serve protocol's [explain] verb. *)

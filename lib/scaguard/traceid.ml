@@ -1,0 +1,9 @@
+(* The ambient trace id, at the bottom of the module order so that every
+   emitter can stamp it: [Obs] spans, [Log] events and [Provenance] records
+   all read this one cell (Obs re-exports the accessors as the public
+   API).  An Atomic because engine worker domains read it while the driving
+   thread owns the writes. *)
+
+let cell : string option Atomic.t = Atomic.make None
+let set t = Atomic.set cell t
+let get () = Atomic.get cell

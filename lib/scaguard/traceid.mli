@@ -1,0 +1,6 @@
+(** The ambient trace id ({!Obs.set_trace_id} / {!Obs.trace_id} are the
+    public accessors; this module only exists below {!Obs}, {!Log} and
+    {!Provenance} in the dependency order so all three can stamp it). *)
+
+val set : string option -> unit
+val get : unit -> string option

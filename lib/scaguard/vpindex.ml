@@ -637,7 +637,7 @@ module Heap = struct
     !acc
 end
 
-let search ?(alpha = Distance.default_alpha) ?ixc t st ~dmax ~visit =
+let search ?(alpha = Distance.default_alpha) ?ixc ?trace t st ~dmax ~visit =
   let pruned k =
     match ixc with
     | Some c -> c.pairs_pruned_index <- c.pairs_pruned_index + k
@@ -648,6 +648,11 @@ let search ?(alpha = Distance.default_alpha) ?ixc t st ~dmax ~visit =
     | Some c -> c.nodes_visited <- c.nodes_visited + 1
     | None -> ()
   in
+  (* provenance taps: pure observation, never read back — [trace] receives
+     each traversal decision with the bound that justified it.  The
+     untracked empties / empty-target fast paths make no bound decisions,
+     so they emit nothing. *)
+  let emit ev = match trace with Some f -> f ev | None -> () in
   (* Empty models score 0.0 against everything by convention and their
      conventional distance is 1.0, which no sound bound can exceed — they
      are kept out of the tree and always scored (cheaply). *)
@@ -685,16 +690,22 @@ let search ?(alpha = Distance.default_alpha) ?ixc t st ~dmax ~visit =
               Heap.fold (fun acc (_, _, n') -> acc + n'.g_count) n.g_count heap
             in
             pruned rest;
+            emit (Provenance.Subtree_pruned { bound = b; members = rest });
             stopped := true
           end
           else begin
             visited ();
+            emit (Provenance.Node_visited { bound = b; members = n.g_count });
             match n.kind with
             | Branch cs -> Array.iter push cs
             | Leaf ms ->
               Array.iter
                 (fun m ->
-                  if member_screen p m > dmax () then pruned 1
+                  let ms_bound = member_screen p m in
+                  if ms_bound > dmax () then begin
+                    pruned 1;
+                    emit (Provenance.Member_pruned { bound = ms_bound })
+                  end
                   else visit m.idx)
                 ms
           end

@@ -85,6 +85,7 @@ val build : spec -> Dtw.summary array -> t option
 val search :
   ?alpha:float ->
   ?ixc:counters ->
+  ?trace:(Provenance.index_event -> unit) ->
   t ->
   Dtw.summary ->
   dmax:(unit -> float) ->
@@ -103,7 +104,10 @@ val search :
     [alpha] must equal the scoring alpha (sound for alpha in [\[0,1\]];
     callers disable the index otherwise, as with lower-bound pruning).
     Visit order is deterministic.  An empty target visits every position
-    (all scores are 0.0; no bound applies). *)
+    (all scores are 0.0; no bound applies).  [trace], when given, receives
+    each traversal decision (node visits, subtree cut-offs and member
+    prunes, with the bounds that justified them) for provenance capture —
+    pure observation, never read back into the search. *)
 
 val size : t -> int
 (** Repository size the index was built over (empty models included). *)

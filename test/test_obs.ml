@@ -165,6 +165,130 @@ let test_prometheus_format () =
   check_bool "count" true (has "lat_seconds_count{stage=\"build\"} 3");
   check_bool "sum" true (has "lat_seconds_sum{stage=\"build\"} 3")
 
+(* Conformance details a real scraper depends on: the label-value escape
+   set (backslash, double quote, line feed), the smaller HELP escape set
+   (no quote), the metric/label name charsets, and HELP/TYPE emitted once
+   per family, before its samples. *)
+
+let test_prometheus_escaping () =
+  let r = Obs.Registry.create () in
+  let c =
+    Obs.Registry.counter r
+      ~help:"backslash \\ quote \" newline\nhelp"
+      ~labels:[ ("v", "a\\b\"c\nd") ]
+      "esc_total"
+  in
+  Obs.Registry.incr c;
+  let lines =
+    String.split_on_char '\n'
+      (Obs.Registry.to_prometheus (Obs.Registry.snapshot r))
+  in
+  let has line = List.mem line lines in
+  check_bool "label value escapes \\ \" and newline" true
+    (has "esc_total{v=\"a\\\\b\\\"c\\nd\"} 1");
+  check_bool "HELP escapes \\ and newline, keeps the quote literal" true
+    (has "# HELP esc_total backslash \\\\ quote \" newline\\nhelp")
+
+let test_prometheus_name_charset () =
+  let metric_ok n =
+    let first = function 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false in
+    let rest = function
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+      | _ -> false
+    in
+    String.length n > 0 && first n.[0] && String.for_all rest n
+  in
+  let label_ok n =
+    (* label names additionally exclude the colon *)
+    metric_ok n && not (String.contains n ':')
+  in
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      (* make sure the full stock metric set (identity gauges included) is
+         registered before sweeping it *)
+      Obs.export_build_info ~version:"1.2.3" ~format_version:"2"
+        ~start_ns:(Obs.Clock.now_ns ()) ();
+      let snap = Obs.snapshot () in
+      check_bool "snapshot is non-trivial" true (List.length snap > 3);
+      List.iter
+        (fun e ->
+          let n = e.Obs.Registry.entry_name in
+          check_bool (Printf.sprintf "metric name %S is legal" n) true
+            (metric_ok n);
+          List.iter
+            (fun (k, _) ->
+              check_bool (Printf.sprintf "label name %S is legal" k) true
+                (label_ok k))
+            e.Obs.Registry.entry_labels)
+        snap)
+
+let test_prometheus_header_ordering () =
+  let r = Obs.Registry.create () in
+  let series stage =
+    Obs.Registry.histogram r ~help:"latency" ~labels:[ ("stage", stage) ]
+      ~buckets:[| 1.0 |] "multi_seconds"
+  in
+  Obs.Registry.observe (series "a") 0.5;
+  Obs.Registry.observe (series "b") 2.0;
+  Obs.Registry.incr (Obs.Registry.counter r ~help:"c" "after_total");
+  let lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n'
+         (Obs.Registry.to_prometheus (Obs.Registry.snapshot r)))
+  in
+  let indexed = List.mapi (fun i l -> (i, l)) lines in
+  let starts p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let only p =
+    match List.filter (fun (_, l) -> starts p l) indexed with
+    | [ (i, _) ] -> i
+    | hits -> Alcotest.failf "%S appears %d times, want 1" p (List.length hits)
+  in
+  (* one header pair per family even with two label series, HELP first *)
+  let help_i = only "# HELP multi_seconds " in
+  let type_i = only "# TYPE multi_seconds " in
+  check_bool "HELP precedes TYPE" true (help_i < type_i);
+  let samples =
+    List.filter_map
+      (fun (i, l) -> if starts "multi_seconds_" l then Some i else None)
+      indexed
+  in
+  check_int "2 series x (2 buckets + sum + count)" 8 (List.length samples);
+  List.iter
+    (fun i -> check_bool "samples follow their header" true (i > type_i))
+    samples
+
+let test_build_info_export () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      Obs.export_build_info ~version:"9.9.9" ~format_version:"7"
+        ~start_ns:(Int64.sub (Obs.Clock.now_ns ()) 1_500_000_000L)
+        ();
+      let lines =
+        String.split_on_char '\n'
+          (Obs.Registry.to_prometheus (Obs.snapshot ()))
+      in
+      check_bool "identity gauge is 1" true
+        (List.mem
+           "scaguard_build_info{version=\"9.9.9\",format_version=\"7\"} 1"
+           lines);
+      let prefix = "scaguard_uptime_seconds " in
+      match
+        List.find_opt
+          (fun l ->
+            String.length l > String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          lines
+      with
+      | None -> Alcotest.fail "scaguard_uptime_seconds not exposed"
+      | Some l ->
+        let v =
+          float_of_string
+            (String.sub l (String.length prefix)
+               (String.length l - String.length prefix))
+        in
+        check_bool "uptime counts from start_ns" true (v >= 1.0 && v < 120.0))
+
 (* -- sampling --------------------------------------------------------------- *)
 
 let test_sampling () =
@@ -471,6 +595,13 @@ let () =
           Alcotest.test_case "concurrent exactness" `Quick
             test_concurrent_exact;
           Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "prometheus escaping" `Quick
+            test_prometheus_escaping;
+          Alcotest.test_case "prometheus name charset" `Quick
+            test_prometheus_name_charset;
+          Alcotest.test_case "prometheus header ordering" `Quick
+            test_prometheus_header_ordering;
+          Alcotest.test_case "build info export" `Quick test_build_info_export;
         ] );
       ( "tracing",
         [

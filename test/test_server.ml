@@ -143,7 +143,7 @@ let test_framer_overflow_resync () =
 
 let test_parse_request_ok () =
   match Server.parse_request {|{"id":7,"op":"detect","targets":["a","b"]}|} with
-  | Ok { id = J.Num 7.0; body = Server.Detect { targets; seed; stream }; deadline_ms = None } ->
+  | Ok { id = J.Num 7.0; body = Server.Detect { targets; seed; stream }; deadline_ms = None; trace_id = None } ->
     check_bool "targets" true (targets = [ "a"; "b" ]);
     check_int "seed defaults" 2026 seed;
     check_bool "stream defaults on" true stream
@@ -154,7 +154,7 @@ let test_parse_request_fields () =
      Server.parse_request
        {|{"id":"x","op":"detect","targets":["a"],"seed":9,"stream":false,"deadline_ms":50,"future":1}|}
    with
-  | Ok { id = J.Str "x"; body = Server.Detect { seed = 9; stream = false; _ }; deadline_ms = Some 50 } ->
+  | Ok { id = J.Str "x"; body = Server.Detect { seed = 9; stream = false; _ }; deadline_ms = Some 50; _ } ->
     ()
   | _ -> Alcotest.fail "explicit fields should parse (unknown ones ignored)");
   match Server.parse_request {|{"id":1,"op":"reload"}|} with
@@ -589,6 +589,102 @@ let test_stats_and_metrics_verbs () =
           (contains "scaguard_server_queue_depth")
       | fs -> Alcotest.failf "expected 4 frames, got %d" (List.length fs))
 
+(* Every frame a request produces echoes its trace_id — success frames,
+   error frames, and even the immediate reject of an unknown op (the
+   envelope got far enough to carry a well-typed one). *)
+let test_trace_id_echo () =
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn
+    "{\"id\":1,\"op\":\"ping\",\"trace_id\":\"t-9\"}\n{\"id\":2,\"op\":\"detect\",\"targets\":[\"no-such\"],\"trace_id\":\"t-10\"}\n{\"id\":3,\"op\":\"nonsense\",\"trace_id\":\"t-11\"}\n";
+  ignore (Server.drain t);
+  (* the unknown-op reject is emitted from feed, before queued work runs *)
+  match frames () with
+  | [ bad_verb; ping; bad_target ] ->
+    check_bool "reject echoes the trace id" true
+      (J.member "trace_id" bad_verb = Some (J.Str "t-11"));
+    check_string "reject is bad_request" "bad_request"
+      (error_code_of_frame bad_verb);
+    check_bool "success frame echoes" true
+      (J.member "trace_id" ping = Some (J.Str "t-9"));
+    check_bool "error frame echoes" true
+      (J.member "trace_id" bad_target = Some (J.Str "t-10"));
+    (* an untraced request gets no trace_id field at all *)
+    let t2 = make_server () in
+    let conn2, frames2 = recording_conn t2 in
+    Server.feed t2 conn2 "{\"id\":1,\"op\":\"ping\"}\n";
+    ignore (Server.drain t2);
+    (match frames2 () with
+    | [ bare ] ->
+      check_bool "no field when untraced" true (J.member "trace_id" bare = None)
+    | fs -> Alcotest.failf "expected 1 frame, got %d" (List.length fs))
+  | fs -> Alcotest.failf "expected 3 frames, got %d" (List.length fs)
+
+(* The explain verb: screen's verdict summary plus one provenance record
+   per target — decodable, trace-stamped, and bit-identical in score to
+   Service.screen_prepared on the same batch. *)
+let test_explain_verb () =
+  let seed = 7 in
+  let targets = [ "fr-iaik"; "quicksort" ] in
+  let t = make_server () in
+  let conn, frames = recording_conn t in
+  Server.feed t conn
+    (Printf.sprintf
+       "{\"id\":1,\"op\":\"explain\",\"targets\":[%s],\"seed\":%d,\"trace_id\":\"tr-ex\"}\n"
+       (String.concat "," (List.map (Printf.sprintf "%S") targets))
+       seed);
+  ignore (Server.drain t);
+  let _, prepared = Lazy.force prepared_repo in
+  let config = { C.default with C.salt = string_of_int seed } in
+  let jobs =
+    Array.of_list (List.map (fun n -> Result.get_ok (resolve ~seed n)) targets)
+  in
+  let _, verdicts, _ =
+    Result.get_ok (SG.Service.screen_prepared config prepared jobs)
+  in
+  match frames () with
+  | [ reply ] ->
+    check_bool "ok" true (J.member "ok" reply = Some (J.Bool true));
+    check_bool "frame echoes the trace id" true
+      (J.member "trace_id" reply = Some (J.Str "tr-ex"));
+    check_bool "targets counted" true
+      (member_exn "targets" reply = J.Num 2.0);
+    let records =
+      match member_exn "records" reply with
+      | J.List rs -> rs
+      | _ -> Alcotest.fail "records must be an array"
+    in
+    check_int "one record per target" (List.length targets)
+      (List.length records);
+    List.iter
+      (fun rj ->
+        match SG.Provenance.of_json rj with
+        | Error m -> Alcotest.failf "record does not decode: %s" m
+        | Ok r ->
+          check_bool "record carries the trace id" true
+            (r.SG.Provenance.trace_id = Some "tr-ex");
+          (* records carry the built model's canonical name, not the
+             request spelling — match through the resolved jobs *)
+          let i =
+            match
+              Array.find_index
+                (fun j -> j.SG.Pipeline.job_name = r.SG.Provenance.target)
+                jobs
+            with
+            | Some i -> i
+            | None -> Alcotest.failf "record for unknown target %s"
+                        r.SG.Provenance.target
+          in
+          check_bool
+            (Printf.sprintf "%s score bit-identical to screen_prepared"
+               r.SG.Provenance.target)
+            true
+            (Int64.bits_of_float r.SG.Provenance.best_score
+            = Int64.bits_of_float verdicts.(i).SG.Detector.best_score))
+      records;
+    check_bool "capture switch left off" false (SG.Provenance.enabled ())
+  | fs -> Alcotest.failf "expected 1 frame, got %d" (List.length fs)
+
 (* -- stdio transport --------------------------------------------------------- *)
 
 (* Drive serve_channels over OS pipes, exactly like `scaguard serve --stdio`:
@@ -686,6 +782,8 @@ let () =
           Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
           Alcotest.test_case "stats + metrics verbs" `Slow
             test_stats_and_metrics_verbs;
+          Alcotest.test_case "trace-id echo" `Quick test_trace_id_echo;
+          Alcotest.test_case "explain verb" `Slow test_explain_verb;
         ] );
       ( "stdio",
         [

@@ -62,6 +62,9 @@ let config_gen : SG.Config.t QCheck.Gen.t =
   let* index_leaf = int_range 2 64 in
   let* index_pivots = int_range 1 16 in
   let* ensemble_tau = float_range 0.0 8.0 in
+  let* log_level =
+    oneofl [ SG.Log.Debug; SG.Log.Info; SG.Log.Warn; SG.Log.Error ]
+  in
   return
     {
       SG.Config.threshold;
@@ -81,6 +84,7 @@ let config_gen : SG.Config.t QCheck.Gen.t =
       index_leaf;
       index_pivots;
       ensemble_tau;
+      log_level;
     }
 
 let config_arb =
